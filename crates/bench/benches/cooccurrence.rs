@@ -1,0 +1,59 @@
+//! Co-occurrence matrix construction benchmarks: dense vs sparse-storage
+//! accumulation (the paper's §4.4.1 trade-off), by ROI size and direction
+//! count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haralick::coocc::CoMatrix;
+use haralick::direction::{Direction, DirectionSet};
+use haralick::roi::RoiShape;
+use haralick::sparse::SparseAccumulator;
+use haralick::volume::{LevelVolume, Point4, Region4};
+use mri::synth::{generate, SynthConfig};
+
+fn workload_volume() -> LevelVolume {
+    generate(&SynthConfig::test_scale(42)).quantize_min_max(32)
+}
+
+fn bench_accumulation(c: &mut Criterion) {
+    let vol = workload_volume();
+    let origin = Point4::new(20, 20, 2, 2);
+    let dirs = DirectionSet::single(Direction::new(1, 1, 1, 1));
+    let mut g = c.benchmark_group("coocc_accumulation");
+    for (name, roi) in [
+        ("roi_6x6x2x2", RoiShape::from_lengths(6, 6, 2, 2)),
+        ("roi_10x10x3x3", RoiShape::paper_default()),
+        ("roi_16x16x4x4", RoiShape::from_lengths(16, 16, 4, 4)),
+    ] {
+        let region = Region4::new(origin, roi.size());
+        g.bench_with_input(BenchmarkId::new("dense", name), &region, |b, &r| {
+            b.iter(|| CoMatrix::from_region(&vol, r, &dirs))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("sparse_storage", name),
+            &region,
+            |b, &r| b.iter(|| SparseAccumulator::from_region(&vol, r, &dirs)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_direction_count(c: &mut Criterion) {
+    let vol = workload_volume();
+    let roi = RoiShape::paper_default();
+    let region = Region4::new(Point4::new(20, 20, 2, 2), roi.size());
+    let mut g = c.benchmark_group("coocc_directions");
+    for (name, dirs) in [
+        ("single", DirectionSet::single(Direction::new(1, 1, 1, 1))),
+        ("axial4", DirectionSet::axial(4, 1)),
+        ("paper8", DirectionSet::paper_4d(1)),
+        ("all40", DirectionSet::all_unique_4d(1)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &dirs, |b, d| {
+            b.iter(|| CoMatrix::from_region(&vol, region, d))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_accumulation, bench_direction_count);
+criterion_main!(benches);

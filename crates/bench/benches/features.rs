@@ -1,0 +1,62 @@
+//! Haralick feature computation benchmarks: the zero-skip optimization
+//! (paper: "one-fourth the time"), sparse-form evaluation, and the cost of
+//! the individual feature families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haralick::coocc::CoMatrix;
+use haralick::direction::{Direction, DirectionSet};
+use haralick::features::{compute_features, Feature, FeatureSelection, MatrixStats};
+use haralick::roi::RoiShape;
+use haralick::sparse::SparseCoMatrix;
+use haralick::volume::{Point4, Region4};
+use mri::synth::{generate, SynthConfig};
+
+/// A typical workload matrix (sparse, ~12 nnz of 1024).
+fn workload_matrix() -> CoMatrix {
+    let vol = generate(&SynthConfig::test_scale(42)).quantize_min_max(32);
+    let roi = RoiShape::paper_default();
+    CoMatrix::from_region(
+        &vol,
+        Region4::new(Point4::new(20, 20, 2, 2), roi.size()),
+        &DirectionSet::single(Direction::new(1, 1, 1, 1)),
+    )
+}
+
+fn bench_zero_skip(c: &mut Criterion) {
+    let m = workload_matrix();
+    let sel = FeatureSelection::paper_default();
+    let mut g = c.benchmark_group("feature_pass");
+    g.bench_function("naive_dense", |b| {
+        b.iter(|| compute_features(&m.stats_naive(), &sel))
+    });
+    g.bench_function("zero_skip_dense", |b| {
+        b.iter(|| compute_features(&m.stats_checked(), &sel))
+    });
+    let s = SparseCoMatrix::from_dense(&m);
+    g.bench_function("sparse_form", |b| {
+        b.iter(|| compute_features(&MatrixStats::from_sparse(&s), &sel))
+    });
+    g.bench_function("convert_then_sparse", |b| {
+        b.iter(|| {
+            let s = SparseCoMatrix::from_dense(&m);
+            compute_features(&MatrixStats::from_sparse(&s), &sel)
+        })
+    });
+    g.finish();
+}
+
+fn bench_individual_features(c: &mut Criterion) {
+    let m = workload_matrix();
+    let stats = m.stats_checked();
+    let mut g = c.benchmark_group("single_feature_finalize");
+    for f in Feature::ALL {
+        let sel = FeatureSelection::of(&[f]);
+        g.bench_with_input(BenchmarkId::from_parameter(f.short_name()), &sel, |b, s| {
+            b.iter(|| compute_features(&stats, s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_zero_skip, bench_individual_features);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Data-retrieval benchmarks: by-ROI vs by-chunk communication volume
+//! (paper Figure 6) and real disk subregion reads through the distributed
+//! store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haralick::roi::RoiShape;
+use haralick::volume::Dims4;
+use mri::chunks::ChunkGrid;
+use mri::store::{write_distributed, DistributedDataset, SliceKey};
+use mri::synth::{generate, SynthConfig};
+
+fn bench_retrieval_volume(c: &mut Criterion) {
+    let dims = Dims4::new(256, 256, 32, 32);
+    let roi = RoiShape::paper_default();
+    let mut g = c.benchmark_group("retrieval_volume_model");
+    for edge in [16usize, 32, 64, 128] {
+        let grid = ChunkGrid::new(dims, roi, Dims4::new(edge, edge, 8, 8));
+        g.bench_with_input(BenchmarkId::new("by_chunk", edge), &grid, |b, gr| {
+            b.iter(|| gr.retrieval_volume_by_chunk())
+        });
+    }
+    g.finish();
+}
+
+fn bench_disk_reads(c: &mut Criterion) {
+    let root = std::env::temp_dir().join(format!("h4d_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let raw = generate(&SynthConfig::test_scale(42));
+    write_distributed(&raw, &root, "bench", 4).unwrap();
+    let ds = DistributedDataset::open(&root).unwrap();
+    let key = SliceKey { t: 3, z: 2 };
+    let mut g = c.benchmark_group("disk_reads");
+    g.bench_function("whole_slice", |b| b.iter(|| ds.read_slice(key).unwrap()));
+    g.bench_function("subrect_32x32", |b| {
+        b.iter(|| ds.read_subrect(key, 8, 8, 32, 32).unwrap())
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench_retrieval_volume, bench_disk_reads);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 10: heterogeneous PIII + XEON environment — HMP (23 copies, one
+//! per processor) vs the split implementation (18 co-located HCC+HPC
+//! pairs).
+//!
+//! Paper shape: the split implementation wins — better pipelining, less
+//! data over the slow shared inter-cluster link, and demand-driven matrix
+//! scheduling inside each cluster.
+
+fn main() {
+    let s = pipeline::experiments::fig10(&bench::model());
+    bench::print_table(
+        "Figure 10 — heterogeneous PIII+XEON (seconds; x = texture filter copies)",
+        "copies",
+        &s,
+    );
+    bench::write_outputs(
+        "fig10",
+        &s,
+        "Figure 10 - heterogeneous PIII+XEON",
+        "texture copies",
+        "execution time (s)",
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 11: round-robin vs demand-driven scheduling of chunk buffers to
+//! HCC copies spread over XEON and OPTERON.
+//!
+//! Paper shape: demand-driven wins; the faster OPTERON HCC copies receive
+//! more packets, which also keeps more HCC->HPC traffic local to OPTERON.
+
+use datacutter::SchedulePolicy;
+
+fn main() {
+    let model = bench::model();
+    let s = pipeline::experiments::fig11(&model);
+    bench::print_table(
+        "Figure 11 — buffer scheduling policy (seconds; x: 0 = RR, 1 = DD)",
+        "policy",
+        &s,
+    );
+    // The per-cluster skew behind the result.
+    for (name, policy) in [
+        ("round robin", SchedulePolicy::RoundRobin),
+        ("demand driven", SchedulePolicy::DemandDriven),
+    ] {
+        let run = pipeline::experiments::run_fig11(&model, policy);
+        println!(
+            "{name:>14}: XEON HCC buffers = {:>5}, OPTERON HCC buffers = {:>5}",
+            run.xeon_buffers, run.opteron_buffers
+        );
+    }
+    bench::write_outputs(
+        "fig11",
+        &s,
+        "Figure 11 - buffer scheduling policy",
+        "policy (0=RR, 1=DD)",
+        "execution time (s)",
+    );
+}

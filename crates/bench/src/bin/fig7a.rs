@@ -1,0 +1,22 @@
+//! Figure 7(a): the HMP implementation with full vs sparse co-occurrence
+//! matrix representation, 1-16 HMP nodes on the PIII cluster.
+//!
+//! Paper shape: full beats sparse at every node count (no communication to
+//! save inside one filter; sparse storage only adds overhead), and both
+//! scale down with more nodes.
+
+fn main() {
+    let s = pipeline::experiments::fig7a(&bench::model());
+    bench::print_table(
+        "Figure 7(a) — HMP implementation: full vs sparse (seconds)",
+        "HMP nodes",
+        &s,
+    );
+    bench::write_outputs(
+        "fig7a",
+        &s,
+        "Figure 7(a) - HMP: full vs sparse",
+        "HMP nodes",
+        "execution time (s)",
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 7(b): the split HCC+HPC implementation with full vs sparse
+//! matrix transmission, 1-16 texture nodes (4:1 HCC:HPC split) on PIII.
+//!
+//! Paper shape: sparse beats full — transmitting dense matrices between
+//! HCC and HPC swamps Fast Ethernet, sparse slashes the traffic.
+
+fn main() {
+    let s = pipeline::experiments::fig7b(&bench::model());
+    bench::print_table(
+        "Figure 7(b) — split HCC+HPC: full vs sparse (seconds)",
+        "texture nodes",
+        &s,
+    );
+    bench::write_outputs(
+        "fig7b",
+        &s,
+        "Figure 7(b) - split HCC+HPC: full vs sparse",
+        "texture nodes",
+        "execution time (s)",
+    );
+}

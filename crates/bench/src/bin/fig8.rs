@@ -1,0 +1,21 @@
+//! Figure 8: co-locating HCC and HPC on the same nodes ("All Overlap")
+//! vs dedicating nodes ("No Overlap") vs the combined HMP filter.
+//!
+//! Paper shape: Overlap wins — co-location removes the HCC->HPC transfer
+//! and doubles the copy count, outweighing the shared CPU.
+
+fn main() {
+    let s = pipeline::experiments::fig8(&bench::model());
+    bench::print_table(
+        "Figure 8 — co-location study (seconds)",
+        "texture nodes",
+        &s,
+    );
+    bench::write_outputs(
+        "fig8",
+        &s,
+        "Figure 8 - co-location study",
+        "texture nodes",
+        "execution time (s)",
+    );
+}

@@ -1,0 +1,23 @@
+//! Figure 9: per-filter processing time of the split implementation
+//! (dedicated nodes) as texture nodes grow.
+//!
+//! Paper shape: RFR and USO negligible; HCC and HPC busy time falls with
+//! more nodes; IIC stays constant and eventually bounds scalability
+//! (the paper's motivation for multiple explicit IIC copies — see the
+//! fig_iic harness).
+
+fn main() {
+    let s = pipeline::experiments::fig9(&bench::model());
+    bench::print_table(
+        "Figure 9 — per-filter busy time, split implementation (seconds)",
+        "texture nodes",
+        &s,
+    );
+    bench::write_outputs(
+        "fig9",
+        &s,
+        "Figure 9 - per-filter busy time",
+        "texture nodes",
+        "busy time (s)",
+    );
+}

@@ -1,0 +1,33 @@
+//! §5.3 future work: the implementation choice as a function of the
+//! inter-cluster bandwidth — where does the HMP-vs-split crossover sit?
+
+fn main() {
+    let model = bench::model();
+    let s = pipeline::experiments::architecture_sweep(&model);
+    bench::print_table(
+        "Architecture sweep — Figure 10 comparison vs inter-cluster bandwidth (seconds)",
+        "Mbit/s",
+        &s,
+    );
+    bench::write_outputs(
+        "fig_arch_sweep",
+        &s,
+        "Architecture sweep - inter-cluster bandwidth",
+        "Mbit/s",
+        "execution time (s)",
+    );
+
+    let b = pipeline::experiments::buffer_depth_sweep(&model);
+    bench::print_table(
+        "Stream buffer depth sweep — split (PIII+XEON) (seconds)",
+        "buffers",
+        &b,
+    );
+    bench::write_outputs(
+        "fig_buffer_depth",
+        &b,
+        "Stream buffer depth sweep",
+        "buffers per queue",
+        "execution time (s)",
+    );
+}

@@ -1,0 +1,19 @@
+//! §5.1 chunk-size ablation: sweeping the in-plane IIC-to-TEXTURE chunk
+//! edge. Small chunks re-transmit the ROI halo many times; large chunks
+//! distribute too coarsely and starve texture filters.
+
+fn main() {
+    let s = pipeline::experiments::fig_chunksize(&bench::model());
+    bench::print_table(
+        "Chunk-size ablation at 16 texture nodes (seconds / Mvoxels)",
+        "chunk edge",
+        &s,
+    );
+    bench::write_outputs(
+        "fig_chunksize",
+        &s,
+        "Chunk-size ablation",
+        "chunk edge",
+        "seconds / Mvoxels",
+    );
+}

@@ -1,0 +1,12 @@
+//! §5.2 closing experiment: multiple explicit IIC copies relieve the
+//! stitch bottleneck — per-copy IIC busy time drops near-linearly.
+
+fn main() {
+    let s = pipeline::experiments::fig_iic(&bench::model());
+    bench::print_table(
+        "IIC replication — per-copy busy time and execution time (seconds)",
+        "IIC copies",
+        &s,
+    );
+    bench::write_outputs("fig_iic", &s, "IIC replication", "IIC copies", "seconds");
+}

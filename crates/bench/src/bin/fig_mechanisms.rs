@@ -1,0 +1,20 @@
+//! Ablation: which modeled mechanisms produce the co-location (Figure 8)
+//! result? Re-runs the 16-node All-Overlap configuration with synchronous
+//! sends or bounded stream buffers idealized away.
+
+fn main() {
+    let s = pipeline::experiments::ablate_mechanisms(&bench::model());
+    bench::print_table(
+        "Mechanism ablation — split (Overlap, sparse) at 16 nodes (seconds)",
+        "case",
+        &s,
+    );
+    println!("case 0 = full model, 1 = sends never block, 2 = infinite stream buffers");
+    bench::write_outputs(
+        "fig_mechanisms",
+        &s,
+        "Mechanism ablation",
+        "case",
+        "seconds",
+    );
+}

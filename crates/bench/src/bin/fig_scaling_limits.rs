@@ -1,0 +1,20 @@
+//! Beyond-the-paper scaling study: split implementation on 2-64 homogeneous
+//! texture nodes. HCC busy time keeps falling ~1/n while the fixed
+//! stitch/I-O services flatten the end-to-end curve — the scalability limit
+//! the paper's §5.2 predicts when it calls the IIC a bottleneck filter.
+
+fn main() {
+    let s = pipeline::experiments::scaling_limits(&bench::model());
+    bench::print_table(
+        "Scaling limits — split (sparse) on a homogeneous cluster (seconds)",
+        "texture nodes",
+        &s,
+    );
+    bench::write_outputs(
+        "fig_scaling_limits",
+        &s,
+        "Scaling limits (split, sparse)",
+        "texture nodes",
+        "seconds",
+    );
+}

@@ -1,0 +1,319 @@
+//! Minimal SVG line-chart rendering for experiment series — every `fig*`
+//! binary emits the figure it reproduces as `results/<name>.svg` alongside
+//! the CSV.
+
+use pipeline::experiments::Series;
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 460.0;
+const MARGIN_L: f64 = 80.0;
+const MARGIN_R: f64 = 30.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 64.0;
+
+/// Series colors (colorblind-safe-ish qualitative palette).
+const COLORS: [&str; 6] = [
+    "#1b6ca8", "#d1495b", "#66a182", "#edae49", "#8d6b94", "#5c6b73",
+];
+
+/// Chart options.
+#[derive(Debug, Clone)]
+pub struct PlotConfig {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Logarithmic y axis (base 10).
+    pub log_y: bool,
+}
+
+fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if hi <= lo || !hi.is_finite() || !lo.is_finite() {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = mag
+        * if norm < 1.5 {
+            1.0
+        } else if norm < 3.5 {
+            2.0
+        } else if norm < 7.5 {
+            5.0
+        } else {
+            10.0
+        };
+    let start = (lo / step).ceil() * step;
+    let mut t = Vec::new();
+    let mut v = start;
+    while v <= hi + step * 1e-9 {
+        t.push(v);
+        v += step;
+    }
+    t
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 10_000.0 || v.abs() < 0.01 {
+        format!("{v:.0e}")
+    } else if v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders the series as a standalone SVG document.
+pub fn render_svg(series: &Series, cfg: &PlotConfig) -> String {
+    let labels = series.labels();
+    let xs = series.xs();
+    assert!(!labels.is_empty() && !xs.is_empty(), "empty series");
+
+    let x_lo = *xs.first().unwrap() as f64;
+    let x_hi = *xs.last().unwrap() as f64;
+    let mut y_lo = f64::INFINITY;
+    let mut y_hi = f64::NEG_INFINITY;
+    for p in &series.points {
+        y_lo = y_lo.min(p.seconds);
+        y_hi = y_hi.max(p.seconds);
+    }
+    let ty = |v: f64| if cfg.log_y { v.max(1e-12).log10() } else { v };
+    let (py_lo, py_hi) = {
+        let (a, b) = (ty(y_lo), ty(y_hi));
+        if (b - a).abs() < 1e-12 {
+            (a - 1.0, b + 1.0)
+        } else {
+            let pad = (b - a) * 0.08;
+            (a - pad, b + pad)
+        }
+    };
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| {
+        if x_hi > x_lo {
+            MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+        } else {
+            MARGIN_L + plot_w / 2.0
+        }
+    };
+    let sy = |y: f64| MARGIN_T + (py_hi - ty(y)) / (py_hi - py_lo) * plot_h;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+         viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\">\n"
+    ));
+    out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"24\" text-anchor=\"middle\" font-size=\"16\">{}</text>\n",
+        WIDTH / 2.0,
+        esc(&cfg.title)
+    ));
+
+    // Axes frame.
+    out.push_str(&format!(
+        "<rect x=\"{MARGIN_L}\" y=\"{MARGIN_T}\" width=\"{plot_w}\" height=\"{plot_h}\" \
+         fill=\"none\" stroke=\"#333\"/>\n"
+    ));
+
+    // Y ticks/gridlines.
+    let yticks = if cfg.log_y {
+        let mut t = Vec::new();
+        let mut e = py_lo.floor() as i32;
+        while (e as f64) <= py_hi {
+            t.push(10f64.powi(e));
+            e += 1;
+        }
+        t
+    } else {
+        nice_ticks(py_lo, py_hi, 6)
+    };
+    for &tick in &yticks {
+        let y = sy(tick);
+        if y < MARGIN_T - 1.0 || y > MARGIN_T + plot_h + 1.0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "<line x1=\"{MARGIN_L}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" \
+             stroke=\"#ddd\"/>\n",
+            MARGIN_L + plot_w
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" font-size=\"11\">{}</text>\n",
+            MARGIN_L - 6.0,
+            y + 4.0,
+            fmt_num(tick)
+        ));
+    }
+
+    // X ticks: the actual x values.
+    for &x in &xs {
+        let px = sx(x as f64);
+        out.push_str(&format!(
+            "<line x1=\"{px:.1}\" y1=\"{:.1}\" x2=\"{px:.1}\" y2=\"{:.1}\" stroke=\"#333\"/>\n",
+            MARGIN_T + plot_h,
+            MARGIN_T + plot_h + 5.0
+        ));
+        out.push_str(&format!(
+            "<text x=\"{px:.1}\" y=\"{:.1}\" text-anchor=\"middle\" font-size=\"11\">{x}</text>\n",
+            MARGIN_T + plot_h + 18.0
+        ));
+    }
+
+    // Axis labels.
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"13\">{}</text>\n",
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 16.0,
+        esc(&cfg.x_label)
+    ));
+    out.push_str(&format!(
+        "<text x=\"20\" y=\"{}\" text-anchor=\"middle\" font-size=\"13\" \
+         transform=\"rotate(-90 20 {})\">{}</text>\n",
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        esc(&cfg.y_label)
+    ));
+
+    // Series polylines + markers.
+    for (si, label) in labels.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let pts: Vec<(f64, f64)> = xs
+            .iter()
+            .filter_map(|&x| series.get(label, x).map(|y| (sx(x as f64), sy(y))))
+            .collect();
+        if pts.len() > 1 {
+            let path: Vec<String> = pts.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+            out.push_str(&format!(
+                "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"2\" points=\"{}\"/>\n",
+                path.join(" ")
+            ));
+        }
+        for (x, y) in &pts {
+            out.push_str(&format!(
+                "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"3.5\" fill=\"{color}\"/>\n"
+            ));
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 10.0 + si as f64 * 18.0;
+        let lx = MARGIN_L + plot_w - 180.0;
+        out.push_str(&format!(
+            "<line x1=\"{lx}\" y1=\"{ly}\" x2=\"{}\" y2=\"{ly}\" stroke=\"{color}\" \
+             stroke-width=\"2\"/>\n",
+            lx + 22.0
+        ));
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" font-size=\"12\">{}</text>\n",
+            lx + 28.0,
+            ly + 4.0,
+            esc(label)
+        ));
+    }
+
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Writes the series to `results/<name>.svg`.
+pub fn write_svg(name: &str, series: &Series, cfg: &PlotConfig) -> std::io::Result<()> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{name}.svg")), render_svg(series, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::experiments::Point;
+
+    fn sample() -> Series {
+        let mut s = Series::default();
+        for (label, scale) in [("alpha", 1.0), ("beta & co", 2.0)] {
+            for x in [1usize, 2, 4, 8] {
+                s.points.push(Point {
+                    series: label.to_string(),
+                    x,
+                    seconds: scale * 100.0 / x as f64,
+                });
+            }
+        }
+        s
+    }
+
+    fn cfg() -> PlotConfig {
+        PlotConfig {
+            title: "test <chart>".into(),
+            x_label: "nodes".into(),
+            y_label: "seconds".into(),
+            log_y: false,
+        }
+    }
+
+    #[test]
+    fn svg_contains_every_series_and_escapes_text() {
+        let svg = render_svg(&sample(), &cfg());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2, "one line per series");
+        assert_eq!(svg.matches("<circle").count(), 8, "one marker per point");
+        assert!(svg.contains("beta &amp; co"), "ampersand escaped");
+        assert!(svg.contains("test &lt;chart&gt;"), "angle brackets escaped");
+    }
+
+    #[test]
+    fn log_scale_renders_decade_gridlines() {
+        let mut s = Series::default();
+        for (x, y) in [(1usize, 10.0), (2, 100.0), (4, 1000.0)] {
+            s.points.push(Point {
+                series: "a".into(),
+                x,
+                seconds: y,
+            });
+        }
+        let svg = render_svg(
+            &s,
+            &PlotConfig {
+                log_y: true,
+                ..cfg()
+            },
+        );
+        for decade in ["10", "100", "1000"] {
+            assert!(
+                svg.contains(&format!(">{decade}</text>")),
+                "missing decade label {decade}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_point_series_renders_without_panicking() {
+        let mut s = Series::default();
+        s.points.push(Point {
+            series: "only".into(),
+            x: 5,
+            seconds: 42.0,
+        });
+        let svg = render_svg(&s, &cfg());
+        assert!(svg.contains("<circle"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn nice_ticks_are_round_and_cover_the_range() {
+        let t = nice_ticks(0.0, 97.0, 6);
+        assert!(t.len() >= 4);
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+        assert!(*t.first().unwrap() >= 0.0 && *t.last().unwrap() <= 97.0 + 1e-9);
+    }
+}

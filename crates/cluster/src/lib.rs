@@ -1,0 +1,35 @@
+//! Cluster substrate: modeled PC clusters and a calibrated discrete-event
+//! simulator.
+//!
+//! The paper's experiments ran on three physical clusters:
+//!
+//! * **PIII** — 24 nodes, 1 × Pentium III, 512 MB, Fast Ethernet (100 Mbit/s);
+//! * **XEON** — 5 nodes, 2 × Xeon 2.4 GHz, 2 GB, Gigabit Ethernet;
+//! * **OPTERON** — 6 nodes, 2 × Opteron 1.4 GHz, 8 GB, Gigabit Ethernet;
+//!
+//! with PIII connected to the others over a shared 100 Mbit/s path and
+//! XEON–OPTERON over Gigabit.
+//!
+//! The reproduction machine has a single CPU, so multi-node runs are
+//! executed by the **discrete-event simulator** in [`des`]: filter graphs
+//! from the `datacutter` crate run in virtual time on a modeled cluster,
+//! with per-buffer service costs supplied by a [`cost::CostModel`] whose
+//! constants are **fit by running the real Haralick kernels** on this
+//! machine ([`calibrate`]). The simulator reproduces the phenomena the
+//! paper's figures measure — pipelining, queueing, CPU multiplexing of
+//! co-located filters, network transfer costs, and round-robin vs
+//! demand-driven scheduling — while remaining deterministic and fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod calibrated_defaults;
+pub mod cost;
+pub mod des;
+pub mod presets;
+pub mod spec;
+
+pub use cost::CostModel;
+pub use des::{simulate, simulate_with, SimAction, SimBuf, SimFilter, SimOptions, SimReport};
+pub use spec::{ClusterSpec, NetClass, NodeSpec};

@@ -1,0 +1,204 @@
+//! The paper's three clusters as ready-made [`ClusterSpec`]s (paper §5.2–5.3).
+
+use crate::spec::{ClusterSpec, NetClass, NodeSpec};
+
+/// Cluster name of the Pentium III machines.
+pub const PIII: &str = "PIII";
+/// Cluster name of the dual-Xeon machines.
+pub const XEON: &str = "XEON";
+/// Cluster name of the dual-Opteron machines.
+pub const OPTERON: &str = "OPTERON";
+
+/// Nominal 2004-era IDE/SCSI disk: ~50 MB/s streaming, 8 ms seek.
+const DISK_BW: f64 = 50e6;
+const DISK_SEEK: f64 = 8e-3;
+
+/// TCP receive processing cost per byte. A ~1 GHz PIII sustains roughly
+/// 50 MB/s of TCP receive at full CPU (~20 ns/byte); the newer machines
+/// have much better NICs and per-byte costs.
+const PIII_NET_CPU: f64 = 20e-9;
+const MODERN_NET_CPU: f64 = 4e-9;
+
+/// SMP memory contention per additional busy CPU (see
+/// [`crate::spec::NodeSpec::smp_contention`]): the dual Xeon's shared
+/// front-side bus vs the Opteron's on-die memory controllers. The
+/// co-occurrence kernel is memory-bound, so this is first-order for the
+/// paper's heterogeneous results (§5.3).
+const XEON_SMP_CONTENTION: f64 = 0.45;
+const OPTERON_SMP_CONTENTION: f64 = 0.05;
+
+/// Relative CPU speeds (PIII = 1.0 reference) on the co-occurrence
+/// workload. The kernel is memory-access bound (streaming voxels plus
+/// scattered matrix increments): the Opteron's integrated memory
+/// controller out-runs the Xeon's shared front-side bus here despite the
+/// lower clock — consistent with the paper's observation that under
+/// demand-driven scheduling "the OPTERON HCC filters receive more data
+/// packets" (§5.3).
+const PIII_SPEED: f64 = 1.0;
+const XEON_SPEED: f64 = 2.2;
+const OPTERON_SPEED: f64 = 2.6;
+
+/// The homogeneous 24-node PIII cluster used in §5.2: one Pentium III and
+/// 512 MB per node, Fast Ethernet switch.
+pub fn piii() -> ClusterSpec {
+    let mut c = ClusterSpec::new();
+    c.add_nodes_net(
+        PIII,
+        "piii",
+        24,
+        1,
+        PIII_SPEED,
+        DISK_BW,
+        DISK_SEEK,
+        PIII_NET_CPU,
+    );
+    c.set_intra(PIII, NetClass::switched(100.0, 100.0));
+    c
+}
+
+/// PIII plus the 5-node dual-Xeon cluster (Gigabit internally), connected
+/// over the shared 100 Mbit/s path — the §5.3 first experiment.
+pub fn piii_xeon() -> ClusterSpec {
+    let mut c = piii();
+    let ids = c.add_nodes_net(
+        XEON,
+        "xeon",
+        5,
+        2,
+        XEON_SPEED,
+        DISK_BW,
+        DISK_SEEK,
+        MODERN_NET_CPU,
+    );
+    for id in ids {
+        c.nodes[id].smp_contention = XEON_SMP_CONTENTION;
+    }
+    c.set_intra(XEON, NetClass::switched(1000.0, 50.0));
+    c.set_inter(PIII, XEON, NetClass::shared(100.0, 150.0));
+    c
+}
+
+/// XEON plus the 6-node dual-Opteron cluster, Gigabit everywhere — the
+/// §5.3 second experiment (round-robin vs demand-driven).
+pub fn xeon_opteron() -> ClusterSpec {
+    let mut c = ClusterSpec::new();
+    let x = c.add_nodes_net(
+        XEON,
+        "xeon",
+        5,
+        2,
+        XEON_SPEED,
+        DISK_BW,
+        DISK_SEEK,
+        MODERN_NET_CPU,
+    );
+    for id in x {
+        c.nodes[id].smp_contention = XEON_SMP_CONTENTION;
+    }
+    let o = c.add_nodes_net(
+        OPTERON,
+        "opteron",
+        6,
+        2,
+        OPTERON_SPEED,
+        DISK_BW,
+        DISK_SEEK,
+        MODERN_NET_CPU,
+    );
+    for id in o {
+        c.nodes[id].smp_contention = OPTERON_SMP_CONTENTION;
+    }
+    c.set_intra(XEON, NetClass::switched(1000.0, 50.0));
+    c.set_intra(OPTERON, NetClass::switched(1000.0, 50.0));
+    c.set_inter(XEON, OPTERON, NetClass::switched(1000.0, 60.0));
+    c
+}
+
+/// All three clusters wired as in the paper.
+pub fn full_testbed() -> ClusterSpec {
+    let mut c = piii_xeon();
+    let o = c.add_nodes_net(
+        OPTERON,
+        "opteron",
+        6,
+        2,
+        OPTERON_SPEED,
+        DISK_BW,
+        DISK_SEEK,
+        MODERN_NET_CPU,
+    );
+    for id in o {
+        c.nodes[id].smp_contention = OPTERON_SMP_CONTENTION;
+    }
+    c.set_intra(OPTERON, NetClass::switched(1000.0, 50.0));
+    c.set_inter(PIII, OPTERON, NetClass::shared(100.0, 150.0));
+    c.set_inter(XEON, OPTERON, NetClass::switched(1000.0, 60.0));
+    c
+}
+
+/// A hypothetical homogeneous cluster of `n` unit-speed single-CPU nodes on
+/// Fast Ethernet — handy for controlled scaling studies and tests.
+pub fn uniform(n: usize) -> ClusterSpec {
+    let mut c = ClusterSpec::new();
+    c.add_nodes("UNI", "uni", n, 1, 1.0, DISK_BW, DISK_SEEK);
+    c.set_intra("UNI", NetClass::switched(100.0, 100.0));
+    c
+}
+
+/// Looks up a node spec by name (testing/diagnostics helper).
+pub fn node_by_name<'a>(c: &'a ClusterSpec, name: &str) -> Option<&'a NodeSpec> {
+    c.nodes.iter().find(|n| n.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piii_matches_paper_geometry() {
+        let c = piii();
+        assert_eq!(c.len(), 24);
+        assert!(c.nodes.iter().all(|n| n.cpus == 1 && n.speed == 1.0));
+        let net = c.net_between(0, 23).unwrap();
+        assert!(
+            (net.bandwidth - 12.5e6).abs() < 1.0,
+            "Fast Ethernet = 12.5 MB/s"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_testbed_wiring() {
+        let c = full_testbed();
+        assert_eq!(c.len(), 24 + 5 + 6);
+        let piii0 = c.nodes_in(PIII)[0];
+        let xeon0 = c.nodes_in(XEON)[0];
+        let opt0 = c.nodes_in(OPTERON)[0];
+        assert!(c.net_between(piii0, xeon0).unwrap().shared_medium);
+        assert!(c.net_between(piii0, opt0).unwrap().shared_medium);
+        assert!(!c.net_between(xeon0, opt0).unwrap().shared_medium);
+        // Dual-processor nodes on the added clusters.
+        assert_eq!(c.nodes[xeon0].cpus, 2);
+        assert_eq!(c.nodes[opt0].cpus, 2);
+    }
+
+    #[test]
+    fn xeon_faster_than_piii() {
+        let c = full_testbed();
+        let xeon0 = c.nodes_in(XEON)[0];
+        assert!(c.nodes[xeon0].speed > 1.5);
+    }
+
+    #[test]
+    fn uniform_cluster() {
+        let c = uniform(7);
+        assert_eq!(c.len(), 7);
+        assert!(c.net_between(0, 6).is_some());
+    }
+
+    #[test]
+    fn node_lookup() {
+        let c = piii();
+        assert!(node_by_name(&c, "piii-00").is_some());
+        assert!(node_by_name(&c, "nope").is_none());
+    }
+}

@@ -1,0 +1,265 @@
+//! The threaded execution engine.
+//!
+//! Every filter copy runs on its own OS thread; streams are bounded
+//! crossbeam channels, so a full downstream queue blocks the producer —
+//! the pipelining/backpressure behaviour of DataCutter's stream layer.
+//!
+//! **End-of-stream** is signalled by sender destruction: when every copy of
+//! every producer on a stream has finished, the channel disconnects and the
+//! consumer observes end-of-input — no explicit EOS tokens are needed, and
+//! the mechanism composes correctly with shared (demand-driven) queues.
+//!
+//! **Failure containment:** a filter returning an error exits its thread and
+//! drops its endpoints; upstream producers then fail their next `emit`
+//! ("downstream filter terminated") and unwind, downstream consumers see
+//! early disconnection and finish — the run drains without deadlock and
+//! `run_graph` reports the root error.
+
+use crate::filter::{Filter, FilterContext, FilterError, Msg, OutPort};
+use crate::graph::GraphSpec;
+use crate::stats::{FilterCopyStats, RunStats};
+use crossbeam::channel::{bounded, Receiver, Select, Sender};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A per-filter constructor: called once per copy with the copy index.
+pub type FilterFactory = Box<dyn FnMut(usize) -> Box<dyn Filter>>;
+
+/// Engine options.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Prefix for spawned thread names (diagnostics).
+    pub thread_name_prefix: String,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            thread_name_prefix: "dc".to_string(),
+        }
+    }
+}
+
+/// The result of a successful run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-copy statistics.
+    pub stats: RunStats,
+}
+
+/// Executes `spec` with the given filter factories and blocks until every
+/// filter has finished.
+///
+/// # Errors
+/// Graph validation failures, a missing factory, or the first error returned
+/// by any filter callback.
+pub fn run_graph(
+    spec: &GraphSpec,
+    factories: &mut HashMap<String, FilterFactory>,
+    cfg: &EngineConfig,
+) -> Result<RunOutcome, FilterError> {
+    spec.validate()
+        .map_err(|e| FilterError::msg(format!("invalid graph: {e}")))?;
+    for f in &spec.filters {
+        if !factories.contains_key(&f.name) {
+            return Err(FilterError::msg(format!(
+                "no factory for filter {:?}",
+                f.name
+            )));
+        }
+    }
+
+    // Create the channel(s) of every stream.
+    struct StreamChans {
+        senders: Vec<Sender<Msg>>,
+        receivers: Vec<Receiver<Msg>>, // one per consumer copy (shared: clones)
+    }
+    let mut chans: Vec<StreamChans> = Vec::with_capacity(spec.streams.len());
+    for s in &spec.streams {
+        let consumer_copies = spec.filter_decl(&s.to).expect("validated").copies;
+        if s.policy.uses_private_queues() {
+            let mut senders = Vec::with_capacity(consumer_copies);
+            let mut receivers = Vec::with_capacity(consumer_copies);
+            for _ in 0..consumer_copies {
+                let (tx, rx) = bounded(s.capacity);
+                senders.push(tx);
+                receivers.push(rx);
+            }
+            chans.push(StreamChans { senders, receivers });
+        } else {
+            // One shared queue all consumer copies pull from: demand-driven.
+            let (tx, rx) = bounded(s.capacity);
+            chans.push(StreamChans {
+                senders: vec![tx],
+                receivers: vec![rx; consumer_copies],
+            });
+        }
+    }
+
+    let start = Instant::now();
+    let (done_tx, done_rx) = bounded::<(FilterCopyStats, Option<FilterError>)>(1024);
+    let mut spawned = 0usize;
+    let mut handles = Vec::new();
+
+    for fdecl in &spec.filters {
+        let input_streams = spec.inputs_of(&fdecl.name);
+        let output_streams = spec.outputs_of(&fdecl.name);
+        let factory = factories.get_mut(&fdecl.name).expect("checked above");
+        for copy in 0..fdecl.copies {
+            let outputs: Vec<OutPort> = output_streams
+                .iter()
+                .map(|&si| {
+                    let s = &spec.streams[si];
+                    let dest_port = spec
+                        .inputs_of(&s.to)
+                        .iter()
+                        .position(|&i| i == si)
+                        .expect("stream is an input of its consumer");
+                    OutPort {
+                        policy: s.policy,
+                        dest_port,
+                        senders: chans[si].senders.clone(),
+                        consumer_copies: spec.filter_decl(&s.to).expect("validated").copies,
+                        seq: 0,
+                    }
+                })
+                .collect();
+            let receivers: Vec<Receiver<Msg>> = input_streams
+                .iter()
+                .map(|&si| chans[si].receivers[copy].clone())
+                .collect();
+            let ctx = FilterContext {
+                filter_name: fdecl.name.clone(),
+                copy_index: copy,
+                num_copies: fdecl.copies,
+                outputs,
+                buffers_out: 0,
+                bytes_out: 0,
+            };
+            let filter = factory(copy);
+            let tx = done_tx.clone();
+            let name = format!("{}-{}-{}", cfg.thread_name_prefix, fdecl.name, copy);
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || {
+                    let result = run_copy(filter, ctx, receivers);
+                    let _ = tx.send(result);
+                })
+                .map_err(|e| FilterError::msg(format!("thread spawn failed: {e}")))?;
+            handles.push(handle);
+            spawned += 1;
+        }
+    }
+    // Drop the channel originals so disconnection tracking is exact.
+    drop(chans);
+    drop(done_tx);
+
+    let mut per_copy = Vec::with_capacity(spawned);
+    let mut root_error: Option<FilterError> = None;
+    let mut secondary_error: Option<FilterError> = None;
+    for _ in 0..spawned {
+        let (stats, err) = done_rx
+            .recv()
+            .map_err(|_| FilterError::msg("engine: worker channel closed early"))?;
+        per_copy.push(stats);
+        if let Some(e) = err {
+            // "downstream terminated" errors are cascade symptoms; prefer
+            // the originating failure as the reported root cause.
+            if e.0.contains("downstream filter terminated") {
+                secondary_error.get_or_insert(e);
+            } else {
+                root_error.get_or_insert(e);
+            }
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    if let Some(e) = root_error.or(secondary_error) {
+        return Err(e);
+    }
+    per_copy.sort_by(|a, b| (&a.filter, a.copy).cmp(&(&b.filter, b.copy)));
+    Ok(RunOutcome {
+        stats: RunStats {
+            per_copy,
+            wall: start.elapsed(),
+        },
+    })
+}
+
+/// Drives one filter copy to completion on the current thread.
+fn run_copy(
+    mut filter: Box<dyn Filter>,
+    mut ctx: FilterContext,
+    receivers: Vec<Receiver<Msg>>,
+) -> (FilterCopyStats, Option<FilterError>) {
+    let t0 = Instant::now();
+    let mut busy = Duration::ZERO;
+    let mut buffers_in = 0u64;
+    let mut bytes_in = 0u64;
+    let mut error: Option<FilterError> = None;
+
+    // start()
+    if let Some(e) = {
+        let t = Instant::now();
+        let r = filter.start(&mut ctx);
+        busy += t.elapsed();
+        r.err()
+    } {
+        error = Some(e);
+    }
+
+    // Receive loop over all live input channels.
+    let mut alive = receivers;
+    while error.is_none() && !alive.is_empty() {
+        let msg = {
+            let mut sel = Select::new();
+            for r in &alive {
+                sel.recv(r);
+            }
+            let op = sel.select();
+            let idx = op.index();
+            match op.recv(&alive[idx]) {
+                Ok(m) => Some(m),
+                Err(_) => {
+                    alive.swap_remove(idx);
+                    None
+                }
+            }
+        };
+        if let Some(m) = msg {
+            buffers_in += 1;
+            bytes_in += m.buf.size_bytes() as u64;
+            let t = Instant::now();
+            let r = filter.process(m.port, m.buf, &mut ctx);
+            busy += t.elapsed();
+            if let Err(e) = r {
+                error = Some(e);
+            }
+        }
+    }
+
+    // finish()
+    if error.is_none() {
+        let t = Instant::now();
+        let r = filter.finish(&mut ctx);
+        busy += t.elapsed();
+        if let Err(e) = r {
+            error = Some(e);
+        }
+    }
+
+    let stats = FilterCopyStats {
+        filter: ctx.filter_name.clone(),
+        copy: ctx.copy_index,
+        buffers_in,
+        buffers_out: ctx.buffers_out,
+        bytes_in,
+        bytes_out: ctx.bytes_out,
+        busy,
+        wall: t0.elapsed(),
+    };
+    // Dropping ctx here releases the senders → downstream EOS.
+    drop(ctx);
+    (stats, error)
+}

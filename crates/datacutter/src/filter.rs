@@ -1,0 +1,237 @@
+//! The filter programming interface.
+//!
+//! A filter implements up to three callbacks:
+//!
+//! * [`Filter::start`] — called once before any input arrives; **source
+//!   filters produce their entire output here** (e.g. RFR reading slices
+//!   from disk);
+//! * [`Filter::process`] — called once per arriving buffer, with the input
+//!   port it arrived on;
+//! * [`Filter::finish`] — called after every input stream has ended; used
+//!   to flush partially filled output buffers.
+//!
+//! Filters emit buffers through the [`FilterContext`] handed to each
+//! callback; emission blocks when the downstream queue is full, which is
+//! what creates pipeline backpressure.
+
+use crate::buffer::DataBuffer;
+use crate::schedule::{Route, SchedulePolicy};
+use crossbeam::channel::Sender;
+use std::fmt;
+
+/// An error escaping a filter callback; aborts the whole graph run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterError(pub String);
+
+impl FilterError {
+    /// Creates an error with a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "filter error: {}", self.0)
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+impl From<std::io::Error> for FilterError {
+    fn from(e: std::io::Error) -> Self {
+        Self(format!("I/O error: {e}"))
+    }
+}
+
+/// A filter instance. One value of this trait is created per copy by the
+/// application's filter factory; the engine drives its callbacks from the
+/// copy's thread.
+pub trait Filter: Send {
+    /// Called once before any input; sources emit all their data here.
+    fn start(&mut self, _ctx: &mut FilterContext) -> Result<(), FilterError> {
+        Ok(())
+    }
+
+    /// Called for each buffer arriving on input port `port` (the index into
+    /// the filter's input streams in graph declaration order).
+    fn process(
+        &mut self,
+        port: usize,
+        buf: DataBuffer,
+        ctx: &mut FilterContext,
+    ) -> Result<(), FilterError>;
+
+    /// Called once after all input streams have ended.
+    fn finish(&mut self, _ctx: &mut FilterContext) -> Result<(), FilterError> {
+        Ok(())
+    }
+}
+
+/// A message traveling along a stream: the buffer plus the consumer-side
+/// input port it belongs to.
+#[derive(Debug, Clone)]
+pub(crate) struct Msg {
+    pub port: usize,
+    pub buf: DataBuffer,
+}
+
+/// One output port of a running filter copy: the policy plus the sender(s)
+/// reaching the consumer copies.
+pub(crate) struct OutPort {
+    pub policy: SchedulePolicy,
+    /// Consumer-side input port index this output feeds.
+    pub dest_port: usize,
+    /// One sender per consumer copy for private-queue policies; a single
+    /// sender for the shared demand-driven queue.
+    pub senders: Vec<Sender<Msg>>,
+    /// Consumer copy count (for routing; may differ from `senders.len()`
+    /// under demand-driven).
+    pub consumer_copies: usize,
+    /// Producer-local sequence number on this port (drives round-robin).
+    pub seq: u64,
+}
+
+/// Execution context handed to filter callbacks: emission, identity, and
+/// byte accounting.
+pub struct FilterContext {
+    pub(crate) filter_name: String,
+    pub(crate) copy_index: usize,
+    pub(crate) num_copies: usize,
+    pub(crate) outputs: Vec<OutPort>,
+    pub(crate) buffers_out: u64,
+    pub(crate) bytes_out: u64,
+}
+
+impl FilterContext {
+    /// This copy's index among the filter's copies (`0..num_copies`).
+    pub fn copy_index(&self) -> usize {
+        self.copy_index
+    }
+
+    /// Total number of copies of this filter.
+    pub fn num_copies(&self) -> usize {
+        self.num_copies
+    }
+
+    /// Number of output ports of this filter.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The filter's declared name.
+    pub fn filter_name(&self) -> &str {
+        &self.filter_name
+    }
+
+    /// Emits a buffer on output port `port`, blocking while the target
+    /// queue is full. Fails if the downstream filter has terminated (e.g.
+    /// after an error elsewhere in the graph) — producers then unwind
+    /// instead of deadlocking.
+    pub fn emit(&mut self, port: usize, buf: DataBuffer) -> Result<(), FilterError> {
+        let out = self
+            .outputs
+            .get_mut(port)
+            .unwrap_or_else(|| panic!("output port {port} out of range"));
+        let size = buf.size_bytes() as u64;
+        let route = out.policy.route(out.seq, buf.tag(), out.consumer_copies);
+        out.seq += 1;
+        let send = |s: &Sender<Msg>, buf: DataBuffer| {
+            s.send(Msg {
+                port: out.dest_port,
+                buf,
+            })
+            .map_err(|_| FilterError::msg("downstream filter terminated"))
+        };
+        match route {
+            Route::One(i) => send(&out.senders[i], buf)?,
+            Route::Shared => send(&out.senders[0], buf)?,
+            Route::All => {
+                for s in &out.senders {
+                    send(s, buf.clone())?;
+                }
+            }
+        }
+        self.buffers_out += 1;
+        self.bytes_out += size;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    fn ctx_with(
+        policy: SchedulePolicy,
+        n: usize,
+    ) -> (FilterContext, Vec<crossbeam::channel::Receiver<Msg>>) {
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        let queues = if policy.uses_private_queues() { n } else { 1 };
+        for _ in 0..queues {
+            let (s, r) = bounded(16);
+            senders.push(s);
+            receivers.push(r);
+        }
+        let ctx = FilterContext {
+            filter_name: "test".into(),
+            copy_index: 0,
+            num_copies: 1,
+            outputs: vec![OutPort {
+                policy,
+                dest_port: 0,
+                senders,
+                consumer_copies: n,
+                seq: 0,
+            }],
+            buffers_out: 0,
+            bytes_out: 0,
+        };
+        (ctx, receivers)
+    }
+
+    #[test]
+    fn round_robin_emission_cycles_queues() {
+        let (mut ctx, rx) = ctx_with(SchedulePolicy::RoundRobin, 3);
+        for i in 0..6 {
+            ctx.emit(0, DataBuffer::new(i as u32, 4, 0)).unwrap();
+        }
+        for r in &rx {
+            assert_eq!(r.len(), 2, "round robin must balance");
+        }
+        assert_eq!(ctx.buffers_out, 6);
+        assert_eq!(ctx.bytes_out, 24);
+    }
+
+    #[test]
+    fn tag_modulo_routes_by_tag() {
+        let (mut ctx, rx) = ctx_with(SchedulePolicy::ByTagModulo, 2);
+        for tag in [0u64, 2, 4, 1] {
+            ctx.emit(0, DataBuffer::new((), 1, tag)).unwrap();
+        }
+        assert_eq!(rx[0].len(), 3);
+        assert_eq!(rx[1].len(), 1);
+    }
+
+    #[test]
+    fn broadcast_clones_to_all() {
+        let (mut ctx, rx) = ctx_with(SchedulePolicy::Broadcast, 3);
+        ctx.emit(0, DataBuffer::new(7u8, 1, 0)).unwrap();
+        for r in &rx {
+            let msg = r.try_recv().unwrap();
+            assert_eq!(*msg.buf.expect::<u8>(), 7);
+        }
+        // One logical emission even though three queues were written.
+        assert_eq!(ctx.buffers_out, 1);
+    }
+
+    #[test]
+    fn emit_to_dead_consumer_errors() {
+        let (mut ctx, rx) = ctx_with(SchedulePolicy::RoundRobin, 1);
+        drop(rx);
+        let e = ctx.emit(0, DataBuffer::new((), 1, 0)).unwrap_err();
+        assert!(e.0.contains("terminated"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-filter runtime statistics.
+//!
+//! Paper Figure 9 plots "the processing time of each filter" — the busy time
+//! each filter spends in its callbacks, as opposed to waiting on streams.
+//! The threaded engine records, per filter copy: buffers and bytes in and
+//! out, busy time, and wall time from thread start to exit.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Statistics of one filter copy over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterCopyStats {
+    /// Filter name.
+    pub filter: String,
+    /// Copy index.
+    pub copy: usize,
+    /// Buffers consumed.
+    pub buffers_in: u64,
+    /// Buffers emitted (a broadcast counts once).
+    pub buffers_out: u64,
+    /// Bytes consumed.
+    pub bytes_in: u64,
+    /// Bytes emitted.
+    pub bytes_out: u64,
+    /// Time spent inside `start`/`process`/`finish`.
+    pub busy: Duration,
+    /// Thread lifetime.
+    pub wall: Duration,
+}
+
+/// Aggregated statistics of a graph run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// One record per filter copy.
+    pub per_copy: Vec<FilterCopyStats>,
+    /// End-to-end wall time of the run.
+    pub wall: Duration,
+}
+
+impl RunStats {
+    /// All copies of `filter`.
+    pub fn copies_of(&self, filter: &str) -> Vec<&FilterCopyStats> {
+        self.per_copy
+            .iter()
+            .filter(|c| c.filter == filter)
+            .collect()
+    }
+
+    /// Total busy time across the copies of `filter`.
+    pub fn busy_of(&self, filter: &str) -> Duration {
+        self.copies_of(filter).iter().map(|c| c.busy).sum()
+    }
+
+    /// Maximum per-copy busy time of `filter` — the paper's "processing
+    /// time of each filter" under perfect balance.
+    pub fn max_busy_of(&self, filter: &str) -> Duration {
+        self.copies_of(filter)
+            .iter()
+            .map(|c| c.busy)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Total buffers consumed by the copies of `filter`.
+    pub fn buffers_into(&self, filter: &str) -> u64 {
+        self.copies_of(filter).iter().map(|c| c.buffers_in).sum()
+    }
+
+    /// Total buffers emitted by the copies of `filter`.
+    pub fn buffers_out_of(&self, filter: &str) -> u64 {
+        self.copies_of(filter).iter().map(|c| c.buffers_out).sum()
+    }
+
+    /// Total bytes emitted by the copies of `filter` — the communication
+    /// volume leaving that stage.
+    pub fn bytes_out_of(&self, filter: &str) -> u64 {
+        self.copies_of(filter).iter().map(|c| c.bytes_out).sum()
+    }
+
+    /// Buffer counts received per copy of `filter`, by copy index — used to
+    /// verify round-robin fairness and observe demand-driven skew.
+    pub fn per_copy_buffers_in(&self, filter: &str) -> BTreeMap<usize, u64> {
+        self.copies_of(filter)
+            .iter()
+            .map(|c| (c.copy, c.buffers_in))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RunStats {
+        let copy = |filter: &str, copy: usize, bin: u64, bout: u64| FilterCopyStats {
+            filter: filter.into(),
+            copy,
+            buffers_in: bin,
+            buffers_out: bout,
+            bytes_in: bin * 10,
+            bytes_out: bout * 10,
+            busy: Duration::from_millis(bin + bout),
+            wall: Duration::from_millis(100),
+        };
+        RunStats {
+            per_copy: vec![copy("a", 0, 0, 10), copy("b", 0, 6, 3), copy("b", 1, 4, 2)],
+            wall: Duration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn aggregation() {
+        let s = stats();
+        assert_eq!(s.buffers_into("b"), 10);
+        assert_eq!(s.buffers_out_of("b"), 5);
+        assert_eq!(s.bytes_out_of("a"), 100);
+        assert_eq!(s.busy_of("b"), Duration::from_millis(15));
+        assert_eq!(s.max_busy_of("b"), Duration::from_millis(9));
+        assert_eq!(s.max_busy_of("ghost"), Duration::ZERO);
+    }
+
+    #[test]
+    fn per_copy_breakdown() {
+        let s = stats();
+        let m = s.per_copy_buffers_in("b");
+        assert_eq!(m[&0], 6);
+        assert_eq!(m[&1], 4);
+    }
+}

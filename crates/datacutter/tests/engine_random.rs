@@ -1,0 +1,161 @@
+//! Randomized tests of the threaded engine: delivery guarantees and policy
+//! laws over arbitrary pipeline shapes and buffer counts.
+
+use datacutter::{
+    run_graph, DataBuffer, EngineConfig, Filter, FilterContext, FilterError, GraphSpec,
+    SchedulePolicy,
+};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Source {
+    count: u64,
+}
+
+impl Filter for Source {
+    fn start(&mut self, ctx: &mut FilterContext) -> Result<(), FilterError> {
+        let (copies, me) = (ctx.num_copies() as u64, ctx.copy_index() as u64);
+        for tag in (0..self.count).filter(|t| t % copies == me) {
+            ctx.emit(0, DataBuffer::new(tag, 8, tag))?;
+        }
+        Ok(())
+    }
+    fn process(
+        &mut self,
+        _: usize,
+        _: DataBuffer,
+        _: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        unreachable!()
+    }
+}
+
+struct Relay {
+    log: Arc<Mutex<Vec<(usize, u64)>>>,
+}
+
+impl Filter for Relay {
+    fn process(
+        &mut self,
+        _: usize,
+        buf: DataBuffer,
+        ctx: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        self.log.lock().push((ctx.copy_index(), buf.tag()));
+        if ctx.output_count() > 0 {
+            ctx.emit(0, buf)?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Shape {
+    buffers: u64,
+    sources: usize,
+    stages: Vec<(usize, u8)>, // (copies, policy)
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (
+        1u64..120,
+        1usize..4,
+        proptest::collection::vec((1usize..5, 0u8..3), 1..4),
+    )
+        .prop_map(|(buffers, sources, stages)| Shape {
+            buffers,
+            sources,
+            stages,
+        })
+}
+
+fn policy_of(p: u8) -> SchedulePolicy {
+    match p {
+        0 => SchedulePolicy::RoundRobin,
+        1 => SchedulePolicy::DemandDriven,
+        _ => SchedulePolicy::ByTagModulo,
+    }
+}
+
+type StageLog = Arc<Mutex<Vec<(usize, u64)>>>;
+
+fn run_shape(shape: &Shape) -> Vec<StageLog> {
+    let mut spec = GraphSpec::new().filter("s0", shape.sources);
+    let mut prev = "s0".to_string();
+    for (i, (copies, policy)) in shape.stages.iter().enumerate() {
+        let name = format!("s{}", i + 1);
+        spec =
+            spec.filter(&name, *copies)
+                .stream(&format!("e{i}"), &prev, &name, policy_of(*policy));
+        prev = name;
+    }
+    let mut factories: HashMap<String, datacutter::engine::FilterFactory> = HashMap::new();
+    let count = shape.buffers;
+    factories.insert("s0".into(), Box::new(move |_| Box::new(Source { count })));
+    let mut logs = Vec::new();
+    for i in 0..shape.stages.len() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        logs.push(log.clone());
+        factories.insert(
+            format!("s{}", i + 1),
+            Box::new(move |_| Box::new(Relay { log: log.clone() })),
+        );
+    }
+    run_graph(&spec, &mut factories, &EngineConfig::default()).expect("run");
+    logs
+}
+
+proptest! {
+    // Thread spawning is comparatively expensive; keep the case count sane.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_stage_sees_each_tag_exactly_once(shape in shape_strategy()) {
+        let logs = run_shape(&shape);
+        for (i, log) in logs.iter().enumerate() {
+            let mut tags: Vec<u64> = log.lock().iter().map(|(_, t)| *t).collect();
+            tags.sort_unstable();
+            let expect: Vec<u64> = (0..shape.buffers).collect();
+            prop_assert_eq!(&tags, &expect, "stage {} delivery broken", i + 1);
+        }
+    }
+
+    #[test]
+    fn tag_modulo_is_exact_everywhere(shape in shape_strategy()) {
+        let logs = run_shape(&shape);
+        for (i, (copies, policy)) in shape.stages.iter().enumerate() {
+            if policy_of(*policy) != SchedulePolicy::ByTagModulo {
+                continue;
+            }
+            for (copy, tag) in logs[i].lock().iter() {
+                prop_assert_eq!(*copy as u64, tag % *copies as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn single_producer_round_robin_is_balanced(
+        buffers in 1u64..120,
+        copies in 1usize..5,
+    ) {
+        // With one producer, RR fairness is exact (multi-producer RR is
+        // only fair per producer).
+        let shape = Shape {
+            buffers,
+            sources: 1,
+            stages: vec![(copies, 0)],
+        };
+        let logs = run_shape(&shape);
+        let mut per_copy = vec![0u64; copies];
+        for (copy, _) in logs[0].lock().iter() {
+            per_copy[*copy] += 1;
+        }
+        let (min, max) = (
+            *per_copy.iter().min().unwrap(),
+            *per_copy.iter().max().unwrap(),
+        );
+        prop_assert!(max - min <= 1, "unbalanced RR: {:?}", per_copy);
+    }
+}

@@ -1,0 +1,150 @@
+//! Minimal dense symmetric eigensolver.
+//!
+//! Feature 14 (maximal correlation coefficient) needs the second-largest
+//! eigenvalue of the matrix `Q(i,j) = Σ_k p(i,k) p(j,k) / (px(i) py(k))`.
+//! We exploit that for a symmetric co-occurrence distribution `Q = A²` with
+//! symmetric `A(i,j) = p(i,j) / sqrt(px(i) px(j))`, so it suffices to
+//! diagonalize `A` — a small (`Ng x Ng`, `Ng <= 256`, typically 32) dense
+//! symmetric matrix. The classic cyclic Jacobi rotation method is simple,
+//! unconditionally stable, and easily fast enough at these sizes.
+
+/// Computes all eigenvalues of the symmetric matrix `a` (row-major, `n x n`)
+/// by the cyclic Jacobi method. The input buffer is destroyed. Returned
+/// eigenvalues are unsorted.
+///
+/// # Panics
+/// If `a.len() != n * n`.
+pub fn symmetric_eigenvalues(a: &mut [f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n, "matrix buffer does not match n");
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![a[0]];
+    }
+    const MAX_SWEEPS: usize = 64;
+    let tol = 1e-14 * frobenius(a);
+    for _ in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += a[p * n + q] * a[p * n + q];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                // Standard Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation to rows/columns p and q.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+            }
+        }
+    }
+    (0..n).map(|i| a[i * n + i]).collect()
+}
+
+fn frobenius(a: &[f64]) -> f64 {
+    a.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_the_diagonal() {
+        let mut a = vec![0.0; 9];
+        a[0] = 3.0;
+        a[4] = -1.0;
+        a[8] = 7.0;
+        let e = sorted(symmetric_eigenvalues(&mut a, 3));
+        assert_eq!(e, vec![-1.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn two_by_two_known_eigenvalues() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let mut a = vec![2.0, 1.0, 1.0, 2.0];
+        let e = sorted(symmetric_eigenvalues(&mut a, 2));
+        assert!((e[0] - 1.0).abs() < 1e-12);
+        assert!((e[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_and_frobenius_preserved() {
+        // Eigenvalue sum = trace, sum of squares = ||A||_F^2.
+        let n = 6;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = ((i * 31 + j * 17) % 13) as f64 - 6.0;
+                a[i * n + j] = v;
+                a[j * n + i] = v;
+            }
+        }
+        let trace: f64 = (0..n).map(|i| a[i * n + i]).sum();
+        let frob2: f64 = a.iter().map(|v| v * v).sum();
+        let e = symmetric_eigenvalues(&mut a, n);
+        let esum: f64 = e.iter().sum();
+        let e2: f64 = e.iter().map(|v| v * v).sum();
+        assert!((esum - trace).abs() < 1e-9, "trace not preserved");
+        assert!((e2 - frob2).abs() < 1e-8, "Frobenius norm not preserved");
+    }
+
+    #[test]
+    fn stochastic_like_matrix_has_unit_top_eigenvalue() {
+        // A = D^{-1/2} P D^{-1/2} for symmetric P with marginals D has top
+        // eigenvalue exactly 1 (the structure feature 14 relies on).
+        let p: [[f64; 2]; 2] = [[0.3, 0.1], [0.1, 0.5]];
+        let px: [f64; 2] = [0.4, 0.6];
+        let mut a = vec![0.0; 4];
+        for i in 0..2 {
+            for j in 0..2 {
+                a[i * 2 + j] = p[i][j] / (px[i] * px[j]).sqrt();
+            }
+        }
+        let e = sorted(symmetric_eigenvalues(&mut a, 2));
+        assert!(
+            (e[1] - 1.0).abs() < 1e-12,
+            "top eigenvalue should be 1, got {e:?}"
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(symmetric_eigenvalues(&mut [], 0).is_empty());
+        assert_eq!(symmetric_eigenvalues(&mut [5.0], 1), vec![5.0]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Gray-level requantization.
+//!
+//! Haralick analysis operates on a small number of gray levels `Ng` (the
+//! co-occurrence matrix is `Ng x Ng`). Medical images are typically acquired
+//! at 12–16 bits per voxel; the paper requantizes to `Ng = 32` levels,
+//! citing studies showing values above 32 rarely improve texture results.
+//!
+//! This module converts raw `u16` intensity data into
+//! [`crate::volume::LevelVolume`]s. Three strategies are provided:
+//!
+//! * [`Quantizer::linear`] — uniform binning of a fixed intensity range;
+//! * [`Quantizer::min_max`] — uniform binning of the observed data range
+//!   (the usual choice, and what the reproduction uses);
+//! * [`Quantizer::equalized`] — histogram-equalized binning, which spreads
+//!   voxels roughly evenly across levels and is useful when the intensity
+//!   distribution is heavily skewed.
+
+use crate::volume::{Dims4, LevelVolume};
+use serde::{Deserialize, Serialize};
+
+/// Maps raw `u16` intensities to gray levels `0..levels`.
+///
+/// ```
+/// use haralick::quantize::Quantizer;
+///
+/// let q = Quantizer::linear(32, 0, 4000);
+/// assert_eq!(q.level_of(0), 0);
+/// assert_eq!(q.level_of(4000), 31);
+/// assert_eq!(q.level_of(9999), 31); // clamps
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    levels: u16,
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Kind {
+    /// Uniform bins over `[lo, hi]` (inclusive); values outside clamp.
+    Linear { lo: u16, hi: u16 },
+    /// Explicit per-level upper thresholds, ascending; level `k` holds
+    /// values `v <= thresholds[k]` (and above `thresholds[k-1]`).
+    Thresholds(Vec<u16>),
+}
+
+impl Quantizer {
+    /// Uniform quantizer over a fixed `[lo, hi]` intensity range.
+    ///
+    /// # Panics
+    /// If `levels` is not in `1..=256` or `lo > hi`.
+    pub fn linear(levels: u16, lo: u16, hi: u16) -> Self {
+        assert!((1..=256).contains(&levels), "levels must be in 1..=256");
+        assert!(lo <= hi, "empty intensity range");
+        Self {
+            levels,
+            kind: Kind::Linear { lo, hi },
+        }
+    }
+
+    /// Uniform quantizer over the min/max of `data`. An empty slice yields a
+    /// degenerate single-bin quantizer.
+    pub fn min_max(levels: u16, data: &[u16]) -> Self {
+        let lo = data.iter().copied().min().unwrap_or(0);
+        let hi = data.iter().copied().max().unwrap_or(0);
+        Self::linear(levels, lo, hi.max(lo))
+    }
+
+    /// Histogram-equalized quantizer: thresholds are chosen so each level
+    /// receives approximately `data.len() / levels` voxels.
+    pub fn equalized(levels: u16, data: &[u16]) -> Self {
+        assert!((1..=256).contains(&levels), "levels must be in 1..=256");
+        let mut hist = vec![0usize; 1 << 16];
+        for &v in data {
+            hist[v as usize] += 1;
+        }
+        let total = data.len().max(1);
+        let mut thresholds = Vec::with_capacity(levels as usize);
+        let mut cum = 0usize;
+        let mut next_level = 1usize;
+        for (v, &count) in hist.iter().enumerate() {
+            if count == 0 {
+                continue; // thresholds sit on observed intensities only
+            }
+            cum += count;
+            // Threshold for level k placed where the CDF crosses k/levels.
+            // At most one threshold per distinct intensity: a heavy singleton
+            // value (e.g. a uniform background) must not consume several
+            // levels, or the remaining intensities would all collapse into
+            // the top bin.
+            if next_level < levels as usize && cum * (levels as usize) >= next_level * total {
+                thresholds.push(v as u16);
+                next_level += 1;
+            }
+        }
+        while thresholds.len() < levels as usize - 1 {
+            thresholds.push(u16::MAX);
+        }
+        thresholds.push(u16::MAX); // top level catches everything
+        Self {
+            levels,
+            kind: Kind::Thresholds(thresholds),
+        }
+    }
+
+    /// Number of gray levels produced.
+    pub const fn levels(&self) -> u16 {
+        self.levels
+    }
+
+    /// Quantizes one raw value to a level in `0..levels`.
+    #[inline]
+    pub fn level_of(&self, v: u16) -> u8 {
+        match &self.kind {
+            Kind::Linear { lo, hi } => {
+                let v = v.clamp(*lo, *hi);
+                let span = u32::from(*hi) - u32::from(*lo);
+                if span == 0 {
+                    return 0;
+                }
+                let rel = u32::from(v) - u32::from(*lo);
+                // Scale so that v == hi maps to levels - 1 exactly.
+                let lvl = (rel * u32::from(self.levels - 1) + span / 2) / span;
+                lvl as u8
+            }
+            Kind::Thresholds(th) => {
+                // Binary search for the first threshold >= v.
+                let k = th.partition_point(|&upper| upper < v);
+                k.min(self.levels as usize - 1) as u8
+            }
+        }
+    }
+
+    /// Quantizes a whole raw buffer into a [`LevelVolume`].
+    ///
+    /// # Panics
+    /// If `raw.len() != dims.len()`.
+    pub fn quantize(&self, dims: Dims4, raw: &[u16]) -> LevelVolume {
+        assert_eq!(raw.len(), dims.len(), "raw buffer does not match dims");
+        let data: Vec<u8> = raw.iter().map(|&v| self.level_of(v)).collect();
+        LevelVolume::from_raw(dims, data, self.levels)
+            .expect("quantizer always produces in-range levels")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_endpoints_map_to_extreme_levels() {
+        let q = Quantizer::linear(32, 100, 1100);
+        assert_eq!(q.level_of(100), 0);
+        assert_eq!(q.level_of(1100), 31);
+        assert_eq!(q.level_of(0), 0, "below range clamps");
+        assert_eq!(q.level_of(60000), 31, "above range clamps");
+    }
+
+    #[test]
+    fn linear_is_monotone() {
+        let q = Quantizer::linear(16, 0, 4096);
+        let mut prev = 0u8;
+        for v in (0..=4096).step_by(7) {
+            let l = q.level_of(v);
+            assert!(l >= prev, "quantization must be monotone");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn min_max_covers_observed_range() {
+        let data = [500u16, 900, 700, 1500];
+        let q = Quantizer::min_max(8, &data);
+        assert_eq!(q.level_of(500), 0);
+        assert_eq!(q.level_of(1500), 7);
+    }
+
+    #[test]
+    fn degenerate_constant_data() {
+        let q = Quantizer::min_max(32, &[42, 42, 42]);
+        assert_eq!(q.level_of(42), 0);
+    }
+
+    #[test]
+    fn equalized_balances_levels() {
+        // 1000 values uniform in [0, 1000): each of 4 levels should get ~250.
+        let data: Vec<u16> = (0..1000).collect();
+        let q = Quantizer::equalized(4, &data);
+        let mut counts = [0usize; 4];
+        for &v in &data {
+            counts[q.level_of(v) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((200..=300).contains(&c), "unbalanced level bin: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn equalized_skewed_distribution() {
+        // 90% of mass at value 10; equalization must not waste all levels on it.
+        let mut data = vec![10u16; 900];
+        data.extend((0..100).map(|i| 1000 + i as u16));
+        let q = Quantizer::equalized(4, &data);
+        let top_levels: std::collections::BTreeSet<u8> =
+            (1000..1100).map(|v| q.level_of(v)).collect();
+        assert!(
+            top_levels.len() >= 2,
+            "tail should span multiple levels, got {top_levels:?}"
+        );
+    }
+
+    #[test]
+    fn quantize_full_volume() {
+        let dims = Dims4::new(4, 4, 1, 1);
+        let raw: Vec<u16> = (0..16).map(|i| i * 100).collect();
+        let q = Quantizer::min_max(4, &raw);
+        let vol = q.quantize(dims, &raw);
+        assert_eq!(vol.levels(), 4);
+        assert_eq!(vol.as_slice()[0], 0);
+        assert_eq!(vol.as_slice()[15], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "raw buffer does not match dims")]
+    fn quantize_length_mismatch_panics() {
+        let q = Quantizer::linear(4, 0, 10);
+        let _ = q.quantize(Dims4::new(2, 2, 1, 1), &[1, 2, 3]);
+    }
+}

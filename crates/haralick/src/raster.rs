@@ -1,0 +1,448 @@
+//! Raster scanning: sliding the ROI window over a volume and emitting one
+//! feature vector per placement (paper §3, Figures 1–2).
+//!
+//! Two drivers are provided:
+//!
+//! * [`raster_scan`] — the sequential reference implementation, a direct
+//!   transcription of the paper's Figure 2 pseudo-code;
+//! * [`raster_scan_par`] — a `rayon` data-parallel scan for shared-memory
+//!   machines (each output voxel is independent).
+//!
+//! Both produce identical [`FeatureMaps`]; the parallel scan is the
+//! "modern single-workstation" comparator, while the distributed
+//! implementation lives in the `pipeline` crate.
+
+use crate::coocc::CoMatrix;
+use crate::direction::DirectionSet;
+use crate::features::{compute_features, FeatureSelection, MatrixStats};
+use crate::roi::RoiShape;
+use crate::sparse::SparseCoMatrix;
+use crate::volume::{Dims4, LevelVolume, Point4};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which co-occurrence storage representation the scan uses (paper §4.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Representation {
+    /// Dense `Ng x Ng` array, evaluating every entry (no optimization).
+    FullNaive,
+    /// Dense array with the zero-skip optimization (the paper's ~4x win).
+    Full,
+    /// Sparse entry list; the matrix is accumulated densely, converted to
+    /// sparse form (as the split HCC filter does before transmission), and
+    /// features are computed directly from the sparse entries.
+    Sparse,
+    /// Sparse entry list; the matrix is **accumulated in sparse storage**
+    /// (binary-search increments, no dense array ever exists) — the
+    /// all-sparse single-filter variant whose storage overhead loses in
+    /// paper Figure 7(a).
+    SparseAccum,
+}
+
+impl Representation {
+    /// Computes feature-ready statistics from a freshly built dense matrix
+    /// according to the representation policy.
+    pub fn stats_of(self, m: &CoMatrix) -> MatrixStats {
+        match self {
+            Representation::FullNaive => m.stats_naive(),
+            Representation::Full => m.stats_checked(),
+            Representation::Sparse | Representation::SparseAccum => {
+                MatrixStats::from_sparse(&SparseCoMatrix::from_dense(m))
+            }
+        }
+    }
+}
+
+/// Configuration of a raster scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanConfig {
+    /// The scanning window shape.
+    pub roi: RoiShape,
+    /// Displacements accumulated into each window's co-occurrence matrix.
+    pub directions: DirectionSet,
+    /// Which Haralick features to emit.
+    pub selection: FeatureSelection,
+    /// Co-occurrence storage policy.
+    pub representation: Representation,
+}
+
+impl ScanConfig {
+    /// The paper's experimental configuration: 10x10x3x3 ROI, all 40 unique
+    /// 4D directions at distance 1, the four expensive features, full
+    /// representation with zero-skip.
+    pub fn paper_default() -> Self {
+        Self {
+            roi: RoiShape::paper_default(),
+            directions: DirectionSet::all_unique_4d(1),
+            selection: FeatureSelection::paper_default(),
+            representation: Representation::Full,
+        }
+    }
+}
+
+/// Dense per-feature output maps of a raster scan.
+///
+/// Values are stored interleaved — `selection.len()` consecutive `f64`s per
+/// output voxel in x-fastest voxel order — which keeps the parallel fill
+/// allocation-free and cache-friendly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMaps {
+    dims: Dims4,
+    selection: FeatureSelection,
+    data: Vec<f64>,
+}
+
+impl FeatureMaps {
+    /// An all-zero map set.
+    pub fn zeros(dims: Dims4, selection: FeatureSelection) -> Self {
+        Self {
+            dims,
+            selection,
+            data: vec![0.0; dims.len() * selection.len()],
+        }
+    }
+
+    /// Output extents (dataset dims − ROI + 1).
+    pub const fn dims(&self) -> Dims4 {
+        self.dims
+    }
+
+    /// The features stored per voxel.
+    pub const fn selection(&self) -> &FeatureSelection {
+        &self.selection
+    }
+
+    /// Value of `feature` at output voxel `p`.
+    ///
+    /// # Panics
+    /// If `feature` is not in the selection or `p` is out of bounds.
+    pub fn get(&self, p: Point4, feature: crate::features::Feature) -> f64 {
+        let slot = self
+            .selection
+            .iter()
+            .position(|f| f == feature)
+            .expect("feature not in selection");
+        self.data[self.dims.index(p) * self.selection.len() + slot]
+    }
+
+    /// All selected feature values at output voxel `p`, in selection order.
+    pub fn values_at(&self, p: Point4) -> &[f64] {
+        let n = self.selection.len();
+        let base = self.dims.index(p) * n;
+        &self.data[base..base + n]
+    }
+
+    /// Writes the feature values for output voxel `p` (selection order).
+    pub fn set_values(&mut self, p: Point4, values: &[f64]) {
+        let n = self.selection.len();
+        assert_eq!(values.len(), n, "value count does not match selection");
+        let base = self.dims.index(p) * n;
+        self.data[base..base + n].copy_from_slice(values);
+    }
+
+    /// Extracts a single feature as a flat volume in x-fastest order —
+    /// the "4D dataset for each Haralick parameter computed" of paper §4.
+    pub fn feature_volume(&self, feature: crate::features::Feature) -> Vec<f64> {
+        let slot = self
+            .selection
+            .iter()
+            .position(|f| f == feature)
+            .expect("feature not in selection");
+        let n = self.selection.len();
+        self.data.iter().skip(slot).step_by(n).copied().collect()
+    }
+
+    /// Min and max of one feature's map (used for output normalization by
+    /// the image writer). Returns `(0, 0)` for empty maps.
+    pub fn min_max(&self, feature: crate::features::Feature) -> (f64, f64) {
+        let v = self.feature_volume(feature);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for x in v {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if lo > hi {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Raw interleaved data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Combines two map sets element-wise (e.g. follow-up minus baseline
+    /// for progression monitoring). Geometry and selection must match.
+    ///
+    /// # Panics
+    /// If dims or selections differ.
+    pub fn zip_map(&self, other: &FeatureMaps, f: impl Fn(f64, f64) -> f64) -> FeatureMaps {
+        assert_eq!(self.dims, other.dims, "dims mismatch in zip_map");
+        assert_eq!(
+            self.selection, other.selection,
+            "selection mismatch in zip_map"
+        );
+        FeatureMaps {
+            dims: self.dims,
+            selection: self.selection,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `other − self` per voxel per feature: the progression delta map.
+    pub fn delta(&self, other: &FeatureMaps) -> FeatureMaps {
+        self.zip_map(other, |a, b| b - a)
+    }
+
+    /// Maximum absolute difference to another map set with identical
+    /// geometry and selection (testing helper).
+    pub fn max_abs_diff(&self, other: &FeatureMaps) -> f64 {
+        assert_eq!(self.dims, other.dims);
+        assert_eq!(self.selection, other.selection);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Feature values of one window across a range of displacement distances —
+/// the classic Haralick practice of probing texture periodicity by scaling
+/// a base direction (paper §3: distance is a user parameter of the
+/// co-occurrence matrix). Returns one dense feature vector per distance,
+/// in `1..=max_distance` order.
+///
+/// # Panics
+/// If the window does not fit the volume or `max_distance` is zero.
+pub fn distance_sweep(
+    vol: &LevelVolume,
+    cfg: &ScanConfig,
+    origin: Point4,
+    max_distance: u32,
+) -> Vec<Vec<f64>> {
+    assert!(max_distance > 0, "need at least distance 1");
+    (1..=max_distance)
+        .map(|dist| {
+            let scaled =
+                crate::direction::DirectionSet::new(cfg.directions.iter().map(|d| d.scaled(dist)));
+            let sweep_cfg = ScanConfig {
+                directions: scaled,
+                ..cfg.clone()
+            };
+            scan_one(vol, &sweep_cfg, origin)
+        })
+        .collect()
+}
+
+/// Computes the feature values for the single window at `origin` (selection
+/// order). This is the per-ROI unit of work shared by all drivers and by the
+/// pipeline filters.
+pub fn scan_one(vol: &LevelVolume, cfg: &ScanConfig, origin: Point4) -> Vec<f64> {
+    let stats = match cfg.representation {
+        Representation::SparseAccum => {
+            let sparse = crate::sparse::SparseAccumulator::from_region(
+                vol,
+                cfg.roi.region_at(origin),
+                &cfg.directions,
+            );
+            MatrixStats::from_sparse(&sparse)
+        }
+        repr => {
+            let m = CoMatrix::from_region(vol, cfg.roi.region_at(origin), &cfg.directions);
+            repr.stats_of(&m)
+        }
+    };
+    compute_features(&stats, &cfg.selection).dense(&cfg.selection)
+}
+
+/// Sequential raster scan over the whole volume — the reference
+/// implementation (paper Figure 2).
+pub fn raster_scan(vol: &LevelVolume, cfg: &ScanConfig) -> FeatureMaps {
+    let out_dims = cfg.roi.output_dims(vol.dims());
+    let mut maps = FeatureMaps::zeros(out_dims, cfg.selection);
+    for p in out_dims.region().points() {
+        let values = scan_one(vol, cfg, p);
+        maps.set_values(p, &values);
+    }
+    maps
+}
+
+/// `rayon`-parallel raster scan; produces output identical to
+/// [`raster_scan`].
+pub fn raster_scan_par(vol: &LevelVolume, cfg: &ScanConfig) -> FeatureMaps {
+    let out_dims = cfg.roi.output_dims(vol.dims());
+    let mut maps = FeatureMaps::zeros(out_dims, cfg.selection);
+    let n = cfg.selection.len();
+    if n == 0 || out_dims.is_empty() {
+        return maps;
+    }
+    maps.data
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(idx, slot)| {
+            let p = out_dims.point_of(idx);
+            let values = scan_one(vol, cfg, p);
+            slot.copy_from_slice(&values);
+        });
+    maps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direction::Direction;
+    use crate::features::Feature;
+
+    fn gradient_volume(dims: Dims4, ng: u16) -> LevelVolume {
+        let data: Vec<u8> = dims
+            .region()
+            .points()
+            .map(|p| ((p.x + 2 * p.y + 3 * p.z + 5 * p.t) % ng as usize) as u8)
+            .collect();
+        LevelVolume::from_raw(dims, data, ng).unwrap()
+    }
+
+    fn small_cfg() -> ScanConfig {
+        ScanConfig {
+            roi: RoiShape::from_lengths(4, 4, 2, 2),
+            directions: DirectionSet::all_unique_4d(1),
+            selection: FeatureSelection::paper_default(),
+            representation: Representation::Full,
+        }
+    }
+
+    #[test]
+    fn output_geometry() {
+        let vol = gradient_volume(Dims4::new(8, 7, 3, 4), 8);
+        let maps = raster_scan(&vol, &small_cfg());
+        assert_eq!(maps.dims(), Dims4::new(5, 4, 2, 3));
+        assert_eq!(maps.as_slice().len(), 5 * 4 * 2 * 3 * 4);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let vol = gradient_volume(Dims4::new(9, 8, 3, 3), 8);
+        let cfg = small_cfg();
+        let a = raster_scan(&vol, &cfg);
+        let b = raster_scan_par(&vol, &cfg);
+        assert_eq!(a.dims(), b.dims());
+        assert!(a.max_abs_diff(&b) == 0.0, "parallel scan diverged");
+    }
+
+    #[test]
+    fn representations_agree() {
+        let vol = gradient_volume(Dims4::new(8, 8, 3, 3), 16);
+        let mut cfg = small_cfg();
+        cfg.selection = FeatureSelection::all();
+        cfg.representation = Representation::Full;
+        let full = raster_scan(&vol, &cfg);
+        cfg.representation = Representation::Sparse;
+        let sparse = raster_scan(&vol, &cfg);
+        cfg.representation = Representation::FullNaive;
+        let naive = raster_scan(&vol, &cfg);
+        cfg.representation = Representation::SparseAccum;
+        let sparse_accum = raster_scan(&vol, &cfg);
+        assert!(full.max_abs_diff(&sparse) < 1e-10);
+        assert!(full.max_abs_diff(&naive) < 1e-10);
+        assert!(full.max_abs_diff(&sparse_accum) < 1e-10);
+    }
+
+    #[test]
+    fn scan_one_matches_map_entry() {
+        let vol = gradient_volume(Dims4::new(8, 8, 3, 3), 8);
+        let cfg = small_cfg();
+        let maps = raster_scan(&vol, &cfg);
+        let p = Point4::new(2, 3, 1, 1);
+        assert_eq!(maps.values_at(p), scan_one(&vol, &cfg, p).as_slice());
+    }
+
+    #[test]
+    fn feature_volume_extraction() {
+        let vol = gradient_volume(Dims4::new(6, 6, 2, 2), 4);
+        let cfg = small_cfg();
+        let maps = raster_scan(&vol, &cfg);
+        let v = maps.feature_volume(Feature::Correlation);
+        assert_eq!(v.len(), maps.dims().len());
+        let p = Point4::new(1, 1, 0, 0);
+        assert_eq!(v[maps.dims().index(p)], maps.get(p, Feature::Correlation));
+    }
+
+    #[test]
+    fn homogeneous_volume_yields_uniform_maps() {
+        let dims = Dims4::new(7, 7, 3, 3);
+        let vol = LevelVolume::from_raw(dims, vec![5; dims.len()], 8).unwrap();
+        let maps = raster_scan(&vol, &small_cfg());
+        let asm = maps.feature_volume(Feature::AngularSecondMoment);
+        assert!(asm.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn min_max_bounds_values() {
+        let vol = gradient_volume(Dims4::new(8, 8, 3, 3), 8);
+        let maps = raster_scan(&vol, &small_cfg());
+        let (lo, hi) = maps.min_max(Feature::SumOfSquares);
+        for v in maps.feature_volume(Feature::SumOfSquares) {
+            assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn zip_map_and_delta() {
+        let vol = gradient_volume(Dims4::new(7, 7, 3, 3), 8);
+        let cfg = small_cfg();
+        let a = raster_scan(&vol, &cfg);
+        let doubled = a.zip_map(&a, |x, y| x + y);
+        let back = doubled.zip_map(&a, |d, x| d - x);
+        assert!(a.max_abs_diff(&back) < 1e-12);
+        let d = a.delta(&doubled);
+        assert!(d.max_abs_diff(&a) < 1e-12, "delta(a, 2a) must equal a");
+    }
+
+    #[test]
+    fn distance_sweep_detects_texture_period() {
+        // Period-2 stripes: correlation alternates sign with distance.
+        let dims = Dims4::new(16, 8, 3, 3);
+        let data: Vec<u8> = dims.region().points().map(|p| (p.x % 2) as u8).collect();
+        let vol = LevelVolume::from_raw(dims, data, 2).unwrap();
+        let cfg = ScanConfig {
+            roi: RoiShape::from_lengths(8, 4, 2, 2),
+            directions: DirectionSet::single(Direction::new(1, 0, 0, 0)),
+            selection: FeatureSelection::of(&[Feature::Correlation]),
+            representation: Representation::Full,
+        };
+        let sweep = distance_sweep(&vol, &cfg, Point4::ZERO, 4);
+        assert_eq!(sweep.len(), 4);
+        assert!(sweep[0][0] < -0.99, "d=1 anti-correlated: {}", sweep[0][0]);
+        assert!(sweep[1][0] > 0.99, "d=2 correlated: {}", sweep[1][0]);
+        assert!(sweep[2][0] < -0.99, "d=3 anti-correlated: {}", sweep[2][0]);
+        assert!(sweep[3][0] > 0.99, "d=4 correlated: {}", sweep[3][0]);
+    }
+
+    #[test]
+    fn distance_sweep_distance_one_matches_scan_one() {
+        let vol = gradient_volume(Dims4::new(8, 8, 3, 3), 8);
+        let cfg = small_cfg();
+        let p = Point4::new(1, 1, 0, 0);
+        let sweep = distance_sweep(&vol, &cfg, p, 1);
+        assert_eq!(sweep[0], scan_one(&vol, &cfg, p));
+    }
+
+    #[test]
+    fn roi_larger_than_volume_yields_empty_maps() {
+        let vol = gradient_volume(Dims4::new(3, 3, 1, 1), 4);
+        let maps = raster_scan(&vol, &small_cfg());
+        assert!(maps.dims().is_empty());
+        assert!(maps.as_slice().is_empty());
+        let par = raster_scan_par(&vol, &small_cfg());
+        assert!(par.dims().is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Region-of-interest window geometry.
+//!
+//! Raster scanning slides a fixed-size ROI window across the dataset; a
+//! window placement is valid only if the ROI lies entirely within the
+//! dataset (paper Figure 2: "the entire ROI must be contained within the
+//! dataset"). A `W`-wide window over a `D`-wide axis therefore has
+//! `D - W + 1` valid placements, which defines the output feature-map
+//! geometry.
+
+use crate::volume::{Dims4, Point4, Region4};
+use serde::{Deserialize, Serialize};
+
+/// The shape (extents) of the scanning window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoiShape {
+    size: Dims4,
+}
+
+impl RoiShape {
+    /// Creates an ROI shape.
+    ///
+    /// # Panics
+    /// If any extent is zero.
+    pub fn new(size: Dims4) -> Self {
+        assert!(!size.is_empty(), "ROI extents must be non-zero");
+        Self { size }
+    }
+
+    /// Convenience constructor from the four extents.
+    pub fn from_lengths(x: usize, y: usize, z: usize, t: usize) -> Self {
+        Self::new(Dims4::new(x, y, z, t))
+    }
+
+    /// The ROI used throughout the paper's experiments for the
+    /// 256x256x32x32 DCE-MRI dataset: a 10x10 in-plane window spanning
+    /// 3 slices and 3 time steps ("typical for an MRI application").
+    pub fn paper_default() -> Self {
+        Self::from_lengths(10, 10, 3, 3)
+    }
+
+    /// Window extents.
+    pub const fn size(&self) -> Dims4 {
+        self.size
+    }
+
+    /// Number of voxels inside one window placement.
+    pub const fn len(&self) -> usize {
+        self.size.len()
+    }
+
+    /// Always false (extents are validated non-zero); present for API
+    /// symmetry with collection types.
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether a dataset of extents `dims` admits at least one placement.
+    pub fn fits_in(&self, dims: Dims4) -> bool {
+        self.size.x <= dims.x
+            && self.size.y <= dims.y
+            && self.size.z <= dims.z
+            && self.size.t <= dims.t
+    }
+
+    /// Output feature-map extents for a dataset of extents `dims`:
+    /// `dims - roi + 1` per axis, or zero where the window does not fit.
+    pub fn output_dims(&self, dims: Dims4) -> Dims4 {
+        if !self.fits_in(dims) {
+            return Dims4::new(0, 0, 0, 0);
+        }
+        Dims4::new(
+            dims.x - self.size.x + 1,
+            dims.y - self.size.y + 1,
+            dims.z - self.size.z + 1,
+            dims.t - self.size.t + 1,
+        )
+    }
+
+    /// Number of valid window placements in a dataset of extents `dims`.
+    pub fn placements(&self, dims: Dims4) -> usize {
+        self.output_dims(dims).len()
+    }
+
+    /// The window region whose lower corner is `origin`.
+    pub const fn region_at(&self, origin: Point4) -> Region4 {
+        Region4::new(origin, self.size)
+    }
+
+    /// The halo a data chunk must carry so that every output point it owns
+    /// can be computed locally: `roi_dim - 1` voxels per axis. This is the
+    /// chunk overlap of paper Eqs. 1–2.
+    pub fn overlap(&self) -> Dims4 {
+        Dims4::new(
+            self.size.x - 1,
+            self.size.y - 1,
+            self.size.z - 1,
+            self.size.t - 1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dims_formula() {
+        let roi = RoiShape::from_lengths(10, 10, 3, 3);
+        let dims = Dims4::new(256, 256, 32, 32);
+        assert_eq!(roi.output_dims(dims), Dims4::new(247, 247, 30, 30));
+        assert_eq!(roi.placements(dims), 247 * 247 * 30 * 30);
+    }
+
+    #[test]
+    fn exact_fit_has_one_placement() {
+        let roi = RoiShape::from_lengths(4, 4, 2, 2);
+        assert_eq!(roi.placements(Dims4::new(4, 4, 2, 2)), 1);
+    }
+
+    #[test]
+    fn too_small_dataset_has_zero_placements() {
+        let roi = RoiShape::from_lengths(4, 4, 2, 2);
+        assert!(!roi.fits_in(Dims4::new(3, 8, 8, 8)));
+        assert_eq!(roi.placements(Dims4::new(3, 8, 8, 8)), 0);
+        assert!(roi.output_dims(Dims4::new(3, 8, 8, 8)).is_empty());
+    }
+
+    #[test]
+    fn overlap_is_roi_minus_one() {
+        let roi = RoiShape::paper_default();
+        assert_eq!(roi.overlap(), Dims4::new(9, 9, 2, 2));
+    }
+
+    #[test]
+    fn region_at_has_roi_size() {
+        let roi = RoiShape::from_lengths(5, 6, 7, 8);
+        let r = roi.region_at(Point4::new(1, 2, 3, 4));
+        assert_eq!(r.size, Dims4::new(5, 6, 7, 8));
+        assert_eq!(r.origin, Point4::new(1, 2, 3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_extent_rejected() {
+        let _ = RoiShape::from_lengths(0, 4, 1, 1);
+    }
+}

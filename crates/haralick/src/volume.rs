@@ -1,0 +1,547 @@
+//! 4D dimension, point and region arithmetic, and the quantized level volume.
+//!
+//! Throughout the crate the four dimensions are ordered `(x, y, z, t)` with
+//! `x` varying fastest in memory, matching the paper's dataset layout of 2D
+//! `x`-`y` image slices stacked into 3D volumes (`z`) acquired over time
+//! (`t`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Extents of a 4D dataset, ordered `(x, y, z, t)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dims4 {
+    /// Number of columns in a slice.
+    pub x: usize,
+    /// Number of rows in a slice.
+    pub y: usize,
+    /// Number of slices in a 3D volume.
+    pub z: usize,
+    /// Number of time steps.
+    pub t: usize,
+}
+
+impl Dims4 {
+    /// Creates a new extent. All components must be non-zero for a usable
+    /// volume, but zero extents are permitted so that empty regions can be
+    /// represented.
+    pub const fn new(x: usize, y: usize, z: usize, t: usize) -> Self {
+        Self { x, y, z, t }
+    }
+
+    /// Total number of voxels (`x * y * z * t`).
+    pub const fn len(&self) -> usize {
+        self.x * self.y * self.z * self.t
+    }
+
+    /// Whether any extent is zero.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major (x-fastest) linear index of a point. Debug-asserts bounds.
+    #[inline(always)]
+    pub fn index(&self, p: Point4) -> usize {
+        debug_assert!(self.contains(p), "point {p:?} out of dims {self:?}");
+        ((p.t * self.z + p.z) * self.y + p.y) * self.x + p.x
+    }
+
+    /// Inverse of [`Dims4::index`].
+    pub fn point_of(&self, mut idx: usize) -> Point4 {
+        let x = idx % self.x;
+        idx /= self.x;
+        let y = idx % self.y;
+        idx /= self.y;
+        let z = idx % self.z;
+        idx /= self.z;
+        Point4::new(x, y, z, idx)
+    }
+
+    /// Whether `p` lies inside the extent.
+    #[inline(always)]
+    pub const fn contains(&self, p: Point4) -> bool {
+        p.x < self.x && p.y < self.y && p.z < self.z && p.t < self.t
+    }
+
+    /// Component-wise access by axis number (0 = x .. 3 = t).
+    pub const fn axis(&self, a: usize) -> usize {
+        match a {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            3 => self.t,
+            _ => panic!("axis out of range"),
+        }
+    }
+
+    /// The full region `[0, dims)` covered by these extents.
+    pub const fn region(&self) -> Region4 {
+        Region4 {
+            origin: Point4::new(0, 0, 0, 0),
+            size: *self,
+        }
+    }
+
+    /// Component-wise saturating subtraction, used for output-map geometry:
+    /// a raster scan with window `w` over dims `d` yields `d - w + 1`
+    /// placements per axis (see [`crate::roi::RoiShape::output_dims`]).
+    pub fn saturating_sub(&self, other: Dims4) -> Dims4 {
+        Dims4::new(
+            self.x.saturating_sub(other.x),
+            self.y.saturating_sub(other.y),
+            self.z.saturating_sub(other.z),
+            self.t.saturating_sub(other.t),
+        )
+    }
+}
+
+impl fmt::Display for Dims4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.x, self.y, self.z, self.t)
+    }
+}
+
+/// A voxel coordinate, ordered `(x, y, z, t)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Point4 {
+    /// Column.
+    pub x: usize,
+    /// Row.
+    pub y: usize,
+    /// Slice.
+    pub z: usize,
+    /// Time step.
+    pub t: usize,
+}
+
+impl Point4 {
+    /// Creates a new point.
+    pub const fn new(x: usize, y: usize, z: usize, t: usize) -> Self {
+        Self { x, y, z, t }
+    }
+
+    /// The origin `(0, 0, 0, 0)`.
+    pub const ZERO: Point4 = Point4::new(0, 0, 0, 0);
+
+    /// Component-wise addition.
+    pub const fn add(self, d: Dims4) -> Point4 {
+        Point4::new(self.x + d.x, self.y + d.y, self.z + d.z, self.t + d.t)
+    }
+
+    /// Offsets the point by a signed displacement, returning `None` on
+    /// underflow (the caller checks upper bounds against the region).
+    #[inline(always)]
+    pub fn offset(self, dx: i32, dy: i32, dz: i32, dt: i32) -> Option<Point4> {
+        Some(Point4::new(
+            self.x.checked_add_signed(dx as isize)?,
+            self.y.checked_add_signed(dy as isize)?,
+            self.z.checked_add_signed(dz as isize)?,
+            self.t.checked_add_signed(dt as isize)?,
+        ))
+    }
+
+    /// Component-wise access by axis number (0 = x .. 3 = t).
+    pub const fn axis(&self, a: usize) -> usize {
+        match a {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            3 => self.t,
+            _ => panic!("axis out of range"),
+        }
+    }
+}
+
+/// A half-open axis-aligned 4D box: `[origin, origin + size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region4 {
+    /// Inclusive lower corner.
+    pub origin: Point4,
+    /// Extent along each axis.
+    pub size: Dims4,
+}
+
+impl Region4 {
+    /// Creates a region from its lower corner and size.
+    pub const fn new(origin: Point4, size: Dims4) -> Self {
+        Self { origin, size }
+    }
+
+    /// Exclusive upper corner.
+    pub const fn end(&self) -> Point4 {
+        self.origin.add(self.size)
+    }
+
+    /// Number of voxels covered.
+    pub const fn len(&self) -> usize {
+        self.size.len()
+    }
+
+    /// Whether the region covers no voxels.
+    pub const fn is_empty(&self) -> bool {
+        self.size.is_empty()
+    }
+
+    /// Whether `p` lies inside the region.
+    #[inline(always)]
+    pub const fn contains(&self, p: Point4) -> bool {
+        let e = self.end();
+        p.x >= self.origin.x
+            && p.y >= self.origin.y
+            && p.z >= self.origin.z
+            && p.t >= self.origin.t
+            && p.x < e.x
+            && p.y < e.y
+            && p.z < e.z
+            && p.t < e.t
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    pub fn contains_region(&self, other: &Region4) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        let se = self.end();
+        let oe = other.end();
+        other.origin.x >= self.origin.x
+            && other.origin.y >= self.origin.y
+            && other.origin.z >= self.origin.z
+            && other.origin.t >= self.origin.t
+            && oe.x <= se.x
+            && oe.y <= se.y
+            && oe.z <= se.z
+            && oe.t <= se.t
+    }
+
+    /// Intersection of two regions (possibly empty).
+    pub fn intersect(&self, other: &Region4) -> Region4 {
+        let o = Point4::new(
+            self.origin.x.max(other.origin.x),
+            self.origin.y.max(other.origin.y),
+            self.origin.z.max(other.origin.z),
+            self.origin.t.max(other.origin.t),
+        );
+        let se = self.end();
+        let oe = other.end();
+        let e = Point4::new(
+            se.x.min(oe.x),
+            se.y.min(oe.y),
+            se.z.min(oe.z),
+            se.t.min(oe.t),
+        );
+        let size = Dims4::new(
+            e.x.saturating_sub(o.x),
+            e.y.saturating_sub(o.y),
+            e.z.saturating_sub(o.z),
+            e.t.saturating_sub(o.t),
+        );
+        Region4::new(o, size)
+    }
+
+    /// Iterates over all points of the region in x-fastest order.
+    pub fn points(self) -> impl Iterator<Item = Point4> {
+        let o = self.origin;
+        let s = self.size;
+        (0..s.t).flat_map(move |t| {
+            (0..s.z).flat_map(move |z| {
+                (0..s.y).flat_map(move |y| {
+                    (0..s.x).map(move |x| Point4::new(o.x + x, o.y + y, o.z + z, o.t + t))
+                })
+            })
+        })
+    }
+}
+
+/// A quantized 4D volume: one `u8` gray *level* per voxel, `levels` possible
+/// values (`Ng` in the paper's notation, at most 256 here).
+///
+/// Raw `u16` intensity data is converted to a `LevelVolume` by a
+/// [`crate::quantize::Quantizer`]; all co-occurrence computation operates on
+/// levels, never raw intensities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelVolume {
+    dims: Dims4,
+    levels: u16,
+    data: Vec<u8>,
+}
+
+/// Errors constructing a [`LevelVolume`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VolumeError {
+    /// `data.len()` does not equal `dims.len()`.
+    LengthMismatch {
+        /// Expected number of voxels.
+        expected: usize,
+        /// Provided number of voxels.
+        got: usize,
+    },
+    /// A voxel value is `>= levels`.
+    LevelOutOfRange {
+        /// Linear index of the offending voxel.
+        index: usize,
+        /// The offending value.
+        value: u8,
+        /// The declared number of levels.
+        levels: u16,
+    },
+    /// `levels` is zero or exceeds 256.
+    BadLevelCount(u16),
+}
+
+impl fmt::Display for VolumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VolumeError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "data length {got} does not match dims ({expected} voxels)"
+                )
+            }
+            VolumeError::LevelOutOfRange {
+                index,
+                value,
+                levels,
+            } => {
+                write!(f, "voxel {index} has level {value} >= Ng = {levels}")
+            }
+            VolumeError::BadLevelCount(l) => write!(f, "level count {l} not in 1..=256"),
+        }
+    }
+}
+
+impl std::error::Error for VolumeError {}
+
+impl LevelVolume {
+    /// Builds a volume from raw level data, validating every voxel.
+    pub fn from_raw(dims: Dims4, data: Vec<u8>, levels: u16) -> Result<Self, VolumeError> {
+        if levels == 0 || levels > 256 {
+            return Err(VolumeError::BadLevelCount(levels));
+        }
+        if data.len() != dims.len() {
+            return Err(VolumeError::LengthMismatch {
+                expected: dims.len(),
+                got: data.len(),
+            });
+        }
+        if levels < 256 {
+            if let Some(index) = data.iter().position(|&v| u16::from(v) >= levels) {
+                return Err(VolumeError::LevelOutOfRange {
+                    index,
+                    value: data[index],
+                    levels,
+                });
+            }
+        }
+        Ok(Self { dims, levels, data })
+    }
+
+    /// A volume of the given size filled with level zero.
+    pub fn zeros(dims: Dims4, levels: u16) -> Self {
+        Self::from_raw(dims, vec![0; dims.len()], levels).expect("zero volume is always valid")
+    }
+
+    /// The extents of the volume.
+    pub const fn dims(&self) -> Dims4 {
+        self.dims
+    }
+
+    /// The number of gray levels `Ng`.
+    pub const fn levels(&self) -> u16 {
+        self.levels
+    }
+
+    /// The region covering the whole volume.
+    pub const fn full_region(&self) -> Region4 {
+        self.dims.region()
+    }
+
+    /// Level at a point (bounds debug-asserted).
+    #[inline(always)]
+    pub fn get(&self, p: Point4) -> u8 {
+        self.data[self.dims.index(p)]
+    }
+
+    /// Sets the level at a point. Panics if `v >= levels`.
+    pub fn set(&mut self, p: Point4, v: u8) {
+        assert!(
+            u16::from(v) < self.levels,
+            "level {v} out of range (Ng = {})",
+            self.levels
+        );
+        let i = self.dims.index(p);
+        self.data[i] = v;
+    }
+
+    /// Raw level data in x-fastest order.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Copies a sub-region into a new, smaller `LevelVolume` whose origin is
+    /// the region's origin. Panics if the region is not fully inside the
+    /// volume. This is the operation a storage-node reader performs when
+    /// extracting a chunk.
+    pub fn extract(&self, region: Region4) -> LevelVolume {
+        assert!(
+            self.full_region().contains_region(&region),
+            "extract region {region:?} exceeds volume {:?}",
+            self.dims
+        );
+        let mut out = Vec::with_capacity(region.len());
+        let o = region.origin;
+        let s = region.size;
+        for t in 0..s.t {
+            for z in 0..s.z {
+                for y in 0..s.y {
+                    let row_start = self.dims.index(Point4::new(o.x, o.y + y, o.z + z, o.t + t));
+                    out.extend_from_slice(&self.data[row_start..row_start + s.x]);
+                }
+            }
+        }
+        LevelVolume {
+            dims: s,
+            levels: self.levels,
+            data: out,
+        }
+    }
+
+    /// Pastes `src` into `self` with its origin at `at`. Panics if it does
+    /// not fit or the level counts differ. Inverse of [`LevelVolume::extract`];
+    /// this is the stitch operation.
+    pub fn paste(&mut self, src: &LevelVolume, at: Point4) {
+        assert_eq!(self.levels, src.levels, "level count mismatch in paste");
+        let dst_region = Region4::new(at, src.dims);
+        assert!(
+            self.full_region().contains_region(&dst_region),
+            "paste target {dst_region:?} exceeds volume {:?}",
+            self.dims
+        );
+        let s = src.dims;
+        for t in 0..s.t {
+            for z in 0..s.z {
+                for y in 0..s.y {
+                    let src_start = s.index(Point4::new(0, y, z, t));
+                    let dst_start =
+                        self.dims
+                            .index(Point4::new(at.x, at.y + y, at.z + z, at.t + t));
+                    self.data[dst_start..dst_start + s.x]
+                        .copy_from_slice(&src.data[src_start..src_start + s.x]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let d = Dims4::new(3, 4, 5, 2);
+        for i in 0..d.len() {
+            assert_eq!(d.index(d.point_of(i)), i);
+        }
+    }
+
+    #[test]
+    fn index_is_x_fastest() {
+        let d = Dims4::new(10, 10, 10, 10);
+        let base = d.index(Point4::new(0, 0, 0, 0));
+        assert_eq!(d.index(Point4::new(1, 0, 0, 0)), base + 1);
+        assert_eq!(d.index(Point4::new(0, 1, 0, 0)), base + 10);
+        assert_eq!(d.index(Point4::new(0, 0, 1, 0)), base + 100);
+        assert_eq!(d.index(Point4::new(0, 0, 0, 1)), base + 1000);
+    }
+
+    #[test]
+    fn region_contains_and_intersect() {
+        let a = Region4::new(Point4::new(1, 1, 0, 0), Dims4::new(4, 4, 2, 2));
+        let b = Region4::new(Point4::new(3, 3, 1, 1), Dims4::new(4, 4, 4, 4));
+        let i = a.intersect(&b);
+        assert_eq!(i.origin, Point4::new(3, 3, 1, 1));
+        assert_eq!(i.size, Dims4::new(2, 2, 1, 1));
+        assert!(a.contains(Point4::new(4, 4, 1, 1)));
+        assert!(!a.contains(Point4::new(5, 1, 0, 0)));
+        assert!(a.contains_region(&i));
+        assert!(b.contains_region(&i));
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        let a = Region4::new(Point4::ZERO, Dims4::new(2, 2, 2, 2));
+        let b = Region4::new(Point4::new(5, 5, 5, 5), Dims4::new(2, 2, 2, 2));
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn points_iter_covers_region_in_order() {
+        let r = Region4::new(Point4::new(1, 2, 0, 0), Dims4::new(2, 2, 1, 2));
+        let pts: Vec<_> = r.points().collect();
+        assert_eq!(pts.len(), r.len());
+        assert_eq!(pts[0], Point4::new(1, 2, 0, 0));
+        assert_eq!(pts[1], Point4::new(2, 2, 0, 0));
+        assert_eq!(pts[2], Point4::new(1, 3, 0, 0));
+        assert_eq!(*pts.last().unwrap(), Point4::new(2, 3, 0, 1));
+        assert!(pts.iter().all(|&p| r.contains(p)));
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let d = Dims4::new(2, 2, 1, 1);
+        assert!(matches!(
+            LevelVolume::from_raw(d, vec![0; 3], 4),
+            Err(VolumeError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            LevelVolume::from_raw(d, vec![0, 1, 2, 4], 4),
+            Err(VolumeError::LevelOutOfRange { index: 3, .. })
+        ));
+        assert!(matches!(
+            LevelVolume::from_raw(d, vec![0; 4], 0),
+            Err(VolumeError::BadLevelCount(0))
+        ));
+        assert!(LevelVolume::from_raw(d, vec![0, 1, 2, 3], 4).is_ok());
+    }
+
+    #[test]
+    fn extract_paste_roundtrip() {
+        let d = Dims4::new(6, 5, 4, 3);
+        let data: Vec<u8> = (0..d.len()).map(|i| (i % 32) as u8).collect();
+        let vol = LevelVolume::from_raw(d, data, 32).unwrap();
+        let r = Region4::new(Point4::new(1, 2, 1, 1), Dims4::new(3, 2, 2, 2));
+        let sub = vol.extract(r);
+        assert_eq!(sub.dims(), r.size);
+        for p in r.size.region().points() {
+            let src = Point4::new(
+                r.origin.x + p.x,
+                r.origin.y + p.y,
+                r.origin.z + p.z,
+                r.origin.t + p.t,
+            );
+            assert_eq!(sub.get(p), vol.get(src));
+        }
+        let mut blank = LevelVolume::zeros(d, 32);
+        blank.paste(&sub, r.origin);
+        for p in r.points() {
+            assert_eq!(blank.get(p), vol.get(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds volume")]
+    fn extract_out_of_bounds_panics() {
+        let vol = LevelVolume::zeros(Dims4::new(4, 4, 1, 1), 8);
+        let _ = vol.extract(Region4::new(
+            Point4::new(2, 2, 0, 0),
+            Dims4::new(4, 4, 1, 1),
+        ));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = Dims4::new(5, 5, 1, 1);
+        let b = Dims4::new(3, 7, 1, 1);
+        assert_eq!(a.saturating_sub(b), Dims4::new(2, 0, 0, 0));
+    }
+}

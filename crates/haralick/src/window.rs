@@ -1,0 +1,302 @@
+//! Incremental sliding-window co-occurrence maintenance.
+//!
+//! The paper's raster scan (Figure 2) rebuilds each ROI's co-occurrence
+//! matrix from scratch. Because consecutive window placements along `x`
+//! share all but one voxel plane, the matrix can instead be **updated**:
+//! pairs with an endpoint in the departing plane are removed, pairs with an
+//! endpoint in the arriving plane are added, and everything else is
+//! untouched. Per step this costs `O(W_y · W_z · W_t · |D|)` instead of
+//! `O(W_x · W_y · W_z · W_t · |D|)` — roughly a `W_x / 2` speedup for
+//! typical windows (measured in `crates/bench/benches/raster.rs`).
+//!
+//! This is an extension beyond the paper (a natural optimization its
+//! pseudo-code leaves on the table); [`raster_scan_incremental`] is proven
+//! bit-identical to the reference scan by unit and property tests.
+
+use crate::coocc::CoMatrix;
+use crate::direction::DirectionSet;
+use crate::features::compute_features;
+use crate::raster::{FeatureMaps, Representation, ScanConfig};
+use crate::volume::{Dims4, LevelVolume, Point4, Region4};
+
+/// Maintains the co-occurrence matrix of an ROI window sliding along `x`.
+///
+/// ```
+/// use haralick::{CoMatrix, Direction, DirectionSet, LevelVolume};
+/// use haralick::volume::{Dims4, Point4, Region4};
+/// use haralick::window::SlidingWindow;
+///
+/// let dims = Dims4::new(8, 4, 2, 2);
+/// let data: Vec<u8> = (0..dims.len()).map(|i| (i % 4) as u8).collect();
+/// let vol = LevelVolume::from_raw(dims, data, 4).unwrap();
+/// let dirs = DirectionSet::single(Direction::new(1, 1, 1, 1));
+/// let roi = Dims4::new(4, 3, 2, 2);
+///
+/// let mut win = SlidingWindow::new(&vol, &dirs, roi, Point4::ZERO);
+/// win.slide_x(); // O(plane) update instead of a full rebuild
+/// let rebuilt = CoMatrix::from_region(
+///     &vol,
+///     Region4::new(Point4::new(1, 0, 0, 0), roi),
+///     &dirs,
+/// );
+/// assert_eq!(win.matrix(), &rebuilt);
+/// ```
+pub struct SlidingWindow<'a> {
+    vol: &'a LevelVolume,
+    dirs: &'a DirectionSet,
+    roi: Dims4,
+    /// Current window origin.
+    origin: Point4,
+    matrix: CoMatrix,
+}
+
+impl<'a> SlidingWindow<'a> {
+    /// Builds the matrix for the window at `origin` from scratch.
+    ///
+    /// # Panics
+    /// If the window does not fit inside the volume.
+    pub fn new(vol: &'a LevelVolume, dirs: &'a DirectionSet, roi: Dims4, origin: Point4) -> Self {
+        let matrix = CoMatrix::from_region(vol, Region4::new(origin, roi), dirs);
+        Self {
+            vol,
+            dirs,
+            roi,
+            origin,
+            matrix,
+        }
+    }
+
+    /// The current window's matrix.
+    pub fn matrix(&self) -> &CoMatrix {
+        &self.matrix
+    }
+
+    /// The current window origin.
+    pub fn origin(&self) -> Point4 {
+        self.origin
+    }
+
+    /// Applies all pair contributions of the plane `x = plane_x` within the
+    /// window at `win`, adding (`sign = +1`) or removing (`sign = -1`).
+    ///
+    /// A pair is touched exactly once: pairs wholly inside the plane are
+    /// handled via the forward displacement only.
+    fn apply_plane(&mut self, win: Region4, plane_x: usize, add: bool) {
+        let end = win.end();
+        for d in self.dirs {
+            for t in win.origin.t..end.t {
+                for z in win.origin.z..end.z {
+                    for y in win.origin.y..end.y {
+                        let v = Point4::new(plane_x, y, z, t);
+                        let gv = self.vol.get(v);
+                        // Forward partner: any in-window partner counts.
+                        if let Some(q) = v.offset(d.dx, d.dy, d.dz, d.dt) {
+                            if win.contains(q) {
+                                let gq = self.vol.get(q);
+                                if add {
+                                    self.matrix.increment_pair(gv, gq);
+                                } else {
+                                    self.matrix.decrement_pair(gv, gq);
+                                }
+                            }
+                        }
+                        // Backward partner: only when the partner is NOT in
+                        // the plane (in-plane pairs were counted forward).
+                        if let Some(q) = v.offset(-d.dx, -d.dy, -d.dz, -d.dt) {
+                            if q.x != plane_x && win.contains(q) {
+                                let gq = self.vol.get(q);
+                                if add {
+                                    self.matrix.increment_pair(gv, gq);
+                                } else {
+                                    self.matrix.decrement_pair(gv, gq);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Slides the window one voxel in `+x`, updating the matrix
+    /// incrementally.
+    ///
+    /// # Panics
+    /// If the slid window would leave the volume.
+    pub fn slide_x(&mut self) {
+        let old = Region4::new(self.origin, self.roi);
+        // 1. Remove every pair with an endpoint in the departing plane
+        //    (x = origin.x), evaluated against the OLD window.
+        self.apply_plane(old, self.origin.x, false);
+        // 2. Advance and add every pair with an endpoint in the arriving
+        //    plane (x = new origin.x + W_x - 1), evaluated against the NEW
+        //    window.
+        self.origin.x += 1;
+        let new = Region4::new(self.origin, self.roi);
+        assert!(
+            self.vol.full_region().contains_region(&new),
+            "slide past the volume edge"
+        );
+        self.apply_plane(new, self.origin.x + self.roi.x - 1, true);
+    }
+}
+
+/// Raster scan using the incremental window along `x` (full rebuilds at the
+/// start of each row). Produces output identical to
+/// [`crate::raster::raster_scan`].
+///
+/// Supported for the dense representations; `Sparse`/`SparseAccum` scans
+/// fall back to the reference implementation (their per-window matrices are
+/// rebuilt for transmission anyway).
+pub fn raster_scan_incremental(vol: &LevelVolume, cfg: &ScanConfig) -> FeatureMaps {
+    match cfg.representation {
+        Representation::Full | Representation::FullNaive => {}
+        _ => return crate::raster::raster_scan(vol, cfg),
+    }
+    let out_dims = cfg.roi.output_dims(vol.dims());
+    let mut maps = FeatureMaps::zeros(out_dims, cfg.selection);
+    if out_dims.is_empty() || cfg.selection.is_empty() {
+        return maps;
+    }
+    for t in 0..out_dims.t {
+        for z in 0..out_dims.z {
+            for y in 0..out_dims.y {
+                let row_origin = Point4::new(0, y, z, t);
+                let mut win = SlidingWindow::new(vol, &cfg.directions, cfg.roi.size(), row_origin);
+                for x in 0..out_dims.x {
+                    let stats = cfg.representation.stats_of(win.matrix());
+                    let values = compute_features(&stats, &cfg.selection).dense(&cfg.selection);
+                    maps.set_values(Point4::new(x, y, z, t), &values);
+                    if x + 1 < out_dims.x {
+                        win.slide_x();
+                    }
+                }
+            }
+        }
+    }
+    maps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direction::Direction;
+    use crate::features::FeatureSelection;
+    use crate::raster::raster_scan;
+    use crate::roi::RoiShape;
+
+    fn volume(seed: usize) -> LevelVolume {
+        let dims = Dims4::new(12, 9, 4, 4);
+        let data: Vec<u8> = dims
+            .region()
+            .points()
+            .map(|p| (((p.x * 7 + p.y * 3 + p.z * 5 + p.t * 11 + seed) * 2654435761) % 8) as u8)
+            .collect();
+        LevelVolume::from_raw(dims, data, 8).unwrap()
+    }
+
+    #[test]
+    fn slide_matches_rebuild_single_direction() {
+        let vol = volume(1);
+        let dirs = DirectionSet::single(Direction::new(1, 1, 1, 1));
+        let roi = Dims4::new(5, 4, 2, 2);
+        let mut win = SlidingWindow::new(&vol, &dirs, roi, Point4::new(0, 1, 1, 1));
+        for step in 1..=7 {
+            win.slide_x();
+            let expect =
+                CoMatrix::from_region(&vol, Region4::new(Point4::new(step, 1, 1, 1), roi), &dirs);
+            assert_eq!(win.matrix(), &expect, "divergence at slide {step}");
+        }
+    }
+
+    #[test]
+    fn slide_matches_rebuild_many_directions() {
+        let vol = volume(2);
+        for dirs in [
+            DirectionSet::all_unique_2d(1),
+            DirectionSet::paper_4d(1),
+            DirectionSet::all_unique_4d(1),
+            DirectionSet::single(Direction::new(1, 0, 0, 0).scaled(2)),
+        ] {
+            let roi = Dims4::new(4, 4, 2, 2);
+            let mut win = SlidingWindow::new(&vol, &dirs, roi, Point4::ZERO);
+            for step in 1..=8 {
+                win.slide_x();
+                let expect = CoMatrix::from_region(
+                    &vol,
+                    Region4::new(Point4::new(step, 0, 0, 0), roi),
+                    &dirs,
+                );
+                assert_eq!(
+                    win.matrix(),
+                    &expect,
+                    "divergence at slide {step} with {} directions",
+                    dirs.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_scan_equals_reference_scan() {
+        let vol = volume(3);
+        for dirs in [
+            DirectionSet::single(Direction::new(1, 1, 1, 1)),
+            DirectionSet::paper_4d(1),
+        ] {
+            let cfg = ScanConfig {
+                roi: RoiShape::from_lengths(4, 3, 2, 2),
+                directions: dirs,
+                selection: FeatureSelection::all(),
+                representation: Representation::Full,
+            };
+            let a = raster_scan(&vol, &cfg);
+            let b = raster_scan_incremental(&vol, &cfg);
+            assert_eq!(a.dims(), b.dims());
+            assert!(
+                a.max_abs_diff(&b) < 1e-12,
+                "incremental scan diverges from reference"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_scan_falls_back_for_sparse() {
+        let vol = volume(4);
+        let cfg = ScanConfig {
+            roi: RoiShape::from_lengths(4, 3, 2, 2),
+            directions: DirectionSet::single(Direction::new(1, 1, 0, 0)),
+            selection: FeatureSelection::paper_default(),
+            representation: Representation::Sparse,
+        };
+        let a = raster_scan(&vol, &cfg);
+        let b = raster_scan_incremental(&vol, &cfg);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_single_column_output() {
+        // Output width 1: no slides at all.
+        let vol = volume(5);
+        let cfg = ScanConfig {
+            roi: RoiShape::from_lengths(12, 3, 2, 2),
+            directions: DirectionSet::single(Direction::new(1, 0, 0, 0)),
+            selection: FeatureSelection::paper_default(),
+            representation: Representation::Full,
+        };
+        let a = raster_scan(&vol, &cfg);
+        let b = raster_scan_incremental(&vol, &cfg);
+        assert_eq!(a.dims().x, 1);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "slide past the volume edge")]
+    fn slide_past_edge_panics() {
+        let vol = volume(6);
+        let dirs = DirectionSet::single(Direction::new(1, 0, 0, 0));
+        let roi = Dims4::new(12, 4, 2, 2); // full width: no room to slide
+        let mut win = SlidingWindow::new(&vol, &dirs, roi, Point4::ZERO);
+        win.slide_x();
+    }
+}

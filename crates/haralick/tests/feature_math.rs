@@ -1,0 +1,182 @@
+//! Analytic validation of the fourteen Haralick features on distributions
+//! whose values can be derived by hand.
+//!
+//! Each case constructs an image whose co-occurrence distribution is known
+//! in closed form, derives the feature values on paper (see the comments),
+//! and checks the implementation against them.
+
+use haralick::coocc::CoMatrix;
+use haralick::direction::{Direction, DirectionSet};
+use haralick::features::{compute_features, Feature, FeatureSelection, FeatureVector};
+use haralick::volume::{Dims4, LevelVolume};
+
+fn features_of(img: Vec<u8>, w: usize, ng: u16, d: Direction) -> FeatureVector {
+    let vol = LevelVolume::from_raw(Dims4::new(w, img.len() / w, 1, 1), img, ng).unwrap();
+    let m = CoMatrix::from_region(&vol, vol.full_region(), &DirectionSet::single(d));
+    compute_features(&m.stats_checked(), &FeatureSelection::all())
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-10
+}
+
+/// Uniform two-level stripes of width 1 along x, horizontal displacement:
+/// every pair is (0,1) or (1,0) → p(0,1) = p(1,0) = 1/2.
+///
+/// Derivations (natural logs, 0-based levels):
+///   ASM  = 2 · (1/2)² = 1/2
+///   Contrast = 1² · (p(0,1)+p(1,0)) = 1
+///   μx = 1/2, σx² = 1/4; Σij·p = 0 → Correlation = (0 − 1/4)/(1/4) = −1
+///   SumOfSquares = σx² = 1/4
+///   IDM = (1/2 + 1/2)/(1+1) = 1/2
+///   p_{x+y}: all mass at k=1 → SA = 1, SV = 0, SE = 0
+///   Entropy = −2·(1/2)·ln(1/2) = ln 2
+///   p_{x-y}: all mass at k=1 → DV = 0, DE = 0
+///   HX = HY = ln 2; HXY1 = −Σ p·ln(px·py) = −ln(1/4) = 2ln2... per-entry:
+///     each of the two entries contributes −(1/2)ln(1/4) → HXY1 = 2 ln 2
+///   IMC1 = (HXY − HXY1)/HX = (ln2 − 2ln2)/ln2 = −1
+///   HXY2 = −Σ px·py·ln(px·py) over support = 4·(1/4)·ln 4 = 2 ln 2
+///   IMC2 = sqrt(1 − e^{−2(2ln2 − ln2)}) = sqrt(1 − 1/4) = sqrt(3)/2
+///   MCC: deterministic level mapping → 1
+#[test]
+fn alternating_stripes_full_closed_form() {
+    let img: Vec<u8> = (0..64).map(|i| ((i % 8) % 2) as u8).collect();
+    let f = features_of(img, 8, 2, Direction::new(1, 0, 0, 0));
+    let ln2 = std::f64::consts::LN_2;
+    assert!(close(f.get(Feature::AngularSecondMoment).unwrap(), 0.5));
+    assert!(close(f.get(Feature::Contrast).unwrap(), 1.0));
+    assert!(close(f.get(Feature::Correlation).unwrap(), -1.0));
+    assert!(close(f.get(Feature::SumOfSquares).unwrap(), 0.25));
+    assert!(close(f.get(Feature::InverseDifferenceMoment).unwrap(), 0.5));
+    assert!(close(f.get(Feature::SumAverage).unwrap(), 1.0));
+    assert!(close(f.get(Feature::SumVariance).unwrap(), 0.0));
+    assert!(close(f.get(Feature::SumEntropy).unwrap(), 0.0));
+    assert!(close(f.get(Feature::Entropy).unwrap(), ln2));
+    assert!(close(f.get(Feature::DifferenceVariance).unwrap(), 0.0));
+    assert!(close(f.get(Feature::DifferenceEntropy).unwrap(), 0.0));
+    assert!(close(
+        f.get(Feature::InfoMeasureCorrelation1).unwrap(),
+        -1.0
+    ));
+    assert!(close(
+        f.get(Feature::InfoMeasureCorrelation2).unwrap(),
+        (3.0f64).sqrt() / 2.0
+    ));
+    assert!((f.get(Feature::MaximalCorrelationCoefficient).unwrap() - 1.0).abs() < 1e-9);
+}
+
+/// Constant image: single level g. p(g,g) = 1.
+///   ASM = 1, Contrast = 0, SumOfSquares = 0 (σ = 0), IDM = 1,
+///   SA = 2g, SV = 0, SE = 0, Entropy = 0, DV = DE = 0,
+///   degenerate Correlation/IMC1 → 0 by convention, IMC2 = 0, MCC = 0.
+#[test]
+fn constant_image_closed_form() {
+    let f = features_of(vec![3; 36], 6, 8, Direction::new(1, 0, 0, 0));
+    assert!(close(f.get(Feature::AngularSecondMoment).unwrap(), 1.0));
+    assert!(close(f.get(Feature::Contrast).unwrap(), 0.0));
+    assert!(close(f.get(Feature::Correlation).unwrap(), 0.0));
+    assert!(close(f.get(Feature::SumOfSquares).unwrap(), 0.0));
+    assert!(close(f.get(Feature::InverseDifferenceMoment).unwrap(), 1.0));
+    assert!(close(f.get(Feature::SumAverage).unwrap(), 6.0));
+    assert!(close(f.get(Feature::SumVariance).unwrap(), 0.0));
+    assert!(close(f.get(Feature::SumEntropy).unwrap(), 0.0));
+    assert!(close(f.get(Feature::Entropy).unwrap(), 0.0));
+    assert!(close(f.get(Feature::DifferenceVariance).unwrap(), 0.0));
+    assert!(close(f.get(Feature::DifferenceEntropy).unwrap(), 0.0));
+    assert!(close(f.get(Feature::InfoMeasureCorrelation1).unwrap(), 0.0));
+    assert!(close(f.get(Feature::InfoMeasureCorrelation2).unwrap(), 0.0));
+    assert!(close(
+        f.get(Feature::MaximalCorrelationCoefficient).unwrap(),
+        0.0
+    ));
+}
+
+/// Wide stripes along y (rows of constant level, cycling 0,1,2,3),
+/// HORIZONTAL displacement: every pair is (g,g) with g uniform over 4
+/// levels → p(g,g) = 1/4 on the diagonal.
+///   ASM = 4·(1/4)² = 1/4
+///   Contrast = 0; IDM = 1; Entropy = ln 4
+///   μx = 3/2, σx² = 5/4; Σij·p = (0+1+4+9)/4 = 7/2
+///   Correlation = (7/2 − 9/4)/(5/4) = 1
+///   SumOfSquares = 5/4
+///   p_{x+y}: mass 1/4 at k = 0,2,4,6 → SA = 3, SV = (9+1+1+9)/4 = 5
+///   SE = ln 4; DV = 0; DE = 0
+///   HXY1: each diagonal entry contributes −(1/4)·ln(1/16) → HXY1 = ln 16
+///   IMC1 = (HXY − HXY1)/HX = (ln4 − ln16)/ln4 = −1  (since ln16 = 2·ln4)
+///   HXY2 = −Σᵢⱼ pxᵢ·pyⱼ·ln(pxᵢ·pyⱼ) = 16·(1/16)·ln16 = ln 16
+///   IMC2 = sqrt(1 − e^{−2(ln16 − ln4)}) = sqrt(1 − 1/16) = sqrt(15)/4
+///   MCC = 1 (deterministic identity mapping)
+#[test]
+fn constant_rows_diagonal_distribution() {
+    let mut img = Vec::new();
+    for row in 0..8 {
+        img.extend(std::iter::repeat_n((row % 4) as u8, 8));
+    }
+    let f = features_of(img, 8, 4, Direction::new(1, 0, 0, 0));
+    let ln4 = (4.0f64).ln();
+    assert!(close(f.get(Feature::AngularSecondMoment).unwrap(), 0.25));
+    assert!(close(f.get(Feature::Contrast).unwrap(), 0.0));
+    assert!(close(f.get(Feature::Correlation).unwrap(), 1.0));
+    assert!(close(f.get(Feature::SumOfSquares).unwrap(), 1.25));
+    assert!(close(f.get(Feature::InverseDifferenceMoment).unwrap(), 1.0));
+    assert!(close(f.get(Feature::SumAverage).unwrap(), 3.0));
+    assert!(close(f.get(Feature::SumVariance).unwrap(), 5.0));
+    assert!(close(f.get(Feature::SumEntropy).unwrap(), ln4));
+    assert!(close(f.get(Feature::Entropy).unwrap(), ln4));
+    assert!(close(f.get(Feature::DifferenceVariance).unwrap(), 0.0));
+    assert!(close(f.get(Feature::DifferenceEntropy).unwrap(), 0.0));
+    assert!(close(
+        f.get(Feature::InfoMeasureCorrelation1).unwrap(),
+        -1.0
+    ));
+    assert!(close(
+        f.get(Feature::InfoMeasureCorrelation2).unwrap(),
+        (15.0f64).sqrt() / 4.0
+    ));
+    assert!((f.get(Feature::MaximalCorrelationCoefficient).unwrap() - 1.0).abs() < 1e-9);
+}
+
+/// Haralick's 1973 worked example (the 4x4 image, 0° distance 1), checked
+/// against values computable directly from its published symmetric matrix
+///   [[4,2,1,0],[2,4,0,0],[1,0,6,1],[0,0,1,2]], R = 24.
+#[test]
+#[allow(clippy::needless_range_loop)]
+fn haralick_1973_example_features() {
+    let img = vec![0, 0, 1, 1, 0, 0, 1, 1, 0, 2, 2, 2, 2, 2, 3, 3];
+    let f = features_of(img, 4, 4, Direction::new(1, 0, 0, 0));
+    let r = 24.0;
+    let p = [
+        [4.0, 2.0, 1.0, 0.0],
+        [2.0, 4.0, 0.0, 0.0],
+        [1.0, 0.0, 6.0, 1.0],
+        [0.0, 0.0, 1.0, 2.0],
+    ];
+    // Recompute the three simplest features straight from the matrix.
+    let mut asm = 0.0;
+    let mut contrast = 0.0;
+    let mut idm = 0.0;
+    for i in 0..4 {
+        for j in 0..4 {
+            let pij = p[i][j] / r;
+            asm += pij * pij;
+            let d = (i as f64 - j as f64).powi(2);
+            contrast += d * pij;
+            idm += pij / (1.0 + d);
+        }
+    }
+    assert!(close(f.get(Feature::AngularSecondMoment).unwrap(), asm));
+    assert!(close(f.get(Feature::Contrast).unwrap(), contrast));
+    assert!(close(f.get(Feature::InverseDifferenceMoment).unwrap(), idm));
+}
+
+/// Displacement symmetry: scanning with distance 2 on a period-2 image
+/// yields the perfectly correlated diagonal distribution (every pair equal).
+#[test]
+fn distance_two_realigns_periodic_texture() {
+    let img: Vec<u8> = (0..64).map(|i| ((i % 8) % 2) as u8).collect();
+    let d1 = features_of(img.clone(), 8, 2, Direction::new(1, 0, 0, 0));
+    let d2 = features_of(img, 8, 2, Direction::new(1, 0, 0, 0).scaled(2));
+    assert!(close(d1.get(Feature::Correlation).unwrap(), -1.0));
+    assert!(close(d2.get(Feature::Correlation).unwrap(), 1.0));
+    assert!(close(d2.get(Feature::Contrast).unwrap(), 0.0));
+}

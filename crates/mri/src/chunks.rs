@@ -1,0 +1,339 @@
+//! Chunked data retrieval geometry (paper §4.4, Figure 6, Eqs. 1–2).
+//!
+//! A complete 4D ROI is needed to build one co-occurrence matrix. Retrieving
+//! the data *by ROIs* resends every overlapped voxel many times — the
+//! largest possible communication volume. Instead, data is retrieved in
+//! larger **chunks**, each carrying a subset of ROIs plus a halo, so that
+//! adjacent chunks overlap by exactly `ROI − 1` voxels per axis:
+//!
+//! ```text
+//! overlap_x = ROI_x − 1        (Eq. 1)
+//! overlap_y = ROI_y − 1        (Eq. 2)
+//! ```
+//!
+//! [`ChunkGrid`] partitions the *output* (ROI-origin) space into disjoint
+//! ownership regions and derives for each chunk the *input* region (owned
+//! extent + halo) that must be shipped to a texture filter. The union of
+//! owned regions tiles the output exactly; the union of input regions covers
+//! the dataset with the Eq. 1–2 overlap.
+
+use haralick::roi::RoiShape;
+use haralick::volume::{Dims4, Point4, Region4};
+use serde::{Deserialize, Serialize};
+
+/// One retrieval chunk: the output points it owns and the input voxels it
+/// needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Position in the chunk grid (x, y, z, t chunk indices).
+    pub grid_pos: Point4,
+    /// Sequential chunk id in x-fastest grid order.
+    pub id: usize,
+    /// ROI origins this chunk is responsible for (disjoint across chunks).
+    pub owned_output: Region4,
+    /// Input voxels required: `owned_output` expanded by the ROI halo.
+    pub input: Region4,
+}
+
+impl Chunk {
+    /// Number of input voxels shipped for this chunk.
+    pub const fn input_voxels(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Number of ROIs (co-occurrence matrices) this chunk produces.
+    pub const fn rois(&self) -> usize {
+        self.owned_output.len()
+    }
+}
+
+/// The partition of a dataset into IIC-to-TEXTURE chunks for a given ROI.
+///
+/// ```
+/// use haralick::roi::RoiShape;
+/// use haralick::volume::Dims4;
+/// use mri::chunks::ChunkGrid;
+///
+/// let grid = ChunkGrid::new(
+///     Dims4::new(256, 256, 32, 32),      // the paper's dataset
+///     RoiShape::paper_default(),         // 10x10x3x3
+///     Dims4::new(64, 64, 8, 8),          // the paper's chunk size
+/// );
+/// // Adjacent chunks overlap by ROI − 1 per axis (paper Eqs. 1–2) ...
+/// let a = grid.chunk_at(haralick::Point4::new(0, 0, 0, 0));
+/// let b = grid.chunk_at(haralick::Point4::new(1, 0, 0, 0));
+/// assert_eq!(a.input.intersect(&b.input).size.x, 9);
+/// // ... and chunked retrieval ships far less than per-ROI retrieval.
+/// assert!(grid.retrieval_volume_by_chunk() * 50 < grid.retrieval_volume_by_roi());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkGrid {
+    data_dims: Dims4,
+    roi: RoiShape,
+    chunk_dims: Dims4,
+    out_dims: Dims4,
+    step: Dims4,
+    counts: Dims4,
+}
+
+impl ChunkGrid {
+    /// Builds the grid. `chunk_dims` is the user-specified chunk size
+    /// *including* the halo (the paper's `64x64x8x8`); it must be at least
+    /// as large as the ROI in every axis.
+    ///
+    /// # Panics
+    /// If the ROI does not fit in `chunk_dims` or in `data_dims`.
+    pub fn new(data_dims: Dims4, roi: RoiShape, chunk_dims: Dims4) -> Self {
+        assert!(
+            roi.fits_in(chunk_dims),
+            "chunk {chunk_dims} smaller than ROI {:?}",
+            roi.size()
+        );
+        assert!(
+            roi.fits_in(data_dims),
+            "ROI {:?} does not fit in dataset {data_dims}",
+            roi.size()
+        );
+        let out_dims = roi.output_dims(data_dims);
+        // Owned output extent per interior chunk: chunk − ROI + 1.
+        let step = Dims4::new(
+            chunk_dims.x - roi.size().x + 1,
+            chunk_dims.y - roi.size().y + 1,
+            chunk_dims.z - roi.size().z + 1,
+            chunk_dims.t - roi.size().t + 1,
+        );
+        let counts = Dims4::new(
+            out_dims.x.div_ceil(step.x),
+            out_dims.y.div_ceil(step.y),
+            out_dims.z.div_ceil(step.z),
+            out_dims.t.div_ceil(step.t),
+        );
+        Self {
+            data_dims,
+            roi,
+            chunk_dims,
+            out_dims,
+            step,
+            counts,
+        }
+    }
+
+    /// Dataset extents.
+    pub const fn data_dims(&self) -> Dims4 {
+        self.data_dims
+    }
+
+    /// The ROI this grid was built for.
+    pub const fn roi(&self) -> &RoiShape {
+        &self.roi
+    }
+
+    /// Requested chunk extents (including halo).
+    pub const fn chunk_dims(&self) -> Dims4 {
+        self.chunk_dims
+    }
+
+    /// Output feature-map extents.
+    pub const fn out_dims(&self) -> Dims4 {
+        self.out_dims
+    }
+
+    /// Number of chunks along each axis.
+    pub const fn counts(&self) -> Dims4 {
+        self.counts
+    }
+
+    /// Total number of chunks.
+    pub const fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the grid has no chunks (the ROI does not fit the dataset).
+    pub const fn is_empty(&self) -> bool {
+        self.counts.len() == 0
+    }
+
+    /// The chunk at grid position `g`.
+    ///
+    /// # Panics
+    /// If `g` is outside the grid.
+    pub fn chunk_at(&self, g: Point4) -> Chunk {
+        assert!(self.counts.contains(g), "chunk position {g:?} out of grid");
+        let origin = Point4::new(
+            g.x * self.step.x,
+            g.y * self.step.y,
+            g.z * self.step.z,
+            g.t * self.step.t,
+        );
+        let owned_size = Dims4::new(
+            self.step.x.min(self.out_dims.x - origin.x),
+            self.step.y.min(self.out_dims.y - origin.y),
+            self.step.z.min(self.out_dims.z - origin.z),
+            self.step.t.min(self.out_dims.t - origin.t),
+        );
+        let owned_output = Region4::new(origin, owned_size);
+        let halo = self.roi.overlap();
+        let input = Region4::new(
+            origin,
+            Dims4::new(
+                owned_size.x + halo.x,
+                owned_size.y + halo.y,
+                owned_size.z + halo.z,
+                owned_size.t + halo.t,
+            ),
+        );
+        Chunk {
+            grid_pos: g,
+            id: self.counts.index(g),
+            owned_output,
+            input,
+        }
+    }
+
+    /// Iterates over all chunks in x-fastest grid order.
+    pub fn chunks(&self) -> impl Iterator<Item = Chunk> + '_ {
+        self.counts.region().points().map(|g| self.chunk_at(g))
+    }
+
+    /// Total voxels shipped when retrieving **by chunk** — the paper's
+    /// chosen strategy (Figure 6b).
+    pub fn retrieval_volume_by_chunk(&self) -> usize {
+        self.chunks().map(|c| c.input_voxels()).sum()
+    }
+
+    /// Total voxels shipped when retrieving **by ROI** — every window sent
+    /// separately, overlaps re-transmitted (Figure 6a). This is
+    /// `placements × ROI volume`.
+    pub fn retrieval_volume_by_roi(&self) -> usize {
+        self.roi.placements(self.data_dims) * self.roi.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn grid() -> ChunkGrid {
+        ChunkGrid::new(
+            Dims4::new(64, 64, 8, 8),
+            RoiShape::from_lengths(10, 10, 3, 3),
+            Dims4::new(32, 32, 4, 4),
+        )
+    }
+
+    #[test]
+    fn owned_outputs_tile_exactly() {
+        let g = grid();
+        let mut seen: HashSet<Point4> = HashSet::new();
+        for c in g.chunks() {
+            for p in c.owned_output.points() {
+                assert!(seen.insert(p), "output point {p:?} owned twice");
+            }
+        }
+        assert_eq!(seen.len(), g.out_dims().len(), "output points missing");
+    }
+
+    #[test]
+    fn every_owned_roi_fits_in_input() {
+        let g = grid();
+        for c in g.chunks() {
+            for origin in c.owned_output.points() {
+                let roi_region = g.roi().region_at(origin);
+                assert!(
+                    c.input.contains_region(&roi_region),
+                    "ROI at {origin:?} escapes chunk input {:?}",
+                    c.input
+                );
+            }
+            assert!(
+                g.data_dims().region().contains_region(&c.input),
+                "chunk input exceeds dataset"
+            );
+        }
+    }
+
+    #[test]
+    fn adjacent_interior_chunks_overlap_by_roi_minus_one() {
+        // Paper Eqs. 1-2.
+        let g = grid();
+        let a = g.chunk_at(Point4::new(0, 0, 0, 0));
+        let b = g.chunk_at(Point4::new(1, 0, 0, 0));
+        let overlap = a.input.intersect(&b.input);
+        assert_eq!(overlap.size.x, g.roi().size().x - 1);
+        let c = g.chunk_at(Point4::new(0, 1, 0, 0));
+        let overlap_y = a.input.intersect(&c.input);
+        assert_eq!(overlap_y.size.y, g.roi().size().y - 1);
+    }
+
+    #[test]
+    fn interior_chunk_has_requested_dims() {
+        let g = grid();
+        let c = g.chunk_at(Point4::new(0, 0, 0, 0));
+        assert_eq!(c.input.size, g.chunk_dims());
+    }
+
+    #[test]
+    fn edge_chunks_are_clamped() {
+        let g = ChunkGrid::new(
+            Dims4::new(50, 50, 5, 5),
+            RoiShape::from_lengths(10, 10, 3, 3),
+            Dims4::new(32, 32, 4, 4),
+        );
+        for c in g.chunks() {
+            assert!(g.data_dims().region().contains_region(&c.input));
+            assert!(c.rois() > 0, "empty chunk emitted");
+        }
+    }
+
+    #[test]
+    fn by_roi_volume_dwarfs_by_chunk_volume() {
+        // The motivation for chunked retrieval: at paper-like geometry the
+        // by-ROI strategy ships orders of magnitude more data.
+        let g = ChunkGrid::new(
+            Dims4::new(256, 256, 32, 32),
+            RoiShape::paper_default(),
+            Dims4::new(64, 64, 8, 8),
+        );
+        let by_roi = g.retrieval_volume_by_roi();
+        let by_chunk = g.retrieval_volume_by_chunk();
+        assert!(
+            by_roi > 50 * by_chunk,
+            "by-ROI {by_roi} not far above by-chunk {by_chunk}"
+        );
+        // And chunking costs only a bounded overhead above the raw dataset.
+        let raw = g.data_dims().len();
+        assert!(by_chunk < 3 * raw, "chunk halo overhead too large");
+    }
+
+    #[test]
+    fn chunk_ids_are_sequential() {
+        let g = grid();
+        let ids: Vec<usize> = g.chunks().map(|c| c.id).collect();
+        let expect: Vec<usize> = (0..g.len()).collect();
+        assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn chunk_equal_to_dataset_is_single_chunk() {
+        let g = ChunkGrid::new(
+            Dims4::new(20, 20, 4, 4),
+            RoiShape::from_lengths(5, 5, 2, 2),
+            Dims4::new(20, 20, 4, 4),
+        );
+        assert_eq!(g.len(), 1);
+        let c = g.chunk_at(Point4::ZERO);
+        assert_eq!(c.input.size, g.data_dims());
+        assert_eq!(c.owned_output.size, g.out_dims());
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than ROI")]
+    fn chunk_smaller_than_roi_rejected() {
+        let _ = ChunkGrid::new(
+            Dims4::new(64, 64, 8, 8),
+            RoiShape::from_lengths(10, 10, 3, 3),
+            Dims4::new(8, 8, 4, 4),
+        );
+    }
+}

@@ -1,0 +1,625 @@
+//! A minimal DICOM subset — enough to store and read the study's 2D slices
+//! as standards-shaped `.dcm` files.
+//!
+//! The paper's §4.3 makes an incremental-development claim: "the filter
+//! developed to read in raw DCE-MRI data may be easily replaced by a filter
+//! which reads DICOM format images." This module provides the substrate for
+//! that replacement (see `pipeline::filters::DfrFilter`): an **Explicit VR
+//! Little Endian** writer/reader covering the attributes a gray-scale MR
+//! slice needs:
+//!
+//! | tag | attribute |
+//! |---|---|
+//! | (0008,0060) | Modality (`MR`) |
+//! | (0020,0013) | Instance Number (slice `z`, 1-based) |
+//! | (0020,0100) | Temporal Position Identifier (time step `t`, 1-based) |
+//! | (0028,0002) | Samples per Pixel (1) |
+//! | (0028,0004) | Photometric Interpretation (`MONOCHROME2`) |
+//! | (0028,0010/0011) | Rows / Columns |
+//! | (0028,0100/0101/0102) | Bits Allocated / Stored / High Bit (16/16/15) |
+//! | (0028,0103) | Pixel Representation (unsigned) |
+//! | (7FE0,0010) | Pixel Data (OW) |
+//!
+//! This is deliberately a *subset*: one transfer syntax, no sequences, no
+//! compression — the same scope a 2004 research pipeline would have needed
+//! for its own scanner exports. Unknown elements are skipped on read, so
+//! files from richer writers still parse as long as they use Explicit VR
+//! Little Endian.
+
+use crate::raw::RawVolume;
+use crate::store::{DatasetDescriptor, IndexEntry, SliceKey};
+use haralick::volume::Dims4;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const DICM_MAGIC: &[u8; 4] = b"DICM";
+/// Explicit VR Little Endian transfer syntax UID.
+const TS_EXPLICIT_LE: &str = "1.2.840.10008.1.2.1";
+
+/// One decoded DICOM slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DicomSlice {
+    /// Image rows (height).
+    pub rows: u16,
+    /// Image columns (width).
+    pub cols: u16,
+    /// Slice number within the 3D volume (0-based; from Instance Number).
+    pub z: usize,
+    /// Time step (0-based; from Temporal Position Identifier).
+    pub t: usize,
+    /// Row-major unsigned 16-bit pixels.
+    pub pixels: Vec<u16>,
+}
+
+/// Errors from the DICOM subset.
+#[derive(Debug)]
+pub enum DicomError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid or unsupported file.
+    Malformed(String),
+}
+
+impl std::fmt::Display for DicomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DicomError::Io(e) => write!(f, "I/O error: {e}"),
+            DicomError::Malformed(m) => write!(f, "malformed DICOM: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DicomError {}
+
+impl From<io::Error> for DicomError {
+    fn from(e: io::Error) -> Self {
+        DicomError::Io(e)
+    }
+}
+
+fn bad(m: impl Into<String>) -> DicomError {
+    DicomError::Malformed(m.into())
+}
+
+// ---------------------------------------------------------------- writing
+
+struct ElementWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> ElementWriter<W> {
+    /// Writes one short-form explicit-VR element.
+    fn short(&mut self, group: u16, elem: u16, vr: &[u8; 2], value: &[u8]) -> io::Result<()> {
+        // Even-length padding per the standard (space for strings, NUL ok
+        // for UI; space is universally accepted for the VRs we emit).
+        let mut v = value.to_vec();
+        if v.len() % 2 == 1 {
+            v.push(if vr == b"UI" { 0 } else { b' ' });
+        }
+        self.w.write_all(&group.to_le_bytes())?;
+        self.w.write_all(&elem.to_le_bytes())?;
+        self.w.write_all(vr)?;
+        self.w.write_all(&(v.len() as u16).to_le_bytes())?;
+        self.w.write_all(&v)
+    }
+
+    /// Writes one long-form element (OB/OW/...): 2-byte VR, 2 reserved
+    /// bytes, 4-byte length.
+    fn long(&mut self, group: u16, elem: u16, vr: &[u8; 2], value: &[u8]) -> io::Result<()> {
+        self.w.write_all(&group.to_le_bytes())?;
+        self.w.write_all(&elem.to_le_bytes())?;
+        self.w.write_all(vr)?;
+        self.w.write_all(&[0, 0])?;
+        self.w.write_all(&(value.len() as u32).to_le_bytes())?;
+        self.w.write_all(value)
+    }
+
+    fn us(&mut self, group: u16, elem: u16, v: u16) -> io::Result<()> {
+        self.short(group, elem, b"US", &v.to_le_bytes())
+    }
+
+    fn is(&mut self, group: u16, elem: u16, v: usize) -> io::Result<()> {
+        self.short(group, elem, b"IS", v.to_string().as_bytes())
+    }
+
+    fn cs(&mut self, group: u16, elem: u16, v: &str) -> io::Result<()> {
+        self.short(group, elem, b"CS", v.as_bytes())
+    }
+
+    fn ui(&mut self, group: u16, elem: u16, v: &str) -> io::Result<()> {
+        self.short(group, elem, b"UI", v.as_bytes())
+    }
+}
+
+/// Writes one slice as an Explicit VR Little Endian DICOM file.
+pub fn write_slice(
+    path: &Path,
+    key: SliceKey,
+    cols: usize,
+    rows: usize,
+    pixels: &[u16],
+) -> Result<(), DicomError> {
+    if pixels.len() != cols * rows {
+        return Err(bad(format!(
+            "pixel buffer {} does not match {cols}x{rows}",
+            pixels.len()
+        )));
+    }
+    let f = File::create(path)?;
+    let mut w = ElementWriter {
+        w: BufWriter::new(f),
+    };
+    // 128-byte preamble + magic.
+    w.w.write_all(&[0u8; 128])?;
+    w.w.write_all(DICM_MAGIC)?;
+    // File-meta group (0002), itself Explicit VR LE. Only the transfer
+    // syntax matters to our reader; group length is required to lead.
+    let ts = TS_EXPLICIT_LE.as_bytes();
+    let ts_padded = ts.len() + ts.len() % 2;
+    // (0002,0010) element = 8-byte header + padded value.
+    let group_len = (8 + ts_padded) as u32;
+    w.short(0x0002, 0x0000, b"UL", &group_len.to_le_bytes())?;
+    w.ui(0x0002, 0x0010, TS_EXPLICIT_LE)?;
+    // Main dataset.
+    w.cs(0x0008, 0x0060, "MR")?;
+    w.is(0x0020, 0x0013, key.z + 1)?;
+    w.is(0x0020, 0x0100, key.t + 1)?;
+    w.us(0x0028, 0x0002, 1)?;
+    w.cs(0x0028, 0x0004, "MONOCHROME2")?;
+    w.us(0x0028, 0x0010, rows as u16)?;
+    w.us(0x0028, 0x0011, cols as u16)?;
+    w.us(0x0028, 0x0100, 16)?;
+    w.us(0x0028, 0x0101, 16)?;
+    w.us(0x0028, 0x0102, 15)?;
+    w.us(0x0028, 0x0103, 0)?;
+    let mut bytes = Vec::with_capacity(pixels.len() * 2);
+    for &p in pixels {
+        bytes.extend_from_slice(&p.to_le_bytes());
+    }
+    w.long(0x7FE0, 0x0010, b"OW", &bytes)?;
+    w.w.flush()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------- reading
+
+struct Cursor {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn take(&mut self, n: usize) -> Result<&[u8], DicomError> {
+        if self.pos + n > self.data.len() {
+            return Err(bad("unexpected end of file"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, DicomError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DicomError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+}
+
+/// Whether a VR uses the long (4-byte length) element form.
+fn is_long_vr(vr: &[u8]) -> bool {
+    matches!(vr, b"OB" | b"OW" | b"OF" | b"SQ" | b"UT" | b"UN")
+}
+
+/// Parses one slice file.
+pub fn read_slice(path: &Path) -> Result<DicomSlice, DicomError> {
+    let mut data = Vec::new();
+    BufReader::new(File::open(path)?).read_to_end(&mut data)?;
+    let mut c = Cursor { data, pos: 0 };
+    // Preamble + magic.
+    c.take(128)?;
+    if c.take(4)? != DICM_MAGIC {
+        return Err(bad("missing DICM magic"));
+    }
+
+    let (mut rows, mut cols) = (None, None);
+    let (mut z, mut t) = (None, None);
+    let mut bits_allocated = None;
+    let mut pixel_rep = 0u16;
+    let mut pixels: Option<Vec<u16>> = None;
+    let mut ts_ok = true; // assume explicit LE unless the meta says otherwise
+
+    while !c.done() {
+        let group = c.u16()?;
+        let elem = c.u16()?;
+        let vr: [u8; 2] = c.take(2)?.try_into().unwrap();
+        if !vr.iter().all(|b| b.is_ascii_uppercase()) {
+            return Err(bad(format!(
+                "element ({group:04X},{elem:04X}) lacks an explicit VR — unsupported transfer syntax"
+            )));
+        }
+        let len = if is_long_vr(&vr) {
+            c.take(2)?; // reserved
+            c.u32()? as usize
+        } else {
+            c.u16()? as usize
+        };
+        if len == 0xFFFF_FFFF {
+            return Err(bad("undefined-length elements are not supported"));
+        }
+        let value = c.take(len)?.to_vec();
+
+        let parse_is = |v: &[u8]| -> Result<usize, DicomError> {
+            std::str::from_utf8(v)
+                .map_err(|_| bad("IS value not ASCII"))?
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| bad("IS value not an integer"))
+        };
+        let parse_us = |v: &[u8]| -> Result<u16, DicomError> {
+            if v.len() != 2 {
+                return Err(bad("US value not 2 bytes"));
+            }
+            Ok(u16::from_le_bytes([v[0], v[1]]))
+        };
+
+        match (group, elem) {
+            (0x0002, 0x0010) => {
+                let uid = String::from_utf8_lossy(&value);
+                ts_ok = uid.trim_end_matches(['\0', ' ']) == TS_EXPLICIT_LE;
+            }
+            (0x0020, 0x0013) => z = Some(parse_is(&value)?),
+            (0x0020, 0x0100) => t = Some(parse_is(&value)?),
+            (0x0028, 0x0010) => rows = Some(parse_us(&value)?),
+            (0x0028, 0x0011) => cols = Some(parse_us(&value)?),
+            (0x0028, 0x0100) => bits_allocated = Some(parse_us(&value)?),
+            (0x0028, 0x0103) => pixel_rep = parse_us(&value)?,
+            (0x7FE0, 0x0010) => {
+                if value.len() % 2 != 0 {
+                    return Err(bad("odd pixel data length"));
+                }
+                pixels = Some(
+                    value
+                        .chunks_exact(2)
+                        .map(|b| u16::from_le_bytes([b[0], b[1]]))
+                        .collect(),
+                );
+            }
+            _ => {} // skip everything else
+        }
+    }
+
+    if !ts_ok {
+        return Err(bad(
+            "unsupported transfer syntax (need Explicit VR Little Endian)",
+        ));
+    }
+    if bits_allocated != Some(16) {
+        return Err(bad("only 16-bit images supported"));
+    }
+    if pixel_rep != 0 {
+        return Err(bad("only unsigned pixels supported"));
+    }
+    let rows = rows.ok_or_else(|| bad("missing Rows"))?;
+    let cols = cols.ok_or_else(|| bad("missing Columns"))?;
+    let z = z.ok_or_else(|| bad("missing Instance Number"))?;
+    let t = t.ok_or_else(|| bad("missing Temporal Position Identifier"))?;
+    if z == 0 || t == 0 {
+        return Err(bad("Instance/Temporal numbers are 1-based"));
+    }
+    let pixels = pixels.ok_or_else(|| bad("missing Pixel Data"))?;
+    if pixels.len() != rows as usize * cols as usize {
+        return Err(bad(format!(
+            "pixel data {} does not match {rows}x{cols}",
+            pixels.len()
+        )));
+    }
+    Ok(DicomSlice {
+        rows,
+        cols,
+        z: z - 1,
+        t: t - 1,
+        pixels,
+    })
+}
+
+// ------------------------------------------------- distributed DICOM store
+
+fn node_dir(root: &Path, node: usize) -> PathBuf {
+    root.join(format!("node_{node:02}"))
+}
+
+/// Canonical DICOM file name of a slice.
+pub fn dicom_file_name(key: SliceKey) -> String {
+    format!("slice_t{:04}_z{:04}.dcm", key.t, key.z)
+}
+
+/// Writes `vol` as a distributed **DICOM** dataset: the same round-robin
+/// node layout, per-node `index.json` and `dataset.json` as the raw store,
+/// but with one `.dcm` file per slice. The descriptor name is suffixed so
+/// tools can tell the formats apart.
+pub fn write_distributed_dicom(
+    vol: &RawVolume,
+    root: &Path,
+    name: &str,
+    num_nodes: usize,
+) -> Result<DatasetDescriptor, DicomError> {
+    assert!(num_nodes > 0, "at least one storage node required");
+    let desc = DatasetDescriptor {
+        name: format!("{name} (DICOM)"),
+        dims: vol.dims(),
+        pixel_bytes: 2,
+        num_nodes,
+    };
+    fs::create_dir_all(root)?;
+    let mut indices: Vec<Vec<IndexEntry>> = vec![Vec::new(); num_nodes];
+    for node in 0..num_nodes {
+        fs::create_dir_all(node_dir(root, node))?;
+    }
+    for key in desc.slice_keys() {
+        let node = desc.node_of(key);
+        let path = node_dir(root, node).join(dicom_file_name(key));
+        write_slice(
+            &path,
+            key,
+            vol.dims().x,
+            vol.dims().y,
+            vol.slice_2d(key.z, key.t),
+        )?;
+        indices[node].push(IndexEntry {
+            file: dicom_file_name(key),
+            t: key.t,
+            z: key.z,
+        });
+    }
+    for (node, index) in indices.iter().enumerate() {
+        let f = File::create(node_dir(root, node).join("index.json"))?;
+        serde_json::to_writer_pretty(BufWriter::new(f), index).map_err(io::Error::from)?;
+    }
+    let f = File::create(root.join("dataset.json"))?;
+    serde_json::to_writer_pretty(BufWriter::new(f), &desc).map_err(io::Error::from)?;
+    Ok(desc)
+}
+
+/// A distributed DICOM dataset: the raw store's layout with `.dcm` slices.
+#[derive(Debug)]
+pub struct DicomDataset {
+    desc: DatasetDescriptor,
+    locations: std::collections::HashMap<SliceKey, (usize, PathBuf)>,
+}
+
+impl DicomDataset {
+    /// Opens a DICOM dataset root.
+    pub fn open(root: &Path) -> Result<Self, DicomError> {
+        let f = File::open(root.join("dataset.json"))?;
+        let desc: DatasetDescriptor =
+            serde_json::from_reader(BufReader::new(f)).map_err(io::Error::from)?;
+        let mut locations = std::collections::HashMap::new();
+        for node in 0..desc.num_nodes {
+            let dir = node_dir(root, node);
+            let f = File::open(dir.join("index.json"))?;
+            let index: Vec<IndexEntry> =
+                serde_json::from_reader(BufReader::new(f)).map_err(io::Error::from)?;
+            for e in index {
+                let key = SliceKey { t: e.t, z: e.z };
+                if key.t >= desc.dims.t || key.z >= desc.dims.z {
+                    return Err(bad(format!(
+                        "index on node {node} references out-of-range slice {key:?}"
+                    )));
+                }
+                locations.insert(key, (node, dir.join(&e.file)));
+            }
+        }
+        if locations.len() != desc.dims.t * desc.dims.z {
+            return Err(bad(format!(
+                "indices cover {} slices, expected {}",
+                locations.len(),
+                desc.dims.t * desc.dims.z
+            )));
+        }
+        Ok(Self { desc, locations })
+    }
+
+    /// The dataset descriptor.
+    pub fn descriptor(&self) -> &DatasetDescriptor {
+        &self.desc
+    }
+
+    /// Which storage node holds `key`.
+    pub fn node_of(&self, key: SliceKey) -> Option<usize> {
+        self.locations.get(&key).map(|(n, _)| *n)
+    }
+
+    /// Reads and validates one slice, checking its header against both the
+    /// descriptor and the index position.
+    pub fn read_slice(&self, key: SliceKey) -> Result<DicomSlice, DicomError> {
+        let (_, path) = self
+            .locations
+            .get(&key)
+            .ok_or_else(|| bad(format!("slice {key:?} not indexed")))?;
+        let s = read_slice(path)?;
+        if (s.z, s.t) != (key.z, key.t) {
+            return Err(bad(format!(
+                "header says (z={}, t={}) but index says (z={}, t={})",
+                s.z, s.t, key.z, key.t
+            )));
+        }
+        if (s.cols as usize, s.rows as usize) != (self.desc.dims.x, self.desc.dims.y) {
+            return Err(bad("slice geometry does not match the dataset"));
+        }
+        Ok(s)
+    }
+
+    /// Reads the whole dataset back into a raw volume.
+    pub fn read_all(&self) -> Result<RawVolume, DicomError> {
+        let d = self.desc.dims;
+        let mut vol = RawVolume::zeros(d);
+        for key in self.desc.slice_keys() {
+            let s = self.read_slice(key)?;
+            let plane = RawVolume::new(Dims4::new(d.x, d.y, 1, 1), s.pixels);
+            vol.paste(&plane, haralick::volume::Point4::new(0, 0, key.z, key.t));
+        }
+        Ok(vol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("h4d_dicom_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let dir = tmp("slice");
+        let pixels: Vec<u16> = (0..12 * 9).map(|i| (i * 37) as u16).collect();
+        let key = SliceKey { t: 2, z: 5 };
+        let path = dir.join("s.dcm");
+        write_slice(&path, key, 12, 9, &pixels).unwrap();
+        let s = read_slice(&path).unwrap();
+        assert_eq!((s.cols, s.rows), (12, 9));
+        assert_eq!((s.z, s.t), (5, 2));
+        assert_eq!(s.pixels, pixels);
+    }
+
+    #[test]
+    fn file_starts_with_preamble_and_magic() {
+        let dir = tmp("magic");
+        let path = dir.join("s.dcm");
+        write_slice(&path, SliceKey { t: 0, z: 0 }, 2, 2, &[1, 2, 3, 4]).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        assert!(bytes[..128].iter().all(|&b| b == 0));
+        assert_eq!(&bytes[128..132], b"DICM");
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let dir = tmp("garbage");
+        let p1 = dir.join("garbage.dcm");
+        fs::write(&p1, b"not dicom at all").unwrap();
+        assert!(matches!(
+            read_slice(&p1),
+            Err(DicomError::Malformed(_)) | Err(DicomError::Io(_))
+        ));
+
+        let p2 = dir.join("truncated.dcm");
+        write_slice(&p2, SliceKey { t: 0, z: 0 }, 4, 4, &[0; 16]).unwrap();
+        let bytes = fs::read(&p2).unwrap();
+        fs::write(&p2, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(matches!(read_slice(&p2), Err(DicomError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_transfer_syntax() {
+        let dir = tmp("ts");
+        let path = dir.join("s.dcm");
+        write_slice(&path, SliceKey { t: 0, z: 0 }, 2, 2, &[1, 2, 3, 4]).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Corrupt the transfer syntax UID value (it follows the group
+        // length element; flip one digit).
+        let pos = bytes
+            .windows(TS_EXPLICIT_LE.len())
+            .position(|w| w == TS_EXPLICIT_LE.as_bytes())
+            .unwrap();
+        bytes[pos + 2] = b'9';
+        fs::write(&path, &bytes).unwrap();
+        let err = read_slice(&path).unwrap_err();
+        assert!(matches!(err, DicomError::Malformed(m) if m.contains("transfer syntax")));
+    }
+
+    #[test]
+    fn reader_skips_unknown_elements() {
+        // Append a private element before pixel data by writing manually.
+        let dir = tmp("unknown");
+        let path = dir.join("s.dcm");
+        write_slice(&path, SliceKey { t: 1, z: 1 }, 2, 2, &[9, 8, 7, 6]).unwrap();
+        // Splice a harmless SH element right after the magic+meta by
+        // re-reading, inserting before the (0008,0060) tag bytes.
+        let bytes = fs::read(&path).unwrap();
+        let tag = [0x08, 0x00, 0x60, 0x00];
+        let pos = bytes.windows(4).position(|w| w == tag).unwrap();
+        let mut out = bytes[..pos].to_vec();
+        out.extend_from_slice(&[0x09, 0x00, 0x01, 0x00]); // private (0009,0001)
+        out.extend_from_slice(b"SH");
+        out.extend_from_slice(&4u16.to_le_bytes());
+        out.extend_from_slice(b"ABCD");
+        out.extend_from_slice(&bytes[pos..]);
+        fs::write(&path, &out).unwrap();
+        let s = read_slice(&path).unwrap();
+        assert_eq!(s.pixels, vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn distributed_dicom_roundtrip() {
+        let root = tmp("dist");
+        let vol = generate(&SynthConfig {
+            dims: Dims4::new(16, 12, 3, 2),
+            ..SynthConfig::test_scale(3)
+        });
+        let desc = write_distributed_dicom(&vol, &root, "dcm-study", 3).unwrap();
+        assert!(desc.name.contains("DICOM"));
+        let ds = DicomDataset::open(&root).unwrap();
+        assert_eq!(ds.read_all().unwrap(), vol);
+        // Placement follows the same round-robin law as the raw store.
+        for key in desc.slice_keys() {
+            assert_eq!(ds.node_of(key), Some(key.ordinal(desc.dims) % 3));
+        }
+    }
+
+    #[test]
+    fn out_of_range_index_entry_rejected_at_open() {
+        let root = tmp("range");
+        let vol = generate(&SynthConfig {
+            dims: Dims4::new(8, 8, 2, 2),
+            ..SynthConfig::test_scale(5)
+        });
+        write_distributed_dicom(&vol, &root, "x", 1).unwrap();
+        // Corrupt the index: point one entry past the dataset's z extent.
+        let idx = root.join("node_00").join("index.json");
+        let text = fs::read_to_string(&idx)
+            .unwrap()
+            .replace("\"z\": 1", "\"z\": 9");
+        fs::write(&idx, text).unwrap();
+        let err = DicomDataset::open(&root).unwrap_err();
+        assert!(
+            matches!(err, DicomError::Malformed(ref m) if m.contains("out-of-range")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn header_index_mismatch_detected() {
+        let root = tmp("mismatch");
+        let vol = generate(&SynthConfig {
+            dims: Dims4::new(8, 8, 2, 2),
+            ..SynthConfig::test_scale(4)
+        });
+        write_distributed_dicom(&vol, &root, "x", 1).unwrap();
+        // Swap two files on disk: headers no longer match the index.
+        let a = root
+            .join("node_00")
+            .join(dicom_file_name(SliceKey { t: 0, z: 0 }));
+        let b = root
+            .join("node_00")
+            .join(dicom_file_name(SliceKey { t: 0, z: 1 }));
+        let tmp_path = root.join("swap.tmp");
+        fs::rename(&a, &tmp_path).unwrap();
+        fs::rename(&b, &a).unwrap();
+        fs::rename(&tmp_path, &b).unwrap();
+        let ds = DicomDataset::open(&root).unwrap();
+        let err = ds.read_slice(SliceKey { t: 0, z: 0 }).unwrap_err();
+        assert!(matches!(err, DicomError::Malformed(m) if m.contains("index says")));
+    }
+}

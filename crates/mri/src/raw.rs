@@ -1,0 +1,209 @@
+//! In-memory raw (unquantized) 4D intensity volumes.
+
+use haralick::quantize::Quantizer;
+use haralick::volume::{Dims4, LevelVolume, Point4, Region4};
+use serde::{Deserialize, Serialize};
+
+/// A 4D volume of raw `u16` intensities in x-fastest order — the form data
+/// takes before gray-level requantization. Each voxel is 2 bytes, matching
+/// the paper's dataset ("Each pixel is 2 bytes in size").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawVolume {
+    dims: Dims4,
+    data: Vec<u16>,
+}
+
+impl RawVolume {
+    /// Builds a volume from raw data.
+    ///
+    /// # Panics
+    /// If `data.len() != dims.len()`.
+    pub fn new(dims: Dims4, data: Vec<u16>) -> Self {
+        assert_eq!(data.len(), dims.len(), "data does not match dims");
+        Self { dims, data }
+    }
+
+    /// An all-zero volume.
+    pub fn zeros(dims: Dims4) -> Self {
+        Self::new(dims, vec![0; dims.len()])
+    }
+
+    /// Extents.
+    pub const fn dims(&self) -> Dims4 {
+        self.dims
+    }
+
+    /// Intensity at a point.
+    #[inline]
+    pub fn get(&self, p: Point4) -> u16 {
+        self.data[self.dims.index(p)]
+    }
+
+    /// Sets the intensity at a point.
+    pub fn set(&mut self, p: Point4, v: u16) {
+        let i = self.dims.index(p);
+        self.data[i] = v;
+    }
+
+    /// Raw data in x-fastest order.
+    pub fn as_slice(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Size in bytes when stored on disk or transmitted (2 bytes/voxel).
+    pub const fn byte_len(&self) -> usize {
+        self.dims.len() * 2
+    }
+
+    /// The 2D slice `(z, t)` as a contiguous row-major `u16` buffer — the
+    /// unit the distributed store writes to one file.
+    pub fn slice_2d(&self, z: usize, t: usize) -> &[u16] {
+        assert!(
+            z < self.dims.z && t < self.dims.t,
+            "slice (z={z}, t={t}) out of range"
+        );
+        let start = self.dims.index(Point4::new(0, 0, z, t));
+        &self.data[start..start + self.dims.x * self.dims.y]
+    }
+
+    /// Copies a sub-region into a new smaller volume.
+    ///
+    /// # Panics
+    /// If the region does not fit.
+    pub fn extract(&self, region: Region4) -> RawVolume {
+        assert!(
+            self.dims.region().contains_region(&region),
+            "extract region {region:?} exceeds volume {:?}",
+            self.dims
+        );
+        let mut out = Vec::with_capacity(region.len());
+        let o = region.origin;
+        let s = region.size;
+        for t in 0..s.t {
+            for z in 0..s.z {
+                for y in 0..s.y {
+                    let start = self.dims.index(Point4::new(o.x, o.y + y, o.z + z, o.t + t));
+                    out.extend_from_slice(&self.data[start..start + s.x]);
+                }
+            }
+        }
+        RawVolume::new(s, out)
+    }
+
+    /// Pastes `src` into `self` with its origin at `at` (inverse of
+    /// [`RawVolume::extract`]).
+    pub fn paste(&mut self, src: &RawVolume, at: Point4) {
+        let dst_region = Region4::new(at, src.dims);
+        assert!(
+            self.dims.region().contains_region(&dst_region),
+            "paste target {dst_region:?} exceeds volume {:?}",
+            self.dims
+        );
+        let s = src.dims;
+        for t in 0..s.t {
+            for z in 0..s.z {
+                for y in 0..s.y {
+                    let src_start = s.index(Point4::new(0, y, z, t));
+                    let dst_start =
+                        self.dims
+                            .index(Point4::new(at.x, at.y + y, at.z + z, at.t + t));
+                    self.data[dst_start..dst_start + s.x]
+                        .copy_from_slice(&src.data[src_start..src_start + s.x]);
+                }
+            }
+        }
+    }
+
+    /// Requantizes into a [`LevelVolume`] with the given quantizer.
+    pub fn quantize(&self, q: &Quantizer) -> LevelVolume {
+        q.quantize(self.dims, &self.data)
+    }
+
+    /// Builds the paper's standard quantizer (min/max over this volume) and
+    /// applies it. `levels` is `Ng`, 32 in the experiments.
+    pub fn quantize_min_max(&self, levels: u16) -> LevelVolume {
+        self.quantize(&Quantizer::min_max(levels, &self.data))
+    }
+
+    /// Serializes the voxel data as little-endian bytes.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 2);
+        for &v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes little-endian voxel bytes.
+    ///
+    /// # Panics
+    /// If `bytes.len() != 2 * dims.len()`.
+    pub fn from_le_bytes(dims: Dims4, bytes: &[u8]) -> Self {
+        assert_eq!(
+            bytes.len(),
+            dims.len() * 2,
+            "byte length does not match dims"
+        );
+        let data = bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        Self::new(dims, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(dims: Dims4) -> RawVolume {
+        let data: Vec<u16> = (0..dims.len()).map(|i| (i % 4096) as u16).collect();
+        RawVolume::new(dims, data)
+    }
+
+    #[test]
+    fn slice_2d_is_contiguous_plane() {
+        let v = ramp(Dims4::new(4, 3, 2, 2));
+        let s = v.slice_2d(1, 1);
+        assert_eq!(s.len(), 12);
+        assert_eq!(s[0], v.get(Point4::new(0, 0, 1, 1)));
+        assert_eq!(s[11], v.get(Point4::new(3, 2, 1, 1)));
+    }
+
+    #[test]
+    fn extract_paste_roundtrip() {
+        let v = ramp(Dims4::new(8, 7, 3, 3));
+        let r = Region4::new(Point4::new(2, 1, 1, 0), Dims4::new(4, 3, 2, 2));
+        let sub = v.extract(r);
+        let mut blank = RawVolume::zeros(v.dims());
+        blank.paste(&sub, r.origin);
+        for p in r.points() {
+            assert_eq!(blank.get(p), v.get(p));
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let v = ramp(Dims4::new(5, 4, 2, 2));
+        let bytes = v.to_le_bytes();
+        assert_eq!(bytes.len(), v.byte_len());
+        let back = RawVolume::from_le_bytes(v.dims(), &bytes);
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn quantize_min_max_produces_valid_levels() {
+        let v = ramp(Dims4::new(16, 16, 2, 2));
+        let lv = v.quantize_min_max(32);
+        assert_eq!(lv.levels(), 32);
+        assert_eq!(lv.dims(), v.dims());
+        assert!(lv.as_slice().iter().all(|&l| l < 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let v = ramp(Dims4::new(4, 4, 2, 2));
+        let _ = v.slice_2d(2, 0);
+    }
+}

@@ -1,0 +1,398 @@
+//! The distributed slice store (paper §4.2).
+//!
+//! "2D image slices that make a 3D volume at a time step are distributed
+//! across storage nodes in round robin fashion. Each 2D image is assigned to
+//! a single storage node and stored on disk in a separate file. A simple
+//! index file is created on each storage node for the images assigned to
+//! that storage node. In this index file, each image file is associated with
+//! a tuple ⟨t, z⟩" — where `t` is the time step and `z` the slice number.
+//!
+//! Storage nodes are materialized as sub-directories `node_00`, `node_01`, …
+//! under a dataset root; the cluster simulator and the threaded pipeline
+//! both address data through this layout, so the same on-disk dataset drives
+//! every experiment.
+
+use crate::raw::RawVolume;
+use haralick::volume::{Dims4, Point4, Region4};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Identifies one 2D slice: time step `t`, slice number `z`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SliceKey {
+    /// Time step the slice belongs to.
+    pub t: usize,
+    /// Slice number within the 3D volume.
+    pub z: usize,
+}
+
+impl SliceKey {
+    /// Canonical file name of this slice.
+    pub fn file_name(&self) -> String {
+        format!("slice_t{:04}_z{:04}.raw", self.t, self.z)
+    }
+
+    /// Linear slice ordinal in `(t, z)` x-fastest-in-z order; drives the
+    /// round-robin placement.
+    pub const fn ordinal(&self, dims: Dims4) -> usize {
+        self.t * dims.z + self.z
+    }
+}
+
+/// Metadata describing a stored dataset; serialized to `dataset.json` at the
+/// dataset root.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetDescriptor {
+    /// Human-readable dataset name.
+    pub name: String,
+    /// Extents of the 4D dataset.
+    pub dims: Dims4,
+    /// Bytes per voxel on disk (always 2: little-endian `u16`).
+    pub pixel_bytes: usize,
+    /// Number of storage nodes the slices are distributed over.
+    pub num_nodes: usize,
+}
+
+impl DatasetDescriptor {
+    /// Storage node a slice lives on: round-robin over the slice ordinal.
+    pub const fn node_of(&self, key: SliceKey) -> usize {
+        key.ordinal(self.dims) % self.num_nodes
+    }
+
+    /// Total dataset size in bytes.
+    pub const fn byte_len(&self) -> usize {
+        self.dims.len() * self.pixel_bytes
+    }
+
+    /// All slice keys of the dataset in ordinal order.
+    pub fn slice_keys(&self) -> impl Iterator<Item = SliceKey> + '_ {
+        (0..self.dims.t).flat_map(move |t| (0..self.dims.z).map(move |z| SliceKey { t, z }))
+    }
+}
+
+/// One record of a per-node index file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// Slice file name relative to the node directory.
+    pub file: String,
+    /// Time step.
+    pub t: usize,
+    /// Slice number.
+    pub z: usize,
+}
+
+fn node_dir(root: &Path, node: usize) -> PathBuf {
+    root.join(format!("node_{node:02}"))
+}
+
+/// Writes `vol` to `root` as a distributed dataset over `num_nodes` storage
+/// nodes, creating the directory layout, slice files, per-node index files
+/// and the dataset descriptor. Returns the descriptor.
+pub fn write_distributed(
+    vol: &RawVolume,
+    root: &Path,
+    name: &str,
+    num_nodes: usize,
+) -> io::Result<DatasetDescriptor> {
+    assert!(num_nodes > 0, "at least one storage node required");
+    let desc = DatasetDescriptor {
+        name: name.to_string(),
+        dims: vol.dims(),
+        pixel_bytes: 2,
+        num_nodes,
+    };
+    fs::create_dir_all(root)?;
+    let mut indices: Vec<Vec<IndexEntry>> = vec![Vec::new(); num_nodes];
+    for node in 0..num_nodes {
+        fs::create_dir_all(node_dir(root, node))?;
+    }
+    for key in desc.slice_keys() {
+        let node = desc.node_of(key);
+        let path = node_dir(root, node).join(key.file_name());
+        let mut w = BufWriter::new(File::create(&path)?);
+        for &px in vol.slice_2d(key.z, key.t) {
+            w.write_all(&px.to_le_bytes())?;
+        }
+        w.flush()?;
+        indices[node].push(IndexEntry {
+            file: key.file_name(),
+            t: key.t,
+            z: key.z,
+        });
+    }
+    for (node, index) in indices.iter().enumerate() {
+        let f = File::create(node_dir(root, node).join("index.json"))?;
+        serde_json::to_writer_pretty(BufWriter::new(f), index)?;
+    }
+    let f = File::create(root.join("dataset.json"))?;
+    serde_json::to_writer_pretty(BufWriter::new(f), &desc)?;
+    Ok(desc)
+}
+
+/// A handle to a distributed dataset on disk. Reads go through the per-node
+/// index files, exactly as the RFR filters do.
+#[derive(Debug)]
+pub struct DistributedDataset {
+    root: PathBuf,
+    desc: DatasetDescriptor,
+    /// slice → (node, absolute path), built from the index files.
+    locations: HashMap<SliceKey, (usize, PathBuf)>,
+}
+
+impl DistributedDataset {
+    /// Opens a dataset root, reading the descriptor and all node indices.
+    ///
+    /// # Errors
+    /// I/O or JSON errors; also if an index references a slice outside the
+    /// descriptor's extents or the index set is incomplete.
+    pub fn open(root: &Path) -> io::Result<Self> {
+        let f = File::open(root.join("dataset.json"))?;
+        let desc: DatasetDescriptor = serde_json::from_reader(BufReader::new(f))?;
+        let mut locations = HashMap::new();
+        for node in 0..desc.num_nodes {
+            let dir = node_dir(root, node);
+            let f = File::open(dir.join("index.json"))?;
+            let index: Vec<IndexEntry> = serde_json::from_reader(BufReader::new(f))?;
+            for e in index {
+                let key = SliceKey { t: e.t, z: e.z };
+                if key.t >= desc.dims.t || key.z >= desc.dims.z {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("index on node {node} references out-of-range slice {key:?}"),
+                    ));
+                }
+                locations.insert(key, (node, dir.join(&e.file)));
+            }
+        }
+        let expected = desc.dims.t * desc.dims.z;
+        if locations.len() != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "indices cover {} slices, expected {expected}",
+                    locations.len()
+                ),
+            ));
+        }
+        Ok(Self {
+            root: root.to_path_buf(),
+            desc,
+            locations,
+        })
+    }
+
+    /// The dataset descriptor.
+    pub fn descriptor(&self) -> &DatasetDescriptor {
+        &self.desc
+    }
+
+    /// Dataset root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Which storage node holds `key` (from the index, not recomputed).
+    pub fn node_of(&self, key: SliceKey) -> Option<usize> {
+        self.locations.get(&key).map(|(n, _)| *n)
+    }
+
+    /// All slices indexed on `node`, in ordinal order.
+    pub fn slices_on_node(&self, node: usize) -> Vec<SliceKey> {
+        let mut v: Vec<SliceKey> = self
+            .locations
+            .iter()
+            .filter(|(_, (n, _))| *n == node)
+            .map(|(k, _)| *k)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Reads one whole 2D slice.
+    pub fn read_slice(&self, key: SliceKey) -> io::Result<Vec<u16>> {
+        let d = self.desc.dims;
+        self.read_subrect(key, 0, 0, d.x, d.y)
+    }
+
+    /// Reads a `w x h` sub-rectangle of slice `key` starting at `(x0, y0)`
+    /// using per-row seeks — the RFR filter's "read a 2D subsection of each
+    /// image slice" operation.
+    pub fn read_subrect(
+        &self,
+        key: SliceKey,
+        x0: usize,
+        y0: usize,
+        w: usize,
+        h: usize,
+    ) -> io::Result<Vec<u16>> {
+        let d = self.desc.dims;
+        assert!(
+            x0 + w <= d.x && y0 + h <= d.y,
+            "subrect out of slice bounds"
+        );
+        let (_, path) = self
+            .locations
+            .get(&key)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("slice {key:?}")))?;
+        let mut f = BufReader::new(File::open(path)?);
+        let mut out = Vec::with_capacity(w * h);
+        let mut row = vec![0u8; w * 2];
+        for y in y0..y0 + h {
+            f.seek(SeekFrom::Start(((y * d.x + x0) * 2) as u64))?;
+            f.read_exact(&mut row)?;
+            out.extend(
+                row.chunks_exact(2)
+                    .map(|c| u16::from_le_bytes([c[0], c[1]])),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Reads an arbitrary 4D region, assembling it from the relevant slices
+    /// (possibly on several storage nodes).
+    pub fn read_region(&self, region: Region4) -> io::Result<RawVolume> {
+        assert!(
+            self.desc.dims.region().contains_region(&region),
+            "region {region:?} exceeds dataset {:?}",
+            self.desc.dims
+        );
+        let mut vol = RawVolume::zeros(region.size);
+        let o = region.origin;
+        let s = region.size;
+        for dt in 0..s.t {
+            for dz in 0..s.z {
+                let key = SliceKey {
+                    t: o.t + dt,
+                    z: o.z + dz,
+                };
+                let rect = self.read_subrect(key, o.x, o.y, s.x, s.y)?;
+                let plane = RawVolume::new(Dims4::new(s.x, s.y, 1, 1), rect);
+                vol.paste(&plane, Point4::new(0, 0, dz, dt));
+            }
+        }
+        Ok(vol)
+    }
+
+    /// Reads the entire dataset into memory.
+    pub fn read_all(&self) -> io::Result<RawVolume> {
+        self.read_region(self.desc.dims.region())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("h4d_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    fn sample() -> RawVolume {
+        generate(&SynthConfig {
+            dims: Dims4::new(16, 12, 4, 3),
+            ..SynthConfig::test_scale(11)
+        })
+    }
+
+    #[test]
+    fn write_open_read_all_roundtrip() {
+        let root = tmp_root("roundtrip");
+        let vol = sample();
+        let desc = write_distributed(&vol, &root, "test", 4).unwrap();
+        assert_eq!(desc.num_nodes, 4);
+        let ds = DistributedDataset::open(&root).unwrap();
+        assert_eq!(ds.descriptor(), &desc);
+        let back = ds.read_all().unwrap();
+        assert_eq!(back, vol);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn round_robin_placement_law() {
+        let root = tmp_root("rr");
+        let vol = sample();
+        let desc = write_distributed(&vol, &root, "test", 3).unwrap();
+        let ds = DistributedDataset::open(&root).unwrap();
+        for key in desc.slice_keys() {
+            assert_eq!(
+                ds.node_of(key),
+                Some(key.ordinal(desc.dims) % 3),
+                "placement law violated for {key:?}"
+            );
+        }
+        // Round robin balances within 1 slice.
+        let counts: Vec<usize> = (0..3).map(|n| ds.slices_on_node(n).len()).collect();
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced distribution: {counts:?}");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn subrect_matches_in_memory_extract() {
+        let root = tmp_root("subrect");
+        let vol = sample();
+        write_distributed(&vol, &root, "test", 2).unwrap();
+        let ds = DistributedDataset::open(&root).unwrap();
+        let key = SliceKey { t: 1, z: 2 };
+        let rect = ds.read_subrect(key, 3, 2, 5, 4).unwrap();
+        for yy in 0..4 {
+            for xx in 0..5 {
+                assert_eq!(
+                    rect[yy * 5 + xx],
+                    vol.get(Point4::new(3 + xx, 2 + yy, key.z, key.t))
+                );
+            }
+        }
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn read_region_spans_nodes() {
+        let root = tmp_root("region");
+        let vol = sample();
+        write_distributed(&vol, &root, "test", 4).unwrap();
+        let ds = DistributedDataset::open(&root).unwrap();
+        let region = Region4::new(Point4::new(2, 3, 1, 0), Dims4::new(7, 6, 3, 3));
+        let sub = ds.read_region(region).unwrap();
+        assert_eq!(sub, vol.extract(region));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_missing_dataset_fails() {
+        let root = tmp_root("missing");
+        assert!(DistributedDataset::open(&root).is_err());
+    }
+
+    #[test]
+    fn corrupt_index_detected() {
+        let root = tmp_root("corrupt");
+        let vol = sample();
+        write_distributed(&vol, &root, "test", 2).unwrap();
+        // Drop one entry from node 0's index.
+        let idx_path = root.join("node_00").join("index.json");
+        let mut index: Vec<IndexEntry> =
+            serde_json::from_reader(BufReader::new(File::open(&idx_path).unwrap())).unwrap();
+        index.pop();
+        serde_json::to_writer(BufWriter::new(File::create(&idx_path).unwrap()), &index).unwrap();
+        let err = DistributedDataset::open(&root).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn single_node_holds_everything() {
+        let root = tmp_root("single");
+        let vol = sample();
+        let desc = write_distributed(&vol, &root, "test", 1).unwrap();
+        let ds = DistributedDataset::open(&root).unwrap();
+        assert_eq!(ds.slices_on_node(0).len(), desc.dims.t * desc.dims.z);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

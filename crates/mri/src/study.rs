@@ -1,0 +1,187 @@
+//! Longitudinal study management — the paper's motivating workflow:
+//! "follow-up studies, which acquire multiple image datasets at different
+//! dates, can be conducted to monitor the progression and response to
+//! treatment of the tumor."
+//!
+//! A [`Study`] groups several dated visits, each a distributed dataset on
+//! disk; the descriptor (`study.json` at the study root) records enough to
+//! re-open every visit and to compare texture results across them.
+
+use crate::store::{write_distributed, DistributedDataset};
+use crate::synth::Lesion;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+/// One dated acquisition of a study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Visit {
+    /// Human-readable label, e.g. `"baseline"` or `"week-6"`.
+    pub label: String,
+    /// Acquisition date (ISO-8601 date string).
+    pub date: String,
+    /// Dataset directory relative to the study root.
+    pub dataset_dir: String,
+    /// Synthetic ground truth, when the visit was generated rather than
+    /// acquired (empty for real data).
+    #[serde(default)]
+    pub lesions: Vec<Lesion>,
+}
+
+/// A longitudinal study: a patient identifier plus its dated visits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Study {
+    /// Patient or phantom identifier.
+    pub patient: String,
+    /// Visits in acquisition order.
+    pub visits: Vec<Visit>,
+}
+
+impl Study {
+    /// Creates an empty study.
+    pub fn new(patient: &str) -> Self {
+        Self {
+            patient: patient.to_string(),
+            visits: Vec::new(),
+        }
+    }
+
+    /// Writes `volume` as a new distributed visit under `root/<label>` and
+    /// records it.
+    pub fn add_visit(
+        &mut self,
+        root: &Path,
+        label: &str,
+        date: &str,
+        volume: &crate::raw::RawVolume,
+        storage_nodes: usize,
+        lesions: Vec<Lesion>,
+    ) -> io::Result<()> {
+        let dir = root.join(label);
+        write_distributed(
+            volume,
+            &dir,
+            &format!("{}-{label}", self.patient),
+            storage_nodes,
+        )?;
+        self.visits.push(Visit {
+            label: label.to_string(),
+            date: date.to_string(),
+            dataset_dir: label.to_string(),
+            lesions,
+        });
+        Ok(())
+    }
+
+    /// Serializes the study descriptor to `root/study.json`.
+    pub fn save(&self, root: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(root)?;
+        let f = File::create(root.join("study.json"))?;
+        serde_json::to_writer_pretty(BufWriter::new(f), self)?;
+        Ok(())
+    }
+
+    /// Loads a study descriptor from `root/study.json`.
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let f = File::open(root.join("study.json"))?;
+        Ok(serde_json::from_reader(BufReader::new(f))?)
+    }
+
+    /// The visit labeled `label`, if present.
+    pub fn visit(&self, label: &str) -> Option<&Visit> {
+        self.visits.iter().find(|v| v.label == label)
+    }
+
+    /// Opens the distributed dataset of a visit.
+    pub fn open_visit(&self, root: &Path, label: &str) -> io::Result<DistributedDataset> {
+        let v = self
+            .visit(label)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("visit {label:?}")))?;
+        DistributedDataset::open(&self.visit_path(root, v))
+    }
+
+    /// Absolute dataset directory of a visit.
+    pub fn visit_path(&self, root: &Path, v: &Visit) -> PathBuf {
+        root.join(&v.dataset_dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_followup, generate_with_truth, SynthConfig};
+    use haralick::volume::Dims4;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("h4d_study_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn small_cfg(seed: u64) -> SynthConfig {
+        SynthConfig {
+            dims: Dims4::new(24, 24, 4, 3),
+            ..SynthConfig::test_scale(seed)
+        }
+    }
+
+    #[test]
+    fn study_roundtrip_and_visit_access() {
+        let root = tmp("roundtrip");
+        let cfg = small_cfg(9);
+        let (baseline, truth0) = generate_with_truth(&cfg);
+        let (followup, truth1) = generate_followup(&cfg, 1.3);
+        let mut study = Study::new("phantom-01");
+        study
+            .add_visit(
+                &root,
+                "baseline",
+                "2004-01-15",
+                &baseline,
+                2,
+                truth0.clone(),
+            )
+            .unwrap();
+        study
+            .add_visit(&root, "week-6", "2004-02-26", &followup, 2, truth1.clone())
+            .unwrap();
+        study.save(&root).unwrap();
+
+        let loaded = Study::load(&root).unwrap();
+        assert_eq!(loaded, study);
+        assert_eq!(loaded.visits.len(), 2);
+        let ds = loaded.open_visit(&root, "baseline").unwrap();
+        assert_eq!(ds.descriptor().dims, cfg.dims);
+        let back = ds.read_all().unwrap();
+        assert_eq!(back, baseline);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn followup_shares_anatomy_but_grows_lesions() {
+        let cfg = small_cfg(11);
+        let (_, truth0) = generate_with_truth(&cfg);
+        let (_, truth1) = generate_followup(&cfg, 1.5);
+        assert_eq!(truth0.len(), truth1.len());
+        for (a, b) in truth0.iter().zip(&truth1) {
+            assert_eq!(a.center, b.center, "lesion centers must not move");
+            for k in 0..3 {
+                assert!(
+                    (b.radii[k] / a.radii[k] - 1.5).abs() < 1e-9,
+                    "radius not grown by 1.5x"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_visit_is_an_error() {
+        let study = Study::new("p");
+        assert!(study.visit("nope").is_none());
+        let err = study
+            .open_visit(Path::new("/nonexistent"), "nope")
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,359 @@
+//! `h4d` — command-line front end for the 4D Haralick analysis system.
+//!
+//! ```text
+//! h4d generate <dataset_dir> [--dims X,Y,Z,T] [--nodes N] [--seed S]
+//!              [--format raw|dicom]
+//! h4d info     <dataset_dir>
+//! h4d analyze  <dataset_dir> <out_dir> [--variant hmp|split|visual]
+//!              [--repr full|naive|sparse|sparse-accum] [--texture N]
+//! h4d graph    <out.json> [--variant hmp|split|visual] [--texture N]
+//! h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]
+//! h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr ...]
+//! ```
+//!
+//! The `graph` subcommand serializes the filter network to JSON — the
+//! equivalent of DataCutter's XML network description — which documents the
+//! exact topology each run uses.
+
+use datacutter::SchedulePolicy;
+use haralick::raster::Representation;
+use haralick::volume::Dims4;
+use mri::store::{write_distributed, DistributedDataset};
+use mri::synth::{generate, SynthConfig};
+use pipeline::config::AppConfig;
+use pipeline::experiments::{run_hmp_piii, run_split_piii};
+use pipeline::graphs::{Copies, HmpGraph, SplitGraph, VisualGraph};
+use pipeline::run::run_threaded;
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         h4d generate <dataset_dir> [--dims X,Y,Z,T] [--nodes N] [--seed S] [--format raw|dicom]\n  \
+         h4d info <dataset_dir>\n  \
+         h4d analyze <dataset_dir> <out_dir> [--variant hmp|split|visual] \
+         [--repr full|naive|sparse|sparse-accum] [--texture N]\n  \
+         h4d graph <out.json> [--variant hmp|split|visual] [--texture N]\n  \
+         h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]\n  \
+         h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr full|naive|sparse|sparse-accum]"
+    );
+    exit(2);
+}
+
+/// Minimal flag parser: `--key value` pairs after the positional arguments.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Self {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let Some(v) = it.next() else {
+                    eprintln!("flag --{key} needs a value");
+                    usage();
+                };
+                out.push((key.to_string(), v.clone()));
+            } else {
+                eprintln!("unexpected argument {a:?}");
+                usage();
+            }
+        }
+        Self(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --{key}: {v:?}");
+                usage()
+            }),
+        }
+    }
+}
+
+fn parse_dims(s: &str) -> Dims4 {
+    let parts: Vec<usize> = s.split(',').filter_map(|p| p.parse().ok()).collect();
+    if parts.len() != 4 {
+        eprintln!("--dims wants X,Y,Z,T (e.g. 64,64,8,8)");
+        usage();
+    }
+    Dims4::new(parts[0], parts[1], parts[2], parts[3])
+}
+
+fn parse_repr(s: &str) -> Representation {
+    match s {
+        "full" => Representation::Full,
+        "naive" => Representation::FullNaive,
+        "sparse" => Representation::Sparse,
+        "sparse-accum" => Representation::SparseAccum,
+        other => {
+            eprintln!("unknown representation {other:?}");
+            usage();
+        }
+    }
+}
+
+fn app_config(dims: Dims4, nodes: usize, repr: Representation) -> AppConfig {
+    let mut cfg = AppConfig::paper(repr);
+    if !cfg.roi.fits_in(dims) {
+        eprintln!(
+            "dataset {dims} is smaller than the {} analysis window; \
+             generate at least a window-sized dataset",
+            cfg.roi.size()
+        );
+        exit(1);
+    }
+    cfg.dims = dims;
+    cfg.storage_nodes = nodes;
+    // Scale the chunk down for small datasets so at least a few chunks flow.
+    if dims.x < 128 {
+        cfg.chunk_dims = Dims4::new(
+            (dims.x / 2).max(cfg.roi.size().x),
+            (dims.y / 2).max(cfg.roi.size().y),
+            (dims.z / 2).max(cfg.roi.size().z),
+            (dims.t / 2).max(cfg.roi.size().t),
+        );
+    }
+    cfg
+}
+
+fn build_graph(variant: &str, storage_nodes: usize, texture: usize) -> datacutter::GraphSpec {
+    match variant {
+        "hmp" => HmpGraph {
+            rfr: Copies::Count(storage_nodes),
+            iic: Copies::Count(1),
+            hmp: Copies::Count(texture),
+            uso: Copies::Count(1),
+            texture_policy: SchedulePolicy::DemandDriven,
+        }
+        .build(),
+        "split" => {
+            let hpc = (texture / 5).max(1);
+            let hcc = (texture - hpc).max(1);
+            SplitGraph {
+                rfr: Copies::Count(storage_nodes),
+                iic: Copies::Count(1),
+                hcc: Copies::Count(hcc),
+                hpc: Copies::Count(hpc),
+                uso: Copies::Count(1),
+                texture_policy: SchedulePolicy::DemandDriven,
+                matrix_policy: SchedulePolicy::DemandDriven,
+            }
+            .build()
+        }
+        "visual" => VisualGraph {
+            rfr: Copies::Count(storage_nodes),
+            iic: Copies::Count(1),
+            hmp: Copies::Count(texture),
+            hic: Copies::Count(1),
+            jiw: Copies::Count(1),
+        }
+        .build(),
+        other => {
+            eprintln!("unknown variant {other:?}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "generate" => {
+            let Some(dir) = args.get(1) else { usage() };
+            let flags = Flags::parse(&args[2..]);
+            let dims = flags
+                .get("dims")
+                .map(parse_dims)
+                .unwrap_or(Dims4::new(64, 64, 8, 8));
+            let nodes: usize = flags.parse_or("nodes", 4);
+            let seed: u64 = flags.parse_or("seed", 42);
+            let raw = generate(&SynthConfig {
+                dims,
+                ..SynthConfig::test_scale(seed)
+            });
+            let desc = match flags.get("format").unwrap_or("raw") {
+                "raw" => {
+                    write_distributed(&raw, &PathBuf::from(dir), "h4d", nodes).unwrap_or_else(|e| {
+                        eprintln!("generate failed: {e}");
+                        exit(1);
+                    })
+                }
+                "dicom" => {
+                    mri::dicom::write_distributed_dicom(&raw, &PathBuf::from(dir), "h4d", nodes)
+                        .unwrap_or_else(|e| {
+                            eprintln!("generate failed: {e}");
+                            exit(1);
+                        })
+                }
+                other => {
+                    eprintln!("unknown format {other:?}");
+                    usage();
+                }
+            };
+            println!(
+                "wrote {} ({} slices over {} storage nodes, {} MB) to {dir}",
+                desc.name,
+                desc.dims.z * desc.dims.t,
+                desc.num_nodes,
+                desc.byte_len() / (1 << 20)
+            );
+        }
+        "info" => {
+            let Some(dir) = args.get(1) else { usage() };
+            let ds = DistributedDataset::open(&PathBuf::from(dir)).unwrap_or_else(|e| {
+                eprintln!("open failed: {e}");
+                exit(1);
+            });
+            let d = ds.descriptor();
+            println!("dataset  : {}", d.name);
+            println!("dims     : {}", d.dims);
+            println!("bytes    : {}", d.byte_len());
+            println!("nodes    : {}", d.num_nodes);
+            for n in 0..d.num_nodes {
+                println!("  node_{n:02}: {} slices", ds.slices_on_node(n).len());
+            }
+        }
+        "analyze" => {
+            let (Some(dir), Some(out)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let flags = Flags::parse(&args[3..]);
+            let variant = flags.get("variant").unwrap_or("hmp").to_string();
+            let repr = parse_repr(flags.get("repr").unwrap_or("full"));
+            let texture: usize = flags.parse_or("texture", 3);
+            let ds = DistributedDataset::open(&PathBuf::from(dir)).unwrap_or_else(|e| {
+                eprintln!("open failed: {e}");
+                exit(1);
+            });
+            let desc = ds.descriptor();
+            let cfg = Arc::new(app_config(desc.dims, desc.num_nodes, repr));
+            let spec = build_graph(&variant, desc.num_nodes, texture);
+            std::fs::create_dir_all(out).ok();
+            let t = std::time::Instant::now();
+            let stats = run_threaded(&spec, &cfg, &PathBuf::from(dir), &PathBuf::from(out))
+                .unwrap_or_else(|e| {
+                    eprintln!("pipeline failed: {e}");
+                    exit(1);
+                });
+            println!(
+                "analyzed {} in {:.2?} ({variant}, {repr:?})",
+                desc.dims,
+                t.elapsed()
+            );
+            for f in ["RFR", "IIC", "HMP", "HCC", "HPC", "USO", "HIC", "JIW"] {
+                let copies = stats.copies_of(f);
+                if !copies.is_empty() {
+                    println!(
+                        "  {f:<4} x{:<2} busy {:>8.1?} buffers {:>6}",
+                        copies.len(),
+                        stats.max_busy_of(f),
+                        stats.buffers_into(f)
+                    );
+                }
+            }
+            println!("output under {out}");
+        }
+        "graph" => {
+            let Some(out) = args.get(1) else { usage() };
+            let flags = Flags::parse(&args[2..]);
+            let variant = flags.get("variant").unwrap_or("split").to_string();
+            let texture: usize = flags.parse_or("texture", 8);
+            let spec = build_graph(&variant, 4, texture);
+            spec.validate().expect("generated graph must be valid");
+            let json = serde_json::to_string_pretty(&spec).expect("serializable");
+            std::fs::write(out, &json).unwrap_or_else(|e| {
+                eprintln!("write failed: {e}");
+                exit(1);
+            });
+            println!(
+                "wrote {variant} graph ({} filters, {} streams) to {out}",
+                spec.filters.len(),
+                spec.streams.len()
+            );
+        }
+        "run-graph" => {
+            // Execute a user-authored JSON filter network — the JSON
+            // equivalent of DataCutter's XML network description.
+            let (Some(json), Some(dir), Some(out)) = (args.get(1), args.get(2), args.get(3)) else {
+                usage()
+            };
+            let flags = Flags::parse(&args[4..]);
+            let repr = parse_repr(flags.get("repr").unwrap_or("full"));
+            let text = std::fs::read_to_string(json).unwrap_or_else(|e| {
+                eprintln!("read {json}: {e}");
+                exit(1);
+            });
+            let spec: datacutter::GraphSpec = serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("parse {json}: {e}");
+                exit(1);
+            });
+            if let Err(e) = spec.validate() {
+                eprintln!("invalid graph: {e}");
+                exit(1);
+            }
+            // Dataset geometry comes from the dataset itself; either store
+            // format works (use DFR in the graph for DICOM datasets).
+            let desc_path = PathBuf::from(dir).join("dataset.json");
+            let desc: mri::store::DatasetDescriptor =
+                serde_json::from_str(&std::fs::read_to_string(&desc_path).unwrap_or_else(|e| {
+                    eprintln!("read {}: {e}", desc_path.display());
+                    exit(1);
+                }))
+                .unwrap_or_else(|e| {
+                    eprintln!("parse dataset.json: {e}");
+                    exit(1);
+                });
+            let cfg = Arc::new(app_config(desc.dims, desc.num_nodes, repr));
+            std::fs::create_dir_all(out).ok();
+            let t = std::time::Instant::now();
+            let stats = run_threaded(&spec, &cfg, &PathBuf::from(dir), &PathBuf::from(out))
+                .unwrap_or_else(|e| {
+                    eprintln!("pipeline failed: {e}");
+                    exit(1);
+                });
+            println!(
+                "ran {} filters / {} streams in {:.2?}; output under {out}",
+                spec.filters.len(),
+                spec.streams.len(),
+                t.elapsed()
+            );
+            let _ = stats;
+        }
+        "simulate" => {
+            let flags = Flags::parse(&args[1..]);
+            let nodes: usize = flags.parse_or("nodes", 16);
+            let repr = parse_repr(flags.get("repr").unwrap_or("sparse"));
+            let variant = flags.get("variant").unwrap_or("split").to_string();
+            let model = cluster::calibrated_defaults::default_model();
+            let rep = match variant.as_str() {
+                "hmp" => run_hmp_piii(&model, repr, nodes),
+                "split" => run_split_piii(&model, repr, nodes, true),
+                other => {
+                    eprintln!("unknown variant {other:?}");
+                    usage();
+                }
+            };
+            println!("simulated paper-scale {variant} ({repr:?}) on {nodes} PIII texture nodes:");
+            println!("  execution time: {:.1} virtual seconds", rep.makespan);
+            for f in ["RFR", "IIC", "HCC", "HPC", "HMP", "USO"] {
+                if !rep.copies_of(f).is_empty() {
+                    println!("  {f:<4} max-copy busy {:>8.1}s", rep.max_busy_of(f));
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,695 @@
+//! The real filter implementations (threaded engine).
+//!
+//! Port conventions (fixed by the graph builders in [`crate::graphs`]):
+//! every filter has at most one input kind and emits on output port 0,
+//! except HPC/HMP which emit parameter packets on port 0 and the output
+//! filters which are sinks.
+
+use crate::config::AppConfig;
+use crate::payload::{
+    linear_point, ChunkData, FeatureVolume, MatrixBatch, MatrixPacket, ParamPacket, Piece,
+};
+use datacutter::{DataBuffer, Filter, FilterContext, FilterError};
+use haralick::coocc::CoMatrix;
+use haralick::features::{compute_features, FeatureSelection, MatrixStats};
+use haralick::raster::Representation;
+use haralick::sparse::{SparseAccumulator, SparseCoMatrix};
+use haralick::volume::{Dims4, LevelVolume, Point4, Region4};
+use mri::chunks::ChunkGrid;
+use mri::dicom::DicomDataset;
+use mri::output::{normalize_to_gray, write_pgm, ParameterWriter};
+use mri::raw::RawVolume;
+use mri::store::{DistributedDataset, SliceKey};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// RAWFileReader: reads the local portions of every chunk's input region
+/// from this storage node and ships them to the stitch filters.
+///
+/// Copy `i` serves storage node `i`; the dataset must be distributed over
+/// exactly as many nodes as there are RFR copies.
+pub struct RfrFilter {
+    cfg: Arc<AppConfig>,
+    dataset: DistributedDataset,
+    node: usize,
+}
+
+impl RfrFilter {
+    /// Opens the dataset for one copy.
+    pub fn open(
+        cfg: Arc<AppConfig>,
+        root: &std::path::Path,
+        node: usize,
+    ) -> Result<Self, FilterError> {
+        let dataset = DistributedDataset::open(root)?;
+        if dataset.descriptor().num_nodes != cfg.storage_nodes {
+            return Err(FilterError::msg(format!(
+                "dataset has {} storage nodes, config expects {}",
+                dataset.descriptor().num_nodes,
+                cfg.storage_nodes
+            )));
+        }
+        Ok(Self { cfg, dataset, node })
+    }
+}
+
+impl Filter for RfrFilter {
+    fn start(&mut self, ctx: &mut FilterContext) -> Result<(), FilterError> {
+        let grid = ChunkGrid::new(self.cfg.dims, self.cfg.roi, self.cfg.chunk_dims);
+        for chunk in grid.chunks() {
+            let r = chunk.input;
+            for t in r.origin.t..r.end().t {
+                for z in r.origin.z..r.end().z {
+                    let key = SliceKey { t, z };
+                    if self.dataset.node_of(key) != Some(self.node) {
+                        continue;
+                    }
+                    let data = self
+                        .dataset
+                        .read_subrect(key, r.origin.x, r.origin.y, r.size.x, r.size.y)?;
+                    let piece = Piece {
+                        chunk,
+                        slice: key,
+                        data,
+                    };
+                    let size = piece.wire_size();
+                    ctx.emit(0, DataBuffer::new(piece, size, chunk.id as u64))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn process(
+        &mut self,
+        _: usize,
+        _: DataBuffer,
+        _: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        Err(FilterError::msg("RFR has no inputs"))
+    }
+}
+
+/// DCMFileReader: the drop-in DICOM replacement for [`RfrFilter`] — the
+/// incremental-development claim of paper §4.3 ("the filter developed to
+/// read in raw DCE-MRI data may be easily replaced by a filter which reads
+/// DICOM format images"). It emits byte-identical [`Piece`] buffers, so
+/// nothing downstream changes.
+pub struct DfrFilter {
+    cfg: Arc<AppConfig>,
+    dataset: DicomDataset,
+    node: usize,
+}
+
+impl DfrFilter {
+    /// Opens the DICOM dataset for one copy.
+    pub fn open(
+        cfg: Arc<AppConfig>,
+        root: &std::path::Path,
+        node: usize,
+    ) -> Result<Self, FilterError> {
+        let dataset = DicomDataset::open(root)
+            .map_err(|e| FilterError::msg(format!("DICOM open failed: {e}")))?;
+        if dataset.descriptor().num_nodes != cfg.storage_nodes {
+            return Err(FilterError::msg(format!(
+                "dataset has {} storage nodes, config expects {}",
+                dataset.descriptor().num_nodes,
+                cfg.storage_nodes
+            )));
+        }
+        Ok(Self { cfg, dataset, node })
+    }
+}
+
+impl Filter for DfrFilter {
+    fn start(&mut self, ctx: &mut FilterContext) -> Result<(), FilterError> {
+        let grid = ChunkGrid::new(self.cfg.dims, self.cfg.roi, self.cfg.chunk_dims);
+        let dims = self.cfg.dims;
+        for chunk in grid.chunks() {
+            let r = chunk.input;
+            for t in r.origin.t..r.end().t {
+                for z in r.origin.z..r.end().z {
+                    let key = SliceKey { t, z };
+                    if self.dataset.node_of(key) != Some(self.node) {
+                        continue;
+                    }
+                    let slice = self
+                        .dataset
+                        .read_slice(key)
+                        .map_err(|e| FilterError::msg(format!("DICOM read failed: {e}")))?;
+                    // Crop the chunk's sub-rectangle out of the full slice.
+                    let mut data = Vec::with_capacity(r.size.x * r.size.y);
+                    for y in r.origin.y..r.origin.y + r.size.y {
+                        let start = y * dims.x + r.origin.x;
+                        data.extend_from_slice(&slice.pixels[start..start + r.size.x]);
+                    }
+                    let piece = Piece {
+                        chunk,
+                        slice: key,
+                        data,
+                    };
+                    let size = piece.wire_size();
+                    ctx.emit(0, DataBuffer::new(piece, size, chunk.id as u64))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn process(
+        &mut self,
+        _: usize,
+        _: DataBuffer,
+        _: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        Err(FilterError::msg("DFR has no inputs"))
+    }
+}
+
+/// InputImageConstructor (input stitch): reassembles complete chunk input
+/// regions from the per-slice pieces and forwards them to the texture
+/// filters. Pieces of one chunk are routed to one IIC copy by the
+/// tag-modulo stream (the chunk id is the tag).
+pub struct IicFilter {
+    /// chunk id → (assembly buffer, received pieces, expected pieces).
+    pending: HashMap<usize, (ChunkData, usize, usize)>,
+}
+
+impl IicFilter {
+    /// Creates an empty stitcher.
+    pub fn new() -> Self {
+        Self {
+            pending: HashMap::new(),
+        }
+    }
+}
+
+impl Default for IicFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Filter for IicFilter {
+    fn process(
+        &mut self,
+        _: usize,
+        buf: DataBuffer,
+        ctx: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        let piece = buf.expect::<Piece>();
+        let chunk = piece.chunk;
+        let entry = self.pending.entry(chunk.id).or_insert_with(|| {
+            let expected = chunk.input.size.z * chunk.input.size.t;
+            (
+                ChunkData {
+                    chunk,
+                    raw: RawVolume::zeros(chunk.input.size),
+                },
+                0,
+                expected,
+            )
+        });
+        let plane = RawVolume::new(
+            Dims4::new(chunk.input.size.x, chunk.input.size.y, 1, 1),
+            piece.data.clone(),
+        );
+        let at = Point4::new(
+            0,
+            0,
+            piece.slice.z - chunk.input.origin.z,
+            piece.slice.t - chunk.input.origin.t,
+        );
+        entry.0.raw.paste(&plane, at);
+        entry.1 += 1;
+        if entry.1 == entry.2 {
+            let (data, _, _) = self.pending.remove(&chunk.id).expect("entry exists");
+            let size = data.wire_size();
+            ctx.emit(0, DataBuffer::new(data, size, chunk.id as u64))?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _: &mut FilterContext) -> Result<(), FilterError> {
+        if !self.pending.is_empty() {
+            return Err(FilterError::msg(format!(
+                "IIC finished with {} incomplete chunks (missing pieces)",
+                self.pending.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builds the co-occurrence matrix for one ROI of a quantized chunk,
+/// returning it in the configured transmission representation.
+fn matrix_for(
+    vol: &LevelVolume,
+    cfg: &AppConfig,
+    local_origin: Point4,
+) -> Result<MatrixEither, FilterError> {
+    let region = Region4::new(local_origin, cfg.roi.size());
+    Ok(match cfg.representation {
+        Representation::SparseAccum => {
+            MatrixEither::Sparse(SparseAccumulator::from_region(vol, region, &cfg.directions))
+        }
+        Representation::Sparse => {
+            let m = CoMatrix::from_region(vol, region, &cfg.directions);
+            MatrixEither::Sparse(SparseCoMatrix::from_dense(&m))
+        }
+        _ => MatrixEither::Dense(CoMatrix::from_region(vol, region, &cfg.directions)),
+    })
+}
+
+enum MatrixEither {
+    Dense(CoMatrix),
+    Sparse(SparseCoMatrix),
+}
+
+impl MatrixEither {
+    fn stats(&self, repr: Representation) -> MatrixStats {
+        match self {
+            MatrixEither::Dense(m) => match repr {
+                Representation::FullNaive => m.stats_naive(),
+                _ => m.stats_checked(),
+            },
+            MatrixEither::Sparse(s) => MatrixStats::from_sparse(s),
+        }
+    }
+}
+
+/// Computes feature values for every owned ROI of a chunk and groups them
+/// into one `ParamPacket` per feature. Shared by HMP (directly) and used in
+/// tests as the per-chunk reference.
+pub fn analyze_chunk(cfg: &AppConfig, data: &ChunkData) -> Result<Vec<ParamPacket>, FilterError> {
+    let vol = data.raw.quantize(&cfg.quantizer);
+    let chunk = &data.chunk;
+    let n = chunk.rois();
+    let sel = cfg.selection;
+    let mut points = Vec::with_capacity(n);
+    let mut per_feature: Vec<Vec<f64>> = vec![Vec::with_capacity(n); sel.len()];
+    let incremental = cfg.incremental_window
+        && matches!(
+            cfg.representation,
+            Representation::Full | Representation::FullNaive
+        );
+    let push = |global: Point4,
+                stats: &MatrixStats,
+                points: &mut Vec<Point4>,
+                per_feature: &mut Vec<Vec<f64>>| {
+        let fv = compute_features(stats, &sel);
+        points.push(global);
+        for (slot, f) in sel.iter().enumerate() {
+            per_feature[slot].push(fv.get(f).expect("selected feature computed"));
+        }
+    };
+    if incremental {
+        // Slide the window along x within each output row of the chunk,
+        // rebuilding once per row (haralick::window).
+        let owned = chunk.owned_output;
+        for t in 0..owned.size.t {
+            for z in 0..owned.size.z {
+                for y in 0..owned.size.y {
+                    let row_global = Point4::new(
+                        owned.origin.x,
+                        owned.origin.y + y,
+                        owned.origin.z + z,
+                        owned.origin.t + t,
+                    );
+                    let local = Point4::new(
+                        row_global.x - chunk.input.origin.x,
+                        row_global.y - chunk.input.origin.y,
+                        row_global.z - chunk.input.origin.z,
+                        row_global.t - chunk.input.origin.t,
+                    );
+                    let mut win = haralick::window::SlidingWindow::new(
+                        &vol,
+                        &cfg.directions,
+                        cfg.roi.size(),
+                        local,
+                    );
+                    for x in 0..owned.size.x {
+                        let stats = match cfg.representation {
+                            Representation::FullNaive => win.matrix().stats_naive(),
+                            _ => win.matrix().stats_checked(),
+                        };
+                        let global =
+                            Point4::new(row_global.x + x, row_global.y, row_global.z, row_global.t);
+                        push(global, &stats, &mut points, &mut per_feature);
+                        if x + 1 < owned.size.x {
+                            win.slide_x();
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        for k in 0..n {
+            let global = linear_point(chunk, k);
+            let local = Point4::new(
+                global.x - chunk.input.origin.x,
+                global.y - chunk.input.origin.y,
+                global.z - chunk.input.origin.z,
+                global.t - chunk.input.origin.t,
+            );
+            let m = matrix_for(&vol, cfg, local)?;
+            let stats = m.stats(cfg.representation);
+            push(global, &stats, &mut points, &mut per_feature);
+        }
+    }
+    Ok(sel
+        .iter()
+        .zip(per_feature)
+        .map(|(feature, values)| ParamPacket {
+            feature,
+            points: points.clone(),
+            values,
+        })
+        .collect())
+}
+
+/// HaralickMatrixProducer: the combined variant — co-occurrence matrices
+/// and Haralick parameters in one filter (paper Figure 5).
+pub struct HmpFilter {
+    cfg: Arc<AppConfig>,
+}
+
+impl HmpFilter {
+    /// Creates the filter.
+    pub fn new(cfg: Arc<AppConfig>) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Filter for HmpFilter {
+    fn process(
+        &mut self,
+        _: usize,
+        buf: DataBuffer,
+        ctx: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        let data = buf.expect::<ChunkData>();
+        for packet in analyze_chunk(&self.cfg, data)? {
+            let size = packet.wire_size(self.cfg.param_value_bytes);
+            ctx.emit(0, DataBuffer::new(packet, size, buf.tag()))?;
+        }
+        Ok(())
+    }
+}
+
+/// HaralickCoMatrixCalculator: the matrix half of the split variant (paper
+/// Figure 4). Emits a matrix packet each time `1/packet_split` of a chunk's
+/// ROIs have been processed.
+pub struct HccFilter {
+    cfg: Arc<AppConfig>,
+}
+
+impl HccFilter {
+    /// Creates the filter.
+    pub fn new(cfg: Arc<AppConfig>) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Filter for HccFilter {
+    fn process(
+        &mut self,
+        _: usize,
+        buf: DataBuffer,
+        ctx: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        let data = buf.expect::<ChunkData>();
+        let cfg = &self.cfg;
+        let vol = data.raw.quantize(&cfg.quantizer);
+        let chunk = data.chunk;
+        let n = chunk.rois();
+        let per_packet = n.div_ceil(cfg.packet_split.max(1)).max(1);
+        let mut first = 0usize;
+        while first < n {
+            let count = per_packet.min(n - first);
+            let mut dense = Vec::new();
+            let mut sparse = Vec::new();
+            for k in first..first + count {
+                let global = linear_point(&chunk, k);
+                let local = Point4::new(
+                    global.x - chunk.input.origin.x,
+                    global.y - chunk.input.origin.y,
+                    global.z - chunk.input.origin.z,
+                    global.t - chunk.input.origin.t,
+                );
+                match matrix_for(&vol, cfg, local)? {
+                    MatrixEither::Dense(m) => dense.push(m),
+                    MatrixEither::Sparse(s) => sparse.push(s),
+                }
+            }
+            let batch = if sparse.is_empty() {
+                MatrixBatch::Dense(dense)
+            } else {
+                MatrixBatch::Sparse(sparse)
+            };
+            let packet = MatrixPacket {
+                chunk,
+                first,
+                batch,
+            };
+            let size = packet.wire_size(cfg.levels);
+            ctx.emit(0, DataBuffer::new(packet, size, buf.tag()))?;
+            first += count;
+        }
+        Ok(())
+    }
+}
+
+/// HaralickParameterCalculator: the parameter half of the split variant.
+pub struct HpcFilter {
+    cfg: Arc<AppConfig>,
+}
+
+impl HpcFilter {
+    /// Creates the filter.
+    pub fn new(cfg: Arc<AppConfig>) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Filter for HpcFilter {
+    fn process(
+        &mut self,
+        _: usize,
+        buf: DataBuffer,
+        ctx: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        let packet = buf.expect::<MatrixPacket>();
+        let cfg = &self.cfg;
+        let sel: FeatureSelection = cfg.selection;
+        let n = packet.batch.len();
+        let mut points = Vec::with_capacity(n);
+        let mut per_feature: Vec<Vec<f64>> = vec![Vec::with_capacity(n); sel.len()];
+        let mut push = |k: usize, stats: &MatrixStats, points: &mut Vec<Point4>| {
+            let fv = compute_features(stats, &sel);
+            points.push(packet.origin_of(k));
+            for (slot, f) in sel.iter().enumerate() {
+                per_feature[slot].push(fv.get(f).expect("selected feature computed"));
+            }
+        };
+        match &packet.batch {
+            MatrixBatch::Dense(ms) => {
+                for (k, m) in ms.iter().enumerate() {
+                    let stats = match cfg.representation {
+                        Representation::FullNaive => m.stats_naive(),
+                        _ => m.stats_checked(),
+                    };
+                    push(k, &stats, &mut points);
+                }
+            }
+            MatrixBatch::Sparse(ms) => {
+                for (k, s) in ms.iter().enumerate() {
+                    push(k, &MatrixStats::from_sparse(s), &mut points);
+                }
+            }
+        }
+        for (slot, feature) in sel.iter().enumerate() {
+            let out = ParamPacket {
+                feature,
+                points: points.clone(),
+                values: std::mem::take(&mut per_feature[slot]),
+            };
+            let size = out.wire_size(cfg.param_value_bytes);
+            ctx.emit(0, DataBuffer::new(out, size, buf.tag()))?;
+        }
+        Ok(())
+    }
+}
+
+/// UnstitchedOutput: writes parameter values with positional information to
+/// disk, one file per (parameter, copy) pair.
+pub struct UsoFilter {
+    cfg: Arc<AppConfig>,
+    dir: PathBuf,
+    copy: usize,
+    writers: HashMap<haralick::features::Feature, ParameterWriter>,
+}
+
+impl UsoFilter {
+    /// Creates the filter writing into `dir` (created on demand).
+    pub fn new(cfg: Arc<AppConfig>, dir: PathBuf, copy: usize) -> Self {
+        Self {
+            cfg,
+            dir,
+            copy,
+            writers: HashMap::new(),
+        }
+    }
+
+    /// The file a given (feature, copy) pair is written to, relative to the
+    /// output directory.
+    pub fn file_name(feature: haralick::features::Feature, copy: usize) -> String {
+        format!("{}_{copy}.h4dp", feature.short_name())
+    }
+}
+
+impl Filter for UsoFilter {
+    fn process(
+        &mut self,
+        _: usize,
+        buf: DataBuffer,
+        _: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        let packet = buf.expect::<ParamPacket>();
+        if !self.writers.contains_key(&packet.feature) {
+            std::fs::create_dir_all(&self.dir)?;
+            let path = self.dir.join(Self::file_name(packet.feature, self.copy));
+            let w =
+                ParameterWriter::create(&path, packet.feature.short_name(), self.cfg.out_dims())?;
+            self.writers.insert(packet.feature, w);
+        }
+        let w = self
+            .writers
+            .get_mut(&packet.feature)
+            .expect("just inserted");
+        for (p, v) in packet.points.iter().zip(&packet.values) {
+            w.push(*p, *v)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _: &mut FilterContext) -> Result<(), FilterError> {
+        for (_, w) in self.writers.drain() {
+            w.finish()?;
+        }
+        Ok(())
+    }
+}
+
+/// HaralickImageConstructor (output stitch): assembles the parameter
+/// packets into complete per-parameter 4D volumes and forwards each, with
+/// its min/max, once fully assembled.
+///
+/// Memory note: by design (paper §4.3.3) this filter holds one dense `f64`
+/// map per parameter for the whole output — at paper scale that is ~440 MB
+/// per parameter on the stitch node. Use the USO path for outputs that
+/// must stream.
+pub struct HicFilter {
+    cfg: Arc<AppConfig>,
+    maps: HashMap<haralick::features::Feature, Vec<f64>>,
+    filled: HashMap<haralick::features::Feature, usize>,
+}
+
+impl HicFilter {
+    /// Creates an empty output stitcher.
+    pub fn new(cfg: Arc<AppConfig>) -> Self {
+        Self {
+            cfg,
+            maps: HashMap::new(),
+            filled: HashMap::new(),
+        }
+    }
+}
+
+impl Filter for HicFilter {
+    fn process(
+        &mut self,
+        _: usize,
+        buf: DataBuffer,
+        ctx: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        let packet = buf.expect::<ParamPacket>();
+        let dims = self.cfg.out_dims();
+        let map = self
+            .maps
+            .entry(packet.feature)
+            .or_insert_with(|| vec![f64::NAN; dims.len()]);
+        for (p, v) in packet.points.iter().zip(&packet.values) {
+            map[dims.index(*p)] = *v;
+        }
+        let filled = self.filled.entry(packet.feature).or_insert(0);
+        *filled += packet.points.len();
+        if *filled == dims.len() {
+            let values = self.maps.remove(&packet.feature).expect("map exists");
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &v in &values {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let vol = FeatureVolume {
+                feature: packet.feature,
+                dims,
+                values,
+                min: lo,
+                max: hi,
+            };
+            let size = vol.dims.len() * 8 + 64;
+            ctx.emit(0, DataBuffer::new(vol, size, 0))?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _: &mut FilterContext) -> Result<(), FilterError> {
+        if !self.maps.is_empty() {
+            return Err(FilterError::msg(format!(
+                "HIC finished with {} incompletely assembled parameters",
+                self.maps.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// JPGImageWriter (PGM substitution): normalizes each assembled parameter
+/// volume by its min/max (zero → black, one → white) and writes it as a
+/// series of 2D gray-scale images, one per (z, t) slice.
+pub struct JiwFilter {
+    dir: PathBuf,
+}
+
+impl JiwFilter {
+    /// Creates the filter writing under `dir/<feature>/`.
+    pub fn new(dir: PathBuf) -> Self {
+        Self { dir }
+    }
+}
+
+impl Filter for JiwFilter {
+    fn process(
+        &mut self,
+        _: usize,
+        buf: DataBuffer,
+        _: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        let vol = buf.expect::<FeatureVolume>();
+        let d = vol.dims;
+        let dir = self.dir.join(vol.feature.short_name());
+        std::fs::create_dir_all(&dir)?;
+        for t in 0..d.t {
+            for z in 0..d.z {
+                let start = d.index(Point4::new(0, 0, z, t));
+                let plane = &vol.values[start..start + d.x * d.y];
+                let gray = normalize_to_gray(plane, vol.min, vol.max);
+                let path = dir.join(format!("slice_t{t:04}_z{z:04}.pgm"));
+                write_pgm(&path, d.x, d.y, &gray)?;
+            }
+        }
+        Ok(())
+    }
+}

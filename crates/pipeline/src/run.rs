@@ -1,0 +1,143 @@
+//! Convenience drivers for running the application on the threaded engine.
+//!
+//! [`threaded_factories`] builds the real filter constructors for whatever
+//! filters a graph declares; [`run_threaded`] executes the graph and
+//! returns the engine's statistics. The output lands on disk: parameter
+//! files from USO copies, image series from JIW.
+
+use crate::config::AppConfig;
+use crate::filters::{
+    DfrFilter, HccFilter, HicFilter, HmpFilter, HpcFilter, IicFilter, JiwFilter, RfrFilter,
+    UsoFilter,
+};
+use datacutter::engine::FilterFactory;
+use datacutter::{run_graph, EngineConfig, FilterError, GraphSpec, RunStats};
+use haralick::features::Feature;
+use haralick::volume::Dims4;
+use mri::output::{read_parameter_file, ParameterData};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Builds real-filter factories for every filter named in `spec`.
+///
+/// `dataset_root` must hold a distributed dataset matching `cfg`
+/// (see [`mri::store::write_distributed`]); `out_dir` receives USO
+/// parameter files and JIW image series.
+///
+/// # Panics
+/// If the spec names a filter kind this application does not provide.
+pub fn threaded_factories(
+    spec: &GraphSpec,
+    cfg: &Arc<AppConfig>,
+    dataset_root: &Path,
+    out_dir: &Path,
+) -> HashMap<String, FilterFactory> {
+    let mut out: HashMap<String, FilterFactory> = HashMap::new();
+    for f in &spec.filters {
+        let cfg = cfg.clone();
+        let root: PathBuf = dataset_root.to_path_buf();
+        let dir: PathBuf = out_dir.to_path_buf();
+        let factory: FilterFactory = match f.name.as_str() {
+            "RFR" => Box::new(move |copy| {
+                Box::new(
+                    RfrFilter::open(cfg.clone(), &root, copy)
+                        .expect("RFR could not open the dataset"),
+                )
+            }),
+            "DFR" => Box::new(move |copy| {
+                Box::new(
+                    DfrFilter::open(cfg.clone(), &root, copy)
+                        .expect("DFR could not open the DICOM dataset"),
+                )
+            }),
+            "IIC" => Box::new(move |_| Box::new(IicFilter::new())),
+            "HMP" => Box::new(move |_| Box::new(HmpFilter::new(cfg.clone()))),
+            "HCC" => Box::new(move |_| Box::new(HccFilter::new(cfg.clone()))),
+            "HPC" => Box::new(move |_| Box::new(HpcFilter::new(cfg.clone()))),
+            "USO" => Box::new(move |copy| Box::new(UsoFilter::new(cfg.clone(), dir.clone(), copy))),
+            "HIC" => Box::new(move |_| Box::new(HicFilter::new(cfg.clone()))),
+            "JIW" => Box::new(move |_| Box::new(JiwFilter::new(dir.clone()))),
+            other => panic!("no threaded filter implementation for {other:?}"),
+        };
+        out.insert(f.name.clone(), factory);
+    }
+    out
+}
+
+/// Runs `spec` on the threaded engine with the real filters.
+pub fn run_threaded(
+    spec: &GraphSpec,
+    cfg: &Arc<AppConfig>,
+    dataset_root: &Path,
+    out_dir: &Path,
+) -> Result<RunStats, FilterError> {
+    let mut factories = threaded_factories(spec, cfg, dataset_root, out_dir);
+    let outcome = run_graph(spec, &mut factories, &EngineConfig::default())?;
+    Ok(outcome.stats)
+}
+
+/// Reads and merges the USO output files of all `copies` for one feature
+/// into a single dense map. Fails if any position is missing or duplicated
+/// across the files.
+///
+/// `NaN` is the "not written" sentinel of the parameter-file format, so a
+/// feature value that were itself `NaN` would read back as a coverage gap;
+/// the fourteen Haralick features are guarded against producing `NaN`
+/// (degenerate cases return 0), so this cannot occur with this crate's
+/// filters.
+pub fn merge_uso_outputs(
+    out_dir: &Path,
+    feature: Feature,
+    copies: usize,
+    dims: Dims4,
+) -> std::io::Result<Vec<f64>> {
+    let mut values = vec![f64::NAN; dims.len()];
+    let mut seen = vec![false; dims.len()];
+    let mut files = 0;
+    for copy in 0..copies {
+        let path = out_dir.join(UsoFilter::file_name(feature, copy));
+        if !path.exists() {
+            // A copy that received no packets for this feature writes no
+            // file (round-robin can route a whole feature to one copy).
+            continue;
+        }
+        files += 1;
+        let ParameterData {
+            dims: fdims,
+            values: vs,
+            ..
+        } = read_parameter_file(&path)?;
+        if fdims != dims {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("output dims {fdims} do not match expected {dims}"),
+            ));
+        }
+        for (i, v) in vs.into_iter().enumerate() {
+            if !v.is_nan() {
+                if seen[i] {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("position {i} written by more than one USO copy"),
+                    ));
+                }
+                seen[i] = true;
+                values[i] = v;
+            }
+        }
+    }
+    if files == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no USO output files for {feature:?}"),
+        ));
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("position {missing} missing from all USO outputs"),
+        ));
+    }
+    Ok(values)
+}

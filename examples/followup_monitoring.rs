@@ -1,0 +1,136 @@
+//! Follow-up monitoring — the paper's motivating clinical workflow:
+//! acquire a baseline DCE-MRI study and a later follow-up, compute Haralick
+//! texture maps of both, and compare texture inside the known lesion region
+//! against healthy tissue to quantify progression.
+//!
+//! ```sh
+//! cargo run --release --example followup_monitoring
+//! ```
+
+use haralick4d::haralick::{
+    features::Feature,
+    raster::{raster_scan_par, FeatureMaps, Representation, ScanConfig},
+    volume::{Dims4, Point4},
+    Direction, DirectionSet, FeatureSelection, RoiShape,
+};
+use haralick4d::mri::study::Study;
+use haralick4d::mri::synth::{generate_followup, generate_with_truth, Lesion, SynthConfig};
+use std::path::PathBuf;
+
+fn scan(raw: &haralick4d::mri::RawVolume, cfg: &ScanConfig) -> FeatureMaps {
+    raster_scan_par(&raw.quantize_min_max(32), cfg)
+}
+
+/// Mean feature value over output voxels whose ROI center falls inside /
+/// outside every lesion.
+fn region_means(
+    maps: &FeatureMaps,
+    lesions: &[Lesion],
+    roi: Dims4,
+    feature: Feature,
+) -> (f64, f64) {
+    let (mut tum, mut bg) = ((0.0, 0usize), (0.0, 0usize));
+    for p in maps.dims().region().points() {
+        // ROI center in input coordinates.
+        let c = Point4::new(
+            p.x + roi.x / 2,
+            p.y + roi.y / 2,
+            p.z + roi.z / 2,
+            p.t + roi.t / 2,
+        );
+        let inside = lesions
+            .iter()
+            .any(|l| l.membership(c.x as f64, c.y as f64, c.z as f64) > 0.3);
+        let v = maps.get(p, feature);
+        if inside {
+            tum = (tum.0 + v, tum.1 + 1);
+        } else {
+            bg = (bg.0 + v, bg.1 + 1);
+        }
+    }
+    (tum.0 / tum.1.max(1) as f64, bg.0 / bg.1.max(1) as f64)
+}
+
+fn main() {
+    let root: PathBuf = std::env::temp_dir().join("h4d_followup");
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Baseline and a 6-week follow-up with 30% lesion growth (same
+    // anatomy, same scanner noise field).
+    let synth = SynthConfig::test_scale(77);
+    let (baseline, truth0) = generate_with_truth(&synth);
+    let (followup, truth1) = generate_followup(&synth, 1.3);
+
+    // Persist as a longitudinal study (distributed datasets + descriptor).
+    let mut study = Study::new("phantom-77");
+    study
+        .add_visit(
+            &root,
+            "baseline",
+            "2004-01-15",
+            &baseline,
+            2,
+            truth0.clone(),
+        )
+        .unwrap();
+    study
+        .add_visit(&root, "week-6", "2004-02-26", &followup, 2, truth1.clone())
+        .unwrap();
+    study.save(&root).unwrap();
+    println!(
+        "study {} saved under {} ({} visits)",
+        study.patient,
+        root.display(),
+        study.visits.len()
+    );
+
+    // Texture maps of both visits.
+    let cfg = ScanConfig {
+        roi: RoiShape::from_lengths(8, 8, 2, 2),
+        directions: DirectionSet::single(Direction::new(1, 1, 1, 1)),
+        selection: FeatureSelection::of(&[
+            Feature::AngularSecondMoment,
+            Feature::Contrast,
+            Feature::Entropy,
+            Feature::InverseDifferenceMoment,
+        ]),
+        representation: Representation::Full,
+    };
+    let t = std::time::Instant::now();
+    let maps0 = scan(&baseline, &cfg);
+    let maps1 = scan(&followup, &cfg);
+    println!(
+        "computed {} texture voxels per visit in {:.2?}\n",
+        maps0.dims().len(),
+        t.elapsed()
+    );
+
+    // Texture separates lesion from background, and the separation moves
+    // with progression.
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10}",
+        "feature", "tum base", "bg base", "tum wk6", "bg wk6"
+    );
+    for feature in cfg.selection.iter() {
+        let (t0, b0) = region_means(&maps0, &truth0, cfg.roi.size(), feature);
+        let (t1, b1) = region_means(&maps1, &truth1, cfg.roi.size(), feature);
+        println!(
+            "{:<24} {t0:>10.4} {b0:>10.4} {t1:>10.4} {b1:>10.4}",
+            feature.short_name()
+        );
+    }
+
+    // Progression delta map: follow-up minus baseline.
+    let delta = maps0.delta(&maps1);
+    let (lo, hi) = delta.min_max(Feature::Contrast);
+    println!("\ncontrast delta map range: [{lo:+.4}, {hi:+.4}]");
+    let grown: usize = delta
+        .feature_volume(Feature::Contrast)
+        .iter()
+        .filter(|&&v| v.abs() > 0.05)
+        .count();
+    println!(
+        "{grown} of {} texture voxels changed materially between visits",
+        delta.dims().len()
+    );
+}

@@ -1,0 +1,29 @@
+//! # haralick4d — Parallel 4D Haralick Texture Analysis
+//!
+//! Facade crate for the reproduction of Woods, Clymer, Saltz & Kurc,
+//! *"A Parallel Implementation of 4-Dimensional Haralick Texture Analysis
+//! for Disk-resident Image Datasets"* (SC 2004).
+//!
+//! Each subsystem lives in its own crate and is re-exported here:
+//!
+//! * [`haralick`] — the core algorithm: co-occurrence matrices (full and
+//!   sparse), the fourteen Haralick features, raster scanning;
+//! * [`mri`] — the disk-resident 4D dataset substrate: synthetic DCE-MRI
+//!   generation, round-robin slice distribution across storage nodes,
+//!   chunked retrieval with ROI overlap, image output;
+//! * [`datacutter`] — the filter-stream middleware: filters, streams,
+//!   transparent copies, round-robin and demand-driven scheduling, and a
+//!   threaded execution engine;
+//! * [`cluster`] — cluster presets (PIII / XEON / OPTERON), the calibrated
+//!   discrete-event simulator used for multi-node experiments;
+//! * [`pipeline`] — the application filter set (RFR, IIC, HMP, HCC, HPC,
+//!   USO, HIC, JIW) and the per-figure experiment drivers.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduction of
+//! every figure in the paper's evaluation section.
+
+pub use cluster;
+pub use datacutter;
+pub use haralick;
+pub use mri;
+pub use pipeline;

@@ -1,0 +1,166 @@
+//! Cross-crate integration: the facade crate's re-exports compose into the
+//! full workflow, and the simulator's flow model agrees with the real
+//! threaded engine's buffer accounting.
+
+use haralick4d::cluster::calibrated_defaults::default_model;
+use haralick4d::cluster::des::simulate;
+use haralick4d::datacutter::SchedulePolicy;
+use haralick4d::haralick::raster::Representation;
+use haralick4d::mri::store::write_distributed;
+use haralick4d::mri::synth::{generate, SynthConfig};
+use haralick4d::pipeline::config::AppConfig;
+use haralick4d::pipeline::graphs::{Copies, SplitGraph};
+use haralick4d::pipeline::run::run_threaded;
+use haralick4d::pipeline::simfilters::sim_factories;
+use haralick4d::pipeline::Workload;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn setup(tag: &str, cfg: &AppConfig, seed: u64) -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("h4d_xc_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let data = base.join("data");
+    let out = base.join("out");
+    std::fs::create_dir_all(&out).unwrap();
+    let raw = generate(&SynthConfig {
+        dims: cfg.dims,
+        ..SynthConfig::test_scale(seed)
+    });
+    write_distributed(&raw, &data, "xc", cfg.storage_nodes).unwrap();
+    (data, out)
+}
+
+/// The same graph topology run (a) for real on the threaded engine and
+/// (b) analytically on the simulator must move the same number of buffers
+/// through every stage — the flow model is exact, not approximate.
+#[test]
+fn simulator_flow_model_matches_real_engine_buffer_counts() {
+    let cfg = Arc::new(AppConfig::test_scale(Representation::Sparse));
+    let (data, out) = setup("flow", &cfg, 21);
+
+    // Real run: 2 RFR, 1 IIC, 2 HCC, 1 HPC, 1 USO.
+    let spec_real = SplitGraph {
+        rfr: Copies::Count(2),
+        iic: Copies::Count(1),
+        hcc: Copies::Count(2),
+        hpc: Copies::Count(1),
+        uso: Copies::Count(1),
+        texture_policy: SchedulePolicy::DemandDriven,
+        matrix_policy: SchedulePolicy::DemandDriven,
+    }
+    .build();
+    let real = run_threaded(&spec_real, &cfg, &data, &out).unwrap();
+
+    // Simulated run: identical topology on a small modeled cluster.
+    let cluster = haralick4d::cluster::presets::uniform(7);
+    let spec_sim = SplitGraph {
+        rfr: Copies::Placed(vec![0, 1]),
+        iic: Copies::Placed(vec![2]),
+        hcc: Copies::Placed(vec![3, 4]),
+        hpc: Copies::Placed(vec![5]),
+        uso: Copies::Placed(vec![6]),
+        texture_policy: SchedulePolicy::DemandDriven,
+        matrix_policy: SchedulePolicy::DemandDriven,
+    }
+    .build();
+    let w = Arc::new(Workload::new((*cfg).clone()));
+    let model = Arc::new(default_model());
+    let mut factories = sim_factories(&spec_sim, &cluster, &w, &model);
+    let sim = simulate(&spec_sim, &cluster, &mut factories);
+
+    for filter in ["IIC", "HCC", "HPC", "USO"] {
+        assert_eq!(
+            real.buffers_into(filter),
+            sim.buffers_into(filter),
+            "{filter}: flow model diverges from the real engine"
+        );
+    }
+    assert!(sim.makespan > 0.0);
+}
+
+/// Byte accounting agrees too (the communication volumes the paper's
+/// figures hinge on).
+#[test]
+fn simulator_byte_model_tracks_real_engine() {
+    let cfg = Arc::new(AppConfig::test_scale(Representation::Full));
+    let (data, out) = setup("bytes", &cfg, 22);
+    let spec = SplitGraph {
+        rfr: Copies::Count(2),
+        iic: Copies::Count(1),
+        hcc: Copies::Count(1),
+        hpc: Copies::Count(1),
+        uso: Copies::Count(1),
+        texture_policy: SchedulePolicy::DemandDriven,
+        matrix_policy: SchedulePolicy::DemandDriven,
+    }
+    .build();
+    let real = run_threaded(&spec, &cfg, &data, &out).unwrap();
+
+    let cluster = haralick4d::cluster::presets::uniform(6);
+    let spec_sim = SplitGraph {
+        rfr: Copies::Placed(vec![0, 1]),
+        iic: Copies::Placed(vec![2]),
+        hcc: Copies::Placed(vec![3]),
+        hpc: Copies::Placed(vec![4]),
+        uso: Copies::Placed(vec![5]),
+        texture_policy: SchedulePolicy::DemandDriven,
+        matrix_policy: SchedulePolicy::DemandDriven,
+    }
+    .build();
+    let w = Arc::new(Workload::new((*cfg).clone()));
+    let model = Arc::new(default_model());
+    let mut factories = sim_factories(&spec_sim, &cluster, &w, &model);
+    let sim = simulate(&spec_sim, &cluster, &mut factories);
+
+    // Chunk bytes into HCC must match exactly (deterministic geometry).
+    assert_eq!(
+        real.copies_of("HCC")
+            .iter()
+            .map(|c| c.bytes_in)
+            .sum::<u64>(),
+        sim.copies_of("HCC").iter().map(|c| c.bytes_in).sum::<u64>(),
+        "IIC->HCC bytes diverge"
+    );
+    // Full-representation matrix bytes are exactly Ng^2-sized, so they too
+    // must match.
+    assert_eq!(
+        real.copies_of("HPC")
+            .iter()
+            .map(|c| c.bytes_in)
+            .sum::<u64>(),
+        sim.copies_of("HPC").iter().map(|c| c.bytes_in).sum::<u64>(),
+        "HCC->HPC bytes diverge"
+    );
+}
+
+/// Quantitative §4.4.1 claim at workload scale: the sparse representation
+/// reduces the measured HCC→HPC traffic by more than an order of magnitude.
+#[test]
+fn sparse_transmission_cuts_real_traffic() {
+    let traffic = |repr| {
+        let cfg = Arc::new(AppConfig::test_scale(repr));
+        let (data, out) = setup(&format!("traffic_{repr:?}"), &cfg, 23);
+        let spec = SplitGraph {
+            rfr: Copies::Count(2),
+            iic: Copies::Count(1),
+            hcc: Copies::Count(2),
+            hpc: Copies::Count(1),
+            uso: Copies::Count(1),
+            texture_policy: SchedulePolicy::DemandDriven,
+            matrix_policy: SchedulePolicy::DemandDriven,
+        }
+        .build();
+        let stats = run_threaded(&spec, &cfg, &data, &out).unwrap();
+        stats
+            .copies_of("HPC")
+            .iter()
+            .map(|c| c.bytes_in)
+            .sum::<u64>()
+    };
+    let full = traffic(Representation::Full);
+    let sparse = traffic(Representation::Sparse);
+    assert!(
+        full > 15 * sparse,
+        "sparse reduction too small: full {full} vs sparse {sparse}"
+    );
+}

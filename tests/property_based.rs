@@ -1,0 +1,252 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: co-occurrence accumulation, sparse equivalence, feature
+//! bounds, chunk-grid tiling, storage round-trips and quantization.
+
+use haralick4d::haralick::features::MatrixStats;
+use haralick4d::haralick::quantize::Quantizer;
+use haralick4d::haralick::{
+    compute_features, CoMatrix, Dims4, Direction, DirectionSet, Feature, FeatureSelection,
+    LevelVolume, Point4, Region4, RoiShape, SparseAccumulator, SparseCoMatrix,
+};
+use haralick4d::mri::chunks::ChunkGrid;
+use haralick4d::mri::raw::RawVolume;
+use proptest::prelude::*;
+
+/// Strategy: a small random 4D level volume with `Ng = levels`.
+fn level_volume(levels: u16) -> impl Strategy<Value = LevelVolume> {
+    (2usize..7, 2usize..7, 1usize..4, 1usize..4)
+        .prop_flat_map(move |(x, y, z, t)| {
+            let n = x * y * z * t;
+            (
+                Just(Dims4::new(x, y, z, t)),
+                proptest::collection::vec(0u8..(levels as u8), n),
+            )
+        })
+        .prop_map(move |(dims, data)| LevelVolume::from_raw(dims, data, levels).unwrap())
+}
+
+/// Strategy: a random non-zero unit displacement.
+fn direction() -> impl Strategy<Value = Direction> {
+    (-1i32..=1, -1i32..=1, -1i32..=1, -1i32..=1)
+        .prop_filter("non-zero", |(a, b, c, d)| {
+            *a != 0 || *b != 0 || *c != 0 || *d != 0
+        })
+        .prop_map(|(a, b, c, d)| Direction::new(a, b, c, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cooccurrence_is_symmetric_and_conserves_total(
+        vol in level_volume(8),
+        d in direction(),
+    ) {
+        let m = CoMatrix::from_region(&vol, vol.full_region(), &DirectionSet::single(d));
+        prop_assert!(m.is_symmetric());
+        let sum: u64 = m.as_slice().iter().map(|&c| u64::from(c)).sum();
+        prop_assert_eq!(sum, m.total());
+        // Total is even: every pair counted forward and backward.
+        prop_assert_eq!(m.total() % 2, 0);
+    }
+
+    #[test]
+    fn opposite_displacements_give_identical_matrices(
+        vol in level_volume(6),
+        d in direction(),
+    ) {
+        let f = CoMatrix::from_region(&vol, vol.full_region(), &DirectionSet::single(d));
+        let b = CoMatrix::from_region(&vol, vol.full_region(), &DirectionSet::single(d.negate()));
+        prop_assert_eq!(f, b);
+    }
+
+    #[test]
+    fn sparse_accumulation_equals_dense_conversion(
+        vol in level_volume(8),
+        d in direction(),
+    ) {
+        let dirs = DirectionSet::single(d);
+        let dense = CoMatrix::from_region(&vol, vol.full_region(), &dirs);
+        let via_dense = SparseCoMatrix::from_dense(&dense);
+        let direct = SparseAccumulator::from_region(&vol, vol.full_region(), &dirs);
+        prop_assert_eq!(via_dense, direct);
+    }
+
+    #[test]
+    fn features_agree_across_representations(
+        vol in level_volume(8),
+        d in direction(),
+    ) {
+        let dirs = DirectionSet::single(d);
+        let m = CoMatrix::from_region(&vol, vol.full_region(), &dirs);
+        let sel = FeatureSelection::all();
+        let a = compute_features(&m.stats_checked(), &sel);
+        let b = compute_features(&m.stats_naive(), &sel);
+        let s = SparseCoMatrix::from_dense(&m);
+        let c = compute_features(&MatrixStats::from_sparse(&s), &sel);
+        for f in Feature::ALL {
+            let (x, y, z) = (a.get(f).unwrap(), b.get(f).unwrap(), c.get(f).unwrap());
+            prop_assert!((x - y).abs() < 1e-9, "{:?} checked {} vs naive {}", f, x, y);
+            prop_assert!((x - z).abs() < 1e-9, "{:?} checked {} vs sparse {}", f, x, z);
+        }
+    }
+
+    #[test]
+    fn feature_bounds_hold(vol in level_volume(8), d in direction()) {
+        let dirs = DirectionSet::single(d);
+        let m = CoMatrix::from_region(&vol, vol.full_region(), &dirs);
+        let f = compute_features(&m.stats_checked(), &FeatureSelection::all());
+        let get = |feat| f.get(feat).unwrap();
+        prop_assert!((0.0..=1.0).contains(&get(Feature::AngularSecondMoment)));
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&get(Feature::Correlation)));
+        prop_assert!((0.0..=1.0).contains(&get(Feature::InverseDifferenceMoment)));
+        prop_assert!(get(Feature::Entropy) >= 0.0);
+        prop_assert!(get(Feature::SumEntropy) >= 0.0);
+        prop_assert!(get(Feature::DifferenceEntropy) >= 0.0);
+        prop_assert!(get(Feature::SumOfSquares) >= 0.0);
+        prop_assert!(get(Feature::SumVariance) >= -1e-12);
+        prop_assert!(get(Feature::DifferenceVariance) >= -1e-12);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&get(Feature::InfoMeasureCorrelation2)));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&get(Feature::MaximalCorrelationCoefficient)));
+    }
+
+    #[test]
+    fn level_shift_preserves_shiftinvariant_features(
+        vol in level_volume(4),
+        d in direction(),
+        shift in 1u8..4,
+    ) {
+        // Shifting all gray levels by a constant leaves contrast-type
+        // features unchanged (they depend only on level differences and
+        // probabilities, not absolute levels).
+        let dirs = DirectionSet::single(d);
+        let shifted_data: Vec<u8> = vol.as_slice().iter().map(|&v| v + shift).collect();
+        let shifted = LevelVolume::from_raw(vol.dims(), shifted_data, 8).unwrap();
+        let widened = LevelVolume::from_raw(vol.dims(), vol.as_slice().to_vec(), 8).unwrap();
+        let ma = CoMatrix::from_region(&widened, widened.full_region(), &dirs);
+        let mb = CoMatrix::from_region(&shifted, shifted.full_region(), &dirs);
+        let sel = FeatureSelection::of(&[
+            Feature::AngularSecondMoment,
+            Feature::Contrast,
+            Feature::InverseDifferenceMoment,
+            Feature::Entropy,
+            Feature::DifferenceEntropy,
+        ]);
+        let fa = compute_features(&ma.stats_checked(), &sel);
+        let fb = compute_features(&mb.stats_checked(), &sel);
+        for feat in sel.iter() {
+            let (x, y) = (fa.get(feat).unwrap(), fb.get(feat).unwrap());
+            prop_assert!((x - y).abs() < 1e-9, "{:?}: {} vs {}", feat, x, y);
+        }
+    }
+
+    #[test]
+    fn chunk_grid_tiles_outputs_exactly(
+        dx in 12usize..40,
+        dy in 12usize..40,
+        dz in 3usize..10,
+        dt in 3usize..10,
+        cx in 12usize..24,
+        cz in 3usize..6,
+    ) {
+        let dims = Dims4::new(dx, dy, dz, dt);
+        let roi = RoiShape::from_lengths(5, 5, 2, 2);
+        let chunk_dims = Dims4::new(cx, cx, cz, cz);
+        let grid = ChunkGrid::new(dims, roi, chunk_dims);
+        let mut covered = vec![false; grid.out_dims().len()];
+        for chunk in grid.chunks() {
+            prop_assert!(dims.region().contains_region(&chunk.input));
+            for p in chunk.owned_output.points() {
+                let i = grid.out_dims().index(p);
+                prop_assert!(!covered[i], "output {:?} owned twice", p);
+                covered[i] = true;
+                prop_assert!(chunk.input.contains_region(&roi.region_at(p)));
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "uncovered outputs");
+    }
+
+    #[test]
+    fn raw_volume_extract_paste_roundtrip(
+        dims in (4usize..10, 4usize..10, 2usize..5, 2usize..5)
+            .prop_map(|(x, y, z, t)| Dims4::new(x, y, z, t)),
+        seed in 0u16..1000,
+    ) {
+        let data: Vec<u16> = (0..dims.len()).map(|i| (i as u16).wrapping_mul(seed)).collect();
+        let vol = RawVolume::new(dims, data);
+        let r = Region4::new(
+            Point4::new(1, 1, 0, 0),
+            Dims4::new(dims.x - 2, dims.y - 2, dims.z - 1, dims.t - 1),
+        );
+        let sub = vol.extract(r);
+        let mut blank = RawVolume::zeros(dims);
+        blank.paste(&sub, r.origin);
+        for p in r.points() {
+            prop_assert_eq!(blank.get(p), vol.get(p));
+        }
+        // Byte serialization round-trips too.
+        let back = RawVolume::from_le_bytes(sub.dims(), &sub.to_le_bytes());
+        prop_assert_eq!(back, sub);
+    }
+
+    #[test]
+    fn quantizer_is_monotone_and_in_range(
+        levels in 2u16..64,
+        lo in 0u16..1000,
+        span in 1u16..5000,
+        samples in proptest::collection::vec(0u16..6000, 1..50),
+    ) {
+        let q = Quantizer::linear(levels, lo, lo.saturating_add(span));
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let mut prev = 0u8;
+        for (i, &v) in sorted.iter().enumerate() {
+            let l = q.level_of(v);
+            prop_assert!((l as u16) < levels);
+            if i > 0 {
+                prop_assert!(l >= prev, "monotonicity violated");
+            }
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn sliding_window_equals_rebuild_everywhere(
+        vol in level_volume(6),
+        d in direction(),
+    ) {
+        use haralick4d::haralick::window::SlidingWindow;
+        let dims = vol.dims();
+        let roi = Dims4::new(
+            (dims.x / 2).max(1),
+            (dims.y / 2).max(1),
+            dims.z.min(2),
+            dims.t.min(2),
+        );
+        let dirs = DirectionSet::single(d);
+        let slides = dims.x - roi.x;
+        let mut win = SlidingWindow::new(&vol, &dirs, roi, Point4::ZERO);
+        for step in 1..=slides {
+            win.slide_x();
+            let expect = CoMatrix::from_region(
+                &vol,
+                Region4::new(Point4::new(step, 0, 0, 0), roi),
+                &dirs,
+            );
+            prop_assert_eq!(win.matrix(), &expect, "divergence at slide {}", step);
+        }
+    }
+
+    #[test]
+    fn direction_set_never_contains_opposites(
+        dirs in proptest::collection::vec(direction(), 1..20),
+    ) {
+        let set = DirectionSet::new(dirs);
+        for (i, a) in set.iter().enumerate() {
+            for b in set.directions()[i + 1..].iter() {
+                prop_assert!(*a != b.negate(), "{} and {} are opposites", a, b);
+                prop_assert!(a != b, "duplicate {}", a);
+            }
+        }
+    }
+}
