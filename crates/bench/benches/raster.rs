@@ -4,10 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use haralick::direction::{Direction, DirectionSet};
 use haralick::features::FeatureSelection;
-use haralick::raster::{raster_scan, raster_scan_par, Representation, ScanConfig};
+use haralick::raster::{raster_scan, raster_scan_par, scan, Representation, ScanConfig, ScanEngine};
 use haralick::roi::RoiShape;
 use haralick::volume::{Dims4, LevelVolume};
-use haralick::window::raster_scan_incremental;
 use mri::synth::{generate, SynthConfig};
 
 fn small_volume() -> LevelVolume {
@@ -24,19 +23,24 @@ fn cfg(repr: Representation) -> ScanConfig {
         directions: DirectionSet::single(Direction::new(1, 1, 1, 1)),
         selection: FeatureSelection::paper_default(),
         representation: repr,
+        engine: ScanEngine::default(),
     }
 }
 
 fn bench_drivers(c: &mut Criterion) {
     let vol = small_volume();
-    let scan = cfg(Representation::Full);
+    let base = cfg(Representation::Full);
     let mut g = c.benchmark_group("raster_driver");
     g.sample_size(10);
-    g.bench_function("sequential", |b| b.iter(|| raster_scan(&vol, &scan)));
-    g.bench_function("rayon", |b| b.iter(|| raster_scan_par(&vol, &scan)));
-    g.bench_function("incremental_window", |b| {
-        b.iter(|| raster_scan_incremental(&vol, &scan))
-    });
+    g.bench_function("sequential", |b| b.iter(|| raster_scan(&vol, &base)));
+    g.bench_function("rayon", |b| b.iter(|| raster_scan_par(&vol, &base)));
+    for engine in [ScanEngine::Incremental, ScanEngine::IncrementalParallel] {
+        let tier = ScanConfig {
+            engine,
+            ..base.clone()
+        };
+        g.bench_function(format!("{engine:?}"), |b| b.iter(|| scan(&vol, &tier)));
+    }
     g.finish();
 }
 

@@ -117,6 +117,32 @@ pub fn calibrate(seed: u64, samples: usize) -> Calibration {
         total / (count as f64 * 2.0 * plane as f64 * ndirs as f64)
     };
 
+    // --- dirty-cell stats maintenance ---
+    // Drive a support bitmap at the incremental engine's granularity
+    // (read a count, test non-zero, set/clear one bit) — the per-cell
+    // bookkeeping each window slide pays before the sparse feature sweep.
+    let host_stats_dirty_per_cell = {
+        let counts = matrices[0].as_slice();
+        let mut words = vec![0u64; counts.len().div_ceil(64)];
+        let idxs: Vec<usize> = (0..counts.len()).map(|i| (i * 97) % counts.len()).collect();
+        let reps = 2000usize;
+        let t = Instant::now();
+        for r in 0..reps {
+            for &i in &idxs {
+                let nz = counts[(i + r) % counts.len()] != 0;
+                let w = i / 64;
+                let bit = 1u64 << (i % 64);
+                if nz {
+                    words[w] |= bit;
+                } else {
+                    words[w] &= !bit;
+                }
+            }
+            std::hint::black_box(&mut words);
+        }
+        t.elapsed().as_secs_f64() / (reps as f64 * idxs.len() as f64)
+    };
+
     // --- sparse-storage accumulation (binary-search increments) ---
     let t = Instant::now();
     for &o in &picks {
@@ -187,6 +213,7 @@ pub fn calibrate(seed: u64, samples: usize) -> Calibration {
             * PIII_SLOWDOWN,
         feat_base_s,
         sparse_convert_s_per_entry: (convert_per_matrix / entries) * PIII_SLOWDOWN,
+        stats_dirty_s_per_cell: host_stats_dirty_per_cell.max(1e-11) * PIII_SLOWDOWN,
         stitch_s_per_byte: stitch_per_byte * PIII_SLOWDOWN,
         write_s_per_byte: stitch_per_byte * 2.0 * PIII_SLOWDOWN,
         mean_nnz,
@@ -220,6 +247,7 @@ mod tests {
             ("sparse", m.feat_sparse_s_per_entry),
             ("base", m.feat_base_s),
             ("convert", m.sparse_convert_s_per_entry),
+            ("stats_dirty", m.stats_dirty_s_per_cell),
             ("stitch", m.stitch_s_per_byte),
             ("write", m.write_s_per_byte),
         ] {

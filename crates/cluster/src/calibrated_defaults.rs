@@ -23,6 +23,7 @@ pub fn default_model() -> CostModel {
         feat_sparse_s_per_entry: 3.9e-7,
         feat_base_s: 2.1e-6,
         sparse_convert_s_per_entry: 1.0e-8,
+        stats_dirty_s_per_cell: 3.0e-8,
         stitch_s_per_byte: 1.3e-9,
         write_s_per_byte: 2.6e-9,
         mean_nnz: 12.4,
@@ -64,5 +65,8 @@ mod tests {
         let m = default_model();
         assert!(m.feat_naive_s_per_entry > m.feat_full_s_per_entry);
         assert!(m.mean_nnz < 100.0);
+        // The dirty-cell replay must be cheap enough that sliding wins on
+        // the paper window (2·plane·|D| replays vs an Ng² zero-skip sweep).
+        assert!(m.stats_dirty_s_per_cell * 180.0 < m.feat_full_s_per_entry * 1024.0);
     }
 }

@@ -7,7 +7,7 @@
 //! reference) node; the calibration module rescales the measurements taken
 //! on this machine accordingly.
 
-use haralick::raster::Representation;
+use haralick::raster::{Representation, ScanEngine};
 use haralick::sparse::SparseCoMatrix;
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +39,13 @@ pub struct CostModel {
     pub feat_base_s: f64,
     /// Dense → sparse conversion, per `Ng²` entry scanned.
     pub sparse_convert_s_per_entry: f64,
+    /// Dirty-cell statistics maintenance, per matrix cell touched by a
+    /// window slide (the incremental engine updates the support bitmap
+    /// inline at every count transition; a slide touches at most
+    /// `2 · W/W_x · |D|` cells). Defaults for old serialized models via
+    /// `serde(default)`.
+    #[serde(default = "default_stats_dirty")]
+    pub stats_dirty_s_per_cell: f64,
     /// Stitch (IIC) copy/reorganize cost per byte.
     pub stitch_s_per_byte: f64,
     /// Output formatting/write cost per byte (buffered writes; the seek and
@@ -47,6 +54,32 @@ pub struct CostModel {
     /// Measured mean non-zero entries per co-occurrence matrix on the
     /// calibration workload (the paper's "10.7 of 1024").
     pub mean_nnz: f64,
+}
+
+/// Conservative host-scale fallback for models serialized before the
+/// dirty-cell constant existed (same order as the other per-entry costs).
+fn default_stats_dirty() -> f64 {
+    3.0e-8
+}
+
+/// Per-chunk texture workload quantities, bundled for
+/// [`CostModel::texture_cost`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TextureWork {
+    /// Window placements (owned ROIs) in the chunk.
+    pub rois: usize,
+    /// Voxels per ROI window.
+    pub roi_voxels: usize,
+    /// Window extent along `x` (the slide axis).
+    pub roi_x: usize,
+    /// Placements per output row (a full rebuild starts each row).
+    pub row_len: usize,
+    /// Co-occurrence displacement directions.
+    pub ndirs: usize,
+    /// Gray levels `Ng`.
+    pub ng: u16,
+    /// Co-occurrence representation.
+    pub repr: Representation,
 }
 
 impl CostModel {
@@ -145,6 +178,44 @@ impl CostModel {
         self.hcc_cost(rois, roi_voxels, ndirs, ng, repr) + self.features_cost(rois, ng, repr)
     }
 
+    /// Cost of the dirty-cell feature passes for `w.rois` placements: the
+    /// row-start placements pay a full zero-skip sweep (building the support
+    /// mask), every slid placement pays the bitmap maintenance over the
+    /// touched cells plus a sparse-style push per non-zero cell.
+    pub fn features_incremental_cost(&self, w: &TextureWork) -> f64 {
+        let ng2 = f64::from(w.ng) * f64::from(w.ng);
+        let rows = w.rois.div_ceil(w.row_len.max(1));
+        let row_starts = rows as f64 * (self.feat_full_s_per_entry * ng2 + self.feat_base_s);
+        let plane = (w.roi_voxels / w.roi_x.max(1)) as f64;
+        let touched = 2.0 * plane * w.ndirs as f64;
+        let slides = w.rois.saturating_sub(rows) as f64
+            * (self.stats_dirty_s_per_cell * touched
+                + self.feat_sparse_s_per_entry * self.mean_nnz
+                + self.feat_base_s);
+        row_starts + slides
+    }
+
+    /// Full texture (matrices + parameters) service cost of one chunk under
+    /// a scan-engine tier, divided across `threads` workers for the parallel
+    /// tiers. Sparse representations downgrade exactly as
+    /// [`ScanEngine::effective_for`] does in the real engine, so the model
+    /// never credits an incremental saving the kernels would not deliver.
+    pub fn texture_cost(&self, engine: ScanEngine, w: &TextureWork, threads: usize) -> f64 {
+        let effective = engine.effective_for(w.repr);
+        let serial = if effective.is_incremental() {
+            self.coocc_incremental_cost(w.rois, w.roi_voxels, w.roi_x, w.row_len, w.ndirs)
+                + self.features_incremental_cost(w)
+        } else {
+            self.hmp_cost(w.rois, w.roi_voxels, w.ndirs, w.ng, w.repr)
+        };
+        let workers = if effective.is_parallel() {
+            threads.max(1)
+        } else {
+            1
+        };
+        serial / workers as f64
+    }
+
     /// IIC stitch cost for reorganizing `bytes` of image data.
     pub fn stitch_cost(&self, bytes: u64) -> f64 {
         self.stitch_s_per_byte * bytes as f64
@@ -181,6 +252,7 @@ mod tests {
             feat_sparse_s_per_entry: 10e-9,
             feat_base_s: 1e-6,
             sparse_convert_s_per_entry: 0.5e-9,
+            stats_dirty_s_per_cell: 1e-9,
             stitch_s_per_byte: 0.2e-9,
             write_s_per_byte: 0.3e-9,
             mean_nnz: 10.0,
@@ -209,6 +281,50 @@ mod tests {
             incr < full / 2.0,
             "incremental {incr} should be well under full {full}"
         );
+    }
+
+    fn paper_work(repr: Representation) -> TextureWork {
+        TextureWork {
+            rois: 550,
+            roi_voxels: 900,
+            roi_x: 10,
+            row_len: 55,
+            ndirs: 1,
+            ng: 32,
+            repr,
+        }
+    }
+
+    #[test]
+    fn incremental_texture_cost_beats_rebuild() {
+        let m = model();
+        let w = paper_work(Representation::Full);
+        let rebuild = m.texture_cost(ScanEngine::Parallel, &w, 1);
+        let incr = m.texture_cost(ScanEngine::IncrementalParallel, &w, 1);
+        assert!(
+            incr < rebuild,
+            "incremental {incr} should undercut rebuild {rebuild}"
+        );
+        assert!(
+            (rebuild - m.hmp_cost(550, 900, 1, 32, Representation::Full)).abs() < 1e-15,
+            "rebuild tier must equal the classic HMP cost"
+        );
+    }
+
+    #[test]
+    fn texture_cost_downgrades_sparse_and_scales_with_threads() {
+        let m = model();
+        let w = paper_work(Representation::SparseAccum);
+        // Sparse representations downgrade to the rebuild tier.
+        let a = m.texture_cost(ScanEngine::IncrementalParallel, &w, 1);
+        let b = m.texture_cost(ScanEngine::Parallel, &w, 1);
+        assert!((a - b).abs() < 1e-15);
+        // Parallel tiers divide across threads; sequential tiers do not.
+        let quad = m.texture_cost(ScanEngine::Parallel, &w, 4);
+        assert!((quad - b / 4.0).abs() < 1e-15);
+        let seq = m.texture_cost(ScanEngine::Incremental, &paper_work(Representation::Full), 4);
+        let seq1 = m.texture_cost(ScanEngine::Incremental, &paper_work(Representation::Full), 1);
+        assert!((seq - seq1).abs() < 1e-15);
     }
 
     #[test]

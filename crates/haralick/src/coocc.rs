@@ -16,6 +16,7 @@
 
 use crate::direction::DirectionSet;
 use crate::features::MatrixStats;
+use crate::sparse::SupportMask;
 use crate::volume::{LevelVolume, Region4};
 
 /// A dense, symmetric `Ng x Ng` co-occurrence count matrix.
@@ -210,6 +211,47 @@ impl CoMatrix {
         );
         self.counts[a as usize * ng + b as usize] -= 1;
         self.counts[b as usize * ng + a as usize] -= 1;
+        self.total -= 2;
+    }
+
+    /// [`increment_pair`](Self::increment_pair) that also folds the dirty
+    /// cells into `support`: a cell going `0 → 1` sets its bit. Keeping the
+    /// support bitmap exact at every step is what lets the incremental scan
+    /// engine rebuild feature statistics from `O(nnz)` cells instead of
+    /// re-sweeping all `Ng²` entries per placement.
+    #[inline]
+    pub(crate) fn increment_pair_tracked(&mut self, a: u8, b: u8, support: &mut SupportMask) {
+        let ng = self.levels as usize;
+        let ij = a as usize * ng + b as usize;
+        let ji = b as usize * ng + a as usize;
+        // Branchless: a `0 → 1` transition sets the bit, any other count
+        // leaves it untouched. Transitions are too frequent to predict well,
+        // so a conditional mask beats a branch here.
+        support.set_if(ij, self.counts[ij] == 0);
+        self.counts[ij] += 1;
+        support.set_if(ji, self.counts[ji] == 0);
+        self.counts[ji] += 1;
+        self.total += 2;
+    }
+
+    /// [`decrement_pair`](Self::decrement_pair) that also folds the dirty
+    /// cells into `support`: a cell going `1 → 0` clears its bit.
+    ///
+    /// # Panics
+    /// In debug builds, if the pair was never recorded (underflow).
+    #[inline]
+    pub(crate) fn decrement_pair_tracked(&mut self, a: u8, b: u8, support: &mut SupportMask) {
+        let ng = self.levels as usize;
+        let ij = a as usize * ng + b as usize;
+        let ji = b as usize * ng + a as usize;
+        debug_assert!(
+            self.counts[ij] > 0,
+            "decrement of absent pair ({a}, {b})"
+        );
+        self.counts[ij] -= 1;
+        support.clear_if(ij, self.counts[ij] == 0);
+        self.counts[ji] -= 1;
+        support.clear_if(ji, self.counts[ji] == 0);
         self.total -= 2;
     }
 
@@ -414,6 +456,34 @@ mod tests {
         );
         let m2 = CoMatrix::from_region(&vol, vol.full_region(), &DirectionSet::all_unique_4d(2));
         assert_eq!(m1.as_slice().len(), m2.as_slice().len());
+    }
+
+    #[test]
+    fn tracked_pair_ops_maintain_the_support_bitmap() {
+        fn bits(s: &SupportMask) -> Vec<usize> {
+            let mut v = Vec::new();
+            s.for_each_set(|i| v.push(i));
+            v
+        }
+        let mut m = CoMatrix::zeros(4);
+        let mut s = SupportMask::from_matrix(&m);
+        m.increment_pair_tracked(1, 2, &mut s);
+        m.increment_pair_tracked(1, 2, &mut s);
+        m.increment_pair_tracked(3, 3, &mut s);
+        // Cells (1,2), (2,1) and (3,3) are flagged exactly once each.
+        assert_eq!(bits(&s), vec![6, 9, 15]);
+        assert_eq!(m.count(1, 2), 2);
+        assert_eq!(m.count(3, 3), 2);
+
+        // Dropping to a non-zero count keeps the bit; hitting zero clears it.
+        m.decrement_pair_tracked(1, 2, &mut s);
+        assert_eq!(bits(&s), vec![6, 9, 15]);
+        m.decrement_pair_tracked(1, 2, &mut s);
+        assert_eq!(bits(&s), vec![15]);
+        m.decrement_pair_tracked(3, 3, &mut s);
+        assert_eq!(bits(&s), Vec::<usize>::new());
+        assert_eq!(m.total(), 0);
+        assert!(m.is_symmetric());
     }
 
     #[test]

@@ -32,7 +32,7 @@
 
 use crate::coocc::CoMatrix;
 use crate::linalg::symmetric_eigenvalues;
-use crate::sparse::SparseCoMatrix;
+use crate::sparse::{SparseCoMatrix, SupportMask};
 use serde::{Deserialize, Serialize};
 
 /// The fourteen Haralick features, in their original numbering f1–f14.
@@ -233,6 +233,11 @@ pub struct MatrixStats {
     ng: usize,
     /// Total count `R`; zero means an empty matrix (all features 0).
     total: u64,
+    /// Which features these statistics can finalize. The full constructors
+    /// accumulate everything; the selection-aware support sweep skips the
+    /// accumulators (entropy logs, entry list, sum/difference histograms)
+    /// that no selected feature reads.
+    computed: FeatureSelection,
     asm: f64,
     entropy: f64,
     idm: f64,
@@ -296,17 +301,64 @@ impl MatrixStats {
         s
     }
 
+    /// Accumulates statistics by visiting exactly the cells flagged in
+    /// `support` (the matrix's non-zero cells), in row-major order, and only
+    /// the accumulators the features in `sel` read.
+    ///
+    /// Because [`from_dense`](Self::from_dense) with `zero_skip = true` also
+    /// touches exactly the non-zero cells in row-major order — and pushing a
+    /// zero probability is an exact IEEE no-op on every accumulator, so the
+    /// naive pass agrees too — this produces **bit-identical** values for
+    /// every feature in `sel` while doing only `O(nnz)` work, with the
+    /// per-cell logarithms, entry-list pushes and histogram updates elided
+    /// whenever `sel` does not need them. The incremental scan engine keeps
+    /// `support` exact across window slides and calls this once per
+    /// placement. The result can only finalize features in `sel`.
+    pub(crate) fn from_support(m: &CoMatrix, support: &SupportMask, sel: &FeatureSelection) -> Self {
+        let ng = m.levels() as usize;
+        let needs = StatNeeds::of(sel);
+        let mut s = Self::zeroed_for(ng, m.total(), *sel, &needs);
+        if m.total() == 0 {
+            return s;
+        }
+        let inv_total = 1.0 / m.total() as f64;
+        let counts = m.as_slice();
+        // Track the current row instead of dividing each cell index by `ng`;
+        // `for_each_set` visits indices in ascending order.
+        let mut row = 0usize;
+        let mut row_end = ng;
+        support.for_each_set(|idx| {
+            let c = counts[idx];
+            debug_assert!(c != 0, "support mask flags a zero cell");
+            while idx >= row_end {
+                row += 1;
+                row_end += ng;
+            }
+            s.push_selected(row, idx - (row_end - ng), f64::from(c) * inv_total, &needs);
+        });
+        s
+    }
+
     fn zeroed(ng: usize, total: u64) -> Self {
+        Self::zeroed_for(ng, total, FeatureSelection::all(), &StatNeeds::ALL)
+    }
+
+    fn zeroed_for(ng: usize, total: u64, computed: FeatureSelection, needs: &StatNeeds) -> Self {
         Self {
             ng,
             total,
+            computed,
             asm: 0.0,
             entropy: 0.0,
             idm: 0.0,
             corr_sum: 0.0,
             px: vec![0.0; ng],
-            p_sum: vec![0.0; 2 * ng.saturating_sub(1) + 1],
-            p_diff: vec![0.0; ng],
+            p_sum: if needs.p_sum {
+                vec![0.0; 2 * ng.saturating_sub(1) + 1]
+            } else {
+                Vec::new()
+            },
+            p_diff: if needs.p_diff { vec![0.0; ng] } else { Vec::new() },
             entries: Vec::new(),
         }
     }
@@ -316,16 +368,34 @@ impl MatrixStats {
     /// naive dense pass slow).
     #[inline]
     fn push(&mut self, i: usize, j: usize, p: f64) {
+        self.push_selected(i, j, p, &StatNeeds::ALL);
+    }
+
+    /// [`push`](Self::push) with the unread accumulators gated off. The
+    /// gated operations never contribute to a selected feature, so skipping
+    /// them leaves every selected feature bit-identical.
+    #[inline]
+    fn push_selected(&mut self, i: usize, j: usize, p: f64, needs: &StatNeeds) {
         self.asm += p * p;
-        self.idm += p / (1.0 + (i as f64 - j as f64) * (i as f64 - j as f64));
+        if needs.idm {
+            self.idm += p / (1.0 + (i as f64 - j as f64) * (i as f64 - j as f64));
+        }
         self.corr_sum += (i as f64) * (j as f64) * p;
         if p > 0.0 {
-            self.entropy -= p * p.ln();
-            self.entries.push((i as u8, j as u8, p));
+            if needs.entropy {
+                self.entropy -= p * p.ln();
+            }
+            if needs.entries {
+                self.entries.push((i as u8, j as u8, p));
+            }
         }
         self.px[i] += p;
-        self.p_sum[i + j] += p;
-        self.p_diff[i.abs_diff(j)] += p;
+        if needs.p_sum {
+            self.p_sum[i + j] += p;
+        }
+        if needs.p_diff {
+            self.p_diff[i.abs_diff(j)] += p;
+        }
     }
 
     /// Number of gray levels.
@@ -336,6 +406,44 @@ impl MatrixStats {
     /// Total count `R` of the underlying matrix.
     pub fn total(&self) -> u64 {
         self.total
+    }
+}
+
+/// Which [`MatrixStats`] accumulators a feature selection actually reads.
+/// `px` (and the cheap `asm`/`corr_sum` scalars) are always maintained; the
+/// expensive per-cell work — the entropy logarithm, the entry list, the IDM
+/// division and the sum/difference histograms — is gated.
+struct StatNeeds {
+    entropy: bool,
+    entries: bool,
+    idm: bool,
+    p_sum: bool,
+    p_diff: bool,
+}
+
+impl StatNeeds {
+    const ALL: StatNeeds = StatNeeds {
+        entropy: true,
+        entries: true,
+        idm: true,
+        p_sum: true,
+        p_diff: true,
+    };
+
+    fn of(sel: &FeatureSelection) -> Self {
+        let info = sel.contains(Feature::InfoMeasureCorrelation1)
+            || sel.contains(Feature::InfoMeasureCorrelation2);
+        Self {
+            entropy: sel.contains(Feature::Entropy) || info,
+            entries: info || sel.contains(Feature::MaximalCorrelationCoefficient),
+            idm: sel.contains(Feature::InverseDifferenceMoment),
+            p_sum: sel.contains(Feature::SumAverage)
+                || sel.contains(Feature::SumVariance)
+                || sel.contains(Feature::SumEntropy),
+            p_diff: sel.contains(Feature::Contrast)
+                || sel.contains(Feature::DifferenceVariance)
+                || sel.contains(Feature::DifferenceEntropy),
+        }
     }
 }
 
@@ -363,6 +471,10 @@ fn variance_of(hist: &[f64]) -> f64 {
 ///
 /// An empty matrix (zero total count) yields 0 for every selected feature.
 pub fn compute_features(stats: &MatrixStats, sel: &FeatureSelection) -> FeatureVector {
+    debug_assert!(
+        sel.mask & !stats.computed.mask == 0,
+        "statistics were accumulated for a narrower selection than requested"
+    );
     let mut out = FeatureVector::empty();
     if sel.is_empty() {
         return out;
@@ -587,6 +699,50 @@ mod tests {
                 (x - y).abs() < 1e-10,
                 "{feat:?} differs between checked ({x}) and naive ({y})"
             );
+        }
+    }
+
+    #[test]
+    fn support_sweep_is_bit_identical_to_checked_pass() {
+        let img: Vec<u8> = (0..64).map(|i| ((i * 31 + 7) % 8) as u8).collect();
+        let m = matrix_of(img, 8, 8, 8, Direction::new(1, 1, 0, 0));
+        let mask = SupportMask::from_matrix(&m);
+        let a = compute_features(&m.stats_checked(), &FeatureSelection::all());
+        let b = compute_features(
+            &MatrixStats::from_support(&m, &mask, &FeatureSelection::all()),
+            &FeatureSelection::all(),
+        );
+        for feat in Feature::ALL {
+            let (x, y) = (a.get(feat).unwrap(), b.get(feat).unwrap());
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{feat:?} not bit-identical: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_gated_support_sweep_matches_on_every_subset() {
+        // Each single-feature selection (and the paper's default set) must
+        // finalize to the exact bits of the full-sweep pass, even though the
+        // gated sweep skips every accumulator the selection does not read.
+        let img: Vec<u8> = (0..64).map(|i| ((i * 31 + 7) % 8) as u8).collect();
+        let m = matrix_of(img, 8, 8, 8, Direction::new(1, 1, 0, 0));
+        let mask = SupportMask::from_matrix(&m);
+        let full = compute_features(&m.stats_checked(), &FeatureSelection::all());
+        let mut selections: Vec<FeatureSelection> =
+            Feature::ALL.iter().map(|&f| FeatureSelection::of(&[f])).collect();
+        selections.push(FeatureSelection::paper_default());
+        for sel in selections {
+            let got = compute_features(&MatrixStats::from_support(&m, &mask, &sel), &sel);
+            for feat in sel.iter() {
+                assert_eq!(
+                    got.get(feat).unwrap().to_bits(),
+                    full.get(feat).unwrap().to_bits(),
+                    "{feat:?} diverges under a gated accumulation"
+                );
+            }
         }
     }
 

@@ -57,8 +57,8 @@
 //! | [`features`] | the fourteen Haralick features, computed from full or sparse matrices |
 //! | [`linalg`] | small dense symmetric eigensolver used by feature 14 |
 //! | [`roi`] | ROI shape and output-geometry helpers |
-//! | [`raster`] | sequential and `rayon`-parallel raster scans producing feature maps |
-//! | [`window`] | incremental sliding-window matrix maintenance (beyond-the-paper optimization) |
+//! | [`raster`] | the unified scan engine ([`raster::ScanEngine`] tiers) producing feature maps |
+//! | [`window`] | incremental sliding-window matrix maintenance with dirty-cell support tracking (beyond-the-paper optimization) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,6 +78,7 @@ pub use coocc::CoMatrix;
 pub use direction::{Direction, DirectionSet};
 pub use features::{compute_features, Feature, FeatureSelection, FeatureVector};
 pub use quantize::Quantizer;
+pub use raster::{scan, scan_placements, FeatureMaps, Representation, ScanConfig, ScanEngine};
 pub use roi::RoiShape;
 pub use sparse::{SparseAccumulator, SparseCoMatrix};
 pub use volume::{Dims4, LevelVolume, Point4, Region4};

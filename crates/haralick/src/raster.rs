@@ -1,16 +1,25 @@
 //! Raster scanning: sliding the ROI window over a volume and emitting one
 //! feature vector per placement (paper §3, Figures 1–2).
 //!
-//! Two drivers are provided:
+//! All scans run through one unified engine ([`scan`] /
+//! [`scan_placements`]) with four selectable tiers ([`ScanEngine`]):
 //!
-//! * [`raster_scan`] — the sequential reference implementation, a direct
+//! * `Reference` — the sequential per-placement rebuild, a direct
 //!   transcription of the paper's Figure 2 pseudo-code;
-//! * [`raster_scan_par`] — a `rayon` data-parallel scan for shared-memory
-//!   machines (each output voxel is independent).
+//! * `Parallel` — `rayon` data-parallel over output voxels, still
+//!   rebuilding each window from scratch;
+//! * `Incremental` — sequential, each output row advanced by an
+//!   incremental [`crate::window::SlidingWindow`] with dirty-cell feature
+//!   statistics;
+//! * `IncrementalParallel` (default) — `rayon` over output **rows**, each
+//!   row advanced incrementally: the fusion of both optimizations.
 //!
-//! Both produce identical [`FeatureMaps`]; the parallel scan is the
-//! "modern single-workstation" comparator, while the distributed
-//! implementation lives in the `pipeline` crate.
+//! Every tier produces bit-identical [`FeatureMaps`]. The named entry
+//! points [`raster_scan`], [`raster_scan_par`] and
+//! [`crate::window::raster_scan_incremental`] force one tier regardless of
+//! the configured engine (the first is the comparator every test verifies
+//! against); the distributed implementation in the `pipeline` crate routes
+//! its per-chunk work through [`scan_placements`].
 
 use crate::coocc::CoMatrix;
 use crate::direction::DirectionSet;
@@ -53,6 +62,58 @@ impl Representation {
     }
 }
 
+/// Which execution tier the unified scan engine uses (see [`scan`]).
+///
+/// All tiers produce bit-identical output; they differ only in how the
+/// per-placement work is scheduled and whether consecutive placements share
+/// work. `Reference` and `Parallel` rebuild every window's matrix and
+/// re-sweep all `Ng²` statistics cells; the `Incremental*` tiers slide the
+/// window along each output row, tracking the matrix's dirty cells in a
+/// support bitmap so the statistics touch only non-zero cells instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ScanEngine {
+    /// Sequential, per-placement matrix rebuild (paper Figure 2).
+    Reference,
+    /// `rayon`-parallel over output voxels, per-placement rebuild.
+    Parallel,
+    /// Sequential, incremental sliding window + dirty-cell stats per row.
+    Incremental,
+    /// `rayon`-parallel over output rows, each row incremental — the
+    /// default and fastest tier.
+    #[default]
+    IncrementalParallel,
+}
+
+impl ScanEngine {
+    /// The tier that will actually run for `repr`: the incremental tiers
+    /// require a dense co-occurrence matrix to track, so `Sparse` /
+    /// `SparseAccum` scans downgrade to the equivalent rebuild tier
+    /// (preserving each sparse representation's accumulation semantics,
+    /// which the cost studies measure).
+    pub fn effective_for(self, repr: Representation) -> Self {
+        match (self, repr) {
+            (Self::Incremental, Representation::Sparse | Representation::SparseAccum) => {
+                Self::Reference
+            }
+            (
+                Self::IncrementalParallel,
+                Representation::Sparse | Representation::SparseAccum,
+            ) => Self::Parallel,
+            (e, _) => e,
+        }
+    }
+
+    /// Whether this tier advances windows incrementally along rows.
+    pub const fn is_incremental(self) -> bool {
+        matches!(self, Self::Incremental | Self::IncrementalParallel)
+    }
+
+    /// Whether this tier fans work out across `rayon` workers.
+    pub const fn is_parallel(self) -> bool {
+        matches!(self, Self::Parallel | Self::IncrementalParallel)
+    }
+}
+
 /// Configuration of a raster scan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScanConfig {
@@ -64,18 +125,23 @@ pub struct ScanConfig {
     pub selection: FeatureSelection,
     /// Co-occurrence storage policy.
     pub representation: Representation,
+    /// Execution tier used by [`scan`] / [`scan_placements`].
+    #[serde(default)]
+    pub engine: ScanEngine,
 }
 
 impl ScanConfig {
     /// The paper's experimental configuration: 10x10x3x3 ROI, all 40 unique
     /// 4D directions at distance 1, the four expensive features, full
-    /// representation with zero-skip.
+    /// representation with zero-skip, default (row-parallel incremental)
+    /// engine.
     pub fn paper_default() -> Self {
         Self {
             roi: RoiShape::paper_default(),
             directions: DirectionSet::all_unique_4d(1),
             selection: FeatureSelection::paper_default(),
             representation: Representation::Full,
+            engine: ScanEngine::default(),
         }
     }
 }
@@ -154,11 +220,20 @@ impl FeatureMaps {
 
     /// Min and max of one feature's map (used for output normalization by
     /// the image writer). Returns `(0, 0)` for empty maps.
+    ///
+    /// Iterates the interleaved data with a stride directly — no
+    /// feature-volume copy is allocated (this runs once per feature per
+    /// output write in the `USO`/`JIW` filters).
     pub fn min_max(&self, feature: crate::features::Feature) -> (f64, f64) {
-        let v = self.feature_volume(feature);
+        let slot = self
+            .selection
+            .iter()
+            .position(|f| f == feature)
+            .expect("feature not in selection");
+        let n = self.selection.len();
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        for x in v {
+        for &x in self.data.iter().skip(slot).step_by(n) {
             lo = lo.min(x);
             hi = hi.max(x);
         }
@@ -264,36 +339,110 @@ pub fn scan_one(vol: &LevelVolume, cfg: &ScanConfig, origin: Point4) -> Vec<f64>
     compute_features(&stats, &cfg.selection).dense(&cfg.selection)
 }
 
-/// Sequential raster scan over the whole volume — the reference
-/// implementation (paper Figure 2).
-pub fn raster_scan(vol: &LevelVolume, cfg: &ScanConfig) -> FeatureMaps {
-    let out_dims = cfg.roi.output_dims(vol.dims());
-    let mut maps = FeatureMaps::zeros(out_dims, cfg.selection);
-    for p in out_dims.region().points() {
-        let values = scan_one(vol, cfg, p);
-        maps.set_values(p, &values);
+/// Scans the whole volume with the engine tier configured in `cfg`
+/// ([`ScanConfig::engine`]) — the default entry point of the unified scan
+/// engine. All tiers produce bit-identical output.
+pub fn scan(vol: &LevelVolume, cfg: &ScanConfig) -> FeatureMaps {
+    scan_placements(vol, cfg, Point4::ZERO, cfg.roi.output_dims(vol.dims()))
+}
+
+/// Scans the `extent`-shaped block of window placements whose window
+/// origins start at `base` (placement `p` uses the window at `base + p`),
+/// with the engine tier configured in `cfg`.
+///
+/// This is the shared driver behind [`scan`] and the pipeline's per-chunk
+/// texture filters, which analyze a sub-block of placements inside a
+/// stitched chunk volume.
+///
+/// # Panics
+/// If any requested window exceeds the volume.
+pub fn scan_placements(
+    vol: &LevelVolume,
+    cfg: &ScanConfig,
+    base: Point4,
+    extent: Dims4,
+) -> FeatureMaps {
+    let mut maps = FeatureMaps::zeros(extent, cfg.selection);
+    let n = cfg.selection.len();
+    if n == 0 || extent.is_empty() {
+        return maps;
+    }
+    match cfg.engine.effective_for(cfg.representation) {
+        ScanEngine::Reference => {
+            for p in extent.region().points() {
+                let values = scan_one(vol, cfg, shifted(base, p));
+                maps.set_values(p, &values);
+            }
+        }
+        ScanEngine::Parallel => {
+            maps.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(idx, slot)| {
+                    let values = scan_one(vol, cfg, shifted(base, extent.point_of(idx)));
+                    slot.copy_from_slice(&values);
+                });
+        }
+        ScanEngine::Incremental => {
+            maps.data
+                .chunks_mut(extent.x * n)
+                .enumerate()
+                .for_each(|(r, row)| scan_row_at(vol, cfg, base, extent, r, row));
+        }
+        ScanEngine::IncrementalParallel => {
+            maps.data
+                .par_chunks_mut(extent.x * n)
+                .enumerate()
+                .for_each(|(r, row)| scan_row_at(vol, cfg, base, extent, r, row));
+        }
     }
     maps
 }
 
-/// `rayon`-parallel raster scan; produces output identical to
-/// [`raster_scan`].
+#[inline]
+fn shifted(base: Point4, p: Point4) -> Point4 {
+    Point4::new(base.x + p.x, base.y + p.y, base.z + p.z, base.t + p.t)
+}
+
+/// Runs the incremental row kernel for output row `r` of an
+/// `extent`-shaped block based at `base`.
+fn scan_row_at(
+    vol: &LevelVolume,
+    cfg: &ScanConfig,
+    base: Point4,
+    extent: Dims4,
+    r: usize,
+    out_row: &mut [f64],
+) {
+    let y = r % extent.y;
+    let z = (r / extent.y) % extent.z;
+    let t = r / (extent.y * extent.z);
+    let row_origin = Point4::new(base.x, base.y + y, base.z + z, base.t + t);
+    crate::window::scan_row_incremental(vol, cfg, row_origin, extent.x, out_row);
+}
+
+/// Sequential raster scan over the whole volume — the reference
+/// implementation (paper Figure 2). Forces the [`ScanEngine::Reference`]
+/// tier regardless of the configured engine; every other tier is verified
+/// against this output.
+pub fn raster_scan(vol: &LevelVolume, cfg: &ScanConfig) -> FeatureMaps {
+    let cfg = ScanConfig {
+        engine: ScanEngine::Reference,
+        ..cfg.clone()
+    };
+    scan(vol, &cfg)
+}
+
+/// `rayon`-parallel raster scan rebuilding each window from scratch;
+/// produces output identical to [`raster_scan`]. Forces the
+/// [`ScanEngine::Parallel`] tier — kept as the benchmark comparator the
+/// incremental engine is measured against.
 pub fn raster_scan_par(vol: &LevelVolume, cfg: &ScanConfig) -> FeatureMaps {
-    let out_dims = cfg.roi.output_dims(vol.dims());
-    let mut maps = FeatureMaps::zeros(out_dims, cfg.selection);
-    let n = cfg.selection.len();
-    if n == 0 || out_dims.is_empty() {
-        return maps;
-    }
-    maps.data
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(idx, slot)| {
-            let p = out_dims.point_of(idx);
-            let values = scan_one(vol, cfg, p);
-            slot.copy_from_slice(&values);
-        });
-    maps
+    let cfg = ScanConfig {
+        engine: ScanEngine::Parallel,
+        ..cfg.clone()
+    };
+    scan(vol, &cfg)
 }
 
 #[cfg(test)]
@@ -317,6 +466,7 @@ mod tests {
             directions: DirectionSet::all_unique_4d(1),
             selection: FeatureSelection::paper_default(),
             representation: Representation::Full,
+            engine: ScanEngine::default(),
         }
     }
 
@@ -418,6 +568,7 @@ mod tests {
             directions: DirectionSet::single(Direction::new(1, 0, 0, 0)),
             selection: FeatureSelection::of(&[Feature::Correlation]),
             representation: Representation::Full,
+            engine: ScanEngine::default(),
         };
         let sweep = distance_sweep(&vol, &cfg, Point4::ZERO, 4);
         assert_eq!(sweep.len(), 4);
@@ -444,5 +595,84 @@ mod tests {
         assert!(maps.as_slice().is_empty());
         let par = raster_scan_par(&vol, &small_cfg());
         assert!(par.dims().is_empty());
+        let mut cfg = small_cfg();
+        cfg.engine = ScanEngine::IncrementalParallel;
+        assert!(scan(&vol, &cfg).dims().is_empty());
+    }
+
+    #[test]
+    fn all_engine_tiers_agree_bitwise() {
+        let vol = gradient_volume(Dims4::new(9, 8, 3, 3), 8);
+        let mut cfg = small_cfg();
+        cfg.selection = FeatureSelection::all();
+        let reference = raster_scan(&vol, &cfg);
+        for engine in [
+            ScanEngine::Reference,
+            ScanEngine::Parallel,
+            ScanEngine::Incremental,
+            ScanEngine::IncrementalParallel,
+        ] {
+            cfg.engine = engine;
+            let maps = scan(&vol, &cfg);
+            assert_eq!(maps.dims(), reference.dims());
+            assert_eq!(
+                maps.max_abs_diff(&reference),
+                0.0,
+                "{engine:?} diverged from the reference scan"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_representations_downgrade_but_match() {
+        let vol = gradient_volume(Dims4::new(8, 7, 3, 3), 8);
+        let mut cfg = small_cfg();
+        for repr in [Representation::Sparse, Representation::SparseAccum] {
+            cfg.representation = repr;
+            assert_eq!(
+                ScanEngine::IncrementalParallel.effective_for(repr),
+                ScanEngine::Parallel
+            );
+            assert_eq!(
+                ScanEngine::Incremental.effective_for(repr),
+                ScanEngine::Reference
+            );
+            cfg.engine = ScanEngine::IncrementalParallel;
+            let a = scan(&vol, &cfg);
+            let b = raster_scan(&vol, &cfg);
+            assert_eq!(a.max_abs_diff(&b), 0.0, "{repr:?} downgrade diverged");
+        }
+    }
+
+    #[test]
+    fn scan_placements_matches_reference_sub_block() {
+        let vol = gradient_volume(Dims4::new(10, 9, 4, 4), 8);
+        let cfg = small_cfg();
+        let full = raster_scan(&vol, &cfg);
+        let base = Point4::new(2, 1, 1, 0);
+        let extent = Dims4::new(4, 3, 2, 2);
+        let block = scan_placements(&vol, &cfg, base, extent);
+        assert_eq!(block.dims(), extent);
+        for p in extent.region().points() {
+            let q = Point4::new(base.x + p.x, base.y + p.y, base.z + p.z, base.t + p.t);
+            assert_eq!(
+                block.values_at(p),
+                full.values_at(q),
+                "sub-block placement {p:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_field_deserializes_with_default() {
+        // Configs serialized before the engine existed must load with the
+        // default tier.
+        let json = serde_json::to_string(&small_cfg()).unwrap();
+        let parsed: ScanConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.engine, ScanEngine::IncrementalParallel);
+        let legacy = json.replace(",\"engine\":\"IncrementalParallel\"", "");
+        assert!(!legacy.contains("engine"), "engine field not stripped");
+        let parsed: ScanConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed.engine, ScanEngine::IncrementalParallel);
     }
 }

@@ -130,6 +130,73 @@ impl SparseCoMatrix {
     }
 }
 
+/// A bitmap over the `Ng²` dense matrix cells recording which are non-zero
+/// (the matrix *support*).
+///
+/// The incremental scan engine keeps this exact at every sliding-window step
+/// (each count transition `0 ↔ 1` sets or clears one bit), so the per-window
+/// statistics — which must visit exactly the non-zero cells, in row-major
+/// order, to reproduce the zero-skip sweep bit-for-bit — can be recomputed in
+/// `O(nnz)` instead of `O(Ng²)` per placement.
+#[derive(Debug, Clone)]
+pub(crate) struct SupportMask {
+    words: Vec<u64>,
+}
+
+impl SupportMask {
+    /// The support of a dense matrix.
+    pub(crate) fn from_matrix(m: &CoMatrix) -> Self {
+        let counts = m.as_slice();
+        let mut words = vec![0u64; counts.len().div_ceil(64)];
+        for (idx, &c) in counts.iter().enumerate() {
+            if c != 0 {
+                words[idx / 64] |= 1 << (idx % 64);
+            }
+        }
+        Self { words }
+    }
+
+    /// Flags cell `idx` as non-zero.
+    #[inline]
+    pub(crate) fn set(&mut self, idx: usize) {
+        self.words[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// Flags cell `idx` as zero.
+    #[inline]
+    pub(crate) fn clear(&mut self, idx: usize) {
+        self.words[idx / 64] &= !(1 << (idx % 64));
+    }
+
+    /// Branchless [`set`](Self::set): a no-op unless `cond`. Count
+    /// transitions in the sliding-window hot loop are frequent enough to
+    /// defeat the branch predictor, so the condition is folded into the OR
+    /// mask instead.
+    #[inline]
+    pub(crate) fn set_if(&mut self, idx: usize, cond: bool) {
+        self.words[idx / 64] |= u64::from(cond) << (idx % 64);
+    }
+
+    /// Branchless [`clear`](Self::clear): a no-op unless `cond`.
+    #[inline]
+    pub(crate) fn clear_if(&mut self, idx: usize, cond: bool) {
+        self.words[idx / 64] &= !(u64::from(cond) << (idx % 64));
+    }
+
+    /// Calls `f` for every set cell index in ascending (row-major) order.
+    #[inline]
+    pub(crate) fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                f(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
 /// Accumulates a co-occurrence matrix **directly in sparse storage**, never
 /// materializing the dense `Ng x Ng` array.
 ///
@@ -372,6 +439,33 @@ mod tests {
         // Round-trips through dense identically.
         let back = SparseCoMatrix::from_dense(&m.to_dense());
         assert_eq!(back.entries(), m.entries());
+    }
+
+    #[test]
+    fn support_mask_tracks_nonzero_cells_in_order() {
+        let m = sample_matrix();
+        let mut mask = SupportMask::from_matrix(&m);
+        let expected: Vec<usize> = m
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut seen = Vec::new();
+        mask.for_each_set(|i| seen.push(i));
+        assert_eq!(seen, expected, "set bits must sweep row-major ascending");
+
+        // Clearing and re-setting a bit keeps the sweep consistent.
+        let first = expected[0];
+        mask.clear(first);
+        let mut seen = Vec::new();
+        mask.for_each_set(|i| seen.push(i));
+        assert_eq!(seen, expected[1..].to_vec());
+        mask.set(first);
+        let mut seen = Vec::new();
+        mask.for_each_set(|i| seen.push(i));
+        assert_eq!(seen, expected);
     }
 
     #[test]

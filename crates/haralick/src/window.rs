@@ -15,8 +15,9 @@
 
 use crate::coocc::CoMatrix;
 use crate::direction::DirectionSet;
-use crate::features::compute_features;
-use crate::raster::{FeatureMaps, Representation, ScanConfig};
+use crate::features::{compute_features, MatrixStats};
+use crate::raster::{FeatureMaps, ScanConfig, ScanEngine};
+use crate::sparse::SupportMask;
 use crate::volume::{Dims4, LevelVolume, Point4, Region4};
 
 /// Maintains the co-occurrence matrix of an ROI window sliding along `x`.
@@ -48,6 +49,10 @@ pub struct SlidingWindow<'a> {
     /// Current window origin.
     origin: Point4,
     matrix: CoMatrix,
+    /// When present, every slide folds its dirty cells into this bitmap of
+    /// the matrix's non-zero cells, so feature statistics can be rebuilt
+    /// from `O(nnz)` cells instead of a full `Ng²` sweep.
+    support: Option<SupportMask>,
 }
 
 impl<'a> SlidingWindow<'a> {
@@ -63,7 +68,23 @@ impl<'a> SlidingWindow<'a> {
             roi,
             origin,
             matrix,
+            support: None,
         }
+    }
+
+    /// [`new`](Self::new), with dirty-cell support tracking attached: each
+    /// subsequent [`slide_x`](Self::slide_x) keeps the bitmap returned by
+    /// [`support`](Self::support) exactly equal to the set of non-zero
+    /// matrix cells, at a cost proportional to the cells actually touched.
+    pub(crate) fn new_tracked(
+        vol: &'a LevelVolume,
+        dirs: &'a DirectionSet,
+        roi: Dims4,
+        origin: Point4,
+    ) -> Self {
+        let mut w = Self::new(vol, dirs, roi, origin);
+        w.support = Some(SupportMask::from_matrix(&w.matrix));
+        w
     }
 
     /// The current window's matrix.
@@ -76,41 +97,71 @@ impl<'a> SlidingWindow<'a> {
         self.origin
     }
 
+    /// The maintained non-zero-cell bitmap (`None` unless the window was
+    /// created with [`new_tracked`](Self::new_tracked)).
+    pub(crate) fn support(&self) -> Option<&SupportMask> {
+        self.support.as_ref()
+    }
+
+    /// Adds or removes one symmetric pair, folding the dirty cells into the
+    /// support bitmap when tracking is attached.
+    #[inline]
+    fn apply_pair(&mut self, a: u8, b: u8, add: bool) {
+        match (&mut self.support, add) {
+            (Some(s), true) => self.matrix.increment_pair_tracked(a, b, s),
+            (Some(s), false) => self.matrix.decrement_pair_tracked(a, b, s),
+            (None, true) => self.matrix.increment_pair(a, b),
+            (None, false) => self.matrix.decrement_pair(a, b),
+        }
+    }
+
     /// Applies all pair contributions of the plane `x = plane_x` within the
-    /// window at `win`, adding (`sign = +1`) or removing (`sign = -1`).
+    /// window at `win`, adding (`add`) or removing (`!add`).
     ///
     /// A pair is touched exactly once: pairs wholly inside the plane are
-    /// handled via the forward displacement only.
+    /// handled via the forward displacement only. Like
+    /// [`CoMatrix::accumulate`], the loop bounds are clamped per direction so
+    /// only voxels whose partner is in the window are visited, and partners
+    /// are addressed by a precomputed linear stride — no per-voxel
+    /// containment tests or 4D index arithmetic.
     fn apply_plane(&mut self, win: Region4, plane_x: usize, add: bool) {
+        let dims = self.vol.dims();
+        let data = self.vol.as_slice();
         let end = win.end();
         for d in self.dirs {
-            for t in win.origin.t..end.t {
-                for z in win.origin.z..end.z {
-                    for y in win.origin.y..end.y {
-                        let v = Point4::new(plane_x, y, z, t);
-                        let gv = self.vol.get(v);
-                        // Forward partner: any in-window partner counts.
-                        if let Some(q) = v.offset(d.dx, d.dy, d.dz, d.dt) {
-                            if win.contains(q) {
-                                let gq = self.vol.get(q);
-                                if add {
-                                    self.matrix.increment_pair(gv, gq);
-                                } else {
-                                    self.matrix.decrement_pair(gv, gq);
-                                }
-                            }
-                        }
-                        // Backward partner: only when the partner is NOT in
-                        // the plane (in-plane pairs were counted forward).
-                        if let Some(q) = v.offset(-d.dx, -d.dy, -d.dz, -d.dt) {
-                            if q.x != plane_x && win.contains(q) {
-                                let gq = self.vol.get(q);
-                                if add {
-                                    self.matrix.increment_pair(gv, gq);
-                                } else {
-                                    self.matrix.decrement_pair(gv, gq);
-                                }
-                            }
+            let fwd = (d.dx as i64, d.dy as i64, d.dz as i64, d.dt as i64);
+            let bwd = (-fwd.0, -fwd.1, -fwd.2, -fwd.3);
+            for (pass, (dx, dy, dz, dt)) in [fwd, bwd].into_iter().enumerate() {
+                // In-plane pairs are counted by the forward pass alone, and
+                // the partner plane `plane_x + dx` must be in the window.
+                let qx = plane_x as i64 + dx;
+                if (pass == 1 && dx == 0) || qx < win.origin.x as i64 || qx >= end.x as i64 {
+                    continue;
+                }
+                let y_lo = win.origin.y as i64 + (-dy).max(0);
+                let y_hi = end.y as i64 - dy.max(0);
+                let z_lo = win.origin.z as i64 + (-dz).max(0);
+                let z_hi = end.z as i64 - dz.max(0);
+                let t_lo = win.origin.t as i64 + (-dt).max(0);
+                let t_hi = end.t as i64 - dt.max(0);
+                if y_lo >= y_hi || z_lo >= z_hi || t_lo >= t_hi {
+                    continue;
+                }
+                let stride = dx
+                    + dy * dims.x as i64
+                    + dz * (dims.x * dims.y) as i64
+                    + dt * (dims.x * dims.y * dims.z) as i64;
+                for t in t_lo..t_hi {
+                    for z in z_lo..z_hi {
+                        let mut base = ((t as usize * dims.z + z as usize) * dims.y
+                            + y_lo as usize)
+                            * dims.x
+                            + plane_x;
+                        for _ in y_lo..y_hi {
+                            let a = data[base];
+                            let b = data[(base as i64 + stride) as usize];
+                            self.apply_pair(a, b, add);
+                            base += dims.x;
                         }
                     }
                 }
@@ -122,59 +173,121 @@ impl<'a> SlidingWindow<'a> {
     /// incrementally.
     ///
     /// # Panics
-    /// If the slid window would leave the volume.
+    /// If the slid window would leave the volume. The slide target is
+    /// validated **before** any mutation, so a panicking call leaves the
+    /// window (matrix and origin) exactly as it was.
     pub fn slide_x(&mut self) {
-        let old = Region4::new(self.origin, self.roi);
+        let new = Region4::new(
+            Point4::new(self.origin.x + 1, self.origin.y, self.origin.z, self.origin.t),
+            self.roi,
+        );
+        assert!(
+            self.vol.full_region().contains_region(&new),
+            "slide past the volume edge"
+        );
         // 1. Remove every pair with an endpoint in the departing plane
         //    (x = origin.x), evaluated against the OLD window.
+        let old = Region4::new(self.origin, self.roi);
         self.apply_plane(old, self.origin.x, false);
         // 2. Advance and add every pair with an endpoint in the arriving
         //    plane (x = new origin.x + W_x - 1), evaluated against the NEW
         //    window.
         self.origin.x += 1;
-        let new = Region4::new(self.origin, self.roi);
-        assert!(
-            self.vol.full_region().contains_region(&new),
-            "slide past the volume edge"
-        );
         self.apply_plane(new, self.origin.x + self.roi.x - 1, true);
     }
 }
 
+/// Computes one output row of `width` placements starting at `row_origin`,
+/// writing `selection.len()` values per placement into `out_row`.
+///
+/// This is the shared row kernel of the `Incremental*` scan engines: the
+/// window slides along `x` with dirty-cell support tracking (a
+/// [`SupportMask`] kept exactly equal to the matrix's non-zero cells on
+/// every count transition), and the per-placement statistics are rebuilt
+/// from exactly those cells, accumulating only what the selection reads
+/// ([`MatrixStats::from_support`]) — bit-identical to the full-sweep
+/// reference, at `O(plane · |D| + nnz)` per placement instead of
+/// `O(roi · |D| + Ng²)`.
+pub(crate) fn scan_row_incremental(
+    vol: &LevelVolume,
+    cfg: &ScanConfig,
+    row_origin: Point4,
+    width: usize,
+    out_row: &mut [f64],
+) {
+    let n = cfg.selection.len();
+    debug_assert_eq!(out_row.len(), width * n);
+    let mut win = SlidingWindow::new_tracked(vol, &cfg.directions, cfg.roi.size(), row_origin);
+    for x in 0..width {
+        if x > 0 {
+            win.slide_x();
+        }
+        let support = win.support().expect("tracked window always has support");
+        let stats = MatrixStats::from_support(win.matrix(), support, &cfg.selection);
+        let values = compute_features(&stats, &cfg.selection);
+        for (slot, feature) in cfg.selection.iter().enumerate() {
+            out_row[x * n + slot] = values.get(feature).expect("selected feature computed");
+        }
+    }
+}
+
 /// Raster scan using the incremental window along `x` (full rebuilds at the
-/// start of each row). Produces output identical to
-/// [`crate::raster::raster_scan`].
+/// start of each row) — the sequential `Incremental` tier of the scan
+/// engine. Produces output bit-identical to [`crate::raster::raster_scan`].
 ///
 /// Supported for the dense representations; `Sparse`/`SparseAccum` scans
 /// fall back to the reference implementation (their per-window matrices are
 /// rebuilt for transmission anyway).
 pub fn raster_scan_incremental(vol: &LevelVolume, cfg: &ScanConfig) -> FeatureMaps {
-    match cfg.representation {
-        Representation::Full | Representation::FullNaive => {}
-        _ => return crate::raster::raster_scan(vol, cfg),
-    }
-    let out_dims = cfg.roi.output_dims(vol.dims());
-    let mut maps = FeatureMaps::zeros(out_dims, cfg.selection);
-    if out_dims.is_empty() || cfg.selection.is_empty() {
-        return maps;
-    }
-    for t in 0..out_dims.t {
-        for z in 0..out_dims.z {
-            for y in 0..out_dims.y {
-                let row_origin = Point4::new(0, y, z, t);
-                let mut win = SlidingWindow::new(vol, &cfg.directions, cfg.roi.size(), row_origin);
-                for x in 0..out_dims.x {
-                    let stats = cfg.representation.stats_of(win.matrix());
-                    let values = compute_features(&stats, &cfg.selection).dense(&cfg.selection);
-                    maps.set_values(Point4::new(x, y, z, t), &values);
-                    if x + 1 < out_dims.x {
-                        win.slide_x();
-                    }
-                }
-            }
+    let cfg = ScanConfig {
+        engine: ScanEngine::Incremental,
+        ..cfg.clone()
+    };
+    crate::raster::scan(vol, &cfg)
+}
+
+/// Produces per-placement co-occurrence matrices on demand, sliding the
+/// window incrementally when consecutive requests advance one step along
+/// `+x` and rebuilding from scratch otherwise.
+///
+/// This is the matrix-only face of the incremental engine, used by pipeline
+/// stages (the split variant's HCC filter) that transmit matrices instead of
+/// computing features locally. Matrices are identical to
+/// [`CoMatrix::from_region`] for every placement.
+pub struct MatrixCursor<'a> {
+    vol: &'a LevelVolume,
+    dirs: &'a DirectionSet,
+    roi: Dims4,
+    win: Option<SlidingWindow<'a>>,
+}
+
+impl<'a> MatrixCursor<'a> {
+    /// Creates a cursor with no current placement.
+    pub fn new(vol: &'a LevelVolume, dirs: &'a DirectionSet, roi: Dims4) -> Self {
+        Self {
+            vol,
+            dirs,
+            roi,
+            win: None,
         }
     }
-    maps
+
+    /// The matrix of the window at `origin`.
+    ///
+    /// # Panics
+    /// If the window does not fit inside the volume.
+    pub fn matrix_at(&mut self, origin: Point4) -> &CoMatrix {
+        let slides = self.win.as_ref().is_some_and(|w| {
+            let p = w.origin();
+            p.x + 1 == origin.x && p.y == origin.y && p.z == origin.z && p.t == origin.t
+        });
+        if slides {
+            self.win.as_mut().expect("checked above").slide_x();
+        } else {
+            self.win = Some(SlidingWindow::new(self.vol, self.dirs, self.roi, origin));
+        }
+        self.win.as_ref().expect("placed above").matrix()
+    }
 }
 
 #[cfg(test)]
@@ -182,7 +295,7 @@ mod tests {
     use super::*;
     use crate::direction::Direction;
     use crate::features::FeatureSelection;
-    use crate::raster::raster_scan;
+    use crate::raster::{raster_scan, Representation};
     use crate::roi::RoiShape;
 
     fn volume(seed: usize) -> LevelVolume {
@@ -206,6 +319,29 @@ mod tests {
             let expect =
                 CoMatrix::from_region(&vol, Region4::new(Point4::new(step, 1, 1, 1), roi), &dirs);
             assert_eq!(win.matrix(), &expect, "divergence at slide {step}");
+        }
+    }
+
+    #[test]
+    fn cursor_matches_rebuild_across_row_breaks() {
+        let vol = volume(3);
+        let dirs = DirectionSet::paper_4d(1);
+        let roi = Dims4::new(5, 4, 2, 2);
+        let mut cursor = MatrixCursor::new(&vol, &dirs, roi);
+        // Raster order over a sub-block: consecutive +x placements slide,
+        // row/plane breaks (and a deliberate backwards jump) rebuild.
+        let mut origins: Vec<Point4> = Vec::new();
+        for z in 0..2 {
+            for y in 0..3 {
+                for x in 0..5 {
+                    origins.push(Point4::new(x, y, z, 1));
+                }
+            }
+        }
+        origins.push(Point4::new(2, 0, 0, 0));
+        for origin in origins {
+            let expect = CoMatrix::from_region(&vol, Region4::new(origin, roi), &dirs);
+            assert_eq!(cursor.matrix_at(origin), &expect, "divergence at {origin:?}");
         }
     }
 
@@ -249,12 +385,14 @@ mod tests {
                 directions: dirs,
                 selection: FeatureSelection::all(),
                 representation: Representation::Full,
+                engine: ScanEngine::default(),
             };
             let a = raster_scan(&vol, &cfg);
             let b = raster_scan_incremental(&vol, &cfg);
             assert_eq!(a.dims(), b.dims());
-            assert!(
-                a.max_abs_diff(&b) < 1e-12,
+            assert_eq!(
+                a.max_abs_diff(&b),
+                0.0,
                 "incremental scan diverges from reference"
             );
         }
@@ -268,6 +406,7 @@ mod tests {
             directions: DirectionSet::single(Direction::new(1, 1, 0, 0)),
             selection: FeatureSelection::paper_default(),
             representation: Representation::Sparse,
+            engine: ScanEngine::default(),
         };
         let a = raster_scan(&vol, &cfg);
         let b = raster_scan_incremental(&vol, &cfg);
@@ -283,6 +422,7 @@ mod tests {
             directions: DirectionSet::single(Direction::new(1, 0, 0, 0)),
             selection: FeatureSelection::paper_default(),
             representation: Representation::Full,
+            engine: ScanEngine::default(),
         };
         let a = raster_scan(&vol, &cfg);
         let b = raster_scan_incremental(&vol, &cfg);
@@ -298,5 +438,40 @@ mod tests {
         let roi = Dims4::new(12, 4, 2, 2); // full width: no room to slide
         let mut win = SlidingWindow::new(&vol, &dirs, roi, Point4::ZERO);
         win.slide_x();
+    }
+
+    #[test]
+    fn failed_slide_leaves_window_intact() {
+        // The slide target is validated before any mutation, so a panicking
+        // slide must leave the matrix and origin untouched.
+        let vol = volume(7);
+        let dirs = DirectionSet::paper_4d(1);
+        let roi = Dims4::new(12, 4, 2, 2); // full width: no room to slide
+        let mut win = SlidingWindow::new(&vol, &dirs, roi, Point4::ZERO);
+        let matrix_before = win.matrix().clone();
+        let origin_before = win.origin();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| win.slide_x()));
+        assert!(caught.is_err(), "slide past the edge must panic");
+        assert_eq!(win.matrix(), &matrix_before, "matrix corrupted by panic");
+        assert_eq!(win.origin(), origin_before, "origin advanced despite panic");
+    }
+
+    #[test]
+    fn tracked_slides_maintain_support_exactly() {
+        // The inline dirty-cell tracking must keep the support bitmap equal
+        // to the matrix's true support after every slide.
+        let vol = volume(8);
+        let dirs = DirectionSet::paper_4d(1);
+        let roi = Dims4::new(5, 4, 2, 2);
+        let mut win = SlidingWindow::new_tracked(&vol, &dirs, roi, Point4::new(0, 1, 0, 1));
+        for step in 1..=7 {
+            win.slide_x();
+            let fresh = SupportMask::from_matrix(win.matrix());
+            let mut a = Vec::new();
+            win.support().expect("tracked").for_each_set(|i| a.push(i));
+            let mut b = Vec::new();
+            fresh.for_each_set(|i| b.push(i));
+            assert_eq!(a, b, "support mask drifted from matrix at slide {step}");
+        }
     }
 }

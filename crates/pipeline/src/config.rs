@@ -3,7 +3,7 @@
 use haralick::direction::{Direction, DirectionSet};
 use haralick::features::FeatureSelection;
 use haralick::quantize::Quantizer;
-use haralick::raster::{Representation, ScanConfig};
+use haralick::raster::{Representation, ScanConfig, ScanEngine};
 use haralick::roi::RoiShape;
 use haralick::volume::Dims4;
 use serde::{Deserialize, Serialize};
@@ -36,11 +36,22 @@ pub struct AppConfig {
     /// Bytes per parameter value on the output path (value + positional
     /// information, amortized).
     pub param_value_bytes: usize,
-    /// Use the incremental sliding-window co-occurrence scan inside the
-    /// texture filters (a beyond-the-paper optimization; dense
-    /// representations only — see `haralick::window`).
+    /// Scan-engine tier used by the texture filters (see
+    /// [`haralick::raster::ScanEngine`]). `Parallel` reproduces the paper's
+    /// per-placement rebuild; the incremental tiers are a beyond-the-paper
+    /// optimization (sparse representations downgrade to rebuild tiers).
     #[serde(default)]
-    pub incremental_window: bool,
+    pub engine: ScanEngine,
+    /// Worker threads available to one texture-filter copy for per-chunk
+    /// row parallelism (the `Parallel`/`IncrementalParallel` tiers). The
+    /// cost model divides a chunk's compute across these; the paper's PIII
+    /// nodes are single-core, hence the default of 1.
+    #[serde(default = "default_texture_threads")]
+    pub texture_threads: usize,
+}
+
+fn default_texture_threads() -> usize {
+    1
 }
 
 impl AppConfig {
@@ -71,7 +82,10 @@ impl AppConfig {
             storage_nodes: 4,
             packet_split: 4,
             param_value_bytes: 8,
-            incremental_window: false,
+            // Pin the paper's per-placement rebuild semantics so the cost
+            // model and every simulated figure stay on the measured regime.
+            engine: ScanEngine::Parallel,
+            texture_threads: 1,
         }
     }
 
@@ -83,6 +97,7 @@ impl AppConfig {
             roi: RoiShape::from_lengths(6, 6, 2, 2),
             chunk_dims: Dims4::new(32, 32, 4, 4),
             storage_nodes: 2,
+            engine: ScanEngine::IncrementalParallel,
             ..Self::paper(representation)
         }
     }
@@ -95,6 +110,7 @@ impl AppConfig {
             directions: self.directions.clone(),
             selection: self.selection,
             representation: self.representation,
+            engine: self.engine,
         }
     }
 
@@ -126,6 +142,17 @@ mod tests {
         assert!(c.roi.fits_in(c.chunk_dims));
         assert!(c.roi.fits_in(c.dims));
         assert_eq!(c.scan_config().representation, Representation::Sparse);
+        assert_eq!(c.scan_config().engine, ScanEngine::IncrementalParallel);
+    }
+
+    #[test]
+    fn paper_config_pins_the_rebuild_engine() {
+        let c = AppConfig::paper(Representation::Full);
+        assert_eq!(c.engine, ScanEngine::Parallel);
+        // Legacy JSON configs (pre-engine) deserialize to the library default.
+        let s = serde_json::to_string(&c).unwrap().replace(",\"engine\":\"Parallel\"", "");
+        let back: AppConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.engine, ScanEngine::IncrementalParallel);
     }
 
     #[test]

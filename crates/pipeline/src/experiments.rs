@@ -17,7 +17,7 @@ use cluster::presets;
 use cluster::spec::{ClusterSpec, NetClass};
 use datacutter::graph::GraphSpec;
 use datacutter::SchedulePolicy;
-use haralick::raster::Representation;
+use haralick::raster::{Representation, ScanEngine};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -497,8 +497,9 @@ pub fn fig_chunksize(model: &CostModel) -> Series {
     s
 }
 
-/// Beyond-the-paper optimization study: the HMP implementation with and
-/// without the incremental sliding-window scan (`haralick::window`),
+/// Beyond-the-paper optimization study: the HMP implementation with the
+/// paper's per-placement rebuild engine versus the row-parallel incremental
+/// scan engine with dirty-cell statistics (`haralick::raster::ScanEngine`),
 /// across the Figure 7(a) node axis. The window is 10 voxels wide, so the
 /// update path does a small fraction of the accumulation work per
 /// placement.
@@ -510,10 +511,10 @@ pub fn fig_incremental(model: &CostModel) -> Series {
             n,
             run_hmp_piii(model, Representation::Full, n).makespan,
         );
-        // Same layout with the incremental window enabled.
+        // Same layout on the incremental scan-engine tier.
         let layout = PiiiLayout::paper();
         let mut cfg = AppConfig::paper(Representation::Full);
-        cfg.incremental_window = true;
+        cfg.engine = ScanEngine::IncrementalParallel;
         let w = Arc::new(Workload::new(cfg));
         let model_arc = Arc::new(model.clone());
         let hmp: Vec<usize> = (0..n).map(|i| layout.texture_base + i).collect();

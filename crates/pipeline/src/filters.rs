@@ -15,6 +15,7 @@ use haralick::features::{compute_features, FeatureSelection, MatrixStats};
 use haralick::raster::Representation;
 use haralick::sparse::{SparseAccumulator, SparseCoMatrix};
 use haralick::volume::{Dims4, LevelVolume, Point4, Region4};
+use haralick::window::MatrixCursor;
 use mri::chunks::ChunkGrid;
 use mri::dicom::DicomDataset;
 use mri::output::{normalize_to_gray, write_pgm, ParameterWriter};
@@ -267,104 +268,39 @@ enum MatrixEither {
     Sparse(SparseCoMatrix),
 }
 
-impl MatrixEither {
-    fn stats(&self, repr: Representation) -> MatrixStats {
-        match self {
-            MatrixEither::Dense(m) => match repr {
-                Representation::FullNaive => m.stats_naive(),
-                _ => m.stats_checked(),
-            },
-            MatrixEither::Sparse(s) => MatrixStats::from_sparse(s),
-        }
-    }
-}
-
 /// Computes feature values for every owned ROI of a chunk and groups them
 /// into one `ParamPacket` per feature. Shared by HMP (directly) and used in
 /// tests as the per-chunk reference.
+///
+/// The per-chunk raster scan is routed through the unified
+/// [`haralick::raster`] engine: `cfg.engine` selects the tier (the paper's
+/// per-placement rebuild, or the row-parallel incremental scan with
+/// dirty-cell statistics), and every tier produces bit-identical values.
 pub fn analyze_chunk(cfg: &AppConfig, data: &ChunkData) -> Result<Vec<ParamPacket>, FilterError> {
     let vol = data.raw.quantize(&cfg.quantizer);
     let chunk = &data.chunk;
+    let owned = chunk.owned_output;
+    // The owned-output block's placement base in chunk-local coordinates.
+    let base = Point4::new(
+        owned.origin.x - chunk.input.origin.x,
+        owned.origin.y - chunk.input.origin.y,
+        owned.origin.z - chunk.input.origin.z,
+        owned.origin.t - chunk.input.origin.t,
+    );
+    let maps = haralick::raster::scan_placements(&vol, &cfg.scan_config(), base, owned.size);
     let n = chunk.rois();
     let sel = cfg.selection;
-    let mut points = Vec::with_capacity(n);
-    let mut per_feature: Vec<Vec<f64>> = vec![Vec::with_capacity(n); sel.len()];
-    let incremental = cfg.incremental_window
-        && matches!(
-            cfg.representation,
-            Representation::Full | Representation::FullNaive
-        );
-    let push = |global: Point4,
-                stats: &MatrixStats,
-                points: &mut Vec<Point4>,
-                per_feature: &mut Vec<Vec<f64>>| {
-        let fv = compute_features(stats, &sel);
-        points.push(global);
-        for (slot, f) in sel.iter().enumerate() {
-            per_feature[slot].push(fv.get(f).expect("selected feature computed"));
-        }
-    };
-    if incremental {
-        // Slide the window along x within each output row of the chunk,
-        // rebuilding once per row (haralick::window).
-        let owned = chunk.owned_output;
-        for t in 0..owned.size.t {
-            for z in 0..owned.size.z {
-                for y in 0..owned.size.y {
-                    let row_global = Point4::new(
-                        owned.origin.x,
-                        owned.origin.y + y,
-                        owned.origin.z + z,
-                        owned.origin.t + t,
-                    );
-                    let local = Point4::new(
-                        row_global.x - chunk.input.origin.x,
-                        row_global.y - chunk.input.origin.y,
-                        row_global.z - chunk.input.origin.z,
-                        row_global.t - chunk.input.origin.t,
-                    );
-                    let mut win = haralick::window::SlidingWindow::new(
-                        &vol,
-                        &cfg.directions,
-                        cfg.roi.size(),
-                        local,
-                    );
-                    for x in 0..owned.size.x {
-                        let stats = match cfg.representation {
-                            Representation::FullNaive => win.matrix().stats_naive(),
-                            _ => win.matrix().stats_checked(),
-                        };
-                        let global =
-                            Point4::new(row_global.x + x, row_global.y, row_global.z, row_global.t);
-                        push(global, &stats, &mut points, &mut per_feature);
-                        if x + 1 < owned.size.x {
-                            win.slide_x();
-                        }
-                    }
-                }
-            }
-        }
-    } else {
-        for k in 0..n {
-            let global = linear_point(chunk, k);
-            let local = Point4::new(
-                global.x - chunk.input.origin.x,
-                global.y - chunk.input.origin.y,
-                global.z - chunk.input.origin.z,
-                global.t - chunk.input.origin.t,
-            );
-            let m = matrix_for(&vol, cfg, local)?;
-            let stats = m.stats(cfg.representation);
-            push(global, &stats, &mut points, &mut per_feature);
-        }
-    }
+    // `linear_point` and the feature-map layout both enumerate the owned
+    // ROIs x-fastest, so placement `k` occupies `values[k * sel.len()..]`.
+    let values = maps.as_slice();
+    let points: Vec<Point4> = (0..n).map(|k| linear_point(chunk, k)).collect();
     Ok(sel
         .iter()
-        .zip(per_feature)
-        .map(|(feature, values)| ParamPacket {
+        .enumerate()
+        .map(|(slot, feature)| ParamPacket {
             feature,
             points: points.clone(),
-            values,
+            values: (0..n).map(|k| values[k * sel.len() + slot]).collect(),
         })
         .collect())
 }
@@ -425,6 +361,14 @@ impl Filter for HccFilter {
         let chunk = data.chunk;
         let n = chunk.rois();
         let per_packet = n.div_ceil(cfg.packet_split.max(1)).max(1);
+        // With an incremental engine, maintain the dense matrix with the
+        // sliding window across the chunk's raster order (`linear_point`
+        // advances +x within a row, so almost every placement slides).
+        // `SparseAccum` keeps its per-ROI accumulation semantics — its whole
+        // point is never materializing the dense matrix.
+        let mut cursor = (cfg.engine.is_incremental()
+            && cfg.representation != Representation::SparseAccum)
+            .then(|| MatrixCursor::new(&vol, &cfg.directions, cfg.roi.size()));
         let mut first = 0usize;
         while first < n {
             let count = per_packet.min(n - first);
@@ -438,9 +382,19 @@ impl Filter for HccFilter {
                     global.z - chunk.input.origin.z,
                     global.t - chunk.input.origin.t,
                 );
-                match matrix_for(&vol, cfg, local)? {
-                    MatrixEither::Dense(m) => dense.push(m),
-                    MatrixEither::Sparse(s) => sparse.push(s),
+                match &mut cursor {
+                    Some(cursor) => {
+                        let m = cursor.matrix_at(local);
+                        if cfg.representation == Representation::Sparse {
+                            sparse.push(SparseCoMatrix::from_dense(m));
+                        } else {
+                            dense.push(m.clone());
+                        }
+                    }
+                    None => match matrix_for(&vol, cfg, local)? {
+                        MatrixEither::Dense(m) => dense.push(m),
+                        MatrixEither::Sparse(s) => sparse.push(s),
+                    },
                 }
             }
             let batch = if sparse.is_empty() {
@@ -496,11 +450,7 @@ impl Filter for HpcFilter {
         match &packet.batch {
             MatrixBatch::Dense(ms) => {
                 for (k, m) in ms.iter().enumerate() {
-                    let stats = match cfg.representation {
-                        Representation::FullNaive => m.stats_naive(),
-                        _ => m.stats_checked(),
-                    };
-                    push(k, &stats, &mut points);
+                    push(k, &cfg.representation.stats_of(m), &mut points);
                 }
             }
             MatrixBatch::Sparse(ms) => {

@@ -6,10 +6,12 @@
 //! [`CostModel`] instead of real computation.
 
 use crate::workload::Workload;
-use cluster::cost::CostModel;
+use cluster::cost::{CostModel, TextureWork};
 use cluster::des::{SimAction, SimBuf, SimFilter, SimFilterFactory, SourceItem};
 use cluster::spec::ClusterSpec;
 use datacutter::graph::GraphSpec;
+use haralick::raster::Representation;
+use mri::chunks::Chunk;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -115,29 +117,28 @@ impl HmpSim {
     }
 }
 
+/// The texture workload quantities of one chunk, for the cost model.
+fn texture_work(w: &Workload, chunk: &Chunk) -> TextureWork {
+    TextureWork {
+        rois: chunk.rois(),
+        roi_voxels: w.roi_voxels(),
+        roi_x: w.cfg.roi.size().x,
+        row_len: chunk.owned_output.size.x,
+        ndirs: w.ndirs(),
+        ng: w.cfg.levels,
+        repr: w.repr(),
+    }
+}
+
 impl SimFilter for HmpSim {
     fn on_buffer(&mut self, _: usize, buf: &SimBuf) -> SimAction {
         let chunk = self.w.chunk_by_id(buf.tag as usize);
         let rois = chunk.rois();
-        let cost = if self.w.cfg.incremental_window {
-            self.model.coocc_incremental_cost(
-                rois,
-                self.w.roi_voxels(),
-                self.w.cfg.roi.size().x,
-                chunk.owned_output.size.x,
-                self.w.ndirs(),
-            ) + self
-                .model
-                .features_cost(rois, self.w.cfg.levels, self.w.repr())
-        } else {
-            self.model.hmp_cost(
-                rois,
-                self.w.roi_voxels(),
-                self.w.ndirs(),
-                self.w.cfg.levels,
-                self.w.repr(),
-            )
-        };
+        let cost = self.model.texture_cost(
+            self.w.cfg.engine,
+            &texture_work(&self.w, &chunk),
+            self.w.cfg.texture_threads,
+        );
         let bytes = self.w.param_packet_bytes(rois);
         let emits = (0..self.w.cfg.selection.len())
             .map(|_| {
@@ -171,13 +172,29 @@ impl HccSim {
 impl SimFilter for HccSim {
     fn on_buffer(&mut self, _: usize, buf: &SimBuf) -> SimAction {
         let chunk = self.w.chunk_by_id(buf.tag as usize);
-        let cost = self.model.hcc_cost(
-            chunk.rois(),
-            self.w.roi_voxels(),
-            self.w.ndirs(),
-            self.w.cfg.levels,
-            self.w.repr(),
-        );
+        // Mirrors the real HCC filter: with an incremental engine the dense
+        // matrix is maintained by the sliding cursor (SparseAccum keeps its
+        // per-ROI accumulation, and the sparse wire form still pays the
+        // conversion).
+        let repr = self.w.repr();
+        let cost = if self.w.cfg.engine.is_incremental() && repr != Representation::SparseAccum {
+            let w = texture_work(&self.w, &chunk);
+            let mut c =
+                self.model
+                    .coocc_incremental_cost(w.rois, w.roi_voxels, w.roi_x, w.row_len, w.ndirs);
+            if repr == Representation::Sparse {
+                c += self.model.sparse_convert_cost(w.rois, w.ng);
+            }
+            c
+        } else {
+            self.model.hcc_cost(
+                chunk.rois(),
+                self.w.roi_voxels(),
+                self.w.ndirs(),
+                self.w.cfg.levels,
+                repr,
+            )
+        };
         let emits = self
             .w
             .matrix_packets(&chunk, &self.model)

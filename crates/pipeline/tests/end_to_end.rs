@@ -3,7 +3,7 @@
 //! implementation — for every graph variant and representation.
 
 use datacutter::SchedulePolicy;
-use haralick::raster::{raster_scan, Representation};
+use haralick::raster::{raster_scan, Representation, ScanEngine};
 use haralick::volume::Point4;
 use mri::output::read_pgm;
 use mri::store::write_distributed;
@@ -212,23 +212,29 @@ fn uso_outputs_partition_across_copies() {
 }
 
 #[test]
-fn incremental_window_pipeline_matches_reference() {
+fn incremental_engine_pipeline_matches_reference() {
+    // `test_scale` already selects `IncrementalParallel`; pin it explicitly
+    // so the test keeps meaning even if that default moves.
     let mut base = AppConfig::test_scale(Representation::Full);
-    base.incremental_window = true;
+    base.engine = ScanEngine::IncrementalParallel;
     let cfg = Arc::new(base);
     let (data, out) = setup("incremental", &cfg, 110);
     run_threaded(&hmp_spec(2), &cfg, &data, &out).expect("pipeline run");
-    // The reference scan ignores the flag (it only affects how the filters
-    // build matrices), so compare against the plain sequential scan.
-    let mut plain = (*cfg).clone();
-    plain.incremental_window = false;
-    let raw = generate(&SynthConfig {
-        dims: plain.dims,
-        ..SynthConfig::test_scale(110)
-    });
-    let vol = raw.quantize(&plain.quantizer);
-    let reference = haralick::raster::raster_scan(&vol, &plain.scan_config());
-    assert_matches_reference(&cfg, &out, 1, &reference);
+    // `reference` scans with the tier-forcing `raster_scan` (sequential
+    // rebuild), so this compares the engines end to end.
+    assert_matches_reference(&cfg, &out, 1, &reference(&cfg, 110));
+}
+
+#[test]
+fn rebuild_engine_pipeline_matches_reference() {
+    // The paper-semantics tier (`Parallel`, per-placement rebuild) through
+    // the same pipeline.
+    let mut base = AppConfig::test_scale(Representation::Full);
+    base.engine = ScanEngine::Parallel;
+    let cfg = Arc::new(base);
+    let (data, out) = setup("rebuild", &cfg, 111);
+    run_threaded(&hmp_spec(2), &cfg, &data, &out).expect("pipeline run");
+    assert_matches_reference(&cfg, &out, 1, &reference(&cfg, 111));
 }
 
 #[test]

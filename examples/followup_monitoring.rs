@@ -9,7 +9,7 @@
 
 use haralick4d::haralick::{
     features::Feature,
-    raster::{raster_scan_par, FeatureMaps, Representation, ScanConfig},
+    raster::{FeatureMaps, Representation, ScanConfig, ScanEngine},
     volume::{Dims4, Point4},
     Direction, DirectionSet, FeatureSelection, RoiShape,
 };
@@ -18,7 +18,7 @@ use haralick4d::mri::synth::{generate_followup, generate_with_truth, Lesion, Syn
 use std::path::PathBuf;
 
 fn scan(raw: &haralick4d::mri::RawVolume, cfg: &ScanConfig) -> FeatureMaps {
-    raster_scan_par(&raw.quantize_min_max(32), cfg)
+    haralick4d::haralick::scan(&raw.quantize_min_max(32), cfg)
 }
 
 /// Mean feature value over output voxels whose ROI center falls inside /
@@ -95,6 +95,7 @@ fn main() {
             Feature::InverseDifferenceMoment,
         ]),
         representation: Representation::Full,
+        engine: ScanEngine::default(),
     };
     let t = std::time::Instant::now();
     let maps0 = scan(&baseline, &cfg);

@@ -9,7 +9,7 @@ use haralick4d::haralick::{
     coocc::CoMatrix,
     direction::{Direction, DirectionSet},
     features::{compute_features, Feature, FeatureSelection},
-    raster::{raster_scan_par, Representation, ScanConfig},
+    raster::{raster_scan_par, Representation, ScanConfig, ScanEngine},
     roi::RoiShape,
     sparse::SparseCoMatrix,
     volume::{Point4, Region4},
@@ -60,6 +60,7 @@ fn main() {
         directions: dirs,
         selection: FeatureSelection::paper_default(),
         representation: Representation::Full,
+        engine: ScanEngine::default(),
     };
     let t = std::time::Instant::now();
     let maps = raster_scan_par(&vol, &scan);
