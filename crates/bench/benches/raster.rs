@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use haralick::direction::{Direction, DirectionSet};
 use haralick::features::FeatureSelection;
-use haralick::raster::{raster_scan, raster_scan_par, scan, Representation, ScanConfig, ScanEngine};
+use haralick::raster::{
+    raster_scan, raster_scan_par, scan, Representation, ScanConfig, ScanEngine,
+};
 use haralick::roi::RoiShape;
 use haralick::volume::{Dims4, LevelVolume};
 use mri::synth::{generate, SynthConfig};

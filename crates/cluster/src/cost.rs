@@ -322,8 +322,16 @@ mod tests {
         // Parallel tiers divide across threads; sequential tiers do not.
         let quad = m.texture_cost(ScanEngine::Parallel, &w, 4);
         assert!((quad - b / 4.0).abs() < 1e-15);
-        let seq = m.texture_cost(ScanEngine::Incremental, &paper_work(Representation::Full), 4);
-        let seq1 = m.texture_cost(ScanEngine::Incremental, &paper_work(Representation::Full), 1);
+        let seq = m.texture_cost(
+            ScanEngine::Incremental,
+            &paper_work(Representation::Full),
+            4,
+        );
+        let seq1 = m.texture_cost(
+            ScanEngine::Incremental,
+            &paper_work(Representation::Full),
+            1,
+        );
         assert!((seq - seq1).abs() < 1e-15);
     }
 

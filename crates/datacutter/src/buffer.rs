@@ -49,7 +49,9 @@ impl DataBuffer {
     }
 
     /// Downcasts or panics with a descriptive message — for filters that
-    /// know their input type by construction.
+    /// know their input type by construction. (The engine contains the
+    /// panic, but prefer [`DataBuffer::payload`] in filter code: a typed
+    /// `App`-kind error beats a contained panic in diagnostics.)
     pub fn expect<T: Any + Send + Sync>(&self) -> &T {
         self.downcast::<T>().unwrap_or_else(|| {
             panic!(
@@ -57,6 +59,19 @@ impl DataBuffer {
                 std::any::type_name::<T>(),
                 self.tag
             )
+        })
+    }
+
+    /// Downcasts the payload, returning a typed [`FilterError`] naming the
+    /// expected type and the tag on mismatch — the non-panicking
+    /// counterpart of [`DataBuffer::expect`] for filter callbacks.
+    pub fn payload<T: Any + Send + Sync>(&self) -> Result<&T, crate::filter::FilterError> {
+        self.downcast::<T>().ok_or_else(|| {
+            crate::filter::FilterError::msg(format!(
+                "buffer payload is not a {} (tag {})",
+                std::any::type_name::<T>(),
+                self.tag
+            ))
         })
     }
 
@@ -118,5 +133,14 @@ mod tests {
     fn expect_panics_on_wrong_type() {
         let b = DataBuffer::new(3u32, 4, 1);
         let _ = b.expect::<String>();
+    }
+
+    #[test]
+    fn payload_returns_typed_error_on_mismatch() {
+        let b = DataBuffer::new(3u32, 4, 7);
+        assert_eq!(*b.payload::<u32>().unwrap(), 3);
+        let e = b.payload::<String>().unwrap_err();
+        assert_eq!(e.kind(), crate::filter::FilterErrorKind::App);
+        assert!(e.message().contains("tag 7"), "{e}");
     }
 }

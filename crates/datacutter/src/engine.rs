@@ -9,17 +9,26 @@
 //! consumer observes end-of-input — no explicit EOS tokens are needed, and
 //! the mechanism composes correctly with shared (demand-driven) queues.
 //!
-//! **Failure containment:** a filter returning an error exits its thread and
-//! drops its endpoints; upstream producers then fail their next `emit`
-//! ("downstream filter terminated") and unwind, downstream consumers see
-//! early disconnection and finish — the run drains without deadlock and
-//! `run_graph` reports the root error.
+//! **Failure containment:** a filter returning an error — or *panicking*;
+//! every callback runs under [`std::panic::catch_unwind`] — exits its thread
+//! and drops its endpoints; upstream producers then fail their next `emit`
+//! ([`FilterErrorKind::DownstreamClosed`]) and unwind, downstream consumers
+//! see early disconnection and finish. The run drains without deadlock,
+//! every spawned copy reports its [`FilterCopyStats`] (panicked copies
+//! included), `run_graph` joins **every** worker thread before returning,
+//! and the reported root cause is selected by error *kind*: an originating
+//! `App`/`Io`/`Panic` failure always wins over the `DownstreamClosed`
+//! cascade symptoms it triggers, and the error names the failing filter
+//! copy.
 
-use crate::filter::{Filter, FilterContext, FilterError, Msg, OutPort};
+use crate::filter::{Filter, FilterContext, FilterError, FilterErrorKind, Msg, OutPort};
 use crate::graph::GraphSpec;
 use crate::stats::{FilterCopyStats, RunStats};
 use crossbeam::channel::{bounded, Receiver, Select, Sender};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A per-filter constructor: called once per copy with the copy index.
@@ -47,25 +56,61 @@ pub struct RunOutcome {
     pub stats: RunStats,
 }
 
+/// A failed run: the selected root cause, the cascade errors it triggered,
+/// and the statistics of every copy that reported before shutdown — on a
+/// fully spawned graph that is *every* copy, panicked ones included.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// The root-cause error (kind-selected: originating failures beat
+    /// `DownstreamClosed` cascade symptoms).
+    pub error: FilterError,
+    /// Other errors observed during the drain, in arrival order.
+    pub secondary: Vec<FilterError>,
+    /// Per-copy statistics collected up to the failure (empty when the run
+    /// failed before any thread was spawned, e.g. graph validation).
+    pub stats: RunStats,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.error)?;
+        if !self.secondary.is_empty() {
+            write!(f, " (+{} secondary)", self.secondary.len())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+impl From<FilterError> for RunFailure {
+    fn from(error: FilterError) -> Self {
+        Self {
+            error,
+            secondary: Vec::new(),
+            stats: RunStats::default(),
+        }
+    }
+}
+
 /// Executes `spec` with the given filter factories and blocks until every
-/// filter has finished.
+/// filter has finished **and every worker thread has been joined** — no
+/// thread outlives this call, so a failed run cannot keep writing output
+/// behind the caller's back.
 ///
 /// # Errors
-/// Graph validation failures, a missing factory, or the first error returned
-/// by any filter callback.
+/// Graph validation failures, a missing factory, or the kind-selected root
+/// cause of the first failing filter copy (see [`RunFailure`]).
 pub fn run_graph(
     spec: &GraphSpec,
     factories: &mut HashMap<String, FilterFactory>,
     cfg: &EngineConfig,
-) -> Result<RunOutcome, FilterError> {
+) -> Result<RunOutcome, RunFailure> {
     spec.validate()
-        .map_err(|e| FilterError::msg(format!("invalid graph: {e}")))?;
+        .map_err(|e| FilterError::engine(format!("invalid graph: {e}")))?;
     for f in &spec.filters {
         if !factories.contains_key(&f.name) {
-            return Err(FilterError::msg(format!(
-                "no factory for filter {:?}",
-                f.name
-            )));
+            return Err(FilterError::engine(format!("no factory for filter {:?}", f.name)).into());
         }
     }
 
@@ -98,10 +143,15 @@ pub fn run_graph(
 
     let start = Instant::now();
     let (done_tx, done_rx) = bounded::<(FilterCopyStats, Option<FilterError>)>(1024);
+    // Run-level failure flag: raised by the first failing copy before it
+    // releases its channels, so sinks can refuse to commit output on runs
+    // that are already doomed (see `FilterContext::run_failed`).
+    let failed = Arc::new(AtomicBool::new(false));
     let mut spawned = 0usize;
     let mut handles = Vec::new();
+    let mut spawn_error: Option<FilterError> = None;
 
-    for fdecl in &spec.filters {
+    'spawn: for fdecl in &spec.filters {
         let input_streams = spec.inputs_of(&fdecl.name);
         let output_streams = spec.outputs_of(&fdecl.name);
         let factory = factories.get_mut(&fdecl.name).expect("checked above");
@@ -117,6 +167,7 @@ pub fn run_graph(
                         .expect("stream is an input of its consumer");
                     OutPort {
                         policy: s.policy,
+                        dest_filter: s.to.clone(),
                         dest_port,
                         senders: chans[si].senders.clone(),
                         consumer_copies: spec.filter_decl(&s.to).expect("validated").copies,
@@ -135,20 +186,33 @@ pub fn run_graph(
                 outputs,
                 buffers_out: 0,
                 bytes_out: 0,
+                failed: failed.clone(),
             };
             let filter = factory(copy);
             let tx = done_tx.clone();
             let name = format!("{}-{}-{}", cfg.thread_name_prefix, fdecl.name, copy);
-            let handle = std::thread::Builder::new()
-                .name(name)
-                .spawn(move || {
-                    let result = run_copy(filter, ctx, receivers);
-                    let _ = tx.send(result);
-                })
-                .map_err(|e| FilterError::msg(format!("thread spawn failed: {e}")))?;
-            handles.push(handle);
-            spawned += 1;
+            match std::thread::Builder::new().name(name).spawn(move || {
+                let result = run_copy(filter, ctx, receivers);
+                let _ = tx.send(result);
+            }) {
+                Ok(handle) => {
+                    handles.push(handle);
+                    spawned += 1;
+                }
+                Err(e) => {
+                    // Stop spawning; the copies already running must still
+                    // drain and be joined before we report the failure.
+                    spawn_error = Some(FilterError::engine(format!("thread spawn failed: {e}")));
+                    break 'spawn;
+                }
+            }
         }
+    }
+    if spawn_error.is_some() {
+        // Mark the run failed before releasing the unspawned filters'
+        // channel originals: consumers must not mistake the resulting
+        // disconnection for a clean end-of-stream.
+        failed.store(true, Ordering::SeqCst);
     }
     // Drop the channel originals so disconnection tracking is exact.
     drop(chans);
@@ -156,38 +220,101 @@ pub fn run_graph(
 
     let mut per_copy = Vec::with_capacity(spawned);
     let mut root_error: Option<FilterError> = None;
-    let mut secondary_error: Option<FilterError> = None;
+    let mut cascade_error: Option<FilterError> = None;
+    let mut secondary: Vec<FilterError> = Vec::new();
+    let mut engine_error: Option<FilterError> = spawn_error;
     for _ in 0..spawned {
-        let (stats, err) = done_rx
-            .recv()
-            .map_err(|_| FilterError::msg("engine: worker channel closed early"))?;
-        per_copy.push(stats);
-        if let Some(e) = err {
-            // "downstream terminated" errors are cascade symptoms; prefer
-            // the originating failure as the reported root cause.
-            if e.0.contains("downstream filter terminated") {
-                secondary_error.get_or_insert(e);
-            } else {
-                root_error.get_or_insert(e);
+        match done_rx.recv() {
+            Ok((stats, err)) => {
+                per_copy.push(stats);
+                if let Some(e) = err {
+                    // Cascade symptoms (a producer noticing its consumer
+                    // died) can never shadow — or be faked by — an
+                    // originating failure: selection is by kind, not by
+                    // message content.
+                    let slot = if e.is_cascade() {
+                        &mut cascade_error
+                    } else {
+                        &mut root_error
+                    };
+                    if slot.is_some() {
+                        secondary.push(e);
+                    } else {
+                        *slot = Some(e);
+                    }
+                }
+            }
+            Err(_) => {
+                // Every worker sends exactly once even when its filter
+                // panics; losing the channel means a thread died outside
+                // containment (e.g. a panic in a payload Drop).
+                engine_error.get_or_insert_with(|| {
+                    FilterError::engine(
+                        "worker exited without reporting (died outside containment)",
+                    )
+                });
+                break;
             }
         }
     }
+    // Join every spawned thread *before* returning, on success and failure
+    // alike: once run_graph returns, no filter code is still running.
     for h in handles {
         let _ = h.join();
     }
-    if let Some(e) = root_error.or(secondary_error) {
-        return Err(e);
-    }
     per_copy.sort_by(|a, b| (&a.filter, a.copy).cmp(&(&b.filter, b.copy)));
-    Ok(RunOutcome {
-        stats: RunStats {
-            per_copy,
-            wall: start.elapsed(),
-        },
+    let stats = RunStats {
+        per_copy,
+        wall: start.elapsed(),
+    };
+    // Root-cause precedence: an originating failure (App/Io/Panic) beats an
+    // engine failure, which beats the DownstreamClosed cascade symptoms both
+    // of them trigger. Whatever is not selected joins the secondary list.
+    let mut candidates: Vec<FilterError> = [root_error, engine_error, cascade_error]
+        .into_iter()
+        .flatten()
+        .collect();
+    if candidates.is_empty() {
+        return Ok(RunOutcome { stats });
+    }
+    let error = candidates.remove(0);
+    candidates.extend(secondary);
+    Err(RunFailure {
+        error,
+        secondary: candidates,
+        stats,
     })
 }
 
+/// Extracts a human-readable message from a panic payload.
+fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one filter callback with panic containment: a panic becomes a
+/// [`FilterErrorKind::Panic`] error carrying the payload message.
+fn contained(site: &str, f: impl FnOnce() -> Result<(), FilterError>) -> Result<(), FilterError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => Err(FilterError::panic(format!(
+            "panicked in {site}: {}",
+            panic_payload_message(payload)
+        ))),
+    }
+}
+
 /// Drives one filter copy to completion on the current thread.
+///
+/// Every callback runs under panic containment; after a failure (error or
+/// panic) the filter is not called again, but the stats accumulated so far
+/// are still reported and the thread exits normally, so the engine's drain
+/// and join logic never depends on filters being well-behaved.
 fn run_copy(
     mut filter: Box<dyn Filter>,
     mut ctx: FilterContext,
@@ -202,14 +329,15 @@ fn run_copy(
     // start()
     if let Some(e) = {
         let t = Instant::now();
-        let r = filter.start(&mut ctx);
+        let r = contained("start", || filter.start(&mut ctx));
         busy += t.elapsed();
         r.err()
     } {
         error = Some(e);
     }
 
-    // Receive loop over all live input channels.
+    // Receive loop over all live input channels. After a failure the loop
+    // stops consuming; dropping the receivers below disconnects upstream.
     let mut alive = receivers;
     while error.is_none() && !alive.is_empty() {
         let msg = {
@@ -231,7 +359,7 @@ fn run_copy(
             buffers_in += 1;
             bytes_in += m.buf.size_bytes() as u64;
             let t = Instant::now();
-            let r = filter.process(m.port, m.buf, &mut ctx);
+            let r = contained("process", || filter.process(m.port, m.buf, &mut ctx));
             busy += t.elapsed();
             if let Err(e) = r {
                 error = Some(e);
@@ -242,7 +370,7 @@ fn run_copy(
     // finish()
     if error.is_none() {
         let t = Instant::now();
-        let r = filter.finish(&mut ctx);
+        let r = contained("finish", || filter.finish(&mut ctx));
         busy += t.elapsed();
         if let Err(e) = r {
             error = Some(e);
@@ -259,7 +387,15 @@ fn run_copy(
         busy,
         wall: t0.elapsed(),
     };
-    // Dropping ctx here releases the senders → downstream EOS.
+    let error = error.map(|e| e.with_origin(&ctx.filter_name, ctx.copy_index));
+    if error.is_some() {
+        // Raise the run-level flag BEFORE the channels drop: any filter
+        // that later observes end-of-stream is guaranteed to see it.
+        ctx.failed.store(true, Ordering::SeqCst);
+    }
+    // Dropping ctx here releases the senders → downstream EOS. A panicked
+    // filter may hold broken invariants, so its destructor is contained too.
     drop(ctx);
+    let _ = catch_unwind(AssertUnwindSafe(move || drop(filter)));
     (stats, error)
 }

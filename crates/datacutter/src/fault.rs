@@ -1,0 +1,324 @@
+//! Fault injection for chaos-testing filter graphs.
+//!
+//! The production engine promises that a failing filter copy — whether it
+//! returns an error or outright panics — drains the graph without deadlock,
+//! is reported as the root cause with its name and copy index, and never
+//! leaves worker threads running after `run_graph` returns. This module
+//! provides the machinery to *prove* that promise under test: a
+//! [`FaultPlan`] describes faults to inject (panics, typed errors, delays,
+//! and emit-stalls) at a precise point of a named filter copy's lifecycle,
+//! and [`FaultPlan::apply_to_factories`] transparently wraps any
+//! application's filter factories so real graphs run with the faults armed.
+//!
+//! The wrapper is a regular [`Filter`] decorating the inner filter, so
+//! injected faults exercise exactly the code paths a real misbehaving
+//! filter would: a `Panic` fault unwinds out of the same callback frame, an
+//! `Error` fault returns through the same `Result`, a `Delay` stalls the
+//! copy under backpressure, and an `EmitStall` withholds buffers until
+//! `finish` — the late-delivery pattern of a wedged-then-recovered stage.
+
+use crate::engine::FilterFactory;
+use crate::filter::{Filter, FilterContext, FilterError};
+use crate::DataBuffer;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Which filter callback a fault triggers in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Trigger inside `start`, before delegating to the inner filter.
+    Start,
+    /// Trigger inside `process`, once the configured buffer count arrives.
+    Process,
+    /// Trigger inside `finish`, before delegating to the inner filter.
+    Finish,
+}
+
+/// What the fault does when it triggers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `panic!` with the fault's label — exercises the engine's
+    /// `catch_unwind` containment.
+    Panic,
+    /// Return an `App`-kind [`FilterError`] carrying the fault's label.
+    Error,
+    /// Sleep for the duration, then continue normally — models a slow or
+    /// momentarily wedged copy under backpressure.
+    Delay(Duration),
+    /// From the trigger point on, withhold arriving buffers instead of
+    /// processing them, then deliver all of them (in arrival order) when
+    /// `finish` runs — models a stage that stalls its emissions and
+    /// recovers only at end-of-stream. Results must still be complete.
+    EmitStall,
+}
+
+/// One fault: where it fires and what it does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Name of the filter to arm (must match the graph declaration).
+    pub filter: String,
+    /// Copy index to arm, or `None` for every copy.
+    pub copy: Option<usize>,
+    /// Callback the fault triggers in.
+    pub site: FaultSite,
+    /// For [`FaultSite::Process`]: the 1-based buffer ordinal that triggers
+    /// the fault (`1` = the first buffer). Ignored for `Start`/`Finish`.
+    pub at_buffer: u64,
+    /// The fault's behaviour.
+    pub kind: FaultKind,
+    /// Diagnostic label; injected into the panic/error message so tests can
+    /// match the reported root cause against the schedule.
+    pub label: String,
+}
+
+impl FaultSpec {
+    fn arms(&self, filter: &str, copy: usize) -> bool {
+        self.filter == filter && self.copy.is_none_or(|c| c == copy)
+    }
+}
+
+/// A set of faults to inject into a graph run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled faults.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault and returns the plan (builder style).
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.faults.push(spec);
+        self
+    }
+
+    /// Shorthand: panic in `filter` copy `copy` at the `at_buffer`-th
+    /// processed buffer.
+    pub fn panic_at(self, filter: &str, copy: usize, at_buffer: u64) -> Self {
+        self.with(FaultSpec {
+            filter: filter.to_string(),
+            copy: Some(copy),
+            site: FaultSite::Process,
+            at_buffer,
+            kind: FaultKind::Panic,
+            label: format!("injected panic in {filter}#{copy}"),
+        })
+    }
+
+    /// Shorthand: typed error in `filter` copy `copy` at the `at_buffer`-th
+    /// processed buffer.
+    pub fn error_at(self, filter: &str, copy: usize, at_buffer: u64) -> Self {
+        self.with(FaultSpec {
+            filter: filter.to_string(),
+            copy: Some(copy),
+            site: FaultSite::Process,
+            at_buffer,
+            kind: FaultKind::Error,
+            label: format!("injected error in {filter}#{copy}"),
+        })
+    }
+
+    /// Wraps `inner` with this plan's faults for `(filter, copy)`. Returns
+    /// the inner filter unchanged when no fault arms that copy.
+    pub fn wrap(&self, filter: &str, copy: usize, inner: Box<dyn Filter>) -> Box<dyn Filter> {
+        let armed: Vec<FaultSpec> = self
+            .faults
+            .iter()
+            .filter(|f| f.arms(filter, copy))
+            .cloned()
+            .collect();
+        if armed.is_empty() {
+            return inner;
+        }
+        Box::new(FaultInjector {
+            inner,
+            armed,
+            seen: 0,
+            held: Vec::new(),
+            stalled: false,
+        })
+    }
+
+    /// Wraps every factory in `factories` so the engine instantiates
+    /// fault-armed filters — the one-line hook for chaos tests over real
+    /// application graphs.
+    pub fn apply_to_factories(&self, factories: &mut HashMap<String, FilterFactory>) {
+        let names: Vec<String> = factories.keys().cloned().collect();
+        for name in names {
+            if !self.faults.iter().any(|f| f.filter == name) {
+                continue;
+            }
+            let mut inner = factories.remove(&name).expect("key exists");
+            let plan = self.clone();
+            let fname = name.clone();
+            factories.insert(
+                name,
+                Box::new(move |copy| plan.wrap(&fname, copy, inner(copy))),
+            );
+        }
+    }
+}
+
+/// The wrapper filter that realizes a [`FaultPlan`] for one copy.
+struct FaultInjector {
+    inner: Box<dyn Filter>,
+    armed: Vec<FaultSpec>,
+    /// Buffers seen by `process` so far (counts the current one).
+    seen: u64,
+    /// Buffers withheld by an `EmitStall` fault, in arrival order.
+    held: Vec<(usize, DataBuffer)>,
+    /// Whether an `EmitStall` fault has triggered.
+    stalled: bool,
+}
+
+impl FaultInjector {
+    /// Fires `spec`; returns `Ok(())` for the kinds that continue.
+    fn fire(&mut self, spec: &FaultSpec) -> Result<(), FilterError> {
+        match &spec.kind {
+            FaultKind::Panic => panic!("{}", spec.label),
+            FaultKind::Error => Err(FilterError::msg(spec.label.clone())),
+            FaultKind::Delay(d) => {
+                std::thread::sleep(*d);
+                Ok(())
+            }
+            FaultKind::EmitStall => {
+                self.stalled = true;
+                Ok(())
+            }
+        }
+    }
+
+    fn fire_site(&mut self, site: FaultSite) -> Result<(), FilterError> {
+        let due: Vec<FaultSpec> = self
+            .armed
+            .iter()
+            .filter(|f| f.site == site && (site != FaultSite::Process || f.at_buffer == self.seen))
+            .cloned()
+            .collect();
+        for spec in &due {
+            self.fire(spec)?;
+        }
+        Ok(())
+    }
+}
+
+impl Filter for FaultInjector {
+    fn start(&mut self, ctx: &mut FilterContext) -> Result<(), FilterError> {
+        self.fire_site(FaultSite::Start)?;
+        self.inner.start(ctx)
+    }
+
+    fn process(
+        &mut self,
+        port: usize,
+        buf: DataBuffer,
+        ctx: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        self.seen += 1;
+        self.fire_site(FaultSite::Process)?;
+        if self.stalled {
+            self.held.push((port, buf));
+            return Ok(());
+        }
+        self.inner.process(port, buf, ctx)
+    }
+
+    fn finish(&mut self, ctx: &mut FilterContext) -> Result<(), FilterError> {
+        self.fire_site(FaultSite::Finish)?;
+        // A stalled copy releases its withheld buffers at end-of-stream,
+        // then finishes normally: downstream sees late, not lost, data.
+        for (port, buf) in std::mem::take(&mut self.held) {
+            self.inner.process(port, buf, ctx)?;
+        }
+        self.inner.finish(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Probe {
+        processed: u64,
+    }
+
+    impl Filter for Probe {
+        fn process(
+            &mut self,
+            _: usize,
+            _: DataBuffer,
+            _: &mut FilterContext,
+        ) -> Result<(), FilterError> {
+            self.processed += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn plan_arms_only_matching_copies() {
+        let plan = FaultPlan::new().panic_at("w", 1, 3);
+        assert!(plan.faults[0].arms("w", 1));
+        assert!(!plan.faults[0].arms("w", 0));
+        assert!(!plan.faults[0].arms("x", 1));
+        let any_copy = FaultPlan::new().with(FaultSpec {
+            filter: "w".into(),
+            copy: None,
+            site: FaultSite::Finish,
+            at_buffer: 0,
+            kind: FaultKind::Error,
+            label: "e".into(),
+        });
+        assert!(any_copy.faults[0].arms("w", 7));
+    }
+
+    #[test]
+    fn wrap_is_identity_for_unarmed_copies() {
+        let plan = FaultPlan::new().error_at("w", 0, 1);
+        // Wrapping a different filter returns a plain probe: process 5
+        // buffers without any fault firing.
+        let mut f = plan.wrap("other", 0, Box::new(Probe { processed: 0 }));
+        let mut ctx = test_ctx();
+        for _ in 0..5 {
+            f.process(0, DataBuffer::new(0u8, 1, 0), &mut ctx).unwrap();
+        }
+        f.finish(&mut ctx).unwrap();
+    }
+
+    #[test]
+    fn error_fault_fires_at_exact_ordinal() {
+        let plan = FaultPlan::new().error_at("w", 0, 3);
+        let mut f = plan.wrap("w", 0, Box::new(Probe { processed: 0 }));
+        let mut ctx = test_ctx();
+        f.process(0, DataBuffer::new(0u8, 1, 0), &mut ctx).unwrap();
+        f.process(0, DataBuffer::new(0u8, 1, 0), &mut ctx).unwrap();
+        let e = f
+            .process(0, DataBuffer::new(0u8, 1, 0), &mut ctx)
+            .unwrap_err();
+        assert!(e.message().contains("injected error in w#0"), "{e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic in w#0")]
+    fn panic_fault_panics() {
+        let plan = FaultPlan::new().panic_at("w", 0, 1);
+        let mut f = plan.wrap("w", 0, Box::new(Probe { processed: 0 }));
+        let mut ctx = test_ctx();
+        let _ = f.process(0, DataBuffer::new(0u8, 1, 0), &mut ctx);
+    }
+
+    fn test_ctx() -> FilterContext {
+        FilterContext {
+            filter_name: "w".into(),
+            copy_index: 0,
+            num_copies: 1,
+            outputs: Vec::new(),
+            buffers_out: 0,
+            bytes_out: 0,
+            failed: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+}

@@ -13,26 +13,142 @@
 //! Filters emit buffers through the [`FilterContext`] handed to each
 //! callback; emission blocks when the downstream queue is full, which is
 //! what creates pipeline backpressure.
+//!
+//! Errors escaping a callback are **typed**: every [`FilterError`] carries a
+//! [`FilterErrorKind`] plus (once the engine has seen it) the name and copy
+//! index of the filter it escaped from, so the engine can tell an
+//! application failure from an I/O failure, a contained panic, or the
+//! cascade symptom of a consumer dying elsewhere in the graph.
 
 use crate::buffer::DataBuffer;
 use crate::schedule::{Route, SchedulePolicy};
 use crossbeam::channel::Sender;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Classifies a [`FilterError`]; drives the engine's root-cause selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterErrorKind {
+    /// An application-level failure returned by a filter callback.
+    App,
+    /// An I/O failure (converted from [`std::io::Error`]).
+    Io,
+    /// A filter callback panicked; the engine contained the unwind and
+    /// converted the payload into this error.
+    Panic,
+    /// An `emit` failed because the consumer filter terminated — a cascade
+    /// *symptom*, never reported as the root cause when any other error
+    /// kind is present.
+    DownstreamClosed,
+    /// An engine-internal failure: invalid graph, missing factory, thread
+    /// spawn failure, or a worker dying outside panic containment.
+    Engine,
+}
+
+impl fmt::Display for FilterErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FilterErrorKind::App => "app",
+            FilterErrorKind::Io => "io",
+            FilterErrorKind::Panic => "panic",
+            FilterErrorKind::DownstreamClosed => "downstream-closed",
+            FilterErrorKind::Engine => "engine",
+        };
+        f.write_str(s)
+    }
+}
 
 /// An error escaping a filter callback; aborts the whole graph run.
+///
+/// Construct application errors with [`FilterError::msg`]; the other kinds
+/// are produced by the runtime (`From<io::Error>`, the engine's panic
+/// containment, `emit`'s downstream tracking). The engine stamps the
+/// failing filter's name and copy index onto every error it collects, so
+/// `run_graph`'s reported root cause always names its origin.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FilterError(pub String);
+pub struct FilterError {
+    kind: FilterErrorKind,
+    message: String,
+    filter: Option<String>,
+    copy: Option<usize>,
+}
 
 impl FilterError {
-    /// Creates an error with a message.
+    /// Creates an application-level (`App`-kind) error with a message.
     pub fn msg(m: impl Into<String>) -> Self {
-        Self(m.into())
+        Self::new(FilterErrorKind::App, m)
+    }
+
+    /// Creates an error of an explicit kind.
+    pub fn new(kind: FilterErrorKind, m: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: m.into(),
+            filter: None,
+            copy: None,
+        }
+    }
+
+    /// Creates a `Panic`-kind error from a contained panic payload message.
+    pub fn panic(m: impl Into<String>) -> Self {
+        Self::new(FilterErrorKind::Panic, m)
+    }
+
+    /// Creates an `Engine`-kind error.
+    pub fn engine(m: impl Into<String>) -> Self {
+        Self::new(FilterErrorKind::Engine, m)
+    }
+
+    /// Creates a `DownstreamClosed`-kind error naming the dead consumer.
+    pub fn downstream_closed(m: impl Into<String>) -> Self {
+        Self::new(FilterErrorKind::DownstreamClosed, m)
+    }
+
+    /// The error's kind.
+    pub fn kind(&self) -> FilterErrorKind {
+        self.kind
+    }
+
+    /// The bare message (no kind/origin decoration).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Name of the filter the error escaped from, once the engine has
+    /// stamped it.
+    pub fn filter(&self) -> Option<&str> {
+        self.filter.as_deref()
+    }
+
+    /// Copy index of the filter copy the error escaped from.
+    pub fn copy(&self) -> Option<usize> {
+        self.copy
+    }
+
+    /// Whether this error is a cascade symptom (a producer noticing that a
+    /// consumer died) rather than an originating failure.
+    pub fn is_cascade(&self) -> bool {
+        self.kind == FilterErrorKind::DownstreamClosed
+    }
+
+    /// Stamps the originating filter copy, unless already stamped.
+    pub fn with_origin(mut self, filter: &str, copy: usize) -> Self {
+        if self.filter.is_none() {
+            self.filter = Some(filter.to_string());
+            self.copy = Some(copy);
+        }
+        self
     }
 }
 
 impl fmt::Display for FilterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "filter error: {}", self.0)
+        write!(f, "filter error [{}]", self.kind)?;
+        if let (Some(name), Some(copy)) = (&self.filter, self.copy) {
+            write!(f, " in {name}#{copy}")?;
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
@@ -40,7 +156,7 @@ impl std::error::Error for FilterError {}
 
 impl From<std::io::Error> for FilterError {
     fn from(e: std::io::Error) -> Self {
-        Self(format!("I/O error: {e}"))
+        Self::new(FilterErrorKind::Io, format!("I/O error: {e}"))
     }
 }
 
@@ -80,6 +196,8 @@ pub(crate) struct Msg {
 /// reaching the consumer copies.
 pub(crate) struct OutPort {
     pub policy: SchedulePolicy,
+    /// Consumer filter name (for diagnostics in emit errors).
+    pub dest_filter: String,
     /// Consumer-side input port index this output feeds.
     pub dest_port: usize,
     /// One sender per consumer copy for private-queue policies; a single
@@ -101,6 +219,11 @@ pub struct FilterContext {
     pub(crate) outputs: Vec<OutPort>,
     pub(crate) buffers_out: u64,
     pub(crate) bytes_out: u64,
+    /// Run-level failure flag, shared by every copy of the run. A failing
+    /// copy raises it *before* dropping its channel endpoints, so by the
+    /// time end-of-stream cascades to a downstream filter the flag is
+    /// already visible.
+    pub(crate) failed: Arc<AtomicBool>,
 }
 
 impl FilterContext {
@@ -124,10 +247,25 @@ impl FilterContext {
         &self.filter_name
     }
 
+    /// Whether any filter copy of this run has already failed (error or
+    /// panic). A failing copy raises the flag before it releases its
+    /// channels, so a sink that observes end-of-stream and then reads
+    /// `false` here is guaranteed the streams above it all ended cleanly.
+    /// Output filters use this in `finish` to withhold commitment (e.g. the
+    /// atomic rename of a `.tmp` file) on aborted runs.
+    pub fn run_failed(&self) -> bool {
+        self.failed.load(Ordering::SeqCst)
+    }
+
     /// Emits a buffer on output port `port`, blocking while the target
-    /// queue is full. Fails if the downstream filter has terminated (e.g.
-    /// after an error elsewhere in the graph) — producers then unwind
+    /// queue is full. Fails with a [`FilterErrorKind::DownstreamClosed`]
+    /// error naming the consumer if the downstream filter has terminated
+    /// (e.g. after an error elsewhere in the graph) — producers then unwind
     /// instead of deadlocking.
+    ///
+    /// A broadcast that fails part-way still accounts the emission if at
+    /// least one consumer copy received the buffer (those copies hold live
+    /// references), and the error reports how many copies were delivered.
     pub fn emit(&mut self, port: usize, buf: DataBuffer) -> Result<(), FilterError> {
         let out = self
             .outputs
@@ -136,25 +274,54 @@ impl FilterContext {
         let size = buf.size_bytes() as u64;
         let route = out.policy.route(out.seq, buf.tag(), out.consumer_copies);
         out.seq += 1;
+        let dest_port = out.dest_port;
+        let dest = out.dest_filter.as_str();
         let send = |s: &Sender<Msg>, buf: DataBuffer| {
             s.send(Msg {
-                port: out.dest_port,
+                port: dest_port,
                 buf,
             })
-            .map_err(|_| FilterError::msg("downstream filter terminated"))
+            .map_err(|_| {
+                FilterError::downstream_closed(format!("downstream filter {dest:?} terminated"))
+            })
         };
-        match route {
-            Route::One(i) => send(&out.senders[i], buf)?,
-            Route::Shared => send(&out.senders[0], buf)?,
+        // `account` is true whenever the buffer reached at least one
+        // consumer copy — data that actually left this filter is counted
+        // even when the emission ultimately fails part-way.
+        let (account, result) = match route {
+            Route::One(i) => match send(&out.senders[i], buf) {
+                Ok(()) => (true, Ok(())),
+                Err(e) => (false, Err(e)),
+            },
+            Route::Shared => match send(&out.senders[0], buf) {
+                Ok(()) => (true, Ok(())),
+                Err(e) => (false, Err(e)),
+            },
             Route::All => {
-                for s in &out.senders {
-                    send(s, buf.clone())?;
+                let total = out.senders.len();
+                let mut outcome = (true, Ok(()));
+                for (delivered, s) in out.senders.iter().enumerate() {
+                    if let Err(e) = send(s, buf.clone()) {
+                        // Consumers 0..delivered already hold the buffer;
+                        // report the partial delivery in the error.
+                        outcome = (
+                            delivered > 0,
+                            Err(FilterError::downstream_closed(format!(
+                                "{} after broadcasting to {delivered} of {total} copies",
+                                e.message()
+                            ))),
+                        );
+                        break;
+                    }
                 }
+                outcome
             }
+        };
+        if account {
+            self.buffers_out += 1;
+            self.bytes_out += size;
         }
-        self.buffers_out += 1;
-        self.bytes_out += size;
-        Ok(())
+        result
     }
 }
 
@@ -181,6 +348,7 @@ mod tests {
             num_copies: 1,
             outputs: vec![OutPort {
                 policy,
+                dest_filter: "consumer".into(),
                 dest_port: 0,
                 senders,
                 consumer_copies: n,
@@ -188,6 +356,7 @@ mod tests {
             }],
             buffers_out: 0,
             bytes_out: 0,
+            failed: Arc::new(AtomicBool::new(false)),
         };
         (ctx, receivers)
     }
@@ -232,6 +401,66 @@ mod tests {
         let (mut ctx, rx) = ctx_with(SchedulePolicy::RoundRobin, 1);
         drop(rx);
         let e = ctx.emit(0, DataBuffer::new((), 1, 0)).unwrap_err();
-        assert!(e.0.contains("terminated"));
+        assert_eq!(e.kind(), FilterErrorKind::DownstreamClosed);
+        assert!(e.is_cascade());
+        assert!(
+            e.message().contains("\"consumer\""),
+            "destination filter missing from {e}"
+        );
+    }
+
+    #[test]
+    fn partial_broadcast_accounts_delivered_copies() {
+        let (mut ctx, mut rx) = ctx_with(SchedulePolicy::Broadcast, 3);
+        // Kill the last consumer copy: copies 0 and 1 still receive.
+        drop(rx.pop());
+        let e = ctx.emit(0, DataBuffer::new(9u8, 5, 0)).unwrap_err();
+        assert_eq!(e.kind(), FilterErrorKind::DownstreamClosed);
+        assert!(
+            e.message().contains("2 of 3"),
+            "partial delivery not reported: {e}"
+        );
+        // The buffer did leave this filter — stats must say so.
+        assert_eq!(ctx.buffers_out, 1);
+        assert_eq!(ctx.bytes_out, 5);
+        for r in &rx {
+            assert_eq!(r.len(), 1, "live copies must have received the buffer");
+        }
+    }
+
+    #[test]
+    fn failed_broadcast_to_first_copy_accounts_nothing() {
+        let (mut ctx, mut rx) = ctx_with(SchedulePolicy::Broadcast, 2);
+        rx.remove(0);
+        let e = ctx.emit(0, DataBuffer::new(1u8, 4, 0)).unwrap_err();
+        assert!(e.message().contains("0 of 2"), "got: {e}");
+        assert_eq!(ctx.buffers_out, 0);
+        assert_eq!(ctx.bytes_out, 0);
+    }
+
+    #[test]
+    fn error_origin_stamping_is_first_writer_wins() {
+        let e = FilterError::msg("boom").with_origin("HMP", 2);
+        assert_eq!(e.filter(), Some("HMP"));
+        assert_eq!(e.copy(), Some(2));
+        let e2 = e.with_origin("USO", 0);
+        assert_eq!(e2.filter(), Some("HMP"), "origin must not be overwritten");
+    }
+
+    #[test]
+    fn display_includes_kind_and_origin() {
+        let e = FilterError::panic("index out of bounds").with_origin("HIC", 0);
+        let s = e.to_string();
+        assert!(s.contains("[panic]"), "{s}");
+        assert!(s.contains("HIC#0"), "{s}");
+        assert!(s.contains("index out of bounds"), "{s}");
+    }
+
+    #[test]
+    fn io_errors_convert_with_io_kind() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: FilterError = io.into();
+        assert_eq!(e.kind(), FilterErrorKind::Io);
+        assert!(e.message().contains("gone"));
     }
 }

@@ -32,14 +32,16 @@
 
 pub mod buffer;
 pub mod engine;
+pub mod fault;
 pub mod filter;
 pub mod graph;
 pub mod schedule;
 pub mod stats;
 
 pub use buffer::DataBuffer;
-pub use engine::{run_graph, EngineConfig, RunOutcome};
-pub use filter::{Filter, FilterContext, FilterError};
+pub use engine::{run_graph, EngineConfig, RunFailure, RunOutcome};
+pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpec};
+pub use filter::{Filter, FilterContext, FilterError, FilterErrorKind};
 pub use graph::{FilterDecl, GraphSpec, StreamDecl};
 pub use schedule::SchedulePolicy;
 pub use stats::{FilterCopyStats, RunStats};

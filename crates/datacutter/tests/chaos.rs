@@ -1,0 +1,255 @@
+//! Chaos tests: randomized fault schedules over linear pipelines.
+//!
+//! Each case builds a multi-stage graph with randomized copy counts and
+//! scheduling policies, arms a randomized [`FaultPlan`], and asserts the
+//! engine's failure contract: the run terminates (watchdog), the injected
+//! fault is reported as the root cause with the right kind and filter name,
+//! and benign faults (delays, emit-stalls) never change the delivered
+//! results.
+//!
+//! Seeds are fixed for reproducibility; set `H4D_CHAOS_SEED` to replay a
+//! single seed (e.g. `H4D_CHAOS_SEED=7 cargo test -p datacutter chaos`).
+
+use datacutter::{
+    run_graph, DataBuffer, EngineConfig, FaultKind, FaultPlan, FaultSite, FaultSpec, Filter,
+    FilterContext, FilterError, FilterErrorKind, GraphSpec, RunFailure, RunOutcome, SchedulePolicy,
+};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+type Factories = HashMap<String, datacutter::engine::FilterFactory>;
+
+struct Source {
+    count: u64,
+}
+
+impl Filter for Source {
+    fn start(&mut self, ctx: &mut FilterContext) -> Result<(), FilterError> {
+        let (copies, me) = (ctx.num_copies() as u64, ctx.copy_index() as u64);
+        for tag in (0..self.count).filter(|t| t % copies == me) {
+            ctx.emit(0, DataBuffer::new(tag, 8, tag))?;
+        }
+        Ok(())
+    }
+    fn process(
+        &mut self,
+        _: usize,
+        _: DataBuffer,
+        _: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        unreachable!("source has no inputs")
+    }
+}
+
+struct Relay {
+    log: Arc<Mutex<Vec<u64>>>,
+}
+
+impl Filter for Relay {
+    fn process(
+        &mut self,
+        _: usize,
+        buf: DataBuffer,
+        ctx: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        self.log.lock().push(buf.tag());
+        if ctx.output_count() > 0 {
+            ctx.emit(0, buf)?;
+        }
+        Ok(())
+    }
+}
+
+struct Case {
+    spec: GraphSpec,
+    factories: Factories,
+    stage_names: Vec<String>,
+    /// Per-stage tag logs (stage 1..).
+    logs: Vec<Arc<Mutex<Vec<u64>>>>,
+    buffers: u64,
+}
+
+fn policy_of(rng: &mut StdRng) -> SchedulePolicy {
+    match rng.gen_range(0..3) {
+        0 => SchedulePolicy::RoundRobin,
+        1 => SchedulePolicy::DemandDriven,
+        _ => SchedulePolicy::ByTagModulo,
+    }
+}
+
+fn build_case(rng: &mut StdRng) -> Case {
+    let buffers = rng.gen_range(5..80);
+    let stages = rng.gen_range(1..4usize);
+    let mut spec = GraphSpec::new().filter("stage0", rng.gen_range(1..3usize));
+    let mut factories: Factories = HashMap::new();
+    factories.insert(
+        "stage0".into(),
+        Box::new(move |_| Box::new(Source { count: buffers })),
+    );
+    let mut stage_names = vec!["stage0".to_string()];
+    let mut logs = Vec::new();
+    for i in 1..=stages {
+        let name = format!("stage{i}");
+        let copies = rng.gen_range(1..4usize);
+        let policy = policy_of(rng);
+        spec =
+            spec.filter(&name, copies)
+                .stream(&format!("e{i}"), &stage_names[i - 1], &name, policy);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        logs.push(log.clone());
+        factories.insert(
+            name.clone(),
+            Box::new(move |_| Box::new(Relay { log: log.clone() })),
+        );
+        stage_names.push(name);
+    }
+    Case {
+        spec,
+        factories,
+        stage_names,
+        logs,
+        buffers,
+    }
+}
+
+fn run_with_watchdog(spec: GraphSpec, mut factories: Factories) -> Result<RunOutcome, RunFailure> {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let r = run_graph(&spec, &mut factories, &EngineConfig::default());
+        let _ = tx.send(r);
+    });
+    let result = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("run_graph deadlocked (watchdog expired)");
+    handle.join().expect("driver thread panicked");
+    result
+}
+
+fn seeds() -> Vec<u64> {
+    if let Ok(s) = std::env::var("H4D_CHAOS_SEED") {
+        return vec![s.parse().expect("H4D_CHAOS_SEED must be a u64")];
+    }
+    (0..16).collect()
+}
+
+#[test]
+fn injected_lethal_faults_are_reported_as_root_cause() {
+    for seed in seeds() {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let case = build_case(&mut rng);
+        // Arm one lethal fault at a random non-source stage: the first
+        // buffer of any copy (guaranteed to fire — every stage receives
+        // every buffer), or its start callback.
+        let victim = case.stage_names[rng.gen_range(1..case.stage_names.len())].clone();
+        let lethal_panic = rng.gen_bool(0.5);
+        let site = if rng.gen_bool(0.3) {
+            FaultSite::Start
+        } else {
+            FaultSite::Process
+        };
+        let plan = FaultPlan::new().with(FaultSpec {
+            filter: victim.clone(),
+            copy: None,
+            site,
+            at_buffer: 1,
+            kind: if lethal_panic {
+                FaultKind::Panic
+            } else {
+                FaultKind::Error
+            },
+            label: format!("chaos fault seed {seed}"),
+        });
+        let mut factories = case.factories;
+        plan.apply_to_factories(&mut factories);
+        let err =
+            run_with_watchdog(case.spec, factories).expect_err("lethal fault must abort the run");
+        let expect_kind = if lethal_panic {
+            FilterErrorKind::Panic
+        } else {
+            FilterErrorKind::App
+        };
+        assert_eq!(err.error.kind(), expect_kind, "seed {seed}: {err}");
+        assert_eq!(
+            err.error.filter(),
+            Some(victim.as_str()),
+            "seed {seed}: root cause names the wrong filter: {err}"
+        );
+        assert!(
+            err.error
+                .message()
+                .contains(&format!("chaos fault seed {seed}")),
+            "seed {seed}: fault label lost: {err}"
+        );
+        assert!(!err.error.is_cascade(), "seed {seed}: cascade won: {err}");
+    }
+}
+
+#[test]
+fn benign_faults_do_not_change_results() {
+    // Delays and emit-stalls are disruptions, not failures: every stage
+    // must still see every tag exactly once.
+    for seed in seeds() {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5eed));
+        let case = build_case(&mut rng);
+        let victim = case.stage_names[rng.gen_range(1..case.stage_names.len())].clone();
+        let kind = if rng.gen_bool(0.5) {
+            FaultKind::Delay(Duration::from_millis(rng.gen_range(1..20)))
+        } else {
+            FaultKind::EmitStall
+        };
+        let plan = FaultPlan::new().with(FaultSpec {
+            filter: victim,
+            copy: Some(0),
+            site: FaultSite::Process,
+            at_buffer: rng.gen_range(1..4),
+            kind,
+            label: format!("benign chaos seed {seed}"),
+        });
+        let mut factories = case.factories;
+        plan.apply_to_factories(&mut factories);
+        run_with_watchdog(case.spec, factories)
+            .unwrap_or_else(|e| panic!("seed {seed}: benign fault killed the run: {e}"));
+        for (i, log) in case.logs.iter().enumerate() {
+            let mut tags = log.lock().clone();
+            tags.sort_unstable();
+            let expect: Vec<u64> = (0..case.buffers).collect();
+            assert_eq!(
+                tags,
+                expect,
+                "seed {seed}: stage {} delivery changed under benign faults",
+                i + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn every_copy_reports_stats_under_chaos() {
+    for seed in seeds() {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+        let case = build_case(&mut rng);
+        let spawned: usize = case.spec.filters.iter().map(|f| f.copies).sum();
+        let victim = case.stage_names[rng.gen_range(1..case.stage_names.len())].clone();
+        let plan = FaultPlan::new().with(FaultSpec {
+            filter: victim,
+            copy: None,
+            site: FaultSite::Process,
+            at_buffer: 1,
+            kind: FaultKind::Panic,
+            label: format!("stats chaos seed {seed}"),
+        });
+        let mut factories = case.factories;
+        plan.apply_to_factories(&mut factories);
+        let err = run_with_watchdog(case.spec, factories).expect_err("fault must abort");
+        assert_eq!(
+            err.stats.per_copy.len(),
+            spawned,
+            "seed {seed}: not every spawned copy reported stats"
+        );
+    }
+}

@@ -320,8 +320,17 @@ fn filter_error_aborts_run_without_deadlock() {
     add_sink(&mut f, "sink");
     let err = run_graph(&spec, &mut f, &EngineConfig::default()).unwrap_err();
     assert!(
-        err.0.contains("injected fault"),
+        err.error.message().contains("injected fault"),
         "root cause not reported: {err}"
+    );
+    assert_eq!(
+        err.error.filter(),
+        Some("bad"),
+        "root cause must name the filter"
+    );
+    assert!(
+        !err.error.is_cascade(),
+        "cascade symptom reported instead of root cause: {err}"
     );
 }
 
@@ -336,7 +345,8 @@ fn missing_factory_is_reported() {
     let mut f = factories();
     add_source(&mut f, "src", 1);
     let err = run_graph(&spec, &mut f, &EngineConfig::default()).unwrap_err();
-    assert!(err.0.contains("no factory"));
+    assert!(err.error.message().contains("no factory"));
+    assert_eq!(err.error.kind(), datacutter::FilterErrorKind::Engine);
 }
 
 #[test]

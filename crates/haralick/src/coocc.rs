@@ -244,10 +244,7 @@ impl CoMatrix {
         let ng = self.levels as usize;
         let ij = a as usize * ng + b as usize;
         let ji = b as usize * ng + a as usize;
-        debug_assert!(
-            self.counts[ij] > 0,
-            "decrement of absent pair ({a}, {b})"
-        );
+        debug_assert!(self.counts[ij] > 0, "decrement of absent pair ({a}, {b})");
         self.counts[ij] -= 1;
         support.clear_if(ij, self.counts[ij] == 0);
         self.counts[ji] -= 1;

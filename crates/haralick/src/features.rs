@@ -314,7 +314,11 @@ impl MatrixStats {
     /// whenever `sel` does not need them. The incremental scan engine keeps
     /// `support` exact across window slides and calls this once per
     /// placement. The result can only finalize features in `sel`.
-    pub(crate) fn from_support(m: &CoMatrix, support: &SupportMask, sel: &FeatureSelection) -> Self {
+    pub(crate) fn from_support(
+        m: &CoMatrix,
+        support: &SupportMask,
+        sel: &FeatureSelection,
+    ) -> Self {
         let ng = m.levels() as usize;
         let needs = StatNeeds::of(sel);
         let mut s = Self::zeroed_for(ng, m.total(), *sel, &needs);
@@ -358,7 +362,11 @@ impl MatrixStats {
             } else {
                 Vec::new()
             },
-            p_diff: if needs.p_diff { vec![0.0; ng] } else { Vec::new() },
+            p_diff: if needs.p_diff {
+                vec![0.0; ng]
+            } else {
+                Vec::new()
+            },
             entries: Vec::new(),
         }
     }
@@ -731,8 +739,10 @@ mod tests {
         let m = matrix_of(img, 8, 8, 8, Direction::new(1, 1, 0, 0));
         let mask = SupportMask::from_matrix(&m);
         let full = compute_features(&m.stats_checked(), &FeatureSelection::all());
-        let mut selections: Vec<FeatureSelection> =
-            Feature::ALL.iter().map(|&f| FeatureSelection::of(&[f])).collect();
+        let mut selections: Vec<FeatureSelection> = Feature::ALL
+            .iter()
+            .map(|&f| FeatureSelection::of(&[f]))
+            .collect();
         selections.push(FeatureSelection::paper_default());
         for sel in selections {
             let got = compute_features(&MatrixStats::from_support(&m, &mask, &sel), &sel);

@@ -95,10 +95,9 @@ impl ScanEngine {
             (Self::Incremental, Representation::Sparse | Representation::SparseAccum) => {
                 Self::Reference
             }
-            (
-                Self::IncrementalParallel,
-                Representation::Sparse | Representation::SparseAccum,
-            ) => Self::Parallel,
+            (Self::IncrementalParallel, Representation::Sparse | Representation::SparseAccum) => {
+                Self::Parallel
+            }
             (e, _) => e,
         }
     }

@@ -153,10 +153,9 @@ impl<'a> SlidingWindow<'a> {
                     + dt * (dims.x * dims.y * dims.z) as i64;
                 for t in t_lo..t_hi {
                     for z in z_lo..z_hi {
-                        let mut base = ((t as usize * dims.z + z as usize) * dims.y
-                            + y_lo as usize)
-                            * dims.x
-                            + plane_x;
+                        let mut base =
+                            ((t as usize * dims.z + z as usize) * dims.y + y_lo as usize) * dims.x
+                                + plane_x;
                         for _ in y_lo..y_hi {
                             let a = data[base];
                             let b = data[(base as i64 + stride) as usize];
@@ -178,7 +177,12 @@ impl<'a> SlidingWindow<'a> {
     /// window (matrix and origin) exactly as it was.
     pub fn slide_x(&mut self) {
         let new = Region4::new(
-            Point4::new(self.origin.x + 1, self.origin.y, self.origin.z, self.origin.t),
+            Point4::new(
+                self.origin.x + 1,
+                self.origin.y,
+                self.origin.z,
+                self.origin.t,
+            ),
             self.roi,
         );
         assert!(
@@ -341,7 +345,11 @@ mod tests {
         origins.push(Point4::new(2, 0, 0, 0));
         for origin in origins {
             let expect = CoMatrix::from_region(&vol, Region4::new(origin, roi), &dirs);
-            assert_eq!(cursor.matrix_at(origin), &expect, "divergence at {origin:?}");
+            assert_eq!(
+                cursor.matrix_at(origin),
+                &expect,
+                "divergence at {origin:?}"
+            );
         }
     }
 

@@ -13,9 +13,9 @@
 //!   path is identical.
 
 use haralick::volume::{Dims4, Point4};
-use std::fs::File;
+use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Normalizes values to `0..=255` gray using the given min/max: `lo` maps to
 /// black, `hi` to white, a degenerate range to black.
@@ -132,16 +132,29 @@ const PARAM_MAGIC: &[u8; 4] = b"H4DP";
 /// parameter name, output extents) followed by `(x, y, z, t, value)` records
 /// in arbitrary arrival order — exactly what the USO filter receives from
 /// the texture filters.
+///
+/// Output is **crash-clean**: all writing goes to `<path>.tmp`, and the file
+/// only appears under its final name when [`ParameterWriter::finish`]
+/// atomically renames it. A run that dies mid-write — filter error, panic,
+/// process kill — leaves at worst a `.tmp` file behind, never a truncated
+/// file under the real name that downstream tooling could mistake for a
+/// complete result.
 pub struct ParameterWriter {
     w: BufWriter<File>,
     dims: Dims4,
     records: u64,
+    tmp: PathBuf,
+    path: PathBuf,
 }
 
 impl ParameterWriter {
-    /// Creates the file and writes the header.
+    /// Creates `<path>.tmp` and writes the header. The final `path` is not
+    /// touched until [`ParameterWriter::finish`].
     pub fn create(path: &Path, name: &str, dims: Dims4) -> io::Result<Self> {
-        let mut w = BufWriter::new(File::create(path)?);
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        let mut w = BufWriter::new(File::create(&tmp)?);
         w.write_all(PARAM_MAGIC)?;
         let name_bytes = name.as_bytes();
         w.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
@@ -153,7 +166,20 @@ impl ParameterWriter {
             w,
             dims,
             records: 0,
+            tmp,
+            path: path.to_path_buf(),
         })
+    }
+
+    /// The final path the file will be renamed to by
+    /// [`ParameterWriter::finish`].
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The temporary path being written until `finish`.
+    pub fn tmp_path(&self) -> &Path {
+        &self.tmp
     }
 
     /// Appends one positional record.
@@ -172,9 +198,14 @@ impl ParameterWriter {
         self.records
     }
 
-    /// Flushes and closes the file.
-    pub fn finish(mut self) -> io::Result<()> {
-        self.w.flush()
+    /// Flushes, closes the temporary file and atomically renames it to the
+    /// final path. Dropping the writer without calling `finish` leaves only
+    /// the `.tmp` file on disk.
+    pub fn finish(self) -> io::Result<()> {
+        let f = self.w.into_inner()?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&self.tmp, &self.path)
     }
 }
 
@@ -330,6 +361,42 @@ mod tests {
         for (i, &pt) in pts.iter().enumerate() {
             assert_eq!(data.values[dims.index(pt)], i as f64 * 0.5);
         }
+    }
+
+    #[test]
+    fn parameter_writer_is_invisible_until_finish() {
+        let p = tmp("atomic.h4dp");
+        let dims = Dims4::new(2, 1, 1, 1);
+        let mut w = ParameterWriter::create(&p, "contrast", dims).unwrap();
+        w.push(Point4::ZERO, 1.0).unwrap();
+        assert!(
+            !p.exists(),
+            "final path must not exist before finish (only {})",
+            w.tmp_path().display()
+        );
+        assert!(w.tmp_path().exists());
+        w.push(Point4::new(1, 0, 0, 0), 2.0).unwrap();
+        let tmp_path = w.tmp_path().to_path_buf();
+        w.finish().unwrap();
+        assert!(p.exists(), "finish must land the file under its final name");
+        assert!(!tmp_path.exists(), "finish must consume the .tmp file");
+        assert!(read_parameter_file(&p).unwrap().complete);
+    }
+
+    #[test]
+    fn abandoned_parameter_writer_leaves_only_tmp() {
+        let p = tmp("abandoned.h4dp");
+        let dims = Dims4::new(2, 1, 1, 1);
+        let mut w = ParameterWriter::create(&p, "asm", dims).unwrap();
+        w.push(Point4::ZERO, 1.0).unwrap();
+        let tmp_path = w.tmp_path().to_path_buf();
+        // A crash mid-run drops the writer without finish.
+        drop(w);
+        assert!(
+            !p.exists(),
+            "no partial file may appear under the final name"
+        );
+        assert!(tmp_path.exists(), "the .tmp residue identifies the crash");
     }
 
     #[test]

@@ -220,6 +220,11 @@ impl DistributedDataset {
     /// Reads a `w x h` sub-rectangle of slice `key` starting at `(x0, y0)`
     /// using per-row seeks — the RFR filter's "read a 2D subsection of each
     /// image slice" operation.
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidInput`] if the rectangle exceeds the slice
+    /// extents — a malformed request must surface as a reportable error, not
+    /// abort the reading filter's thread.
     pub fn read_subrect(
         &self,
         key: SliceKey,
@@ -229,10 +234,17 @@ impl DistributedDataset {
         h: usize,
     ) -> io::Result<Vec<u16>> {
         let d = self.desc.dims;
-        assert!(
-            x0 + w <= d.x && y0 + h <= d.y,
-            "subrect out of slice bounds"
-        );
+        if x0.checked_add(w).is_none_or(|x1| x1 > d.x)
+            || y0.checked_add(h).is_none_or(|y1| y1 > d.y)
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "subrect {w}x{h} at ({x0}, {y0}) exceeds slice extents {}x{}",
+                    d.x, d.y
+                ),
+            ));
+        }
         let (_, path) = self
             .locations
             .get(&key)
@@ -253,12 +265,20 @@ impl DistributedDataset {
 
     /// Reads an arbitrary 4D region, assembling it from the relevant slices
     /// (possibly on several storage nodes).
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidInput`] if the region exceeds the dataset
+    /// extents.
     pub fn read_region(&self, region: Region4) -> io::Result<RawVolume> {
-        assert!(
-            self.desc.dims.region().contains_region(&region),
-            "region {region:?} exceeds dataset {:?}",
-            self.desc.dims
-        );
+        if !self.desc.dims.region().contains_region(&region) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "region {region:?} exceeds dataset extents {:?}",
+                    self.desc.dims
+                ),
+            ));
+        }
         let mut vol = RawVolume::zeros(region.size);
         let o = region.origin;
         let s = region.size;
@@ -361,6 +381,44 @@ mod tests {
         let region = Region4::new(Point4::new(2, 3, 1, 0), Dims4::new(7, 6, 3, 3));
         let sub = ds.read_region(region).unwrap();
         assert_eq!(sub, vol.extract(region));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_subrect_is_invalid_input() {
+        let root = tmp_root("oob_rect");
+        let vol = sample();
+        write_distributed(&vol, &root, "test", 2).unwrap();
+        let ds = DistributedDataset::open(&root).unwrap();
+        let key = SliceKey { t: 0, z: 0 };
+        // dims are 16x12: one past the edge on each axis, and an
+        // overflow-provoking origin, must all fail without panicking.
+        for (x0, y0, w, h) in [
+            (0, 0, 17, 1),
+            (0, 0, 1, 13),
+            (12, 0, 5, 1),
+            (0, 10, 1, 3),
+            (usize::MAX, 0, 2, 1),
+        ] {
+            let err = ds.read_subrect(key, x0, y0, w, h).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{x0},{y0} {w}x{h}");
+        }
+        // The largest in-bounds rectangle still succeeds.
+        assert!(ds.read_subrect(key, 0, 0, 16, 12).is_ok());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_region_is_invalid_input() {
+        let root = tmp_root("oob_region");
+        let vol = sample();
+        write_distributed(&vol, &root, "test", 2).unwrap();
+        let ds = DistributedDataset::open(&root).unwrap();
+        // dims are (16, 12, 4, 3); origin + size exceeds t.
+        let region = Region4::new(Point4::new(0, 0, 0, 2), Dims4::new(16, 12, 4, 2));
+        let err = ds.read_region(region).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("exceeds dataset"), "{err}");
         fs::remove_dir_all(&root).unwrap();
     }
 

@@ -150,7 +150,9 @@ mod tests {
         let c = AppConfig::paper(Representation::Full);
         assert_eq!(c.engine, ScanEngine::Parallel);
         // Legacy JSON configs (pre-engine) deserialize to the library default.
-        let s = serde_json::to_string(&c).unwrap().replace(",\"engine\":\"Parallel\"", "");
+        let s = serde_json::to_string(&c)
+            .unwrap()
+            .replace(",\"engine\":\"Parallel\"", "");
         let back: AppConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(back.engine, ScanEngine::IncrementalParallel);
     }

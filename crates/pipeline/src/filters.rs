@@ -199,7 +199,7 @@ impl Filter for IicFilter {
         buf: DataBuffer,
         ctx: &mut FilterContext,
     ) -> Result<(), FilterError> {
-        let piece = buf.expect::<Piece>();
+        let piece = buf.payload::<Piece>()?;
         let chunk = piece.chunk;
         let entry = self.pending.entry(chunk.id).or_insert_with(|| {
             let expected = chunk.input.size.z * chunk.input.size.t;
@@ -325,7 +325,7 @@ impl Filter for HmpFilter {
         buf: DataBuffer,
         ctx: &mut FilterContext,
     ) -> Result<(), FilterError> {
-        let data = buf.expect::<ChunkData>();
+        let data = buf.payload::<ChunkData>()?;
         for packet in analyze_chunk(&self.cfg, data)? {
             let size = packet.wire_size(self.cfg.param_value_bytes);
             ctx.emit(0, DataBuffer::new(packet, size, buf.tag()))?;
@@ -355,7 +355,7 @@ impl Filter for HccFilter {
         buf: DataBuffer,
         ctx: &mut FilterContext,
     ) -> Result<(), FilterError> {
-        let data = buf.expect::<ChunkData>();
+        let data = buf.payload::<ChunkData>()?;
         let cfg = &self.cfg;
         let vol = data.raw.quantize(&cfg.quantizer);
         let chunk = data.chunk;
@@ -434,7 +434,7 @@ impl Filter for HpcFilter {
         buf: DataBuffer,
         ctx: &mut FilterContext,
     ) -> Result<(), FilterError> {
-        let packet = buf.expect::<MatrixPacket>();
+        let packet = buf.payload::<MatrixPacket>()?;
         let cfg = &self.cfg;
         let sel: FeatureSelection = cfg.selection;
         let n = packet.batch.len();
@@ -506,7 +506,7 @@ impl Filter for UsoFilter {
         buf: DataBuffer,
         _: &mut FilterContext,
     ) -> Result<(), FilterError> {
-        let packet = buf.expect::<ParamPacket>();
+        let packet = buf.payload::<ParamPacket>()?;
         if !self.writers.contains_key(&packet.feature) {
             std::fs::create_dir_all(&self.dir)?;
             let path = self.dir.join(Self::file_name(packet.feature, self.copy));
@@ -524,7 +524,16 @@ impl Filter for UsoFilter {
         Ok(())
     }
 
-    fn finish(&mut self, _: &mut FilterContext) -> Result<(), FilterError> {
+    fn finish(&mut self, ctx: &mut FilterContext) -> Result<(), FilterError> {
+        if ctx.run_failed() {
+            // The run is aborting: a fault elsewhere ended our input streams
+            // early, so the data buffered in the writers is (potentially)
+            // partial. Abandon the `.tmp` files instead of committing them —
+            // a renamed file would masquerade as a complete result. The real
+            // root cause is reported by the failing copy, not us.
+            self.writers.clear();
+            return Ok(());
+        }
         for (_, w) in self.writers.drain() {
             w.finish()?;
         }
@@ -564,14 +573,30 @@ impl Filter for HicFilter {
         buf: DataBuffer,
         ctx: &mut FilterContext,
     ) -> Result<(), FilterError> {
-        let packet = buf.expect::<ParamPacket>();
+        let packet = buf.payload::<ParamPacket>()?;
         let dims = self.cfg.out_dims();
         let map = self
             .maps
             .entry(packet.feature)
             .or_insert_with(|| vec![f64::NAN; dims.len()]);
         for (p, v) in packet.points.iter().zip(&packet.values) {
-            map[dims.index(*p)] = *v;
+            if !dims.contains(*p) {
+                return Err(FilterError::msg(format!(
+                    "{} packet references point {p:?} outside output extents {dims:?}",
+                    packet.feature.short_name()
+                )));
+            }
+            let idx = dims.index(*p);
+            // A cell written twice would silently inflate the completion
+            // count below and corrupt the assembled map — fail loudly,
+            // naming the colliding feature and position.
+            if !map[idx].is_nan() {
+                return Err(FilterError::msg(format!(
+                    "duplicate value for feature {} at point {p:?}: output cell already written",
+                    packet.feature.short_name()
+                )));
+            }
+            map[idx] = *v;
         }
         let filled = self.filled.entry(packet.feature).or_insert(0);
         *filled += packet.points.len();
@@ -627,7 +652,7 @@ impl Filter for JiwFilter {
         buf: DataBuffer,
         _: &mut FilterContext,
     ) -> Result<(), FilterError> {
-        let vol = buf.expect::<FeatureVolume>();
+        let vol = buf.payload::<FeatureVolume>()?;
         let d = vol.dims;
         let dir = self.dir.join(vol.feature.short_name());
         std::fs::create_dir_all(&dir)?;

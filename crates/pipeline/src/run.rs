@@ -11,7 +11,7 @@ use crate::filters::{
     UsoFilter,
 };
 use datacutter::engine::FilterFactory;
-use datacutter::{run_graph, EngineConfig, FilterError, GraphSpec, RunStats};
+use datacutter::{run_graph, EngineConfig, GraphSpec, RunFailure, RunStats};
 use haralick::features::Feature;
 use haralick::volume::Dims4;
 use mri::output::{read_parameter_file, ParameterData};
@@ -66,12 +66,16 @@ pub fn threaded_factories(
 }
 
 /// Runs `spec` on the threaded engine with the real filters.
+///
+/// On failure the returned [`RunFailure`] carries the root-cause
+/// [`datacutter::FilterError`] — typed by kind and naming the failing
+/// filter copy — plus the statistics of every copy that ran.
 pub fn run_threaded(
     spec: &GraphSpec,
     cfg: &Arc<AppConfig>,
     dataset_root: &Path,
     out_dir: &Path,
-) -> Result<RunStats, FilterError> {
+) -> Result<RunStats, RunFailure> {
     let mut factories = threaded_factories(spec, cfg, dataset_root, out_dir);
     let outcome = run_graph(spec, &mut factories, &EngineConfig::default())?;
     Ok(outcome.stats)

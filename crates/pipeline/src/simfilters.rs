@@ -179,9 +179,13 @@ impl SimFilter for HccSim {
         let repr = self.w.repr();
         let cost = if self.w.cfg.engine.is_incremental() && repr != Representation::SparseAccum {
             let w = texture_work(&self.w, &chunk);
-            let mut c =
-                self.model
-                    .coocc_incremental_cost(w.rois, w.roi_voxels, w.roi_x, w.row_len, w.ndirs);
+            let mut c = self.model.coocc_incremental_cost(
+                w.rois,
+                w.roi_voxels,
+                w.roi_x,
+                w.row_len,
+                w.ndirs,
+            );
             if repr == Representation::Sparse {
                 c += self.model.sparse_convert_cost(w.rois, w.ng);
             }

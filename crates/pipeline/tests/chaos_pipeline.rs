@@ -1,0 +1,327 @@
+//! Chaos over the real application graphs: randomized fault schedules
+//! injected into RFR→IIC→HMP→USO runs must (a) terminate within a
+//! watchdog deadline, (b) report the injected fault — not a cascade
+//! symptom — as the root cause, naming the armed filter, and (c) leave no
+//! committed (non-`.tmp`) parameter file behind. Benign faults (delays,
+//! emit-stalls) must leave results bit-identical to the sequential
+//! reference.
+
+use datacutter::{
+    run_graph, DataBuffer, EngineConfig, FaultKind, FaultPlan, FaultSite, FaultSpec, Filter,
+    FilterContext, FilterError, FilterErrorKind, GraphSpec, RunFailure, RunOutcome, SchedulePolicy,
+};
+use haralick::raster::{raster_scan, Representation};
+use haralick::volume::Point4;
+use mri::store::write_distributed;
+use mri::synth::{generate, SynthConfig};
+use pipeline::config::AppConfig;
+use pipeline::graphs::{Copies, HmpGraph};
+use pipeline::payload::ParamPacket;
+use pipeline::run::{merge_uso_outputs, threaded_factories};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+type Factories = HashMap<String, datacutter::engine::FilterFactory>;
+
+/// Creates a fresh working directory with a small distributed dataset and
+/// returns `(dataset root, output dir)`.
+fn setup(tag: &str, cfg: &AppConfig, seed: u64) -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("h4d_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let data = base.join("data");
+    let out = base.join("out");
+    std::fs::create_dir_all(&out).unwrap();
+    let raw = generate(&SynthConfig {
+        dims: cfg.dims,
+        ..SynthConfig::test_scale(seed)
+    });
+    write_distributed(&raw, &data, "chaos", cfg.storage_nodes).unwrap();
+    (data, out)
+}
+
+fn hmp_spec() -> GraphSpec {
+    HmpGraph {
+        rfr: Copies::Count(2),
+        iic: Copies::Count(2),
+        hmp: Copies::Count(2),
+        uso: Copies::Count(1),
+        texture_policy: SchedulePolicy::DemandDriven,
+    }
+    .build()
+}
+
+/// Total spawned copies of [`hmp_spec`]: RFR(2) + IIC(2) + HMP(2) + USO(1).
+const HMP_SPEC_COPIES: usize = 2 + 2 + 2 + 1;
+
+/// Runs the graph on a helper thread with a deadline so an injected-fault
+/// deadlock fails the test instead of hanging CI.
+fn run_with_watchdog(spec: GraphSpec, mut factories: Factories) -> Result<RunOutcome, RunFailure> {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let r = run_graph(&spec, &mut factories, &EngineConfig::default());
+        let _ = tx.send(r);
+    });
+    let result = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("run_graph deadlocked (watchdog expired)");
+    handle.join().expect("driver thread panicked");
+    result
+}
+
+/// Committed parameter files in `out` — a failed run must leave none; the
+/// abandoned `.h4dp.tmp` files are the acceptable residue.
+fn committed_outputs(out: &Path) -> Vec<String> {
+    let mut leaked = Vec::new();
+    for entry in std::fs::read_dir(out).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        if name.ends_with(".h4dp") {
+            leaked.push(name);
+        }
+    }
+    leaked
+}
+
+#[test]
+fn injected_lethal_faults_abort_cleanly_without_committed_outputs() {
+    // Randomized schedule, fixed seeds: every lethal fault anywhere in the
+    // graph must surface as the root cause and abort before any parameter
+    // file is committed. Override with H4D_CHAOS_SEED to replay one case.
+    let seeds: Vec<u64> = match std::env::var("H4D_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("H4D_CHAOS_SEED must be an integer")],
+        Err(_) => (0..6).collect(),
+    };
+    for seed in seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let victim = ["IIC", "HMP", "USO"][rng.gen_range(0..3)];
+        let kind = if rng.gen_bool(0.5) {
+            FaultKind::Panic
+        } else {
+            FaultKind::Error
+        };
+        let at_buffer = rng.gen_range(1..=2);
+        let label = format!("chaos fault s{seed} in {victim}");
+        let case = format!("seed {seed}: {kind:?} in {victim} at buffer {at_buffer}");
+
+        let cfg = Arc::new(AppConfig::test_scale(Representation::Full));
+        let (data, out) = setup(&format!("lethal_{seed}"), &cfg, 200 + seed);
+        let spec = hmp_spec();
+        let mut factories = threaded_factories(&spec, &cfg, &data, &out);
+        FaultPlan::new()
+            .with(FaultSpec {
+                filter: victim.to_string(),
+                copy: None,
+                site: FaultSite::Process,
+                at_buffer,
+                kind: kind.clone(),
+                label: label.clone(),
+            })
+            .apply_to_factories(&mut factories);
+
+        let err = run_with_watchdog(spec, factories).expect_err("lethal fault must abort the run");
+        let expect_kind = match kind {
+            FaultKind::Panic => FilterErrorKind::Panic,
+            _ => FilterErrorKind::App,
+        };
+        assert_eq!(err.error.kind(), expect_kind, "{case}: {err}");
+        assert_eq!(err.error.filter(), Some(victim), "{case}: {err}");
+        assert!(
+            err.error.copy().is_some(),
+            "{case}: copy index missing: {err}"
+        );
+        assert!(
+            err.error.message().contains(&label),
+            "{case}: injected label lost: {err}"
+        );
+        assert!(
+            !err.error.is_cascade(),
+            "{case}: cascade won selection: {err}"
+        );
+        // Every spawned copy still reports stats on the aborted run.
+        assert_eq!(
+            err.stats.per_copy.len(),
+            HMP_SPEC_COPIES,
+            "{case}: stats incomplete: {:?}",
+            err.stats.per_copy
+        );
+        // The crash-clean guarantee: nothing committed, only .tmp residue.
+        let leaked = committed_outputs(&out);
+        assert!(
+            leaked.is_empty(),
+            "{case}: failed run committed output files {leaked:?}"
+        );
+    }
+}
+
+#[test]
+fn fault_in_reader_start_aborts_cleanly() {
+    // A reader that dies before producing anything: the whole downstream
+    // graph sees immediate end-of-stream, yet the run must report the
+    // reader's panic — not a clean (but empty) completion — and USO must
+    // not commit empty parameter files.
+    let cfg = Arc::new(AppConfig::test_scale(Representation::Full));
+    let (data, out) = setup("rfr_start", &cfg, 210);
+    let spec = hmp_spec();
+    let mut factories = threaded_factories(&spec, &cfg, &data, &out);
+    FaultPlan::new()
+        .with(FaultSpec {
+            filter: "RFR".to_string(),
+            copy: None,
+            site: FaultSite::Start,
+            at_buffer: 0,
+            kind: FaultKind::Panic,
+            label: "reader died on startup".to_string(),
+        })
+        .apply_to_factories(&mut factories);
+    let err = run_with_watchdog(spec, factories).expect_err("reader fault must abort the run");
+    assert_eq!(err.error.kind(), FilterErrorKind::Panic, "{err}");
+    assert_eq!(err.error.filter(), Some("RFR"), "{err}");
+    assert!(committed_outputs(&out).is_empty());
+}
+
+#[test]
+fn benign_faults_preserve_reference_results() {
+    // A delayed HMP copy and an emit-stalled IIC copy slow the run down but
+    // must not change a single output voxel.
+    let cfg = Arc::new(AppConfig::test_scale(Representation::Full));
+    let seed = 220;
+    let (data, out) = setup("benign", &cfg, seed);
+    let spec = hmp_spec();
+    let mut factories = threaded_factories(&spec, &cfg, &data, &out);
+    FaultPlan::new()
+        .with(FaultSpec {
+            filter: "HMP".to_string(),
+            copy: Some(0),
+            site: FaultSite::Process,
+            at_buffer: 1,
+            kind: FaultKind::Delay(Duration::from_millis(5)),
+            label: "slow HMP copy".to_string(),
+        })
+        .with(FaultSpec {
+            filter: "IIC".to_string(),
+            copy: Some(0),
+            site: FaultSite::Process,
+            at_buffer: 2,
+            kind: FaultKind::EmitStall,
+            label: "stalled IIC copy".to_string(),
+        })
+        .apply_to_factories(&mut factories);
+    run_with_watchdog(spec, factories).expect("benign faults must not fail the run");
+
+    let raw = generate(&SynthConfig {
+        dims: cfg.dims,
+        ..SynthConfig::test_scale(seed)
+    });
+    let vol = raw.quantize(&cfg.quantizer);
+    let reference = raster_scan(&vol, &cfg.scan_config());
+    let dims = cfg.out_dims();
+    for feature in cfg.selection.iter() {
+        let merged = merge_uso_outputs(&out, feature, 1, dims)
+            .unwrap_or_else(|e| panic!("merging {feature:?}: {e}"));
+        let expect = reference.feature_volume(feature);
+        for (i, (a, b)) in merged.iter().zip(&expect).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{feature:?} diverges at {i} under benign faults: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// A one-shot source that emits pre-built parameter packets, for driving
+/// HIC's paste-time validation directly.
+struct PacketSource {
+    packets: Vec<ParamPacket>,
+}
+
+impl Filter for PacketSource {
+    fn start(&mut self, ctx: &mut FilterContext) -> Result<(), FilterError> {
+        for p in self.packets.drain(..) {
+            let size = p.wire_size(8);
+            ctx.emit(0, DataBuffer::new(p, size, 0))?;
+        }
+        Ok(())
+    }
+    fn process(
+        &mut self,
+        _: usize,
+        _: DataBuffer,
+        _: &mut FilterContext,
+    ) -> Result<(), FilterError> {
+        unreachable!("source has no inputs")
+    }
+}
+
+fn hic_graph(cfg: Arc<AppConfig>, packets: Vec<ParamPacket>) -> (GraphSpec, Factories) {
+    let spec = GraphSpec::new().filter("src", 1).filter("HIC", 1).stream(
+        "params",
+        "src",
+        "HIC",
+        SchedulePolicy::RoundRobin,
+    );
+    let mut factories: Factories = HashMap::new();
+    let mut packets = Some(packets);
+    factories.insert(
+        "src".to_string(),
+        Box::new(move |_| {
+            Box::new(PacketSource {
+                packets: packets.take().expect("single src copy"),
+            })
+        }),
+    );
+    factories.insert(
+        "HIC".to_string(),
+        Box::new(move |_| Box::new(pipeline::filters::HicFilter::new(cfg.clone()))),
+    );
+    (spec, factories)
+}
+
+fn packet(feature: haralick::features::Feature, p: Point4, v: f64) -> ParamPacket {
+    ParamPacket {
+        feature,
+        points: vec![p],
+        values: vec![v],
+    }
+}
+
+#[test]
+fn hic_rejects_duplicate_points_at_paste_time() {
+    // Two packets claiming the same output cell: HIC must fail on the
+    // second paste, naming the feature — a silently overwritten cell would
+    // corrupt the completion count and the assembled map.
+    let cfg = Arc::new(AppConfig::test_scale(Representation::Full));
+    let feature = haralick::features::Feature::AngularSecondMoment;
+    let p = Point4::new(0, 0, 0, 0);
+    let (spec, factories) = hic_graph(cfg, vec![packet(feature, p, 1.0), packet(feature, p, 2.0)]);
+    let err = run_with_watchdog(spec, factories).expect_err("duplicate point must fail");
+    assert_eq!(err.error.filter(), Some("HIC"), "{err}");
+    assert_eq!(err.error.kind(), FilterErrorKind::App, "{err}");
+    assert!(
+        err.error
+            .message()
+            .contains("duplicate value for feature asm"),
+        "imprecise duplicate diagnostic: {err}"
+    );
+    assert!(
+        err.error.message().contains("already written"),
+        "imprecise duplicate diagnostic: {err}"
+    );
+}
+
+#[test]
+fn hic_rejects_out_of_bounds_points() {
+    let cfg = Arc::new(AppConfig::test_scale(Representation::Full));
+    let dims = cfg.out_dims();
+    let feature = haralick::features::Feature::Contrast;
+    let outside = Point4::new(dims.x, 0, 0, 0);
+    let (spec, factories) = hic_graph(cfg, vec![packet(feature, outside, 1.0)]);
+    let err = run_with_watchdog(spec, factories).expect_err("out-of-bounds point must fail");
+    assert_eq!(err.error.filter(), Some("HIC"), "{err}");
+    assert!(
+        err.error.message().contains("outside output extents"),
+        "imprecise bounds diagnostic: {err}"
+    );
+}
