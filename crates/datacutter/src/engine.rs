@@ -23,6 +23,7 @@
 
 use crate::filter::{Filter, FilterContext, FilterError, FilterErrorKind, Msg, OutPort};
 use crate::graph::GraphSpec;
+use crate::metrics::{RunPhases, StreamMeter, StreamStats};
 use crate::stats::{FilterCopyStats, RunStats};
 use crossbeam::channel::{bounded, Receiver, Select, Sender};
 use std::collections::HashMap;
@@ -32,7 +33,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A per-filter constructor: called once per copy with the copy index.
-pub type FilterFactory = Box<dyn FnMut(usize) -> Box<dyn Filter>>;
+///
+/// Spin-up is a fallible phase: a factory that cannot build its filter
+/// (missing dataset, bad configuration) returns a typed [`FilterError`]
+/// instead of panicking, and `run_graph` converts it into a [`RunFailure`]
+/// stamped with the filter name and copy index. A factory that panics
+/// anyway is contained by a `catch_unwind` backstop and reported as a
+/// `Panic`-kind error; either way the copies already spawned drain and are
+/// joined before `run_graph` returns.
+pub type FilterFactory = Box<dyn FnMut(usize) -> Result<Box<dyn Filter>, FilterError>>;
 
 /// Engine options.
 #[derive(Debug, Clone)]
@@ -54,6 +63,10 @@ impl Default for EngineConfig {
 pub struct RunOutcome {
     /// Per-copy statistics.
     pub stats: RunStats,
+    /// Per-stream delivery aggregates and queue-depth high-water marks.
+    pub streams: Vec<StreamStats>,
+    /// Spin-up / steady / drain phase split of the run.
+    pub phases: RunPhases,
 }
 
 /// A failed run: the selected root cause, the cascade errors it triggered,
@@ -120,6 +133,9 @@ pub fn run_graph(
         receivers: Vec<Receiver<Msg>>, // one per consumer copy (shared: clones)
     }
     let mut chans: Vec<StreamChans> = Vec::with_capacity(spec.streams.len());
+    let meters: Vec<Arc<StreamMeter>> = (0..spec.streams.len())
+        .map(|_| Arc::new(StreamMeter::default()))
+        .collect();
     for s in &spec.streams {
         let consumer_copies = spec.filter_decl(&s.to).expect("validated").copies;
         if s.policy.uses_private_queues() {
@@ -142,7 +158,11 @@ pub fn run_graph(
     }
 
     let start = Instant::now();
-    let (done_tx, done_rx) = bounded::<(FilterCopyStats, Option<FilterError>)>(1024);
+    // Sized to the copy count so every worker's single completion send is
+    // non-blocking even if the drain loop exits early — a graph with more
+    // than N copies must never stall against a fixed-size channel.
+    let total_copies: usize = spec.filters.iter().map(|f| f.copies).sum();
+    let (done_tx, done_rx) = bounded::<(FilterCopyStats, Option<FilterError>)>(total_copies.max(1));
     // Run-level failure flag: raised by the first failing copy before it
     // releases its channels, so sinks can refuse to commit output on runs
     // that are already doomed (see `FilterContext::run_failed`).
@@ -172,6 +192,7 @@ pub fn run_graph(
                         senders: chans[si].senders.clone(),
                         consumer_copies: spec.filter_decl(&s.to).expect("validated").copies,
                         seq: 0,
+                        meter: meters[si].clone(),
                     }
                 })
                 .collect();
@@ -186,9 +207,29 @@ pub fn run_graph(
                 outputs,
                 buffers_out: 0,
                 bytes_out: 0,
+                blocked_send: Duration::ZERO,
                 failed: failed.clone(),
             };
-            let filter = factory(copy);
+            // Spin-up is fallible: a factory error or panic aborts further
+            // spawning with a typed, origin-stamped root cause, while the
+            // copies already running drain and are joined below.
+            let filter = match catch_unwind(AssertUnwindSafe(|| factory(copy))) {
+                Ok(Ok(f)) => f,
+                Ok(Err(e)) => {
+                    spawn_error = Some(e.with_origin(&fdecl.name, copy));
+                    break 'spawn;
+                }
+                Err(payload) => {
+                    spawn_error = Some(
+                        FilterError::panic(format!(
+                            "panicked in factory: {}",
+                            panic_payload_message(payload)
+                        ))
+                        .with_origin(&fdecl.name, copy),
+                    );
+                    break 'spawn;
+                }
+            };
             let tx = done_tx.clone();
             let name = format!("{}-{}-{}", cfg.thread_name_prefix, fdecl.name, copy);
             match std::thread::Builder::new().name(name).spawn(move || {
@@ -217,15 +258,20 @@ pub fn run_graph(
     // Drop the channel originals so disconnection tracking is exact.
     drop(chans);
     drop(done_tx);
+    // Spin-up ends once every copy is spawned (or spawning aborted) and the
+    // channel originals are released; the run is now in steady state.
+    let spinup_done = Instant::now();
+    let mut first_done: Option<Instant> = None;
 
     let mut per_copy = Vec::with_capacity(spawned);
     let mut root_error: Option<FilterError> = None;
     let mut cascade_error: Option<FilterError> = None;
     let mut secondary: Vec<FilterError> = Vec::new();
-    let mut engine_error: Option<FilterError> = spawn_error;
+    let mut engine_error: Option<FilterError> = None;
     for _ in 0..spawned {
         match done_rx.recv() {
             Ok((stats, err)) => {
+                first_done.get_or_insert_with(Instant::now);
                 per_copy.push(stats);
                 if let Some(e) = err {
                     // Cascade symptoms (a producer noticing its consumer
@@ -245,6 +291,7 @@ pub fn run_graph(
                 }
             }
             Err(_) => {
+                first_done.get_or_insert_with(Instant::now);
                 // Every worker sends exactly once even when its filter
                 // panics; losing the channel means a thread died outside
                 // containment (e.g. a panic in a payload Drop).
@@ -262,20 +309,67 @@ pub fn run_graph(
     for h in handles {
         let _ = h.join();
     }
+    // Phase boundaries are captured before the final `start.elapsed()` so
+    // `spinup + steady + drain <= wall` holds exactly in Duration space.
+    let finished = Instant::now();
+    let first_done = first_done.unwrap_or(spinup_done);
+    let phases = RunPhases {
+        spinup: spinup_done.duration_since(start),
+        steady: first_done.duration_since(spinup_done),
+        drain: finished.duration_since(first_done),
+    };
     per_copy.sort_by(|a, b| (&a.filter, a.copy).cmp(&(&b.filter, b.copy)));
     let stats = RunStats {
         per_copy,
         wall: start.elapsed(),
     };
-    // Root-cause precedence: an originating failure (App/Io/Panic) beats an
-    // engine failure, which beats the DownstreamClosed cascade symptoms both
-    // of them trigger. Whatever is not selected joins the secondary list.
-    let mut candidates: Vec<FilterError> = [root_error, engine_error, cascade_error]
-        .into_iter()
-        .flatten()
-        .collect();
+    // Root-cause precedence: a typed spin-up failure or an originating
+    // in-flight failure (App/Io/Panic) beats an engine failure, which beats
+    // the DownstreamClosed cascade symptoms all of them trigger. Whatever is
+    // not selected joins the secondary list.
+    let (spawn_origin, spawn_other) = match spawn_error {
+        Some(e) if !e.is_cascade() && e.kind() != FilterErrorKind::Engine => (Some(e), None),
+        other => (None, other),
+    };
+    let mut candidates: Vec<FilterError> = [
+        spawn_origin,
+        root_error,
+        spawn_other,
+        engine_error,
+        cascade_error,
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
     if candidates.is_empty() {
-        return Ok(RunOutcome { stats });
+        let streams = spec
+            .streams
+            .iter()
+            .zip(&meters)
+            .map(|(s, m)| {
+                let queues = if s.policy.uses_private_queues() {
+                    spec.filter_decl(&s.to).expect("validated").copies
+                } else {
+                    1
+                };
+                StreamStats {
+                    name: s.name.clone(),
+                    from: s.from.clone(),
+                    to: s.to.clone(),
+                    policy: s.policy,
+                    capacity: s.capacity,
+                    queues,
+                    buffers: m.buffers(),
+                    bytes: m.bytes(),
+                    depth_high_water: m.depth_high_water(),
+                }
+            })
+            .collect();
+        return Ok(RunOutcome {
+            stats,
+            streams,
+            phases,
+        });
     }
     let error = candidates.remove(0);
     candidates.extend(secondary);
@@ -322,6 +416,7 @@ fn run_copy(
 ) -> (FilterCopyStats, Option<FilterError>) {
     let t0 = Instant::now();
     let mut busy = Duration::ZERO;
+    let mut blocked_recv = Duration::ZERO;
     let mut buffers_in = 0u64;
     let mut bytes_in = 0u64;
     let mut error: Option<FilterError> = None;
@@ -345,7 +440,11 @@ fn run_copy(
             for r in &alive {
                 sel.recv(r);
             }
+            // Only the blocking wait for a ready stream counts as
+            // blocked-recv; the non-blocking completion below does not.
+            let t = Instant::now();
             let op = sel.select();
+            blocked_recv += t.elapsed();
             let idx = op.index();
             match op.recv(&alive[idx]) {
                 Ok(m) => Some(m),
@@ -377,6 +476,11 @@ fn run_copy(
         }
     }
 
+    // `emit` runs inside callbacks, so its blocked-send time is nested in
+    // the callback timing; subtracting it makes `busy` pure compute and
+    // `busy + blocked_send + blocked_recv <= wall` exact.
+    let blocked_send = ctx.blocked_send;
+    let busy = busy.saturating_sub(blocked_send);
     let stats = FilterCopyStats {
         filter: ctx.filter_name.clone(),
         copy: ctx.copy_index,
@@ -385,6 +489,8 @@ fn run_copy(
         bytes_in,
         bytes_out: ctx.bytes_out,
         busy,
+        blocked_send,
+        blocked_recv,
         wall: t0.elapsed(),
     };
     let error = error.map(|e| e.with_origin(&ctx.filter_name, ctx.copy_index));

@@ -157,7 +157,7 @@ impl FaultPlan {
             let fname = name.clone();
             factories.insert(
                 name,
-                Box::new(move |copy| plan.wrap(&fname, copy, inner(copy))),
+                Box::new(move |copy| Ok(plan.wrap(&fname, copy, inner(copy)?))),
             );
         }
     }
@@ -318,6 +318,7 @@ mod tests {
             outputs: Vec::new(),
             buffers_out: 0,
             bytes_out: 0,
+            blocked_send: Duration::ZERO,
             failed: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
         }
     }

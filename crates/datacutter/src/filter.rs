@@ -21,11 +21,13 @@
 //! cascade symptom of a consumer dying elsewhere in the graph.
 
 use crate::buffer::DataBuffer;
+use crate::metrics::StreamMeter;
 use crate::schedule::{Route, SchedulePolicy};
 use crossbeam::channel::Sender;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Classifies a [`FilterError`]; drives the engine's root-cause selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -208,6 +210,9 @@ pub(crate) struct OutPort {
     pub consumer_copies: usize,
     /// Producer-local sequence number on this port (drives round-robin).
     pub seq: u64,
+    /// Shared meter of the stream this port feeds (delivery counts and
+    /// queue-depth high water, see [`StreamMeter`]).
+    pub meter: Arc<StreamMeter>,
 }
 
 /// Execution context handed to filter callbacks: emission, identity, and
@@ -219,6 +224,10 @@ pub struct FilterContext {
     pub(crate) outputs: Vec<OutPort>,
     pub(crate) buffers_out: u64,
     pub(crate) bytes_out: u64,
+    /// Cumulative time this copy's `emit` calls spent inside channel sends —
+    /// predominantly blocking on full downstream queues. Runs inside
+    /// callback time, so the engine reports busy net of this.
+    pub(crate) blocked_send: Duration,
     /// Run-level failure flag, shared by every copy of the run. A failing
     /// copy raises it *before* dropping its channel endpoints, so by the
     /// time end-of-stream cascades to a downstream filter the flag is
@@ -276,14 +285,26 @@ impl FilterContext {
         out.seq += 1;
         let dest_port = out.dest_port;
         let dest = out.dest_filter.as_str();
-        let send = |s: &Sender<Msg>, buf: DataBuffer| {
-            s.send(Msg {
+        let meter = &out.meter;
+        // Each send is timed (backpressure shows up here as blocked-send
+        // time) and, on success, metered with the queue depth it produced.
+        let mut blocked = Duration::ZERO;
+        let mut send = |s: &Sender<Msg>, buf: DataBuffer| {
+            let t = Instant::now();
+            let r = s.send(Msg {
                 port: dest_port,
                 buf,
-            })
-            .map_err(|_| {
-                FilterError::downstream_closed(format!("downstream filter {dest:?} terminated"))
-            })
+            });
+            blocked += t.elapsed();
+            match r {
+                Ok(()) => {
+                    meter.record(size, s.len());
+                    Ok(())
+                }
+                Err(_) => Err(FilterError::downstream_closed(format!(
+                    "downstream filter {dest:?} terminated"
+                ))),
+            }
         };
         // `account` is true whenever the buffer reached at least one
         // consumer copy — data that actually left this filter is counted
@@ -317,6 +338,7 @@ impl FilterContext {
                 outcome
             }
         };
+        self.blocked_send += blocked;
         if account {
             self.buffers_out += 1;
             self.bytes_out += size;
@@ -353,9 +375,11 @@ mod tests {
                 senders,
                 consumer_copies: n,
                 seq: 0,
+                meter: Arc::new(StreamMeter::default()),
             }],
             buffers_out: 0,
             bytes_out: 0,
+            blocked_send: Duration::ZERO,
             failed: Arc::new(AtomicBool::new(false)),
         };
         (ctx, receivers)
@@ -394,6 +418,20 @@ mod tests {
         }
         // One logical emission even though three queues were written.
         assert_eq!(ctx.buffers_out, 1);
+    }
+
+    #[test]
+    fn emit_meters_deliveries_per_queue_write() {
+        let (mut ctx, rx) = ctx_with(SchedulePolicy::Broadcast, 3);
+        ctx.emit(0, DataBuffer::new(7u8, 5, 0)).unwrap();
+        ctx.emit(0, DataBuffer::new(8u8, 5, 1)).unwrap();
+        let meter = ctx.outputs[0].meter.clone();
+        // A broadcast counts once per consumer queue, unlike buffers_out.
+        assert_eq!(meter.buffers(), 6);
+        assert_eq!(meter.bytes(), 30);
+        assert_eq!(meter.depth_high_water(), 2, "sampled after each send");
+        assert_eq!(ctx.buffers_out, 2);
+        drop(rx);
     }
 
     #[test]

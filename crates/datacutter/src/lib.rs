@@ -35,6 +35,7 @@ pub mod engine;
 pub mod fault;
 pub mod filter;
 pub mod graph;
+pub mod metrics;
 pub mod schedule;
 pub mod stats;
 
@@ -43,5 +44,8 @@ pub use engine::{run_graph, EngineConfig, RunFailure, RunOutcome};
 pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use filter::{Filter, FilterContext, FilterError, FilterErrorKind};
 pub use graph::{FilterDecl, GraphSpec, StreamDecl};
+pub use metrics::{
+    CopyReport, FilterShape, PhaseReport, RunPhases, RunReport, StreamMeter, StreamStats,
+};
 pub use schedule::SchedulePolicy;
 pub use stats::{FilterCopyStats, RunStats};

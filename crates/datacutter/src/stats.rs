@@ -3,7 +3,10 @@
 //! Paper Figure 9 plots "the processing time of each filter" — the busy time
 //! each filter spends in its callbacks, as opposed to waiting on streams.
 //! The threaded engine records, per filter copy: buffers and bytes in and
-//! out, busy time, and wall time from thread start to exit.
+//! out, busy time, the blocked-send/blocked-recv wait split, and wall time
+//! from thread start to exit. Busy time is reported *net* of blocked sends
+//! (an `emit` that stalls on a full queue runs inside a callback), so
+//! `busy + blocked_send + blocked_recv <= wall` holds per copy.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -24,10 +27,25 @@ pub struct FilterCopyStats {
     pub bytes_in: u64,
     /// Bytes emitted.
     pub bytes_out: u64,
-    /// Time spent inside `start`/`process`/`finish`.
+    /// Time spent computing inside `start`/`process`/`finish`, net of the
+    /// blocked-send time accumulated by `emit` calls within them.
     pub busy: Duration,
+    /// Time blocked in `emit` waiting for space in a full downstream queue.
+    #[serde(default)]
+    pub blocked_send: Duration,
+    /// Time blocked waiting for input on the copy's streams.
+    #[serde(default)]
+    pub blocked_recv: Duration,
     /// Thread lifetime.
     pub wall: Duration,
+}
+
+impl FilterCopyStats {
+    /// Total time the copy spent waiting on streams, either direction —
+    /// the "waiting" half of paper Figure 9's busy-vs-wait split.
+    pub fn blocked(&self) -> Duration {
+        self.blocked_send + self.blocked_recv
+    }
 }
 
 /// Aggregated statistics of a graph run.
@@ -87,6 +105,16 @@ impl RunStats {
             .map(|c| (c.copy, c.buffers_in))
             .collect()
     }
+
+    /// Total time the copies of `filter` spent blocked in `emit`.
+    pub fn blocked_send_of(&self, filter: &str) -> Duration {
+        self.copies_of(filter).iter().map(|c| c.blocked_send).sum()
+    }
+
+    /// Total time the copies of `filter` spent waiting for input.
+    pub fn blocked_recv_of(&self, filter: &str) -> Duration {
+        self.copies_of(filter).iter().map(|c| c.blocked_recv).sum()
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +130,8 @@ mod tests {
             bytes_in: bin * 10,
             bytes_out: bout * 10,
             busy: Duration::from_millis(bin + bout),
+            blocked_send: Duration::from_millis(bout),
+            blocked_recv: Duration::from_millis(bin),
             wall: Duration::from_millis(100),
         };
         RunStats {
@@ -119,6 +149,9 @@ mod tests {
         assert_eq!(s.busy_of("b"), Duration::from_millis(15));
         assert_eq!(s.max_busy_of("b"), Duration::from_millis(9));
         assert_eq!(s.max_busy_of("ghost"), Duration::ZERO);
+        assert_eq!(s.blocked_send_of("b"), Duration::from_millis(5));
+        assert_eq!(s.blocked_recv_of("b"), Duration::from_millis(10));
+        assert_eq!(s.per_copy[1].blocked(), Duration::from_millis(9));
     }
 
     #[test]

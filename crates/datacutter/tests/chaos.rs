@@ -89,7 +89,7 @@ fn build_case(rng: &mut StdRng) -> Case {
     let mut factories: Factories = HashMap::new();
     factories.insert(
         "stage0".into(),
-        Box::new(move |_| Box::new(Source { count: buffers })),
+        Box::new(move |_| Ok(Box::new(Source { count: buffers }))),
     );
     let mut stage_names = vec!["stage0".to_string()];
     let mut logs = Vec::new();
@@ -104,7 +104,7 @@ fn build_case(rng: &mut StdRng) -> Case {
         logs.push(log.clone());
         factories.insert(
             name.clone(),
-            Box::new(move |_| Box::new(Relay { log: log.clone() })),
+            Box::new(move |_| Ok(Box::new(Relay { log: log.clone() }))),
         );
         stage_names.push(name);
     }

@@ -88,7 +88,7 @@ fn factories() -> Factories {
 fn add_source(f: &mut Factories, name: &str, count: u64) {
     f.insert(
         name.to_string(),
-        Box::new(move |_| Box::new(Source { count })),
+        Box::new(move |_| Ok(Box::new(Source { count }))),
     );
 }
 
@@ -103,11 +103,11 @@ fn add_worker(
     f.insert(
         name.to_string(),
         Box::new(move |_| {
-            Box::new(Worker {
+            Ok(Box::new(Worker {
                 delay,
                 add,
                 log: l2.clone(),
-            })
+            }))
         }),
     );
     log
@@ -118,7 +118,7 @@ fn add_sink(f: &mut Factories, name: &str) -> Arc<Mutex<Vec<u64>>> {
     let o2 = out.clone();
     f.insert(
         name.to_string(),
-        Box::new(move |_| Box::new(Sink { out: o2.clone() })),
+        Box::new(move |_| Ok(Box::new(Sink { out: o2.clone() }))),
     );
     out
 }
@@ -200,7 +200,7 @@ fn demand_driven_favours_fast_copies() {
     f.insert(
         "w".to_string(),
         Box::new(move |copy| {
-            Box::new(Worker {
+            Ok(Box::new(Worker {
                 delay: if copy == 0 {
                     Duration::from_millis(4)
                 } else {
@@ -208,7 +208,7 @@ fn demand_driven_favours_fast_copies() {
                 },
                 add: 0,
                 log: l2.clone(),
-            })
+            }))
         }),
     );
     add_sink(&mut f, "sink");
@@ -315,7 +315,7 @@ fn filter_error_aborts_run_without_deadlock() {
     add_source(&mut f, "src", 10_000);
     f.insert(
         "bad".to_string(),
-        Box::new(|_| Box::new(Faulty { seen: 0 })),
+        Box::new(|_| Ok(Box::new(Faulty { seen: 0 }))),
     );
     add_sink(&mut f, "sink");
     let err = run_graph(&spec, &mut f, &EngineConfig::default()).unwrap_err();
@@ -403,7 +403,7 @@ fn fan_in_from_two_producers() {
     let l2 = log.clone();
     f.insert(
         "sink".to_string(),
-        Box::new(move |_| Box::new(PortSink { log: l2.clone() })),
+        Box::new(move |_| Ok(Box::new(PortSink { log: l2.clone() }))),
     );
     run(&spec, &mut f);
     let log = log.lock();

@@ -93,14 +93,17 @@ fn run_shape(shape: &Shape) -> Vec<StageLog> {
     }
     let mut factories: HashMap<String, datacutter::engine::FilterFactory> = HashMap::new();
     let count = shape.buffers;
-    factories.insert("s0".into(), Box::new(move |_| Box::new(Source { count })));
+    factories.insert(
+        "s0".into(),
+        Box::new(move |_| Ok(Box::new(Source { count }))),
+    );
     let mut logs = Vec::new();
     for i in 0..shape.stages.len() {
         let log = Arc::new(Mutex::new(Vec::new()));
         logs.push(log.clone());
         factories.insert(
             format!("s{}", i + 1),
-            Box::new(move |_| Box::new(Relay { log: log.clone() })),
+            Box::new(move |_| Ok(Box::new(Relay { log: log.clone() }))),
         );
     }
     run_graph(&spec, &mut factories, &EngineConfig::default()).expect("run");

@@ -69,10 +69,10 @@ fn graph(policy: SchedulePolicy) -> (GraphSpec, Factories) {
     let mut f: Factories = HashMap::new();
     f.insert(
         "src".to_string(),
-        Box::new(|_| Box::new(Source { count: 40 })),
+        Box::new(|_| Ok(Box::new(Source { count: 40 }))),
     );
-    f.insert("w".to_string(), Box::new(|_| Box::new(Relay)));
-    f.insert("sink".to_string(), Box::new(|_| Box::new(Relay)));
+    f.insert("w".to_string(), Box::new(|_| Ok(Box::new(Relay))));
+    f.insert("sink".to_string(), Box::new(|_| Ok(Box::new(Relay))));
     (spec, f)
 }
 
@@ -208,9 +208,9 @@ fn sinks_observe_run_failure_before_finishing() {
     factories.insert(
         "sink".to_string(),
         Box::new(move |_| {
-            Box::new(FlagProbe {
+            Ok(Box::new(FlagProbe {
                 failed_at_finish: o2.clone(),
-            })
+            }))
         }),
     );
     let plan = FaultPlan::new().panic_at("w", 0, 2);
@@ -248,9 +248,9 @@ fn clean_runs_never_raise_the_failure_flag() {
     factories.insert(
         "sink".to_string(),
         Box::new(move |_| {
-            Box::new(FlagProbe {
+            Ok(Box::new(FlagProbe {
                 failed_at_finish: o2.clone(),
-            })
+            }))
         }),
     );
     run_with_watchdog(spec, factories).expect("clean run");

@@ -78,6 +78,19 @@ impl From<io::Error> for DicomError {
     }
 }
 
+impl DicomError {
+    /// Prefixes the error with the offending file's path, so a malformed
+    /// slice in a thousand-file dataset is identifiable from the message.
+    fn in_file(self, path: &Path) -> Self {
+        match self {
+            DicomError::Malformed(m) => DicomError::Malformed(format!("{}: {m}", path.display())),
+            DicomError::Io(e) => {
+                DicomError::Io(io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+            }
+        }
+    }
+}
+
 fn bad(m: impl Into<String>) -> DicomError {
     DicomError::Malformed(m.into())
 }
@@ -200,11 +213,13 @@ impl Cursor {
     }
 
     fn u16(&mut self) -> Result<u16, DicomError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     fn u32(&mut self) -> Result<u32, DicomError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn done(&self) -> bool {
@@ -217,10 +232,20 @@ fn is_long_vr(vr: &[u8]) -> bool {
     matches!(vr, b"OB" | b"OW" | b"OF" | b"SQ" | b"UT" | b"UN")
 }
 
-/// Parses one slice file.
+/// Parses one slice file. Errors — I/O and malformed alike — name the
+/// offending file.
 pub fn read_slice(path: &Path) -> Result<DicomSlice, DicomError> {
-    let mut data = Vec::new();
-    BufReader::new(File::open(path)?).read_to_end(&mut data)?;
+    let read = || -> Result<Vec<u8>, DicomError> {
+        let mut data = Vec::new();
+        BufReader::new(File::open(path)?).read_to_end(&mut data)?;
+        Ok(data)
+    };
+    let data = read().map_err(|e| e.in_file(path))?;
+    parse_slice(data).map_err(|e| e.in_file(path))
+}
+
+/// Parses one slice from its raw bytes.
+fn parse_slice(data: Vec<u8>) -> Result<DicomSlice, DicomError> {
     let mut c = Cursor { data, pos: 0 };
     // Preamble + magic.
     c.take(128)?;
@@ -238,7 +263,10 @@ pub fn read_slice(path: &Path) -> Result<DicomSlice, DicomError> {
     while !c.done() {
         let group = c.u16()?;
         let elem = c.u16()?;
-        let vr: [u8; 2] = c.take(2)?.try_into().unwrap();
+        let vr = {
+            let b = c.take(2)?;
+            [b[0], b[1]]
+        };
         if !vr.iter().all(|b| b.is_ascii_uppercase()) {
             return Err(bad(format!(
                 "element ({group:04X},{elem:04X}) lacks an explicit VR — unsupported transfer syntax"
@@ -519,6 +547,22 @@ mod tests {
         let bytes = fs::read(&p2).unwrap();
         fs::write(&p2, &bytes[..bytes.len() - 10]).unwrap();
         assert!(matches!(read_slice(&p2), Err(DicomError::Malformed(_))));
+    }
+
+    #[test]
+    fn malformed_error_names_the_file() {
+        let dir = tmp("named");
+        let path = dir.join("broken.dcm");
+        write_slice(&path, SliceKey { t: 0, z: 0 }, 2, 2, &[1, 2, 3, 4]).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let err = read_slice(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("broken.dcm"), "{msg}");
+        // A missing file is also attributed.
+        let gone = dir.join("absent.dcm");
+        let err = read_slice(&gone).unwrap_err();
+        assert!(err.to_string().contains("absent.dcm"), "{err}");
     }
 
     #[test]

@@ -223,45 +223,85 @@ pub struct ParameterData {
     pub complete: bool,
 }
 
+/// `read_exact` with end-of-file mapped to a typed `InvalidData` error
+/// naming the structure that was cut short.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], what: &str) -> io::Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(io::ErrorKind::InvalidData, format!("truncated {what}"))
+        } else {
+            e
+        }
+    })
+}
+
 /// Parses a file produced by [`ParameterWriter`].
+///
+/// The fixed record size makes truncation detectable from the file length
+/// alone: a file whose payload is not a whole number of records was cut off
+/// mid-record and is rejected with a typed `InvalidData` error rather than
+/// silently returned shorter-but-"valid". Truncation at a record boundary
+/// is indistinguishable from a partial run and surfaces as `complete ==
+/// false`, exactly like any other coverage gap.
 pub fn read_parameter_file(path: &Path) -> io::Result<ParameterData> {
-    let mut r = BufReader::new(File::open(path)?);
-    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    const REC: u64 = (4 * 4 + 8) as u64;
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+    let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    read_exact_or(&mut r, &mut magic, "header")?;
     if &magic != PARAM_MAGIC {
-        return Err(bad("bad magic"));
+        return Err(bad("bad magic".into()));
     }
     let mut len4 = [0u8; 4];
-    r.read_exact(&mut len4)?;
+    read_exact_or(&mut r, &mut len4, "header")?;
     let name_len = u32::from_le_bytes(len4) as usize;
     if name_len > 4096 {
-        return Err(bad("unreasonable name length"));
+        return Err(bad("unreasonable name length".into()));
     }
     let mut name_bytes = vec![0u8; name_len];
-    r.read_exact(&mut name_bytes)?;
-    let name = String::from_utf8(name_bytes).map_err(|_| bad("name not UTF-8"))?;
+    read_exact_or(&mut r, &mut name_bytes, "header")?;
+    let name = String::from_utf8(name_bytes).map_err(|_| bad("name not UTF-8".into()))?;
     let mut d = [0usize; 4];
     for v in &mut d {
         let mut b = [0u8; 8];
-        r.read_exact(&mut b)?;
+        read_exact_or(&mut r, &mut b, "header")?;
         *v = u64::from_le_bytes(b) as usize;
     }
+    // Cross-check the header extents before allocating a dense volume from
+    // them: a corrupt header must fail typed, not abort on allocation.
+    let total = d.iter().try_fold(1u64, |acc, &v| acc.checked_mul(v as u64));
+    match total {
+        Some(n) if n <= (1 << 31) => {}
+        _ => {
+            return Err(bad(format!(
+                "unreasonable output extents {}x{}x{}x{} in header",
+                d[0], d[1], d[2], d[3]
+            )))
+        }
+    }
     let dims = Dims4::new(d[0], d[1], d[2], d[3]);
+    // The payload after the header must be a whole number of records.
+    let header_len = 4 + 4 + name_len as u64 + 4 * 8;
+    let payload = file_len.saturating_sub(header_len);
+    if payload % REC != 0 {
+        return Err(bad(format!(
+            "file size {file_len} leaves a truncated trailing record ({} stray bytes)",
+            payload % REC
+        )));
+    }
+    let expected_records = payload / REC;
     let mut values = vec![f64::NAN; dims.len()];
     let mut seen = vec![false; dims.len()];
     let mut complete = true;
-    let mut rec = [0u8; 4 * 4 + 8];
-    loop {
-        match r.read_exact(&mut rec) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(e),
-        }
+    let mut rec = [0u8; REC as usize];
+    for _ in 0..expected_records {
+        read_exact_or(&mut r, &mut rec, "trailing record")?;
         let c = |i: usize| u32::from_le_bytes(rec[i * 4..i * 4 + 4].try_into().unwrap()) as usize;
         let p = Point4::new(c(0), c(1), c(2), c(3));
         if !dims.contains(p) {
-            return Err(bad("record position out of range"));
+            return Err(bad("record position out of range".into()));
         }
         let v = f64::from_le_bytes(rec[16..24].try_into().unwrap());
         let idx = dims.index(p);
@@ -409,6 +449,69 @@ mod tests {
         let data = read_parameter_file(&p).unwrap();
         assert!(!data.complete);
         assert!(data.values[dims.index(Point4::new(1, 0, 0, 0))].is_nan());
+    }
+
+    #[test]
+    fn parameter_file_rejects_truncated_trailing_record() {
+        let p = tmp("trunc_mid.h4dp");
+        let dims = Dims4::new(2, 1, 1, 1);
+        let mut w = ParameterWriter::create(&p, "asm", dims).unwrap();
+        w.push(Point4::ZERO, 1.0).unwrap();
+        w.push(Point4::new(1, 0, 0, 0), 2.0).unwrap();
+        w.finish().unwrap();
+        // Cut the file mid-record: 10 bytes into the second record.
+        let bytes = fs::read(&p).unwrap();
+        fs::write(&p, &bytes[..bytes.len() - 14]).unwrap();
+        let e = read_parameter_file(&p).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("truncated"), "{e}");
+    }
+
+    #[test]
+    fn parameter_file_truncated_at_record_boundary_reads_incomplete() {
+        let p = tmp("trunc_boundary.h4dp");
+        let dims = Dims4::new(2, 1, 1, 1);
+        let mut w = ParameterWriter::create(&p, "asm", dims).unwrap();
+        w.push(Point4::ZERO, 1.0).unwrap();
+        w.push(Point4::new(1, 0, 0, 0), 2.0).unwrap();
+        w.finish().unwrap();
+        // Losing a whole record is indistinguishable from a partial run:
+        // parses, but reports the coverage gap.
+        let bytes = fs::read(&p).unwrap();
+        fs::write(&p, &bytes[..bytes.len() - 24]).unwrap();
+        let data = read_parameter_file(&p).unwrap();
+        assert!(!data.complete);
+        assert!(data.values[dims.index(Point4::new(1, 0, 0, 0))].is_nan());
+    }
+
+    #[test]
+    fn parameter_file_rejects_truncated_header() {
+        let p = tmp("trunc_header.h4dp");
+        let dims = Dims4::new(2, 1, 1, 1);
+        let mut w = ParameterWriter::create(&p, "asm", dims).unwrap();
+        w.push(Point4::ZERO, 1.0).unwrap();
+        w.finish().unwrap();
+        let bytes = fs::read(&p).unwrap();
+        fs::write(&p, &bytes[..10]).unwrap();
+        let e = read_parameter_file(&p).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("truncated header"), "{e}");
+    }
+
+    #[test]
+    fn parameter_file_rejects_absurd_header_extents() {
+        let p = tmp("absurd_dims.h4dp");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"H4DP");
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(b"asm");
+        for _ in 0..4 {
+            bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        }
+        fs::write(&p, &bytes).unwrap();
+        let e = read_parameter_file(&p).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("unreasonable output extents"), "{e}");
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //! h4d info     <dataset_dir>
 //! h4d analyze  <dataset_dir> <out_dir> [--variant hmp|split|visual]
 //!              [--repr full|naive|sparse|sparse-accum] [--texture N]
+//!              [--report run.json]
 //! h4d graph    <out.json> [--variant hmp|split|visual] [--texture N]
 //! h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]
 //! h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr ...]
+//!              [--report run.json]
 //! ```
 //!
 //! The `graph` subcommand serializes the filter network to JSON — the
@@ -23,7 +25,7 @@ use mri::synth::{generate, SynthConfig};
 use pipeline::config::AppConfig;
 use pipeline::experiments::{run_hmp_piii, run_split_piii};
 use pipeline::graphs::{Copies, HmpGraph, SplitGraph, VisualGraph};
-use pipeline::run::run_threaded;
+use pipeline::run::run_threaded_outcome;
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
@@ -34,10 +36,11 @@ fn usage() -> ! {
          h4d generate <dataset_dir> [--dims X,Y,Z,T] [--nodes N] [--seed S] [--format raw|dicom]\n  \
          h4d info <dataset_dir>\n  \
          h4d analyze <dataset_dir> <out_dir> [--variant hmp|split|visual] \
-         [--repr full|naive|sparse|sparse-accum] [--texture N]\n  \
+         [--repr full|naive|sparse|sparse-accum] [--texture N] [--report run.json]\n  \
          h4d graph <out.json> [--variant hmp|split|visual] [--texture N]\n  \
          h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]\n  \
-         h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr full|naive|sparse|sparse-accum]"
+         h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr full|naive|sparse|sparse-accum] \
+         [--report run.json]"
     );
     exit(2);
 }
@@ -126,6 +129,19 @@ fn app_config(dims: Dims4, nodes: usize, repr: Representation) -> AppConfig {
         );
     }
     cfg
+}
+
+/// Writes the Figure-9-style busy-vs-wait run report as JSON to `path`.
+fn write_report(path: &str, spec: &datacutter::GraphSpec, outcome: &datacutter::RunOutcome) {
+    let report = datacutter::RunReport::new(spec, outcome);
+    if let Err(msg) = report.check() {
+        eprintln!("warning: run report failed its invariant check: {msg}");
+    }
+    std::fs::write(path, report.to_json_pretty()).unwrap_or_else(|e| {
+        eprintln!("write {path}: {e}");
+        exit(1);
+    });
+    println!("run report written to {path}");
 }
 
 fn build_graph(variant: &str, storage_nodes: usize, texture: usize) -> datacutter::GraphSpec {
@@ -243,11 +259,16 @@ fn main() {
             let spec = build_graph(&variant, desc.num_nodes, texture);
             std::fs::create_dir_all(out).ok();
             let t = std::time::Instant::now();
-            let stats = run_threaded(&spec, &cfg, &PathBuf::from(dir), &PathBuf::from(out))
-                .unwrap_or_else(|e| {
-                    eprintln!("pipeline failed: {e}");
-                    exit(1);
-                });
+            let outcome =
+                run_threaded_outcome(&spec, &cfg, &PathBuf::from(dir), &PathBuf::from(out))
+                    .unwrap_or_else(|e| {
+                        eprintln!("pipeline failed: {e}");
+                        exit(1);
+                    });
+            if let Some(rp) = flags.get("report") {
+                write_report(rp, &spec, &outcome);
+            }
+            let stats = outcome.stats;
             println!(
                 "analyzed {} in {:.2?} ({variant}, {repr:?})",
                 desc.dims,
@@ -319,18 +340,21 @@ fn main() {
             let cfg = Arc::new(app_config(desc.dims, desc.num_nodes, repr));
             std::fs::create_dir_all(out).ok();
             let t = std::time::Instant::now();
-            let stats = run_threaded(&spec, &cfg, &PathBuf::from(dir), &PathBuf::from(out))
-                .unwrap_or_else(|e| {
-                    eprintln!("pipeline failed: {e}");
-                    exit(1);
-                });
+            let outcome =
+                run_threaded_outcome(&spec, &cfg, &PathBuf::from(dir), &PathBuf::from(out))
+                    .unwrap_or_else(|e| {
+                        eprintln!("pipeline failed: {e}");
+                        exit(1);
+                    });
+            if let Some(rp) = flags.get("report") {
+                write_report(rp, &spec, &outcome);
+            }
             println!(
                 "ran {} filters / {} streams in {:.2?}; output under {out}",
                 spec.filters.len(),
                 spec.streams.len(),
                 t.elapsed()
             );
-            let _ = stats;
         }
         "simulate" => {
             let flags = Flags::parse(&args[1..]);

@@ -36,5 +36,5 @@ pub mod simfilters;
 pub mod workload;
 
 pub use config::AppConfig;
-pub use run::{merge_uso_outputs, run_threaded, threaded_factories};
+pub use run::{merge_uso_outputs, run_threaded, run_threaded_outcome, threaded_factories};
 pub use workload::Workload;

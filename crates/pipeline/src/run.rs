@@ -11,7 +11,9 @@ use crate::filters::{
     UsoFilter,
 };
 use datacutter::engine::FilterFactory;
-use datacutter::{run_graph, EngineConfig, GraphSpec, RunFailure, RunStats};
+use datacutter::{
+    run_graph, EngineConfig, Filter, FilterError, GraphSpec, RunFailure, RunOutcome, RunStats,
+};
 use haralick::features::Feature;
 use haralick::volume::Dims4;
 use mri::output::{read_parameter_file, ParameterData};
@@ -25,8 +27,11 @@ use std::sync::Arc;
 /// (see [`mri::store::write_distributed`]); `out_dir` receives USO
 /// parameter files and JIW image series.
 ///
-/// # Panics
-/// If the spec names a filter kind this application does not provide.
+/// Spin-up is fallible: a reader that cannot open its dataset returns a
+/// typed [`FilterError`] (preserving the underlying kind and naming the
+/// dataset path), and a filter kind this application does not provide
+/// yields an `Engine`-kind error from its factory — the engine turns either
+/// into a [`RunFailure`] instead of panicking.
 pub fn threaded_factories(
     spec: &GraphSpec,
     cfg: &Arc<AppConfig>,
@@ -40,29 +45,69 @@ pub fn threaded_factories(
         let dir: PathBuf = out_dir.to_path_buf();
         let factory: FilterFactory = match f.name.as_str() {
             "RFR" => Box::new(move |copy| {
-                Box::new(
-                    RfrFilter::open(cfg.clone(), &root, copy)
-                        .expect("RFR could not open the dataset"),
-                )
+                let f = RfrFilter::open(cfg.clone(), &root, copy).map_err(|e| {
+                    FilterError::new(
+                        e.kind(),
+                        format!(
+                            "RFR could not open the dataset at {}: {}",
+                            root.display(),
+                            e.message()
+                        ),
+                    )
+                })?;
+                Ok(Box::new(f) as Box<dyn Filter>)
             }),
             "DFR" => Box::new(move |copy| {
-                Box::new(
-                    DfrFilter::open(cfg.clone(), &root, copy)
-                        .expect("DFR could not open the DICOM dataset"),
-                )
+                let f = DfrFilter::open(cfg.clone(), &root, copy).map_err(|e| {
+                    FilterError::new(
+                        e.kind(),
+                        format!(
+                            "DFR could not open the DICOM dataset at {}: {}",
+                            root.display(),
+                            e.message()
+                        ),
+                    )
+                })?;
+                Ok(Box::new(f) as Box<dyn Filter>)
             }),
-            "IIC" => Box::new(move |_| Box::new(IicFilter::new())),
-            "HMP" => Box::new(move |_| Box::new(HmpFilter::new(cfg.clone()))),
-            "HCC" => Box::new(move |_| Box::new(HccFilter::new(cfg.clone()))),
-            "HPC" => Box::new(move |_| Box::new(HpcFilter::new(cfg.clone()))),
-            "USO" => Box::new(move |copy| Box::new(UsoFilter::new(cfg.clone(), dir.clone(), copy))),
-            "HIC" => Box::new(move |_| Box::new(HicFilter::new(cfg.clone()))),
-            "JIW" => Box::new(move |_| Box::new(JiwFilter::new(dir.clone()))),
-            other => panic!("no threaded filter implementation for {other:?}"),
+            "IIC" => Box::new(move |_| Ok(Box::new(IicFilter::new()))),
+            "HMP" => Box::new(move |_| Ok(Box::new(HmpFilter::new(cfg.clone())))),
+            "HCC" => Box::new(move |_| Ok(Box::new(HccFilter::new(cfg.clone())))),
+            "HPC" => Box::new(move |_| Ok(Box::new(HpcFilter::new(cfg.clone())))),
+            "USO" => {
+                Box::new(move |copy| Ok(Box::new(UsoFilter::new(cfg.clone(), dir.clone(), copy))))
+            }
+            "HIC" => Box::new(move |_| Ok(Box::new(HicFilter::new(cfg.clone())))),
+            "JIW" => Box::new(move |_| Ok(Box::new(JiwFilter::new(dir.clone())))),
+            other => {
+                let name = other.to_string();
+                Box::new(move |_| {
+                    Err(FilterError::engine(format!(
+                        "no threaded filter implementation for {name:?}"
+                    )))
+                })
+            }
         };
         out.insert(f.name.clone(), factory);
     }
     out
+}
+
+/// Runs `spec` on the threaded engine with the real filters and returns the
+/// full [`RunOutcome`]: per-copy statistics plus the per-stream delivery
+/// meters and phase split a [`datacutter::RunReport`] is built from.
+///
+/// On failure the returned [`RunFailure`] carries the root-cause
+/// [`datacutter::FilterError`] — typed by kind and naming the failing
+/// filter copy — plus the statistics of every copy that ran.
+pub fn run_threaded_outcome(
+    spec: &GraphSpec,
+    cfg: &Arc<AppConfig>,
+    dataset_root: &Path,
+    out_dir: &Path,
+) -> Result<RunOutcome, RunFailure> {
+    let mut factories = threaded_factories(spec, cfg, dataset_root, out_dir);
+    run_graph(spec, &mut factories, &EngineConfig::default())
 }
 
 /// Runs `spec` on the threaded engine with the real filters.
@@ -76,9 +121,7 @@ pub fn run_threaded(
     dataset_root: &Path,
     out_dir: &Path,
 ) -> Result<RunStats, RunFailure> {
-    let mut factories = threaded_factories(spec, cfg, dataset_root, out_dir);
-    let outcome = run_graph(spec, &mut factories, &EngineConfig::default())?;
-    Ok(outcome.stats)
+    Ok(run_threaded_outcome(spec, cfg, dataset_root, out_dir)?.stats)
 }
 
 /// Reads and merges the USO output files of all `copies` for one feature

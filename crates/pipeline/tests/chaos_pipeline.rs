@@ -267,14 +267,14 @@ fn hic_graph(cfg: Arc<AppConfig>, packets: Vec<ParamPacket>) -> (GraphSpec, Fact
     factories.insert(
         "src".to_string(),
         Box::new(move |_| {
-            Box::new(PacketSource {
+            Ok(Box::new(PacketSource {
                 packets: packets.take().expect("single src copy"),
-            })
+            }))
         }),
     );
     factories.insert(
         "HIC".to_string(),
-        Box::new(move |_| Box::new(pipeline::filters::HicFilter::new(cfg.clone()))),
+        Box::new(move |_| Ok(Box::new(pipeline::filters::HicFilter::new(cfg.clone())))),
     );
     (spec, factories)
 }

@@ -1,0 +1,127 @@
+//! Fallible spin-up over the real application graphs: a reader whose
+//! dataset is missing must fail the run with a typed `Io` root cause that
+//! names the dataset path — no panic, no committed output — and a healthy
+//! run must produce a `RunReport` that passes its own invariant check.
+
+use datacutter::{
+    run_graph, EngineConfig, FilterErrorKind, GraphSpec, RunFailure, RunOutcome, RunReport,
+    SchedulePolicy,
+};
+use haralick::raster::Representation;
+use mri::store::write_distributed;
+use mri::synth::{generate, SynthConfig};
+use pipeline::config::AppConfig;
+use pipeline::graphs::{Copies, HmpGraph};
+use pipeline::run::{run_threaded_outcome, threaded_factories};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+type Factories = HashMap<String, datacutter::engine::FilterFactory>;
+
+/// Creates a fresh working directory with a small distributed dataset and
+/// returns `(dataset root, output dir)`.
+fn setup(tag: &str, cfg: &AppConfig, seed: u64) -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("h4d_spinup_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let data = base.join("data");
+    let out = base.join("out");
+    std::fs::create_dir_all(&out).unwrap();
+    let raw = generate(&SynthConfig {
+        dims: cfg.dims,
+        ..SynthConfig::test_scale(seed)
+    });
+    write_distributed(&raw, &data, "spinup", cfg.storage_nodes).unwrap();
+    (data, out)
+}
+
+fn hmp_spec() -> GraphSpec {
+    HmpGraph {
+        rfr: Copies::Count(2),
+        iic: Copies::Count(1),
+        hmp: Copies::Count(2),
+        uso: Copies::Count(1),
+        texture_policy: SchedulePolicy::DemandDriven,
+    }
+    .build()
+}
+
+fn run_with_watchdog(spec: GraphSpec, mut factories: Factories) -> Result<RunOutcome, RunFailure> {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let r = run_graph(&spec, &mut factories, &EngineConfig::default());
+        let _ = tx.send(r);
+    });
+    let result = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("run_graph deadlocked (watchdog expired)");
+    handle.join().expect("driver thread panicked");
+    result
+}
+
+fn committed_outputs(out: &Path) -> Vec<String> {
+    let mut leaked = Vec::new();
+    for entry in std::fs::read_dir(out).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        if name.ends_with(".h4dp") {
+            leaked.push(name);
+        }
+    }
+    leaked
+}
+
+#[test]
+fn missing_dataset_fails_typed_with_path_and_no_committed_output() {
+    let cfg = Arc::new(AppConfig::test_scale(Representation::Full));
+    let base = std::env::temp_dir().join(format!("h4d_spinup_missing_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let data = base.join("no_such_dataset");
+    let out = base.join("out");
+    std::fs::create_dir_all(&out).unwrap();
+    let spec = hmp_spec();
+    let factories = threaded_factories(&spec, &cfg, &data, &out);
+    let err = run_with_watchdog(spec, factories).expect_err("missing dataset must fail the run");
+    assert_eq!(err.error.kind(), FilterErrorKind::Io, "{err}");
+    assert_eq!(err.error.filter(), Some("RFR"), "{err}");
+    assert!(
+        err.error.message().contains("no_such_dataset"),
+        "error must name the dataset path: {err}"
+    );
+    assert!(
+        committed_outputs(&out).is_empty(),
+        "a run that failed at spin-up must commit no parameter files"
+    );
+}
+
+#[test]
+fn unknown_filter_kind_is_an_engine_error_not_a_panic() {
+    let cfg = Arc::new(AppConfig::test_scale(Representation::Full));
+    let (data, out) = setup("unknown", &cfg, 11);
+    let spec = GraphSpec::new().filter("XYZ", 1);
+    let factories = threaded_factories(&spec, &cfg, &data, &out);
+    let err = run_with_watchdog(spec, factories).expect_err("unknown filter kind must fail");
+    assert_eq!(err.error.kind(), FilterErrorKind::Engine, "{err}");
+    assert!(err.error.message().contains("XYZ"), "{err}");
+}
+
+#[test]
+fn healthy_run_produces_checkable_run_report() {
+    let cfg = Arc::new(AppConfig::test_scale(Representation::Full));
+    let (data, out) = setup("report", &cfg, 12);
+    let spec = hmp_spec();
+    let outcome = run_threaded_outcome(&spec, &cfg, &data, &out).expect("pipeline run");
+    let report = RunReport::new(&spec, &outcome);
+    report.check().expect("report invariants");
+    // Every declared filter appears with its copy rows.
+    for f in &spec.filters {
+        assert_eq!(report.copies_of(&f.name).len(), f.copies, "{}", f.name);
+    }
+    // Figure 9's waiting split is present and parseable end-to-end.
+    let json = report.to_json_pretty();
+    for key in ["blocked_send_s", "blocked_recv_s", "busy_s", "wall_s"] {
+        assert!(json.contains(key), "missing {key}");
+    }
+    let back: RunReport = serde_json::from_str(&json).expect("parse back");
+    assert_eq!(back, report);
+}
