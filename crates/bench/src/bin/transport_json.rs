@@ -1,0 +1,150 @@
+//! Exports `BENCH_transport.json`: throughput of the multi-process TCP
+//! stream bridge over loopback — frames/s and bytes/s through the full
+//! path a cross-node buffer takes (payload codec encode, wire framing,
+//! TCP, frame decode, payload decode) — against the in-process baseline
+//! the same stream would use on one node (a bounded crossbeam channel
+//! moving `Arc` pointer copies).
+//!
+//! The gap between the two columns is the price of crossing a process
+//! boundary, which is exactly what the placement decision trades against
+//! in the paper's multi-node experiments.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin transport_json
+//! ```
+
+use datacutter::transport::wire::{read_frame, write_frame, Frame};
+use datacutter::{DataBuffer, PayloadCodec};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn payload_of(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+fn codec() -> PayloadCodec {
+    let mut c = PayloadCodec::new();
+    c.register::<Vec<u8>, _, _>(1, |v| v.clone(), |b| Ok(b.to_vec()));
+    c
+}
+
+/// Seconds to push `frames` buffers of `len` payload bytes through the
+/// wire protocol over a loopback TCP connection (writer thread encodes
+/// and frames; this thread reads, decodes, and rebuilds the buffers).
+fn tcp_run(len: usize, frames: u64) -> f64 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect loopback");
+        stream.set_nodelay(true).ok();
+        let mut out = BufWriter::new(stream);
+        let codec = codec();
+        let template = DataBuffer::new(payload_of(len), len, 0);
+        for i in 0..frames {
+            let (ptype, payload) = codec.encode(&template).expect("registered");
+            let frame = Frame::Data {
+                stream: 0,
+                dest: 0,
+                tag: i,
+                size: len as u64,
+                ptype,
+                payload,
+            };
+            write_frame(&mut out, &frame).expect("loopback write");
+        }
+        out.flush().expect("flush");
+    });
+    let (stream, _) = listener.accept().expect("accept loopback");
+    let mut input = BufReader::new(stream);
+    let codec = codec();
+    let t = Instant::now();
+    let mut got = 0u64;
+    while let Some(frame) = read_frame(&mut input).expect("loopback read") {
+        let Frame::Data {
+            tag,
+            size,
+            ptype,
+            payload,
+            ..
+        } = frame
+        else {
+            panic!("unexpected frame kind");
+        };
+        let buf = codec
+            .decode(ptype, &payload, size as usize, tag)
+            .expect("decodable");
+        std::hint::black_box(&buf);
+        got += 1;
+    }
+    let dt = t.elapsed().as_secs_f64();
+    writer.join().expect("writer thread");
+    assert_eq!(got, frames, "frames lost on loopback");
+    dt
+}
+
+/// Seconds to push the same buffers through a bounded in-process channel:
+/// the zero-copy `Arc` path same-node streams keep.
+fn channel_run(len: usize, frames: u64) -> f64 {
+    let (tx, rx) = crossbeam::channel::bounded::<DataBuffer>(64);
+    let producer = std::thread::spawn(move || {
+        let template = DataBuffer::new(payload_of(len), len, 0);
+        for _ in 0..frames {
+            tx.send(template.clone()).expect("receiver alive");
+        }
+    });
+    let t = Instant::now();
+    let mut got = 0u64;
+    while let Ok(buf) = rx.recv() {
+        std::hint::black_box(&buf);
+        got += 1;
+    }
+    let dt = t.elapsed().as_secs_f64();
+    producer.join().expect("producer thread");
+    assert_eq!(got, frames, "buffers lost in channel");
+    dt
+}
+
+fn main() {
+    let reps = 5;
+    let mut sizes = serde_json::Map::new();
+    for &(len, frames) in &[(256usize, 40_000u64), (4096, 20_000), (65_536, 4_000)] {
+        let tcp_s = median((0..reps).map(|_| tcp_run(len, frames)).collect());
+        let chan_s = median((0..reps).map(|_| channel_run(len, frames)).collect());
+        let bytes = len as f64 * frames as f64;
+        let entry = serde_json::json!({
+            "payload_bytes": len,
+            "frames": frames,
+            "tcp_frames_per_s": (frames as f64 / tcp_s).round(),
+            "tcp_bytes_per_s": (bytes / tcp_s).round(),
+            "channel_frames_per_s": (frames as f64 / chan_s).round(),
+            "channel_bytes_per_s": (bytes / chan_s).round(),
+            "tcp_over_channel_slowdown": tcp_s / chan_s,
+        });
+        println!(
+            "{len:>6} B: tcp {:>12.0} B/s ({:>9.0} frames/s), channel {:>9.0} frames/s, slowdown {:.1}x",
+            bytes / tcp_s,
+            frames as f64 / tcp_s,
+            frames as f64 / chan_s,
+            tcp_s / chan_s
+        );
+        sizes.insert(format!("{len}"), entry);
+    }
+    let out = serde_json::json!({
+        "unit": "loopback transport throughput vs in-process channel",
+        "config": { "reps": reps, "channel_capacity": 64 },
+        "sizes": serde_json::Value::Object(sizes),
+    });
+    let path = "BENCH_transport.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&out).expect("serializable") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -87,6 +87,13 @@ impl DataBuffer {
         self.tag
     }
 
+    /// The [`TypeId`](std::any::TypeId) of the concrete payload type — how
+    /// a wire codec looks up the encoder for an otherwise opaque buffer
+    /// without trial downcasts.
+    pub fn payload_type_id(&self) -> std::any::TypeId {
+        (*self.payload).type_id()
+    }
+
     /// Number of live references to the payload (diagnostics/tests).
     pub fn ref_count(&self) -> usize {
         Arc::strong_count(&self.payload)

@@ -106,6 +106,65 @@ impl From<FilterError> for RunFailure {
     }
 }
 
+/// Which part of the graph runs in this process, and how cross-process
+/// streams are bridged. [`run_graph`] uses [`Partition::whole`] — every
+/// copy local, nothing bridged — so the single-process path is unchanged;
+/// the transport layer builds node-scoped partitions for distributed runs.
+pub(crate) struct Partition {
+    /// Node id this process executes, or `None` for a whole-graph run (the
+    /// threaded engine's classic mode, which ignores placements).
+    pub node: Option<usize>,
+    /// Senders bridging to consumer copies hosted on other nodes, keyed by
+    /// `(stream index, Some(global copy) | None = shared demand-driven
+    /// queue)`. They are installed at the remote copies' positions in each
+    /// local producer's `OutPort`, so routing, backpressure and
+    /// `blocked_send` accounting work transparently.
+    pub uplinks: HashMap<(usize, Option<usize>), Sender<Msg>>,
+    /// Called exactly once, after channel creation and before any copy can
+    /// observe a disconnect, with one injector per stream (`Some` only for
+    /// streams that have local consumer queues and at least one remote
+    /// producer copy). TCP readers hold these clones and drop them per
+    /// route as end-of-stream frames arrive.
+    pub handoff: Option<Box<dyn FnOnce(Vec<Option<StreamInjector>>) + Send>>,
+    /// Run-level failure flag shared with the transport threads: readers
+    /// raise it before dropping injectors, writers consult it to choose
+    /// between EOS and error propagation at channel disconnect.
+    pub failed: Arc<AtomicBool>,
+}
+
+impl Partition {
+    /// The whole graph in this process; placements ignored.
+    pub fn whole() -> Self {
+        Self {
+            node: None,
+            uplinks: HashMap::new(),
+            handoff: None,
+            failed: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Whether `copy` of `fdecl` executes in this process.
+    pub fn is_local(&self, fdecl: &crate::graph::FilterDecl, copy: usize) -> bool {
+        match self.node {
+            None => true,
+            Some(n) => fdecl.placement.get(copy).copied() == Some(n),
+        }
+    }
+}
+
+/// Handles a TCP reader needs to feed remotely produced buffers into this
+/// process's consumer queues for one stream.
+pub(crate) struct StreamInjector {
+    /// Consumer-side input port the stream maps to.
+    pub port: usize,
+    /// Clones of the local consumer-queue senders: `Some(global copy)` for
+    /// private queues, `None` for the shared demand-driven queue.
+    pub senders: Vec<(Option<usize>, Sender<Msg>)>,
+    /// The stream's meter — remote deliveries are metered on the consumer
+    /// node like local ones.
+    pub meter: Arc<StreamMeter>,
+}
+
 /// Executes `spec` with the given filter factories and blocks until every
 /// filter has finished **and every worker thread has been joined** — no
 /// thread outlives this call, so a failed run cannot keep writing output
@@ -119,6 +178,20 @@ pub fn run_graph(
     factories: &mut HashMap<String, FilterFactory>,
     cfg: &EngineConfig,
 ) -> Result<RunOutcome, RunFailure> {
+    run_graph_partition(spec, factories, cfg, Partition::whole())
+}
+
+/// The partition-parameterized core of [`run_graph`]: channels are created
+/// only for locally hosted consumer copies, cross-node positions in each
+/// producer's sender vector are filled with transport uplinks, and factories
+/// are called with **global** copy indices so node mapping, output file
+/// naming and routing are identical to the single-process run.
+pub(crate) fn run_graph_partition(
+    spec: &GraphSpec,
+    factories: &mut HashMap<String, FilterFactory>,
+    cfg: &EngineConfig,
+    partition: Partition,
+) -> Result<RunOutcome, RunFailure> {
     spec.validate()
         .map_err(|e| FilterError::engine(format!("invalid graph: {e}")))?;
     for f in &spec.filters {
@@ -127,46 +200,158 @@ pub fn run_graph(
         }
     }
 
-    // Create the channel(s) of every stream.
+    // Create the queue(s) of every stream: one per *locally hosted*
+    // consumer copy. Remote consumer positions get the transport uplink at
+    // the same index, so `emit`'s routing never knows the difference.
     struct StreamChans {
+        /// Full routing vector indexed like the consumer's global copies
+        /// (single entry for shared queues); empty when no producer copy is
+        /// local, since no local `OutPort` will reference it.
         senders: Vec<Sender<Msg>>,
-        receivers: Vec<Receiver<Msg>>, // one per consumer copy (shared: clones)
+        /// The locally created queue senders, for the injector handoff.
+        local_txs: Vec<(Option<usize>, Sender<Msg>)>,
+        /// Per global consumer copy; `None` for copies hosted elsewhere.
+        receivers: Vec<Option<Receiver<Msg>>>,
     }
     let mut chans: Vec<StreamChans> = Vec::with_capacity(spec.streams.len());
     let meters: Vec<Arc<StreamMeter>> = (0..spec.streams.len())
         .map(|_| Arc::new(StreamMeter::default()))
         .collect();
-    for s in &spec.streams {
-        let consumer_copies = spec.filter_decl(&s.to).expect("validated").copies;
+    for (si, s) in spec.streams.iter().enumerate() {
+        let cdecl = spec.filter_decl(&s.to).expect("validated");
+        let pdecl = spec.filter_decl(&s.from).expect("validated");
+        let has_local_producer = (0..pdecl.copies).any(|c| partition.is_local(pdecl, c));
+        let uplink = |dest: Option<usize>| -> Result<Sender<Msg>, FilterError> {
+            partition.uplinks.get(&(si, dest)).cloned().ok_or_else(|| {
+                FilterError::engine(format!(
+                    "stream {:?}: no transport uplink for remote consumer {dest:?}",
+                    s.name
+                ))
+            })
+        };
         if s.policy.uses_private_queues() {
-            let mut senders = Vec::with_capacity(consumer_copies);
-            let mut receivers = Vec::with_capacity(consumer_copies);
-            for _ in 0..consumer_copies {
-                let (tx, rx) = bounded(s.capacity);
-                senders.push(tx);
-                receivers.push(rx);
+            let mut receivers: Vec<Option<Receiver<Msg>>> = vec![None; cdecl.copies];
+            let mut local_txs = Vec::new();
+            for copy in 0..cdecl.copies {
+                if partition.is_local(cdecl, copy) {
+                    let (tx, rx) = bounded(s.capacity);
+                    receivers[copy] = Some(rx);
+                    local_txs.push((Some(copy), tx));
+                }
             }
-            chans.push(StreamChans { senders, receivers });
+            let senders = if has_local_producer {
+                (0..cdecl.copies)
+                    .map(|copy| match &receivers[copy] {
+                        Some(_) => Ok(local_txs
+                            .iter()
+                            .find(|(k, _)| *k == Some(copy))
+                            .expect("local queue was just created")
+                            .1
+                            .clone()),
+                        None => uplink(Some(copy)),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            } else {
+                Vec::new()
+            };
+            chans.push(StreamChans {
+                senders,
+                local_txs,
+                receivers,
+            });
         } else {
             // One shared queue all consumer copies pull from: demand-driven.
-            let (tx, rx) = bounded(s.capacity);
-            chans.push(StreamChans {
-                senders: vec![tx],
-                receivers: vec![rx; consumer_copies],
-            });
+            // In a distributed run the consumer's copies live on a single
+            // node (the transport validates this), so the queue is either
+            // entirely local or entirely behind one uplink.
+            let local_consumers =
+                (0..cdecl.copies).filter(|&c| partition.is_local(cdecl, c)).count();
+            if local_consumers == cdecl.copies {
+                let (tx, rx) = bounded(s.capacity);
+                let senders = if has_local_producer {
+                    vec![tx.clone()]
+                } else {
+                    Vec::new()
+                };
+                chans.push(StreamChans {
+                    senders,
+                    local_txs: vec![(None, tx)],
+                    receivers: vec![Some(rx); cdecl.copies],
+                });
+            } else if local_consumers == 0 {
+                let senders = if has_local_producer {
+                    vec![uplink(None)?]
+                } else {
+                    Vec::new()
+                };
+                chans.push(StreamChans {
+                    senders,
+                    local_txs: Vec::new(),
+                    receivers: vec![None; cdecl.copies],
+                });
+            } else {
+                return Err(FilterError::engine(format!(
+                    "demand-driven stream {:?} has consumer copies on multiple nodes",
+                    s.name
+                ))
+                .into());
+            }
         }
     }
 
+    // Hand the injectors to the transport readers *before* any copy runs:
+    // readers must hold their queue clones before local consumers could
+    // mistake a missing remote producer for end-of-stream.
+    let mut partition = partition;
+    if let Some(handoff) = partition.handoff.take() {
+        let injectors: Vec<Option<StreamInjector>> = spec
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(si, s)| {
+                let pdecl = spec.filter_decl(&s.from).expect("validated");
+                let has_remote_producer =
+                    (0..pdecl.copies).any(|c| !partition.is_local(pdecl, c));
+                if chans[si].local_txs.is_empty() || !has_remote_producer {
+                    return None;
+                }
+                let port = spec
+                    .inputs_of(&s.to)
+                    .iter()
+                    .position(|&i| i == si)
+                    .expect("stream is an input of its consumer");
+                Some(StreamInjector {
+                    port,
+                    senders: chans[si].local_txs.clone(),
+                    meter: meters[si].clone(),
+                })
+            })
+            .collect();
+        handoff(injectors);
+    }
+    let node = partition.node;
+    let failed = Arc::clone(&partition.failed);
+    // The uplink originals drop here; producers' OutPorts hold the clones
+    // and the transport writers hold the receiving ends.
+    drop(partition);
+
     let start = Instant::now();
-    // Sized to the copy count so every worker's single completion send is
-    // non-blocking even if the drain loop exits early — a graph with more
-    // than N copies must never stall against a fixed-size channel.
-    let total_copies: usize = spec.filters.iter().map(|f| f.copies).sum();
+    let is_local = |fdecl: &crate::graph::FilterDecl, copy: usize| match node {
+        None => true,
+        Some(n) => fdecl.placement.get(copy).copied() == Some(n),
+    };
+    // Sized to the *local* copy count so every worker's single completion
+    // send is non-blocking even if the drain loop exits early — a graph
+    // with more than N copies must never stall against a fixed-size channel.
+    let total_copies: usize = spec
+        .filters
+        .iter()
+        .map(|f| (0..f.copies).filter(|&c| is_local(f, c)).count())
+        .sum();
     let (done_tx, done_rx) = bounded::<(FilterCopyStats, Option<FilterError>)>(total_copies.max(1));
     // Run-level failure flag: raised by the first failing copy before it
     // releases its channels, so sinks can refuse to commit output on runs
     // that are already doomed (see `FilterContext::run_failed`).
-    let failed = Arc::new(AtomicBool::new(false));
     let mut spawned = 0usize;
     let mut handles = Vec::new();
     let mut spawn_error: Option<FilterError> = None;
@@ -175,7 +360,7 @@ pub fn run_graph(
         let input_streams = spec.inputs_of(&fdecl.name);
         let output_streams = spec.outputs_of(&fdecl.name);
         let factory = factories.get_mut(&fdecl.name).expect("checked above");
-        for copy in 0..fdecl.copies {
+        for copy in (0..fdecl.copies).filter(|&c| is_local(fdecl, c)) {
             let outputs: Vec<OutPort> = output_streams
                 .iter()
                 .map(|&si| {
@@ -198,7 +383,11 @@ pub fn run_graph(
                 .collect();
             let receivers: Vec<Receiver<Msg>> = input_streams
                 .iter()
-                .map(|&si| chans[si].receivers[copy].clone())
+                .map(|&si| {
+                    chans[si].receivers[copy]
+                        .clone()
+                        .expect("local consumer copy has a local queue")
+                })
                 .collect();
             let ctx = FilterContext {
                 filter_name: fdecl.name.clone(),

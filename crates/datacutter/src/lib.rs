@@ -38,9 +38,10 @@ pub mod graph;
 pub mod metrics;
 pub mod schedule;
 pub mod stats;
+pub mod transport;
 
 pub use buffer::DataBuffer;
-pub use engine::{run_graph, EngineConfig, RunFailure, RunOutcome};
+pub use engine::{run_graph, EngineConfig, FilterFactory, RunFailure, RunOutcome};
 pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use filter::{Filter, FilterContext, FilterError, FilterErrorKind};
 pub use graph::{FilterDecl, GraphSpec, StreamDecl};
@@ -49,3 +50,7 @@ pub use metrics::{
 };
 pub use schedule::SchedulePolicy;
 pub use stats::{FilterCopyStats, RunStats};
+pub use transport::{
+    free_loopback_addrs, run_node, NodeConfig, PayloadCodec, TransportFault, TransportFaultKind,
+    WireError,
+};

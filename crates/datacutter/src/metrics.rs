@@ -219,6 +219,20 @@ impl RunReport {
         }
     }
 
+    /// Builds a report for the partition of `spec` that ran on `node` in a
+    /// distributed run: declared copy counts are restricted to the copies
+    /// placed on that node, so [`RunReport::check`]'s rows-versus-declared
+    /// invariant holds per process even though each process only hosts a
+    /// slice of the graph.
+    pub fn for_node(spec: &GraphSpec, outcome: &RunOutcome, node: usize) -> Self {
+        let mut report = Self::new(spec, outcome);
+        for (shape, decl) in report.filters.iter_mut().zip(&spec.filters) {
+            shape.copies = decl.placement.iter().filter(|&&n| n == node).count();
+        }
+        report.filters.retain(|f| f.copies > 0);
+        report
+    }
+
     /// All per-copy rows of `filter`.
     pub fn copies_of(&self, filter: &str) -> Vec<&CopyReport> {
         self.per_copy

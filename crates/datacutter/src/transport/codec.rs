@@ -1,0 +1,177 @@
+//! The `WirePayload` registry: how opaque [`DataBuffer`] payloads cross a
+//! process boundary.
+//!
+//! In-process, a buffer's payload is an `Arc<dyn Any>` handed around by
+//! pointer copy. On a cross-node stream the transport must serialize it, so
+//! the application registers, per concrete payload type, a numeric type tag
+//! plus an encode and a decode function. The registry is symmetric by
+//! construction — both sides build it from the same registration calls — and
+//! a buffer whose type was never registered fails the send with a typed
+//! error instead of panicking, naming the offending stream.
+//!
+//! Encoders receive the payload by reference and return the encoded bytes;
+//! decoders parse bytes back into the concrete type (returning a
+//! descriptive `Err(String)` on any inconsistency) and the registry rebuilds
+//! the [`DataBuffer`] with the producer-declared size and tag, so byte
+//! accounting and tag routing are bit-identical on both sides.
+
+use crate::buffer::DataBuffer;
+use crate::transport::wire::WireError;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+type EncodeFn = Box<dyn Fn(&DataBuffer) -> Option<Vec<u8>> + Send + Sync>;
+type DecodeFn = Box<dyn Fn(&[u8], usize, u64) -> Result<DataBuffer, String> + Send + Sync>;
+
+/// Registry mapping concrete payload types to wire type tags and back.
+#[derive(Default)]
+pub struct PayloadCodec {
+    encoders: HashMap<TypeId, (u16, &'static str, EncodeFn)>,
+    decoders: HashMap<u16, DecodeFn>,
+}
+
+impl PayloadCodec {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the codec for payload type `T` under `tag`.
+    ///
+    /// # Panics
+    /// If `tag` or `T` is already registered — duplicate registrations are
+    /// a programming error that would silently corrupt routing.
+    pub fn register<T, E, D>(&mut self, tag: u16, encode: E, decode: D)
+    where
+        T: Any + Send + Sync,
+        E: Fn(&T) -> Vec<u8> + Send + Sync + 'static,
+        D: Fn(&[u8]) -> Result<T, String> + Send + Sync + 'static,
+    {
+        let type_name = std::any::type_name::<T>();
+        assert!(
+            !self.decoders.contains_key(&tag),
+            "payload type tag {tag} registered twice"
+        );
+        let prev = self.encoders.insert(
+            TypeId::of::<T>(),
+            (
+                tag,
+                type_name,
+                Box::new(move |buf| buf.downcast::<T>().map(&encode)),
+            ),
+        );
+        assert!(prev.is_none(), "payload type {type_name} registered twice");
+        self.decoders.insert(
+            tag,
+            Box::new(move |bytes, size, buf_tag| {
+                decode(bytes).map(|v| DataBuffer::new(v, size, buf_tag))
+            }),
+        );
+    }
+
+    /// Encodes a buffer's payload, returning its type tag and bytes.
+    pub fn encode(&self, buf: &DataBuffer) -> Result<(u16, Vec<u8>), WireError> {
+        let Some((tag, name, enc)) = self.encoders.get(&buf.payload_type_id()) else {
+            return Err(WireError::BadPayload(format!(
+                "no wire codec registered for the payload of buffer tag {}",
+                buf.tag()
+            )));
+        };
+        match enc(buf) {
+            Some(bytes) => Ok((*tag, bytes)),
+            None => Err(WireError::BadPayload(format!(
+                "payload failed to downcast to registered type {name}"
+            ))),
+        }
+    }
+
+    /// Decodes payload bytes of type `ptype` back into a buffer carrying
+    /// the producer-declared `size` and routing `tag`.
+    pub fn decode(
+        &self,
+        ptype: u16,
+        bytes: &[u8],
+        size: usize,
+        tag: u64,
+    ) -> Result<DataBuffer, WireError> {
+        let dec = self
+            .decoders
+            .get(&ptype)
+            .ok_or(WireError::UnknownPayloadType(ptype))?;
+        dec(bytes, size, tag).map_err(WireError::BadPayload)
+    }
+
+    /// Number of registered payload types.
+    pub fn len(&self) -> usize {
+        self.decoders.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.decoders.is_empty()
+    }
+}
+
+impl std::fmt::Debug for PayloadCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PayloadCodec")
+            .field("types", &self.decoders.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes_codec() -> PayloadCodec {
+        let mut c = PayloadCodec::new();
+        c.register::<Vec<u8>, _, _>(1, |v| v.clone(), |b| Ok(b.to_vec()));
+        c.register::<u64, _, _>(
+            2,
+            |v| v.to_le_bytes().to_vec(),
+            |b| {
+                let arr: [u8; 8] = b.try_into().map_err(|_| "u64 wants 8 bytes".to_string())?;
+                Ok(u64::from_le_bytes(arr))
+            },
+        );
+        c
+    }
+
+    #[test]
+    fn roundtrip_preserves_payload_size_and_tag() {
+        let c = bytes_codec();
+        let buf = DataBuffer::new(vec![9u8, 8, 7], 4096, 42);
+        let (ptype, bytes) = c.encode(&buf).unwrap();
+        assert_eq!(ptype, 1);
+        let back = c.decode(ptype, &bytes, buf.size_bytes(), buf.tag()).unwrap();
+        assert_eq!(back.size_bytes(), 4096);
+        assert_eq!(back.tag(), 42);
+        assert_eq!(back.downcast::<Vec<u8>>().unwrap(), &vec![9u8, 8, 7]);
+    }
+
+    #[test]
+    fn unregistered_payload_type_is_a_typed_error() {
+        let c = bytes_codec();
+        let buf = DataBuffer::new("not registered".to_string(), 10, 0);
+        assert!(matches!(c.encode(&buf), Err(WireError::BadPayload(_))));
+        assert!(matches!(
+            c.decode(99, &[], 0, 0),
+            Err(WireError::UnknownPayloadType(99))
+        ));
+    }
+
+    #[test]
+    fn decoder_validation_errors_surface() {
+        let c = bytes_codec();
+        let e = c.decode(2, &[1, 2, 3], 8, 0).unwrap_err();
+        assert!(matches!(e, WireError::BadPayload(m) if m.contains("8 bytes")));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_tag_panics() {
+        let mut c = bytes_codec();
+        c.register::<String, _, _>(1, |s| s.as_bytes().to_vec(), |_| Ok(String::new()));
+    }
+}

@@ -1,0 +1,25 @@
+//! Multi-process TCP stream transport.
+//!
+//! Splits a placed filter graph across cooperating OS processes: each
+//! process runs [`run_node`] with the same spec, a node id, and the full
+//! address list, and every cross-node stream is bridged over TCP with a
+//! length-prefixed frame protocol — same-node streams keep the engine's
+//! zero-copy `Arc` path. Built on `std::net` only.
+//!
+//! * [`wire`] — the frame codec: `Hello` / `Data` / `Eos` / `Error`
+//!   frames, typed decode errors, and the spec digest both ends of the
+//!   handshake must agree on.
+//! * [`codec`] — the [`PayloadCodec`] registry translating opaque
+//!   [`crate::DataBuffer`] payloads to and from bytes.
+//! * [`node`] — mesh handshake, per-peer writer/reader threads, fault
+//!   injection for chaos tests, and the distributed root-cause merge.
+
+pub mod codec;
+pub mod node;
+pub mod wire;
+
+pub use codec::PayloadCodec;
+pub use node::{
+    free_loopback_addrs, run_node, NodeConfig, TransportFault, TransportFaultKind,
+};
+pub use wire::{spec_digest, Frame, WireError, MAX_PAYLOAD_LEN, SHARED_QUEUE, WIRE_VERSION};

@@ -1,0 +1,934 @@
+//! Multi-process execution: one OS process per node, bridged over TCP.
+//!
+//! [`run_node`] executes the partition of a placed [`GraphSpec`] that maps
+//! to one node id, connecting to every peer process over loopback (or any
+//! reachable address) with the length-prefixed frame protocol of
+//! [`super::wire`]. Same-node streams keep the engine's zero-copy `Arc`
+//! path; cross-node streams are split into a **sender half** — an ordinary
+//! bounded channel installed at the remote copy's position in the
+//! producer's output port, drained by a per-peer TCP writer thread, so
+//! backpressure and `blocked_send` accounting work unchanged — and a
+//! **receiver half** — a per-peer TCP reader thread that decodes frames and
+//! injects buffers into the local consumer queues under the stream's
+//! declared [`crate::schedule::SchedulePolicy`].
+//!
+//! **Handshake.** Node *i* dials every peer *j < i* and accepts from every
+//! peer *j > i*: one TCP connection per unordered pair, full mesh. Both
+//! sides exchange a `Hello` frame carrying the protocol version, the
+//! sender's node id, and a digest of the graph spec plus node count; any
+//! mismatch aborts the run with a typed error before any filter spawns.
+//!
+//! **End-of-stream.** When a cross-node route's local producers finish, the
+//! uplink channel disconnects and the writer emits an explicit `Eos` frame
+//! for that route; the peer's reader drops its clone of the consumer-queue
+//! sender, and the consumer observes end-of-input exactly as it would
+//! locally. Connection close is *not* EOS — a socket that dies with live
+//! routes is a peer loss.
+//!
+//! **Failure propagation.** A failing node raises its run-level failure
+//! flag before any channel drops (the engine's existing discipline), so its
+//! writers observe `failed` at disconnect time and send an `Error` frame —
+//! carrying the *origin* node id — instead of `Eos`. Receivers raise their
+//! own flag, drop their injectors, and record a typed
+//! [`FilterErrorKind::Io`] error naming the failed peer; frames whose
+//! origin is the receiving node itself are demoted to secondary so an echo
+//! can never shadow the genuine local root cause. A connection that dies
+//! without an `Error` frame is reported as `lost connection to node N`.
+
+use crate::buffer::DataBuffer;
+use crate::engine::{
+    run_graph_partition, EngineConfig, FilterFactory, Partition, RunFailure, RunOutcome,
+    StreamInjector,
+};
+use crate::filter::{FilterError, FilterErrorKind, Msg};
+use crate::graph::GraphSpec;
+use crate::transport::codec::PayloadCodec;
+use crate::transport::wire::{
+    read_frame, spec_digest, write_frame, Frame, WireError, SHARED_QUEUE, WIRE_VERSION,
+};
+use crossbeam::channel::{bounded, Receiver, Select, Sender};
+use std::collections::HashMap;
+use std::io::{BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where an injected transport fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFaultKind {
+    /// Hard-close the connection (both directions) — simulates a peer
+    /// crash or network partition mid-run.
+    Drop,
+    /// Sleep this long before every subsequent frame write — simulates a
+    /// congested link; benign, exercises backpressure through the uplink.
+    Stall(Duration),
+}
+
+/// A deterministic transport fault, for chaos tests: applied by the writer
+/// thread toward `peer` (or every peer) after `after_frames` data frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportFault {
+    /// Restrict the fault to the connection toward this peer; `None` arms
+    /// every writer.
+    pub peer: Option<usize>,
+    /// Number of data frames to deliver before the fault fires.
+    pub after_frames: u64,
+    /// What happens when it fires.
+    pub kind: TransportFaultKind,
+}
+
+impl TransportFault {
+    /// Environment variable read by [`TransportFault::from_env`].
+    pub const ENV: &'static str = "H4D_TRANSPORT_FAULT";
+
+    /// Parses `H4D_TRANSPORT_FAULT` for this node.
+    ///
+    /// Format: `drop:after=N[:peer=K][:node=J]` or
+    /// `stall:after=N:ms=M[:peer=K][:node=J]`. The optional `node` selector
+    /// restricts the fault to one process of a multi-node launch; when
+    /// present and different from `self_node` the fault is ignored, so a
+    /// parent can export one value for all children. Returns `None` when
+    /// the variable is unset, not aimed at this node, or malformed (chaos
+    /// harnesses set it deliberately; a typo degrades to a fault-free run
+    /// the test then reports as such).
+    pub fn from_env(self_node: usize) -> Option<Self> {
+        Self::parse(&std::env::var(Self::ENV).ok()?, self_node)
+    }
+
+    /// Parses the [`TransportFault::ENV`] syntax; see
+    /// [`TransportFault::from_env`].
+    pub fn parse(value: &str, self_node: usize) -> Option<Self> {
+        let mut parts = value.split(':');
+        let kind_word = parts.next()?;
+        let mut after: Option<u64> = None;
+        let mut ms: Option<u64> = None;
+        let mut peer: Option<usize> = None;
+        let mut node: Option<usize> = None;
+        for part in parts {
+            let (key, val) = part.split_once('=')?;
+            match key {
+                "after" => after = Some(val.parse().ok()?),
+                "ms" => ms = Some(val.parse().ok()?),
+                "peer" => peer = Some(val.parse().ok()?),
+                "node" => node = Some(val.parse().ok()?),
+                _ => return None,
+            }
+        }
+        if node.is_some_and(|n| n != self_node) {
+            return None;
+        }
+        let kind = match kind_word {
+            "drop" => TransportFaultKind::Drop,
+            "stall" => TransportFaultKind::Stall(Duration::from_millis(ms?)),
+            _ => return None,
+        };
+        Some(Self {
+            peer,
+            after_frames: after?,
+            kind,
+        })
+    }
+}
+
+/// Configuration of one node process in a distributed run.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This process's node id (an index into `addrs`).
+    pub node: usize,
+    /// Every node's listen address, indexed by node id; `addrs[node]` is
+    /// this process's own listener.
+    pub addrs: Vec<SocketAddr>,
+    /// Engine options for the local partition.
+    pub engine: EngineConfig,
+    /// How long to keep re-dialing a peer that has not started listening
+    /// yet (and the per-read deadline during the handshake).
+    pub connect_timeout: Duration,
+    /// Optional injected fault, for chaos tests.
+    pub fault: Option<TransportFault>,
+}
+
+impl NodeConfig {
+    /// A loopback configuration for `node` among `addrs`, with a 10 s
+    /// connect timeout and the fault taken from the environment.
+    pub fn new(node: usize, addrs: Vec<SocketAddr>) -> Self {
+        Self {
+            node,
+            addrs,
+            engine: EngineConfig::default(),
+            connect_timeout: Duration::from_secs(10),
+            fault: TransportFault::from_env(node),
+        }
+    }
+}
+
+/// Reserves `n` distinct loopback addresses by binding ephemeral listeners
+/// and collecting their ports.
+///
+/// The listeners are dropped before returning, so a raced process could in
+/// principle steal a port before the node binds it — acceptable for tests
+/// and single-host launches, which is what this helper is for.
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn free_loopback_addrs(n: usize) -> std::io::Result<Vec<SocketAddr>> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<Result<_, _>>()?;
+    listeners.iter().map(TcpListener::local_addr).collect()
+}
+
+/// Route key on the wire: `(stream index, destination)` where destination
+/// is a global consumer copy index or [`SHARED_QUEUE`].
+type RouteKey = (u32, u32);
+
+/// Sentinel key for the writer's run-end watch channel (never on the wire).
+const WATCH_KEY: RouteKey = (u32::MAX, u32::MAX);
+
+/// What a reader needs to inject one route's buffers locally.
+struct RouteIn {
+    port: usize,
+    tx: Sender<Msg>,
+    meter: Arc<crate::metrics::StreamMeter>,
+}
+
+/// How a locally recorded transport error was detected — the precedence
+/// class of the root-cause merge.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ErrClass {
+    /// Detected on this node: socket loss, decode failure, injected drop.
+    Local,
+    /// Reported by a peer via an `Error` frame; carries the frame's origin.
+    Remote,
+}
+
+/// State shared between the engine partition and the transport threads.
+struct Shared {
+    node: usize,
+    failed: Arc<AtomicBool>,
+    /// First-writer-wins origin hint for outgoing `Error` frames: the node
+    /// this process believes the failure started on. `u64::MAX` = unset.
+    origin_hint: AtomicU64,
+    errors: Mutex<Vec<(ErrClass, usize, FilterError)>>,
+}
+
+impl Shared {
+    fn new(node: usize) -> Self {
+        Self {
+            node,
+            failed: Arc::new(AtomicBool::new(false)),
+            origin_hint: AtomicU64::new(u64::MAX),
+            errors: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records a transport error and raises the run-level failure flag
+    /// **before** any caller-side channel teardown, preserving the
+    /// engine's flag-before-disconnect discipline across processes.
+    fn record(&self, class: ErrClass, origin: usize, err: FilterError) {
+        let _ = self.origin_hint.compare_exchange(
+            u64::MAX,
+            origin as u64,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        self.errors
+            .lock()
+            .expect("transport error list lock")
+            .push((class, origin, err));
+        self.failed.store(true, Ordering::SeqCst);
+    }
+
+    /// The origin id and message an outgoing `Error` frame should carry.
+    fn outgoing_error(&self) -> (u32, String) {
+        let hint = self.origin_hint.load(Ordering::SeqCst);
+        let origin = if hint == u64::MAX {
+            self.node
+        } else {
+            hint as usize
+        };
+        let message = self
+            .errors
+            .lock()
+            .expect("transport error list lock")
+            .first()
+            .map(|(_, _, e)| e.to_string())
+            .unwrap_or_else(|| format!("run failed on node {}", self.node));
+        (origin as u32, message)
+    }
+}
+
+fn io_filter_error(msg: String) -> FilterError {
+    FilterError::new(FilterErrorKind::Io, msg)
+}
+
+/// Validates everything [`run_graph_partition`] would reject, plus the
+/// distributed-only constraints, *before* any transport thread spawns.
+///
+/// This is load-bearing for liveness, not just early diagnostics: the
+/// engine's early-return paths fire before its failure flag is armed, so a
+/// post-handshake engine rejection would let the writers translate the
+/// resulting channel teardown into clean `Eos` frames and peers would
+/// happily complete on truncated data. Rejecting here, before the
+/// handshake, means the peer instead times out dialing — a loud, typed
+/// failure.
+fn prevalidate(
+    spec: &GraphSpec,
+    factories: &HashMap<String, FilterFactory>,
+    cfg: &NodeConfig,
+) -> Result<(), FilterError> {
+    spec.validate()
+        .map_err(|e| FilterError::engine(format!("invalid graph: {e}")))?;
+    let nodes = cfg.addrs.len();
+    if nodes == 0 {
+        return Err(FilterError::engine("no node addresses configured"));
+    }
+    if cfg.node >= nodes {
+        return Err(FilterError::engine(format!(
+            "node id {} out of range for {nodes} configured addresses",
+            cfg.node
+        )));
+    }
+    for f in &spec.filters {
+        if !factories.contains_key(&f.name) {
+            return Err(FilterError::engine(format!(
+                "no factory for filter {:?}",
+                f.name
+            )));
+        }
+        if f.placement.len() != f.copies {
+            return Err(FilterError::engine(format!(
+                "distributed run requires full placement: filter {:?} places {} of {} copies",
+                f.name,
+                f.placement.len(),
+                f.copies
+            )));
+        }
+        if let Some(&bad) = f.placement.iter().find(|&&n| n >= nodes) {
+            return Err(FilterError::engine(format!(
+                "filter {:?} placed on node {bad}, but only {nodes} nodes are configured",
+                f.name
+            )));
+        }
+    }
+    for s in &spec.streams {
+        if !s.policy.uses_private_queues() {
+            let cdecl = spec.filter_decl(&s.to).expect("validated");
+            if cdecl.placement.windows(2).any(|w| w[0] != w[1]) {
+                return Err(FilterError::engine(format!(
+                    "demand-driven stream {:?} requires all copies of {:?} on one node",
+                    s.name, s.to
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Dials peers below this node's id and accepts from peers above it,
+/// exchanging and checking `Hello` frames. Returns one connected, verified
+/// stream per peer, keyed by peer id.
+fn connect_mesh(cfg: &NodeConfig, digest: u64) -> Result<HashMap<usize, TcpStream>, FilterError> {
+    let nodes = cfg.addrs.len();
+    let me = cfg.node;
+    let hello = Frame::Hello {
+        version: WIRE_VERSION,
+        node: me as u32,
+        digest,
+    };
+    let check_hello = |frame: Option<Frame>, who: &str| -> Result<u32, FilterError> {
+        match frame {
+            Some(Frame::Hello {
+                version,
+                node,
+                digest: d,
+            }) => {
+                if version != WIRE_VERSION {
+                    return Err(io_filter_error(format!(
+                        "handshake with {who}: protocol version {version} != {WIRE_VERSION}"
+                    )));
+                }
+                if d != digest {
+                    return Err(io_filter_error(format!(
+                        "handshake with {who}: graph digest mismatch \
+                         (peers must run the same spec and node count)"
+                    )));
+                }
+                Ok(node)
+            }
+            Some(_) => Err(io_filter_error(format!(
+                "handshake with {who}: first frame was not Hello"
+            ))),
+            None => Err(io_filter_error(format!(
+                "handshake with {who}: connection closed before Hello"
+            ))),
+        }
+    };
+
+    let mut peers: HashMap<usize, TcpStream> = HashMap::new();
+    // Dial every lower-numbered peer, retrying until its listener is up.
+    for peer in 0..me {
+        let deadline = Instant::now() + cfg.connect_timeout;
+        let mut stream = loop {
+            match TcpStream::connect(cfg.addrs[peer]) {
+                Ok(s) => break s,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    return Err(io_filter_error(format!(
+                        "could not connect to node {peer} at {}: {e}",
+                        cfg.addrs[peer]
+                    )));
+                }
+            }
+        };
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(cfg.connect_timeout)).ok();
+        write_frame(&mut stream, &hello).map_err(|e| {
+            io_filter_error(format!("handshake send to node {peer} failed: {e}"))
+        })?;
+        let got = read_frame(&mut stream)
+            .map_err(|e| io_filter_error(format!("handshake with node {peer} failed: {e}")))?;
+        let said = check_hello(got, &format!("node {peer}"))?;
+        if said as usize != peer {
+            return Err(io_filter_error(format!(
+                "dialed node {peer} but it identified as node {said}"
+            )));
+        }
+        stream.set_read_timeout(None).ok();
+        peers.insert(peer, stream);
+    }
+    // Accept every higher-numbered peer; the Hello tells us which one.
+    if me + 1 < nodes {
+        let listener = TcpListener::bind(cfg.addrs[me]).map_err(|e| {
+            io_filter_error(format!("could not listen on {}: {e}", cfg.addrs[me]))
+        })?;
+        for _ in me + 1..nodes {
+            let (mut stream, from) = listener
+                .accept()
+                .map_err(|e| io_filter_error(format!("accept failed: {e}")))?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(cfg.connect_timeout)).ok();
+            let got = read_frame(&mut stream)
+                .map_err(|e| io_filter_error(format!("handshake from {from} failed: {e}")))?;
+            let said = check_hello(got, &format!("{from}"))? as usize;
+            if said <= me || said >= nodes || peers.contains_key(&said) {
+                return Err(io_filter_error(format!(
+                    "unexpected or duplicate peer id {said} from {from}"
+                )));
+            }
+            write_frame(&mut stream, &hello).map_err(|e| {
+                io_filter_error(format!("handshake send to node {said} failed: {e}"))
+            })?;
+            stream.set_read_timeout(None).ok();
+            peers.insert(said, stream);
+        }
+    }
+    Ok(peers)
+}
+
+/// Per-peer TCP writer: drains the uplink channels routed to `peer`,
+/// translating channel disconnection into `Eos` (clean) or one `Error`
+/// frame (failed run), and applies the injected fault if armed.
+#[allow(clippy::too_many_lines)]
+fn writer_thread(
+    stream: TcpStream,
+    peer: usize,
+    mut routes: Vec<(RouteKey, Receiver<Msg>)>,
+    codec: Arc<PayloadCodec>,
+    shared: Arc<Shared>,
+    fault: Option<TransportFault>,
+) {
+    let mut out = BufWriter::new(stream);
+    let fault = fault.filter(|f| f.peer.is_none() || f.peer == Some(peer));
+    let mut frames_sent = 0u64;
+    let fail_exit = |out: &mut BufWriter<TcpStream>, shared: &Shared| {
+        // One Error frame, then close the write half. Dropping the route
+        // receivers (by returning) wakes any producer blocked on a full
+        // uplink with a DownstreamClosed disconnect.
+        let (origin, message) = shared.outgoing_error();
+        let _ = write_frame(out, &Frame::Error { origin, message });
+        let _ = out.flush();
+        let _ = out.get_ref().shutdown(Shutdown::Write);
+    };
+    while !routes.is_empty() {
+        let idx = {
+            let mut sel = Select::new();
+            for (_, rx) in &routes {
+                sel.recv(rx);
+            }
+            let op = sel.select();
+            let idx = op.index();
+            match op.recv(&routes[idx].1) {
+                Ok(msg) => {
+                    let (key, _) = routes[idx];
+                    debug_assert_ne!(key, WATCH_KEY, "nothing sends on the watch channel");
+                    if let Some(f) = fault {
+                        match f.kind {
+                            TransportFaultKind::Drop if frames_sent >= f.after_frames => {
+                                shared.record(
+                                    ErrClass::Local,
+                                    peer,
+                                    io_filter_error(format!(
+                                        "injected transport fault: dropped connection to \
+                                         node {peer} after {frames_sent} frames"
+                                    )),
+                                );
+                                let _ = out.get_ref().shutdown(Shutdown::Both);
+                                return;
+                            }
+                            TransportFaultKind::Stall(d) if frames_sent >= f.after_frames => {
+                                std::thread::sleep(d);
+                            }
+                            _ => {}
+                        }
+                    }
+                    let (ptype, payload) = match codec.encode(&msg.buf) {
+                        Ok(enc) => enc,
+                        Err(e) => {
+                            shared.record(
+                                ErrClass::Local,
+                                shared.node,
+                                io_filter_error(format!(
+                                    "cannot send stream {} to node {peer}: {e}",
+                                    key.0
+                                )),
+                            );
+                            fail_exit(&mut out, &shared);
+                            return;
+                        }
+                    };
+                    let frame = Frame::Data {
+                        stream: key.0,
+                        dest: key.1,
+                        tag: msg.buf.tag(),
+                        size: msg.buf.size_bytes() as u64,
+                        ptype,
+                        payload,
+                    };
+                    if let Err(e) = write_frame(&mut out, &frame).and_then(|()| {
+                        out.flush().map_err(WireError::Io)
+                    }) {
+                        shared.record(
+                            ErrClass::Local,
+                            peer,
+                            io_filter_error(format!("lost connection to node {peer}: {e}")),
+                        );
+                        let _ = out.get_ref().shutdown(Shutdown::Both);
+                        return;
+                    }
+                    frames_sent += 1;
+                    None
+                }
+                Err(_) => Some(idx),
+            }
+        };
+        if let Some(idx) = idx {
+            // A disconnected channel: clean end-of-route, unless the run
+            // already failed — the flag is always raised before channels
+            // drop, so this check cannot race to a false `Eos`.
+            if shared.failed.load(Ordering::SeqCst) {
+                fail_exit(&mut out, &shared);
+                return;
+            }
+            let (key, _) = routes.swap_remove(idx);
+            if key != WATCH_KEY {
+                let eos = Frame::Eos {
+                    stream: key.0,
+                    dest: key.1,
+                };
+                if let Err(e) =
+                    write_frame(&mut out, &eos).and_then(|()| out.flush().map_err(WireError::Io))
+                {
+                    shared.record(
+                        ErrClass::Local,
+                        peer,
+                        io_filter_error(format!("lost connection to node {peer}: {e}")),
+                    );
+                    let _ = out.get_ref().shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        }
+    }
+    let _ = out.get_ref().shutdown(Shutdown::Write);
+}
+
+/// Per-peer TCP reader: decodes frames and injects buffers into the local
+/// consumer queues, holding one queue-sender clone per route until that
+/// route's `Eos` arrives. EOF with live routes — or an `Error` frame — is a
+/// failed run.
+fn reader_thread(
+    mut stream: TcpStream,
+    peer: usize,
+    routes_rx: Receiver<HashMap<RouteKey, RouteIn>>,
+    codec: Arc<PayloadCodec>,
+    shared: Arc<Shared>,
+) {
+    // Routes arrive via the engine's injector handoff; a dropped sender
+    // means the run aborted before spawning, in which case we still drain
+    // the socket so the peer's writer is never wedged against a full
+    // kernel buffer.
+    let mut routes: HashMap<RouteKey, RouteIn> = routes_rx.recv().unwrap_or_default();
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(Frame::Data {
+                stream: si,
+                dest,
+                tag,
+                size,
+                ptype,
+                payload,
+            })) => {
+                let Some(route) = routes.get(&(si, dest)) else {
+                    // Route already closed locally (consumer finished or
+                    // failed); drop the frame, keep draining.
+                    continue;
+                };
+                let buf: DataBuffer = match codec.decode(ptype, &payload, size as usize, tag) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        shared.record(
+                            ErrClass::Local,
+                            peer,
+                            io_filter_error(format!(
+                                "undecodable frame from node {peer} on stream {si}: {e}"
+                            )),
+                        );
+                        routes.clear();
+                        continue;
+                    }
+                };
+                let port = route.port;
+                let bytes = buf.size_bytes() as u64;
+                if route.tx.send(Msg { port, buf }).is_ok() {
+                    route.meter.record(bytes, route.tx.len());
+                } else {
+                    // The local consumer is gone — its own failure path is
+                    // already reporting; just stop feeding this route.
+                    routes.remove(&(si, dest));
+                }
+            }
+            Ok(Some(Frame::Eos { stream: si, dest })) => {
+                routes.remove(&(si, dest));
+            }
+            Ok(Some(Frame::Error { origin, message })) => {
+                // Record BEFORE dropping the injectors so local consumers
+                // that observe the disconnect are guaranteed to see the
+                // run-level flag (mirrors the engine's ordering).
+                shared.record(
+                    ErrClass::Remote,
+                    origin as usize,
+                    io_filter_error(format!("peer node {origin} failed: {message}")),
+                );
+                routes.clear();
+            }
+            Ok(Some(Frame::Hello { .. })) => {
+                shared.record(
+                    ErrClass::Local,
+                    peer,
+                    io_filter_error(format!("unexpected mid-run Hello from node {peer}")),
+                );
+                routes.clear();
+                return;
+            }
+            Ok(None) => {
+                if !routes.is_empty() {
+                    shared.record(
+                        ErrClass::Local,
+                        peer,
+                        io_filter_error(format!("lost connection to node {peer}")),
+                    );
+                    routes.clear();
+                }
+                return;
+            }
+            Err(e) => {
+                shared.record(
+                    ErrClass::Local,
+                    peer,
+                    io_filter_error(format!("transport read from node {peer}: {e}")),
+                );
+                routes.clear();
+                return;
+            }
+        }
+    }
+}
+
+/// Destination keys of stream `si`: one `(wire key, node)` pair per
+/// consumer queue — per consumer copy for private-queue policies, a single
+/// [`SHARED_QUEUE`] entry for the demand-driven shared queue.
+fn dest_keys(spec: &GraphSpec, si: usize) -> Vec<(u32, usize)> {
+    let s = &spec.streams[si];
+    let cdecl = spec.filter_decl(&s.to).expect("validated");
+    if s.policy.uses_private_queues() {
+        (0..cdecl.copies)
+            .map(|c| (c as u32, cdecl.placement[c]))
+            .collect()
+    } else {
+        vec![(SHARED_QUEUE, cdecl.placement[0])]
+    }
+}
+
+/// Executes this node's partition of a placed graph, bridging cross-node
+/// streams to the peer processes in `cfg.addrs` over TCP.
+///
+/// Blocks until the local partition has finished **and** every transport
+/// thread has been joined; like [`crate::run_graph`], no thread outlives
+/// the call. The returned [`RunOutcome`] / [`RunFailure`] covers this
+/// node's copies only; root-cause selection extends the engine's kind
+/// ordering with transport classes — a locally detected peer loss beats a
+/// peer-reported failure (with the reporting echo of this node's own
+/// failure demoted), and both beat the local engine error they caused.
+///
+/// # Errors
+/// Pre-validation failures (graph, placement, factories), handshake
+/// failures, or the merged root cause of a failed distributed run.
+pub fn run_node(
+    spec: &GraphSpec,
+    factories: &mut HashMap<String, FilterFactory>,
+    codec: Arc<PayloadCodec>,
+    cfg: &NodeConfig,
+) -> Result<RunOutcome, RunFailure> {
+    prevalidate(spec, factories, cfg)?;
+    let me = cfg.node;
+    let spec_json = serde_json::to_vec(spec)
+        .map_err(|e| FilterError::engine(format!("graph spec serialization failed: {e}")))?;
+    let digest = spec_digest(&spec_json, cfg.addrs.len());
+    let peers = connect_mesh(cfg, digest)?;
+    let shared = Arc::new(Shared::new(me));
+
+    // Build the cross-node routes. Uplinks (keyed for the engine) carry
+    // locally produced buffers toward remote queues; reader route specs
+    // name the remote-produced routes each peer will feed into us.
+    let mut uplinks: HashMap<(usize, Option<usize>), Sender<Msg>> = HashMap::new();
+    let mut writer_routes: HashMap<usize, Vec<(RouteKey, Receiver<Msg>)>> = HashMap::new();
+    let mut reader_specs: HashMap<usize, Vec<RouteKey>> = HashMap::new();
+    for si in 0..spec.streams.len() {
+        let s = &spec.streams[si];
+        let pdecl = spec.filter_decl(&s.from).expect("validated");
+        let local_producer = pdecl.placement.iter().any(|&n| n == me);
+        for (wire_dest, dnode) in dest_keys(spec, si) {
+            if dnode != me && local_producer {
+                let (tx, rx) = bounded::<Msg>(s.capacity);
+                let dest = (wire_dest != SHARED_QUEUE).then_some(wire_dest as usize);
+                uplinks.insert((si, dest), tx);
+                writer_routes
+                    .entry(dnode)
+                    .or_default()
+                    .push(((si as u32, wire_dest), rx));
+            }
+            if dnode == me {
+                for &pnode in &pdecl.placement {
+                    if pnode != me {
+                        let spec_list = reader_specs.entry(pnode).or_default();
+                        let key = (si as u32, wire_dest);
+                        if !spec_list.contains(&key) {
+                            spec_list.push(key);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Spawn one writer and one reader per peer — even route-less ones: a
+    // route-less writer lingers on the watch channel so a late local
+    // failure still reaches every peer as an Error frame, and a route-less
+    // reader still drains Error frames and EOF from its peer.
+    let mut handles = Vec::new();
+    let mut watch_txs = Vec::new();
+    let mut route_map_txs: Vec<(usize, Sender<HashMap<RouteKey, RouteIn>>)> = Vec::new();
+    for (&peer, stream) in &peers {
+        let read_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(e) => {
+                return Err(io_filter_error(format!(
+                    "could not clone connection to node {peer}: {e}"
+                ))
+                .into());
+            }
+        };
+        let mut routes = writer_routes.remove(&peer).unwrap_or_default();
+        let (watch_tx, watch_rx) = bounded::<Msg>(1);
+        watch_txs.push(watch_tx);
+        routes.push((WATCH_KEY, watch_rx));
+        let (map_tx, map_rx) = bounded::<HashMap<RouteKey, RouteIn>>(1);
+        route_map_txs.push((peer, map_tx));
+        let (w_codec, w_shared, w_fault) = (codec.clone(), shared.clone(), cfg.fault);
+        let write_half = stream.try_clone().map_err(|e| {
+            RunFailure::from(io_filter_error(format!(
+                "could not clone connection to node {peer}: {e}"
+            )))
+        })?;
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("{}-tx-{peer}", cfg.engine.thread_name_prefix))
+                .spawn(move || writer_thread(write_half, peer, routes, w_codec, w_shared, w_fault))
+                .map_err(|e| FilterError::engine(format!("thread spawn failed: {e}")))?,
+        );
+        let (r_codec, r_shared) = (codec.clone(), shared.clone());
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("{}-rx-{peer}", cfg.engine.thread_name_prefix))
+                .spawn(move || reader_thread(read_half, peer, map_rx, r_codec, r_shared))
+                .map_err(|e| FilterError::engine(format!("thread spawn failed: {e}")))?,
+        );
+    }
+    drop(peers);
+
+    // The handoff runs inside the engine after queue creation and before
+    // any copy spawns: it slices the injector set into one route map per
+    // peer and releases the reader threads.
+    let handoff_specs = reader_specs;
+    let handoff = Box::new(move |injectors: Vec<Option<StreamInjector>>| {
+        for (peer, map_tx) in route_map_txs {
+            let mut map = HashMap::new();
+            for &(si, wire_dest) in handoff_specs.get(&peer).into_iter().flatten() {
+                let Some(inj) = &injectors[si as usize] else {
+                    continue;
+                };
+                let want = (wire_dest != SHARED_QUEUE).then_some(wire_dest as usize);
+                if let Some((_, tx)) = inj.senders.iter().find(|(k, _)| *k == want) {
+                    map.insert(
+                        (si, wire_dest),
+                        RouteIn {
+                            port: inj.port,
+                            tx: tx.clone(),
+                            meter: inj.meter.clone(),
+                        },
+                    );
+                }
+            }
+            let _ = map_tx.send(map);
+        }
+    });
+
+    let partition = Partition {
+        node: Some(me),
+        uplinks,
+        handoff: Some(handoff),
+        failed: shared.failed.clone(),
+    };
+    let result = run_graph_partition(spec, factories, &cfg.engine, partition);
+
+    // The engine has returned, so the local run's failure state is final:
+    // release the watch channels (turning lingering writers loose) and
+    // join every transport thread before reporting.
+    drop(watch_txs);
+    for h in handles {
+        let _ = h.join();
+    }
+
+    // Merge the transport view into the engine result. Precedence per
+    // node: locally detected loss, then peer-reported failures that did
+    // not originate here (echoes of our own failure must not shadow its
+    // real local root), then the engine's own kind-selected root cause.
+    let mut errors = shared
+        .errors
+        .lock()
+        .expect("transport error list lock")
+        .drain(..)
+        .collect::<Vec<_>>();
+    let local_at = errors
+        .iter()
+        .position(|(class, _, _)| *class == ErrClass::Local);
+    let remote_at = errors
+        .iter()
+        .position(|(class, origin, _)| *class == ErrClass::Remote && *origin != me);
+    let root_at = local_at.or(remote_at);
+    match result {
+        Ok(outcome) => match root_at {
+            Some(at) => {
+                let (_, _, error) = errors.remove(at);
+                Err(RunFailure {
+                    error,
+                    secondary: errors.into_iter().map(|(_, _, e)| e).collect(),
+                    stats: outcome.stats,
+                })
+            }
+            None => Ok(outcome),
+        },
+        Err(mut failure) => {
+            match root_at {
+                Some(at) => {
+                    let (_, _, error) = errors.remove(at);
+                    let engine_root = std::mem::replace(&mut failure.error, error);
+                    failure.secondary.insert(0, engine_root);
+                    failure
+                        .secondary
+                        .extend(errors.into_iter().map(|(_, _, e)| e));
+                }
+                None => {
+                    failure
+                        .secondary
+                        .extend(errors.into_iter().map(|(_, _, e)| e));
+                }
+            }
+            Err(failure)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_parsing_covers_both_kinds_and_selectors() {
+        let f = TransportFault::parse("drop:after=5:peer=1", 0).unwrap();
+        assert_eq!(f.peer, Some(1));
+        assert_eq!(f.after_frames, 5);
+        assert_eq!(f.kind, TransportFaultKind::Drop);
+
+        let f = TransportFault::parse("stall:after=3:ms=250", 2).unwrap();
+        assert_eq!(f.peer, None);
+        assert_eq!(
+            f.kind,
+            TransportFaultKind::Stall(Duration::from_millis(250))
+        );
+
+        // Node selector: matches, filters, and is optional.
+        assert!(TransportFault::parse("drop:after=0:node=1", 1).is_some());
+        assert!(TransportFault::parse("drop:after=0:node=1", 0).is_none());
+
+        // Malformed inputs degrade to no fault, never a panic.
+        for bad in [
+            "",
+            "drop",
+            "drop:after=x",
+            "stall:after=1",
+            "flood:after=1",
+            "drop:after=1:bogus=2",
+        ] {
+            assert!(TransportFault::parse(bad, 0).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn free_loopback_addrs_are_distinct() {
+        let addrs = free_loopback_addrs(4).unwrap();
+        assert_eq!(addrs.len(), 4);
+        for (i, a) in addrs.iter().enumerate() {
+            assert!(a.ip().is_loopback());
+            for b in &addrs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn prevalidation_requires_full_placement() {
+        let spec = crate::GraphSpec::new()
+            .filter("a", 1)
+            .filter("b", 1)
+            .stream("s", "a", "b", crate::SchedulePolicy::RoundRobin);
+        let factories = HashMap::new();
+        let cfg = NodeConfig::new(0, free_loopback_addrs(2).unwrap());
+        let err = prevalidate(&spec, &factories, &cfg).unwrap_err();
+        assert!(err.message().contains("no factory"), "{err}");
+    }
+}

@@ -1,0 +1,469 @@
+//! Length-prefixed wire framing for cross-process streams.
+//!
+//! Every frame starts with a fixed magic word (desync and corruption are
+//! caught at the next frame boundary, not silently absorbed) followed by a
+//! one-byte frame kind. All integers are little-endian fixed-width — the
+//! same manual encoding discipline as the `.h4dp` parameter files, so the
+//! format is readable with a hex dump and has no serializer dependency.
+//!
+//! Frame layout:
+//!
+//! ```text
+//! Hello: magic u32 | 0x01 | version u16 | node u32 | digest u64
+//! Data : magic u32 | 0x02 | stream u32 | dest u32 | tag u64 | size u64
+//!                          | ptype u16 | plen u32 | payload [plen]
+//! Eos  : magic u32 | 0x03 | stream u32 | dest u32
+//! Error: magic u32 | 0x04 | origin u32 | mlen u32 | message [mlen]
+//! ```
+//!
+//! `dest` is the global index of the consumer copy the buffer is routed to,
+//! or [`SHARED_QUEUE`] for demand-driven streams (one shared queue, no
+//! per-copy routing). `size` preserves the producer-declared
+//! [`crate::DataBuffer::size_bytes`] so byte accounting is bit-identical on
+//! both sides of the bridge; `ptype` names the payload codec
+//! (see [`super::PayloadCodec`]). Decoding is hardened like
+//! `read_parameter_file`: truncation, bad magic, unknown kinds and absurd
+//! lengths all yield a typed [`WireError`], never a panic.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Magic word opening every frame (`"H4DW"` as a big-endian u32).
+pub const WIRE_MAGIC: u32 = 0x4834_4457;
+
+/// Wire protocol version carried in the handshake.
+pub const WIRE_VERSION: u16 = 1;
+
+/// `dest` value meaning "the shared demand-driven queue" rather than a
+/// specific consumer copy.
+pub const SHARED_QUEUE: u32 = u32::MAX;
+
+/// Upper bound on an encoded payload (guards allocation on corrupt input).
+pub const MAX_PAYLOAD_LEN: u32 = 256 * 1024 * 1024;
+
+/// Upper bound on an error-frame message (guards allocation on corrupt
+/// input).
+pub const MAX_MESSAGE_LEN: u32 = 1024 * 1024;
+
+/// A decoded wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection handshake: protocol version, sender's node id, and a
+    /// digest of the graph spec + node count, so two processes running
+    /// different graphs fail fast instead of misrouting buffers.
+    Hello {
+        /// Protocol version ([`WIRE_VERSION`]).
+        version: u16,
+        /// Sending node id.
+        node: u32,
+        /// Graph-spec digest (see [`super::spec_digest`]).
+        digest: u64,
+    },
+    /// One routed data buffer.
+    Data {
+        /// Stream index in the graph spec.
+        stream: u32,
+        /// Global consumer copy index, or [`SHARED_QUEUE`].
+        dest: u32,
+        /// The buffer's routing tag.
+        tag: u64,
+        /// The producer-declared wire size (`DataBuffer::size_bytes`).
+        size: u64,
+        /// Payload codec tag (see [`super::PayloadCodec`]).
+        ptype: u16,
+        /// Encoded payload bytes.
+        payload: Vec<u8>,
+    },
+    /// End of stream for one (stream, dest) route: every producer copy of
+    /// the stream on the sending node has finished cleanly.
+    Eos {
+        /// Stream index in the graph spec.
+        stream: u32,
+        /// Global consumer copy index, or [`SHARED_QUEUE`].
+        dest: u32,
+    },
+    /// The sending node's run failed; open routes on this connection must
+    /// not be treated as cleanly ended.
+    Error {
+        /// Node id where the failure originated (propagated unchanged when
+        /// a node aborts because of a failure elsewhere).
+        origin: u32,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// Typed decode/IO failure of the wire layer.
+#[derive(Debug)]
+pub enum WireError {
+    /// An underlying socket/stream error.
+    Io(std::io::Error),
+    /// The stream ended in the middle of a frame.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A frame did not start with [`WIRE_MAGIC`].
+    BadMagic(u32),
+    /// An unknown frame kind byte.
+    BadKind(u8),
+    /// A declared length exceeds its sanity bound.
+    Oversized {
+        /// Which length field was oversized.
+        field: &'static str,
+        /// The declared length.
+        len: u32,
+        /// The maximum accepted.
+        max: u32,
+    },
+    /// An error-frame message was not valid UTF-8.
+    BadUtf8,
+    /// The payload codec rejected the frame (unknown type tag or a payload
+    /// that fails its type's validation).
+    BadPayload(String),
+    /// No codec is registered for a payload type tag.
+    UnknownPayloadType(u16),
+    /// The connection handshake failed (version or digest mismatch, or an
+    /// unexpected first frame).
+    BadHandshake(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+            WireError::Truncated { context } => {
+                write!(f, "truncated frame while reading {context}")
+            }
+            WireError::BadMagic(m) => {
+                write!(f, "bad frame magic {m:#010x} (expected {WIRE_MAGIC:#010x})")
+            }
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::Oversized { field, len, max } => {
+                write!(f, "{field} length {len} exceeds the {max}-byte bound")
+            }
+            WireError::BadUtf8 => write!(f, "error-frame message is not valid UTF-8"),
+            WireError::BadPayload(m) => write!(f, "payload rejected: {m}"),
+            WireError::UnknownPayloadType(t) => {
+                write!(f, "no payload codec registered for type tag {t}")
+            }
+            WireError::BadHandshake(m) => write!(f, "handshake failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+const KIND_HELLO: u8 = 0x01;
+const KIND_DATA: u8 = 0x02;
+const KIND_EOS: u8 = 0x03;
+const KIND_ERROR: u8 = 0x04;
+
+fn read_exact_or(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), WireError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated { context }
+        } else {
+            WireError::Io(e)
+        }
+    })
+}
+
+macro_rules! read_int {
+    ($fn_name:ident, $ty:ty) => {
+        fn $fn_name(r: &mut impl Read, context: &'static str) -> Result<$ty, WireError> {
+            let mut b = [0u8; std::mem::size_of::<$ty>()];
+            read_exact_or(r, &mut b, context)?;
+            Ok(<$ty>::from_le_bytes(b))
+        }
+    };
+}
+
+read_int!(read_u16, u16);
+read_int!(read_u32, u32);
+read_int!(read_u64, u64);
+
+/// Writes one frame. The caller flushes (frames are usually batched behind
+/// a `BufWriter`).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&WIRE_MAGIC.to_le_bytes());
+    match frame {
+        Frame::Hello {
+            version,
+            node,
+            digest,
+        } => {
+            out.push(KIND_HELLO);
+            out.extend_from_slice(&version.to_le_bytes());
+            out.extend_from_slice(&node.to_le_bytes());
+            out.extend_from_slice(&digest.to_le_bytes());
+        }
+        Frame::Data {
+            stream,
+            dest,
+            tag,
+            size,
+            ptype,
+            payload,
+        } => {
+            out.push(KIND_DATA);
+            out.extend_from_slice(&stream.to_le_bytes());
+            out.extend_from_slice(&dest.to_le_bytes());
+            out.extend_from_slice(&tag.to_le_bytes());
+            out.extend_from_slice(&size.to_le_bytes());
+            out.extend_from_slice(&ptype.to_le_bytes());
+            let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized {
+                field: "payload",
+                len: u32::MAX,
+                max: MAX_PAYLOAD_LEN,
+            })?;
+            if len > MAX_PAYLOAD_LEN {
+                return Err(WireError::Oversized {
+                    field: "payload",
+                    len,
+                    max: MAX_PAYLOAD_LEN,
+                });
+            }
+            out.extend_from_slice(&len.to_le_bytes());
+            w.write_all(&out)?;
+            w.write_all(payload)?;
+            return Ok(());
+        }
+        Frame::Eos { stream, dest } => {
+            out.push(KIND_EOS);
+            out.extend_from_slice(&stream.to_le_bytes());
+            out.extend_from_slice(&dest.to_le_bytes());
+        }
+        Frame::Error { origin, message } => {
+            out.push(KIND_ERROR);
+            out.extend_from_slice(&origin.to_le_bytes());
+            let bytes = message.as_bytes();
+            let len = u32::try_from(bytes.len())
+                .ok()
+                .filter(|&l| l <= MAX_MESSAGE_LEN)
+                .ok_or(WireError::Oversized {
+                    field: "message",
+                    len: u32::MAX,
+                    max: MAX_MESSAGE_LEN,
+                })?;
+            out.extend_from_slice(&len.to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+    }
+    w.write_all(&out)?;
+    Ok(())
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end of stream (EOF
+/// exactly at a frame boundary); EOF anywhere inside a frame is a
+/// [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    // The first magic byte doubles as the EOF probe: zero bytes here is a
+    // clean close, anything less than four afterwards is truncation.
+    let mut first = [0u8; 1];
+    match r.read(&mut first) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => return read_frame(r),
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    let mut rest = [0u8; 3];
+    read_exact_or(r, &mut rest, "frame magic")?;
+    let magic = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]);
+    if magic != WIRE_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let mut kind = [0u8; 1];
+    read_exact_or(r, &mut kind, "frame kind")?;
+    match kind[0] {
+        KIND_HELLO => Ok(Some(Frame::Hello {
+            version: read_u16(r, "hello version")?,
+            node: read_u32(r, "hello node")?,
+            digest: read_u64(r, "hello digest")?,
+        })),
+        KIND_DATA => {
+            let stream = read_u32(r, "data stream")?;
+            let dest = read_u32(r, "data dest")?;
+            let tag = read_u64(r, "data tag")?;
+            let size = read_u64(r, "data size")?;
+            let ptype = read_u16(r, "data ptype")?;
+            let len = read_u32(r, "data payload length")?;
+            if len > MAX_PAYLOAD_LEN {
+                return Err(WireError::Oversized {
+                    field: "payload",
+                    len,
+                    max: MAX_PAYLOAD_LEN,
+                });
+            }
+            let mut payload = vec![0u8; len as usize];
+            read_exact_or(r, &mut payload, "data payload")?;
+            Ok(Some(Frame::Data {
+                stream,
+                dest,
+                tag,
+                size,
+                ptype,
+                payload,
+            }))
+        }
+        KIND_EOS => Ok(Some(Frame::Eos {
+            stream: read_u32(r, "eos stream")?,
+            dest: read_u32(r, "eos dest")?,
+        })),
+        KIND_ERROR => {
+            let origin = read_u32(r, "error origin")?;
+            let len = read_u32(r, "error message length")?;
+            if len > MAX_MESSAGE_LEN {
+                return Err(WireError::Oversized {
+                    field: "message",
+                    len,
+                    max: MAX_MESSAGE_LEN,
+                });
+            }
+            let mut bytes = vec![0u8; len as usize];
+            read_exact_or(r, &mut bytes, "error message")?;
+            let message = String::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?;
+            Ok(Some(Frame::Error { origin, message }))
+        }
+        k => Err(WireError::BadKind(k)),
+    }
+}
+
+/// Encodes a frame to a standalone byte vector (tests, benchmarks).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_frame(&mut out, frame).expect("Vec<u8> writes cannot fail below the length bounds");
+    out
+}
+
+/// FNV-1a digest of the graph spec's JSON plus the node count — carried in
+/// the handshake so differently configured processes refuse to pair up.
+pub fn spec_digest(spec_json: &[u8], nodes: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for &b in spec_json {
+        eat(b);
+    }
+    for &b in &(nodes as u64).to_le_bytes() {
+        eat(b);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let bytes = encode_frame(&f);
+        let mut cur = std::io::Cursor::new(&bytes);
+        let back = read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!(f, back);
+        assert_eq!(cur.position() as usize, bytes.len(), "no trailing bytes");
+    }
+
+    #[test]
+    fn all_frame_kinds_roundtrip() {
+        roundtrip(Frame::Hello {
+            version: WIRE_VERSION,
+            node: 3,
+            digest: 0xdead_beef_cafe_f00d,
+        });
+        roundtrip(Frame::Data {
+            stream: 2,
+            dest: SHARED_QUEUE,
+            tag: 77,
+            size: 4096,
+            ptype: 5,
+            payload: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(Frame::Eos { stream: 0, dest: 1 });
+        roundtrip(Frame::Error {
+            origin: 1,
+            message: "filter error [io] in RFR#0: boom".into(),
+        });
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut cur = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        let bytes = encode_frame(&Frame::Data {
+            stream: 1,
+            dest: 0,
+            tag: 9,
+            size: 100,
+            ptype: 1,
+            payload: vec![7; 32],
+        });
+        for cut in 1..bytes.len() {
+            let mut cur = std::io::Cursor::new(&bytes[..cut]);
+            match read_frame(&mut cur) {
+                Err(WireError::Truncated { .. }) => {}
+                other => panic!("prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_detected() {
+        let mut bytes = encode_frame(&Frame::Eos { stream: 4, dest: 2 });
+        bytes[0] ^= 0xff;
+        let mut cur = std::io::Cursor::new(&bytes);
+        assert!(matches!(read_frame(&mut cur), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn unknown_kind_detected() {
+        let mut bytes = encode_frame(&Frame::Eos { stream: 4, dest: 2 });
+        bytes[4] = 0x7f;
+        let mut cur = std::io::Cursor::new(&bytes);
+        assert!(matches!(read_frame(&mut cur), Err(WireError::BadKind(0x7f))));
+    }
+
+    #[test]
+    fn oversized_payload_length_rejected_before_allocating() {
+        let mut bytes = encode_frame(&Frame::Data {
+            stream: 0,
+            dest: 0,
+            tag: 0,
+            size: 0,
+            ptype: 0,
+            payload: Vec::new(),
+        });
+        let plen_off = bytes.len() - 4;
+        bytes[plen_off..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cur = std::io::Cursor::new(&bytes);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(WireError::Oversized { field: "payload", .. })
+        ));
+    }
+
+    #[test]
+    fn digest_separates_specs_and_node_counts() {
+        let a = spec_digest(b"{\"filters\":[]}", 2);
+        let b = spec_digest(b"{\"filters\":[]}", 3);
+        let c = spec_digest(b"{\"filters\":[1]}", 2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

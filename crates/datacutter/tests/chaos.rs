@@ -11,8 +11,10 @@
 //! single seed (e.g. `H4D_CHAOS_SEED=7 cargo test -p datacutter chaos`).
 
 use datacutter::{
-    run_graph, DataBuffer, EngineConfig, FaultKind, FaultPlan, FaultSite, FaultSpec, Filter,
-    FilterContext, FilterError, FilterErrorKind, GraphSpec, RunFailure, RunOutcome, SchedulePolicy,
+    free_loopback_addrs, run_graph, run_node, DataBuffer, EngineConfig, FaultKind, FaultPlan,
+    FaultSite, FaultSpec, Filter, FilterContext, FilterError, FilterErrorKind, GraphSpec,
+    NodeConfig, PayloadCodec, RunFailure, RunOutcome, SchedulePolicy, TransportFault,
+    TransportFaultKind,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -225,6 +227,183 @@ fn benign_faults_do_not_change_results() {
                 i + 1
             );
         }
+    }
+}
+
+// ---- distributed transport chaos -----------------------------------------
+//
+// The same graphs split across two cooperating `run_node` partitions over
+// loopback TCP (both partitions in this process, on threads — the
+// multi-process path is covered by the pipeline's conformance suite).
+
+/// The toy payload codec the distributed cases share: `u64` under tag 1.
+fn u64_codec() -> Arc<PayloadCodec> {
+    let mut c = PayloadCodec::new();
+    c.register::<u64, _, _>(
+        1,
+        |v| v.to_le_bytes().to_vec(),
+        |b| {
+            let arr: [u8; 8] = b.try_into().map_err(|_| "u64 wants 8 bytes".to_string())?;
+            Ok(u64::from_le_bytes(arr))
+        },
+    );
+    Arc::new(c)
+}
+
+/// A 3-stage pipeline ping-ponging across two nodes: sources on node 0,
+/// first relay stage on node 1, final relay back on node 0 — both
+/// directions of every connection carry data.
+fn dist_spec() -> GraphSpec {
+    GraphSpec::new()
+        .filter_placed("stage0", vec![0, 0])
+        .filter_placed("stage1", vec![1, 1])
+        .filter_placed("stage2", vec![0])
+        .stream("s1", "stage0", "stage1", SchedulePolicy::ByTagModulo)
+        .stream("s2", "stage1", "stage2", SchedulePolicy::RoundRobin)
+}
+
+fn dist_factories(buffers: u64, logs: &[Arc<Mutex<Vec<u64>>>; 2]) -> Factories {
+    let mut f: Factories = HashMap::new();
+    f.insert(
+        "stage0".into(),
+        Box::new(move |_| Ok(Box::new(Source { count: buffers }))),
+    );
+    let l1 = logs[0].clone();
+    f.insert(
+        "stage1".into(),
+        Box::new(move |_| Ok(Box::new(Relay { log: l1.clone() }))),
+    );
+    let l2 = logs[1].clone();
+    f.insert(
+        "stage2".into(),
+        Box::new(move |_| Ok(Box::new(Relay { log: l2.clone() }))),
+    );
+    f
+}
+
+/// Runs both partitions of [`dist_spec`] concurrently under a watchdog,
+/// returning each node's result (indexed by node id).
+fn run_two_nodes(
+    buffers: u64,
+    logs: &[Arc<Mutex<Vec<u64>>>; 2],
+    faults: [Option<TransportFault>; 2],
+) -> Vec<Result<RunOutcome, RunFailure>> {
+    let addrs = free_loopback_addrs(2).expect("loopback ports");
+    let (tx, rx) = mpsc::channel();
+    let mut handles = Vec::new();
+    for node in 0..2 {
+        let spec = dist_spec();
+        let mut factories = dist_factories(buffers, logs);
+        let mut cfg = NodeConfig::new(node, addrs.clone());
+        cfg.fault = faults[node];
+        let codec = u64_codec();
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let r = run_node(&spec, &mut factories, codec, &cfg);
+            let _ = tx.send((node, r));
+        }));
+    }
+    drop(tx);
+    let mut results: Vec<Option<Result<RunOutcome, RunFailure>>> = vec![None, None];
+    for _ in 0..2 {
+        let (node, r) = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("distributed run deadlocked (watchdog expired)");
+        results[node] = Some(r);
+    }
+    for h in handles {
+        h.join().expect("node thread panicked");
+    }
+    results.into_iter().map(|r| r.expect("both sent")).collect()
+}
+
+#[test]
+fn distributed_loopback_delivers_what_a_single_process_does() {
+    let buffers = 37;
+    let expect: Vec<u64> = (0..buffers).collect();
+
+    // Reference: the same spec in one process (placement ignored).
+    let local_logs = [
+        Arc::new(Mutex::new(Vec::new())),
+        Arc::new(Mutex::new(Vec::new())),
+    ];
+    run_with_watchdog(dist_spec(), dist_factories(buffers, &local_logs))
+        .expect("single-process run failed");
+
+    // Two cooperating partitions over loopback TCP.
+    let dist_logs = [
+        Arc::new(Mutex::new(Vec::new())),
+        Arc::new(Mutex::new(Vec::new())),
+    ];
+    let results = run_two_nodes(buffers, &dist_logs, [None, None]);
+    for (node, r) in results.iter().enumerate() {
+        assert!(r.is_ok(), "node {node} failed: {}", r.as_ref().unwrap_err());
+    }
+
+    for (stage, (local, dist)) in local_logs.iter().zip(&dist_logs).enumerate() {
+        let mut l = local.lock().clone();
+        let mut d = dist.lock().clone();
+        l.sort_unstable();
+        d.sort_unstable();
+        assert_eq!(l, expect, "single-process stage {} delivery", stage + 1);
+        assert_eq!(d, expect, "distributed stage {} delivery", stage + 1);
+    }
+}
+
+#[test]
+fn dropped_connection_is_an_io_root_cause_on_both_nodes() {
+    let logs = [
+        Arc::new(Mutex::new(Vec::new())),
+        Arc::new(Mutex::new(Vec::new())),
+    ];
+    // Node 0's writer hard-closes its connection after two data frames —
+    // a peer crash as seen from node 1, an injected local loss on node 0.
+    let fault = TransportFault {
+        peer: None,
+        after_frames: 2,
+        kind: TransportFaultKind::Drop,
+    };
+    let results = run_two_nodes(200, &logs, [Some(fault), None]);
+    let err0 = results[0].as_ref().expect_err("node 0 must fail");
+    let err1 = results[1].as_ref().expect_err("node 1 must fail");
+    assert_eq!(err0.error.kind(), FilterErrorKind::Io, "node 0: {err0}");
+    assert_eq!(err1.error.kind(), FilterErrorKind::Io, "node 1: {err1}");
+    // Each side's root cause names the dead peer, not a local cascade.
+    assert!(
+        err0.error.message().contains("node 1"),
+        "node 0 root cause does not name the peer: {err0}"
+    );
+    assert!(
+        err1.error.message().contains("node 0"),
+        "node 1 root cause does not name the peer: {err1}"
+    );
+}
+
+#[test]
+fn stalled_writer_is_benign_backpressure() {
+    let buffers = 25;
+    let logs = [
+        Arc::new(Mutex::new(Vec::new())),
+        Arc::new(Mutex::new(Vec::new())),
+    ];
+    let fault = TransportFault {
+        peer: Some(1),
+        after_frames: 1,
+        kind: TransportFaultKind::Stall(Duration::from_millis(3)),
+    };
+    let results = run_two_nodes(buffers, &logs, [Some(fault), None]);
+    for (node, r) in results.iter().enumerate() {
+        assert!(
+            r.is_ok(),
+            "node {node} failed under a benign stall: {}",
+            r.as_ref().unwrap_err()
+        );
+    }
+    let expect: Vec<u64> = (0..buffers).collect();
+    for (stage, log) in logs.iter().enumerate() {
+        let mut tags = log.lock().clone();
+        tags.sort_unstable();
+        assert_eq!(tags, expect, "stage {} delivery under stall", stage + 1);
     }
 }
 

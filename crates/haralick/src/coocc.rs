@@ -115,6 +115,32 @@ impl CoMatrix {
         }
     }
 
+    /// Reconstructs a matrix from its raw parts — the decode side of a wire
+    /// codec. Validates shape and that `total` equals the sum of counts, so
+    /// a corrupted frame cannot smuggle an inconsistent matrix into the
+    /// feature math.
+    pub fn from_parts(levels: u16, counts: Vec<u32>, total: u64) -> Result<Self, String> {
+        let ng = levels as usize;
+        if counts.len() != ng * ng {
+            return Err(format!(
+                "co-occurrence counts length {} does not match Ng^2 = {}",
+                counts.len(),
+                ng * ng
+            ));
+        }
+        let sum: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        if sum != total {
+            return Err(format!(
+                "co-occurrence total {total} does not match the sum of counts {sum}"
+            ));
+        }
+        Ok(Self {
+            levels,
+            counts,
+            total,
+        })
+    }
+
     /// Number of gray levels `Ng`.
     pub const fn levels(&self) -> u16 {
         self.levels

@@ -66,6 +66,38 @@ impl SparseCoMatrix {
         }
     }
 
+    /// Reconstructs a sparse matrix from its raw parts — the decode side of
+    /// a wire codec. Validates the upper-triangle invariants (`i <= j`, both
+    /// below `levels`, counts non-zero) and that `total` matches the
+    /// symmetric sum, so a corrupted frame cannot produce a matrix the
+    /// feature math would silently mis-handle.
+    pub fn from_parts(levels: u16, total: u64, entries: Vec<SparseEntry>) -> Result<Self, String> {
+        let mut sum = 0u64;
+        for e in &entries {
+            if e.i > e.j || u16::from(e.j) >= levels {
+                return Err(format!(
+                    "sparse entry ({}, {}) violates upper-triangle bounds for Ng = {levels}",
+                    e.i, e.j
+                ));
+            }
+            if e.count == 0 {
+                return Err(format!("sparse entry ({}, {}) has a zero count", e.i, e.j));
+            }
+            // Off-diagonal entries imply their symmetric twin.
+            sum += u64::from(e.count) * if e.i == e.j { 1 } else { 2 };
+        }
+        if sum != total {
+            return Err(format!(
+                "sparse total {total} does not match the symmetric entry sum {sum}"
+            ));
+        }
+        Ok(Self {
+            levels,
+            total,
+            entries,
+        })
+    }
+
     /// Reconstructs the dense matrix (used only by tests and by consumers
     /// that explicitly need dense form — feature computation does not).
     pub fn to_dense(&self) -> CoMatrix {

@@ -10,14 +10,26 @@
 //! h4d graph    <out.json> [--variant hmp|split|visual] [--texture N]
 //! h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]
 //! h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr ...]
-//!              [--report run.json]
+//!              [--report run.json] [--canonical true]
+//! h4d node     <graph.json> <dataset_dir> <out_dir> --node K
+//!              --peers addr0,addr1,... [--repr ...] [--report run.json]
+//!              [--canonical true]
+//! h4d launch   <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...]
+//!              [--report-base run] [--canonical true]
 //! ```
 //!
 //! The `graph` subcommand serializes the filter network to JSON — the
 //! equivalent of DataCutter's XML network description — which documents the
 //! exact topology each run uses.
+//!
+//! `node` runs one process of a multi-process deployment: it listens on
+//! its own entry of `--peers` (index `--node`) and dials the others, so
+//! every process must receive the identical graph and peer list. `launch`
+//! is the single-machine orchestrator: it picks N free loopback ports and
+//! spawns one `h4d node` child per placement node, forwarding
+//! `H4D_TRANSPORT_FAULT` to the children for chaos testing.
 
-use datacutter::SchedulePolicy;
+use datacutter::{NodeConfig, SchedulePolicy};
 use haralick::raster::Representation;
 use haralick::volume::Dims4;
 use mri::store::{write_distributed, DistributedDataset};
@@ -25,7 +37,8 @@ use mri::synth::{generate, SynthConfig};
 use pipeline::config::AppConfig;
 use pipeline::experiments::{run_hmp_piii, run_split_piii};
 use pipeline::graphs::{Copies, HmpGraph, SplitGraph, VisualGraph};
-use pipeline::run::run_threaded_outcome;
+use pipeline::run::{run_node_threaded, run_threaded_outcome};
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
@@ -40,7 +53,11 @@ fn usage() -> ! {
          h4d graph <out.json> [--variant hmp|split|visual] [--texture N]\n  \
          h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]\n  \
          h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr full|naive|sparse|sparse-accum] \
-         [--report run.json]"
+         [--report run.json] [--canonical true]\n  \
+         h4d node <graph.json> <dataset_dir> <out_dir> --node K --peers addr0,addr1,... \
+         [--repr ...] [--report run.json] [--canonical true]\n  \
+         h4d launch <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...] \
+         [--report-base run] [--canonical true]"
     );
     exit(2);
 }
@@ -142,6 +159,37 @@ fn write_report(path: &str, spec: &datacutter::GraphSpec, outcome: &datacutter::
         exit(1);
     });
     println!("run report written to {path}");
+}
+
+/// Loads and validates a JSON graph description.
+fn load_graph(json: &str) -> datacutter::GraphSpec {
+    let text = std::fs::read_to_string(json).unwrap_or_else(|e| {
+        eprintln!("read {json}: {e}");
+        exit(1);
+    });
+    let spec: datacutter::GraphSpec = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("parse {json}: {e}");
+        exit(1);
+    });
+    if let Err(e) = spec.validate() {
+        eprintln!("invalid graph: {e}");
+        exit(1);
+    }
+    spec
+}
+
+/// Reads the dataset descriptor the geometry comes from; either store
+/// format works (use DFR in the graph for DICOM datasets).
+fn load_descriptor(dir: &str) -> mri::store::DatasetDescriptor {
+    let desc_path = PathBuf::from(dir).join("dataset.json");
+    serde_json::from_str(&std::fs::read_to_string(&desc_path).unwrap_or_else(|e| {
+        eprintln!("read {}: {e}", desc_path.display());
+        exit(1);
+    }))
+    .unwrap_or_else(|e| {
+        eprintln!("parse dataset.json: {e}");
+        exit(1);
+    })
 }
 
 fn build_graph(variant: &str, storage_nodes: usize, texture: usize) -> datacutter::GraphSpec {
@@ -313,31 +361,11 @@ fn main() {
             };
             let flags = Flags::parse(&args[4..]);
             let repr = parse_repr(flags.get("repr").unwrap_or("full"));
-            let text = std::fs::read_to_string(json).unwrap_or_else(|e| {
-                eprintln!("read {json}: {e}");
-                exit(1);
-            });
-            let spec: datacutter::GraphSpec = serde_json::from_str(&text).unwrap_or_else(|e| {
-                eprintln!("parse {json}: {e}");
-                exit(1);
-            });
-            if let Err(e) = spec.validate() {
-                eprintln!("invalid graph: {e}");
-                exit(1);
-            }
-            // Dataset geometry comes from the dataset itself; either store
-            // format works (use DFR in the graph for DICOM datasets).
-            let desc_path = PathBuf::from(dir).join("dataset.json");
-            let desc: mri::store::DatasetDescriptor =
-                serde_json::from_str(&std::fs::read_to_string(&desc_path).unwrap_or_else(|e| {
-                    eprintln!("read {}: {e}", desc_path.display());
-                    exit(1);
-                }))
-                .unwrap_or_else(|e| {
-                    eprintln!("parse dataset.json: {e}");
-                    exit(1);
-                });
-            let cfg = Arc::new(app_config(desc.dims, desc.num_nodes, repr));
+            let spec = load_graph(json);
+            let desc = load_descriptor(dir);
+            let mut cfg = app_config(desc.dims, desc.num_nodes, repr);
+            cfg.canonical_output = flags.parse_or("canonical", false);
+            let cfg = Arc::new(cfg);
             std::fs::create_dir_all(out).ok();
             let t = std::time::Instant::now();
             let outcome =
@@ -353,6 +381,149 @@ fn main() {
                 "ran {} filters / {} streams in {:.2?}; output under {out}",
                 spec.filters.len(),
                 spec.streams.len(),
+                t.elapsed()
+            );
+        }
+        "node" => {
+            // One process of a multi-process run: the graph must carry a
+            // full placement, and every peer must get the identical graph
+            // JSON and --peers list.
+            let (Some(json), Some(dir), Some(out)) = (args.get(1), args.get(2), args.get(3)) else {
+                usage()
+            };
+            let flags = Flags::parse(&args[4..]);
+            let repr = parse_repr(flags.get("repr").unwrap_or("full"));
+            let Some(node_s) = flags.get("node") else {
+                eprintln!("node needs --node K");
+                usage();
+            };
+            let node: usize = node_s.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --node: {node_s:?}");
+                usage()
+            });
+            let Some(peers) = flags.get("peers") else {
+                eprintln!("node needs --peers addr0,addr1,...");
+                usage();
+            };
+            let addrs: Vec<SocketAddr> = peers
+                .split(',')
+                .map(|a| {
+                    a.parse().unwrap_or_else(|_| {
+                        eprintln!("bad peer address {a:?}");
+                        usage()
+                    })
+                })
+                .collect();
+            let spec = load_graph(json);
+            let desc = load_descriptor(dir);
+            let mut cfg = app_config(desc.dims, desc.num_nodes, repr);
+            cfg.canonical_output = flags.parse_or("canonical", false);
+            let cfg = Arc::new(cfg);
+            std::fs::create_dir_all(out).ok();
+            // Picks up H4D_TRANSPORT_FAULT from the environment.
+            let node_cfg = NodeConfig::new(node, addrs);
+            let t = std::time::Instant::now();
+            let outcome = run_node_threaded(
+                &spec,
+                &cfg,
+                &PathBuf::from(dir),
+                &PathBuf::from(out),
+                &node_cfg,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("node {node} failed: {e}");
+                exit(1);
+            });
+            if let Some(rp) = flags.get("report") {
+                let report = datacutter::RunReport::for_node(&spec, &outcome, node);
+                if let Err(msg) = report.check() {
+                    eprintln!("warning: node {node} report failed its invariant check: {msg}");
+                }
+                std::fs::write(rp, report.to_json_pretty()).unwrap_or_else(|e| {
+                    eprintln!("write {rp}: {e}");
+                    exit(1);
+                });
+            }
+            println!(
+                "node {node}/{} ran its share of {} filters in {:.2?}; output under {out}",
+                node_cfg.addrs.len(),
+                spec.filters.len(),
+                t.elapsed()
+            );
+        }
+        "launch" => {
+            // Single-machine orchestrator: N cooperating `h4d node`
+            // processes over loopback TCP.
+            let (Some(json), Some(dir), Some(out)) = (args.get(1), args.get(2), args.get(3)) else {
+                usage()
+            };
+            let flags = Flags::parse(&args[4..]);
+            let nodes: usize = flags.parse_or("nodes", 2);
+            if nodes == 0 {
+                eprintln!("--nodes must be at least 1");
+                exit(2);
+            }
+            let addrs = datacutter::free_loopback_addrs(nodes).unwrap_or_else(|e| {
+                eprintln!("could not reserve loopback ports: {e}");
+                exit(1);
+            });
+            let peers = addrs
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let exe = std::env::current_exe().unwrap_or_else(|e| {
+                eprintln!("cannot locate own executable: {e}");
+                exit(1);
+            });
+            let mut children = Vec::new();
+            for node in 0..nodes {
+                let mut cmd = std::process::Command::new(&exe);
+                cmd.arg("node")
+                    .arg(json)
+                    .arg(dir)
+                    .arg(out)
+                    .arg("--node")
+                    .arg(node.to_string())
+                    .arg("--peers")
+                    .arg(&peers);
+                for key in ["repr", "canonical"] {
+                    if let Some(v) = flags.get(key) {
+                        cmd.arg(format!("--{key}")).arg(v);
+                    }
+                }
+                if let Some(base) = flags.get("report-base") {
+                    cmd.arg("--report").arg(format!("{base}.node{node}.json"));
+                }
+                // The fault env var is inherited, so chaos runs inject into
+                // every child that matches the spec's node selector.
+                let child = cmd.spawn().unwrap_or_else(|e| {
+                    eprintln!("spawn node {node}: {e}");
+                    exit(1);
+                });
+                children.push((node, child));
+            }
+            let t = std::time::Instant::now();
+            let mut failed = false;
+            for (node, mut child) in children {
+                match child.wait() {
+                    Ok(status) if status.success() => {}
+                    Ok(status) => {
+                        eprintln!("node {node} exited with {status}");
+                        failed = true;
+                    }
+                    Err(e) => {
+                        eprintln!("wait for node {node}: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                eprintln!("multi-process run failed");
+                exit(1);
+            }
+            println!(
+                "ran {nodes} cooperating processes in {:.2?}; output under {out}",
                 t.elapsed()
             );
         }

@@ -48,6 +48,14 @@ pub struct AppConfig {
     /// nodes are single-core, hence the default of 1.
     #[serde(default = "default_texture_threads")]
     pub texture_threads: usize,
+    /// Make USO output byte-order-deterministic: each copy buffers its
+    /// parameter values and writes them sorted by output position at
+    /// finish, instead of in arrival order. Costs memory proportional to
+    /// the copy's share of the output; used by the distributed conformance
+    /// tests, where in-process and multi-process runs must produce
+    /// byte-identical `.h4dp` files despite different arrival orders.
+    #[serde(default)]
+    pub canonical_output: bool,
 }
 
 fn default_texture_threads() -> usize {
@@ -86,6 +94,7 @@ impl AppConfig {
             // model and every simulated figure stay on the measured regime.
             engine: ScanEngine::Parallel,
             texture_threads: 1,
+            canonical_output: false,
         }
     }
 

@@ -479,6 +479,11 @@ pub struct UsoFilter {
     dir: PathBuf,
     copy: usize,
     writers: HashMap<haralick::features::Feature, ParameterWriter>,
+    /// Canonical mode only ([`AppConfig::canonical_output`]): values are
+    /// buffered here and written sorted by output position at finish, so
+    /// the file bytes do not depend on packet arrival order — the property
+    /// the distributed conformance suite compares across process counts.
+    pending: HashMap<haralick::features::Feature, Vec<(Point4, f64)>>,
 }
 
 impl UsoFilter {
@@ -489,6 +494,7 @@ impl UsoFilter {
             dir,
             copy,
             writers: HashMap::new(),
+            pending: HashMap::new(),
         }
     }
 
@@ -507,6 +513,13 @@ impl Filter for UsoFilter {
         _: &mut FilterContext,
     ) -> Result<(), FilterError> {
         let packet = buf.payload::<ParamPacket>()?;
+        if self.cfg.canonical_output {
+            self.pending
+                .entry(packet.feature)
+                .or_default()
+                .extend(packet.points.iter().copied().zip(packet.values.iter().copied()));
+            return Ok(());
+        }
         if !self.writers.contains_key(&packet.feature) {
             std::fs::create_dir_all(&self.dir)?;
             let path = self.dir.join(Self::file_name(packet.feature, self.copy));
@@ -532,7 +545,21 @@ impl Filter for UsoFilter {
             // a renamed file would masquerade as a complete result. The real
             // root cause is reported by the failing copy, not us.
             self.writers.clear();
+            self.pending.clear();
             return Ok(());
+        }
+        // Canonical mode: sort each feature's buffered values by output
+        // position, then write in one deterministic pass.
+        let out_dims = self.cfg.out_dims();
+        for (feature, mut vals) in std::mem::take(&mut self.pending) {
+            vals.sort_by_key(|&(p, _)| out_dims.index(p));
+            std::fs::create_dir_all(&self.dir)?;
+            let path = self.dir.join(Self::file_name(feature, self.copy));
+            let mut w = ParameterWriter::create(&path, feature.short_name(), out_dims)?;
+            for (p, v) in vals {
+                w.push(p, v)?;
+            }
+            self.writers.insert(feature, w);
         }
         for (_, w) in self.writers.drain() {
             w.finish()?;

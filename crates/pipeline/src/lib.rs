@@ -5,6 +5,8 @@
 //! * [`config`] — the end-to-end application configuration (dataset, ROI,
 //!   directions, gray levels, chunk sizes, representation);
 //! * [`payload`] — the typed buffers flowing between filters;
+//! * [`codecs`] — the wire codecs those buffers use when a stream crosses
+//!   a process boundary (the [`datacutter::transport`] payload registry);
 //! * [`filters`] — the real filter implementations for the threaded engine:
 //!   **RFR** (raw file reader), **IIC** (input stitch), **HMP** (combined
 //!   texture analysis), **HCC** (co-occurrence), **HPC** (parameters),
@@ -26,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codecs;
 pub mod config;
 pub mod experiments;
 pub mod filters;
@@ -35,6 +38,9 @@ pub mod run;
 pub mod simfilters;
 pub mod workload;
 
+pub use codecs::payload_codec;
 pub use config::AppConfig;
-pub use run::{merge_uso_outputs, run_threaded, run_threaded_outcome, threaded_factories};
+pub use run::{
+    merge_uso_outputs, run_node_threaded, run_threaded, run_threaded_outcome, threaded_factories,
+};
 pub use workload::Workload;

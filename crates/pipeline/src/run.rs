@@ -12,7 +12,8 @@ use crate::filters::{
 };
 use datacutter::engine::FilterFactory;
 use datacutter::{
-    run_graph, EngineConfig, Filter, FilterError, GraphSpec, RunFailure, RunOutcome, RunStats,
+    run_graph, run_node, EngineConfig, Filter, FilterError, GraphSpec, NodeConfig, RunFailure,
+    RunOutcome, RunStats,
 };
 use haralick::features::Feature;
 use haralick::volume::Dims4;
@@ -108,6 +109,32 @@ pub fn run_threaded_outcome(
 ) -> Result<RunOutcome, RunFailure> {
     let mut factories = threaded_factories(spec, cfg, dataset_root, out_dir);
     run_graph(spec, &mut factories, &EngineConfig::default())
+}
+
+/// Runs this process's share of a placed `spec` as one node of a
+/// multi-process run (see [`datacutter::transport`]).
+///
+/// Same contract as [`run_threaded_outcome`], restricted to the filter
+/// copies placed on `node_cfg.node`: cross-node streams are bridged over
+/// TCP using the application's [`crate::codecs::payload_codec`], same-node
+/// streams keep the engine's zero-copy path. Every peer process must call
+/// this with an identical `spec` and address list. The returned statistics
+/// and stream meters cover only the local copies; build a per-node report
+/// with [`datacutter::RunReport::for_node`].
+pub fn run_node_threaded(
+    spec: &GraphSpec,
+    cfg: &Arc<AppConfig>,
+    dataset_root: &Path,
+    out_dir: &Path,
+    node_cfg: &NodeConfig,
+) -> Result<RunOutcome, RunFailure> {
+    let mut factories = threaded_factories(spec, cfg, dataset_root, out_dir);
+    run_node(
+        spec,
+        &mut factories,
+        Arc::new(crate::codecs::payload_codec()),
+        node_cfg,
+    )
 }
 
 /// Runs `spec` on the threaded engine with the real filters.

@@ -7,8 +7,9 @@
 //! reference.
 
 use datacutter::{
-    run_graph, DataBuffer, EngineConfig, FaultKind, FaultPlan, FaultSite, FaultSpec, Filter,
-    FilterContext, FilterError, FilterErrorKind, GraphSpec, RunFailure, RunOutcome, SchedulePolicy,
+    free_loopback_addrs, run_graph, DataBuffer, EngineConfig, FaultKind, FaultPlan, FaultSite,
+    FaultSpec, Filter, FilterContext, FilterError, FilterErrorKind, GraphSpec, NodeConfig,
+    RunFailure, RunOutcome, SchedulePolicy, TransportFault, TransportFaultKind,
 };
 use haralick::raster::{raster_scan, Representation};
 use haralick::volume::Point4;
@@ -17,7 +18,7 @@ use mri::synth::{generate, SynthConfig};
 use pipeline::config::AppConfig;
 use pipeline::graphs::{Copies, HmpGraph};
 use pipeline::payload::ParamPacket;
-use pipeline::run::{merge_uso_outputs, threaded_factories};
+use pipeline::run::{merge_uso_outputs, run_node_threaded, run_threaded_outcome, threaded_factories};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -229,6 +230,136 @@ fn benign_faults_preserve_reference_results() {
             );
         }
     }
+}
+
+// ---- distributed transport chaos -----------------------------------------
+
+/// The HMP graph split over two nodes: readers on both, the stitch and the
+/// output on node 0, the texture copies on node 1 — every stage boundary
+/// crosses the TCP bridge at least once. Demand-driven chunks are legal
+/// because both HMP copies share node 1.
+fn placed_hmp_spec() -> GraphSpec {
+    HmpGraph {
+        rfr: Copies::Placed(vec![0, 1]),
+        iic: Copies::Placed(vec![0]),
+        hmp: Copies::Placed(vec![1, 1]),
+        uso: Copies::Placed(vec![0]),
+        texture_policy: SchedulePolicy::DemandDriven,
+    }
+    .build()
+}
+
+/// Runs both partitions of [`placed_hmp_spec`] concurrently (threads in
+/// this process, real TCP over loopback) under a watchdog. Returns each
+/// node's result, indexed by node id.
+fn run_two_node_pipeline(
+    cfg: &Arc<AppConfig>,
+    data: &Path,
+    out: &Path,
+    faults: [Option<TransportFault>; 2],
+) -> Vec<Result<RunOutcome, RunFailure>> {
+    let addrs = free_loopback_addrs(2).expect("loopback ports");
+    let (tx, rx) = mpsc::channel();
+    let mut handles = Vec::new();
+    for node in 0..2 {
+        let spec = placed_hmp_spec();
+        let cfg = cfg.clone();
+        let (data, out) = (data.to_path_buf(), out.to_path_buf());
+        let mut node_cfg = NodeConfig::new(node, addrs.clone());
+        node_cfg.fault = faults[node];
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let r = run_node_threaded(&spec, &cfg, &data, &out, &node_cfg);
+            let _ = tx.send((node, r));
+        }));
+    }
+    drop(tx);
+    let mut results: Vec<Option<Result<RunOutcome, RunFailure>>> = vec![None, None];
+    for _ in 0..2 {
+        let (node, r) = rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("distributed pipeline deadlocked (watchdog expired)");
+        results[node] = Some(r);
+    }
+    for h in handles {
+        h.join().expect("node thread panicked");
+    }
+    results.into_iter().map(|r| r.expect("both sent")).collect()
+}
+
+#[test]
+fn distributed_clean_run_is_byte_identical_to_in_process() {
+    // The conformance core: the placement-split graph over two cooperating
+    // partitions must produce byte-identical `.h4dp` files to the same
+    // graph in one process. Canonical output mode pins the write order, so
+    // any surviving difference is a real transport defect (lost, altered,
+    // duplicated or misrouted buffers).
+    let mut cfg = AppConfig::test_scale(Representation::Full);
+    cfg.canonical_output = true;
+    let cfg = Arc::new(cfg);
+    let (data, out_local) = setup("dist_equiv", &cfg, 230);
+    let spec = placed_hmp_spec();
+    run_threaded_outcome(&spec, &cfg, &data, &out_local).expect("in-process run failed");
+
+    let out_dist = out_local.parent().unwrap().join("out_dist");
+    std::fs::create_dir_all(&out_dist).unwrap();
+    let results = run_two_node_pipeline(&cfg, &data, &out_dist, [None, None]);
+    for (node, r) in results.iter().enumerate() {
+        assert!(r.is_ok(), "node {node} failed: {}", r.as_ref().unwrap_err());
+    }
+
+    let mut compared = 0;
+    for name in committed_outputs(&out_local) {
+        let a = std::fs::read(out_local.join(&name)).unwrap();
+        let b = std::fs::read(out_dist.join(&name))
+            .unwrap_or_else(|e| panic!("distributed run did not write {name}: {e}"));
+        assert_eq!(a, b, "{name} differs between in-process and distributed");
+        compared += 1;
+    }
+    assert_eq!(
+        compared,
+        cfg.selection.len(),
+        "expected one committed file per selected feature"
+    );
+    assert_eq!(
+        committed_outputs(&out_dist).len(),
+        compared,
+        "distributed run committed extra files"
+    );
+}
+
+#[test]
+fn transport_drop_aborts_both_nodes_without_committed_outputs() {
+    // Node 1 (the texture node) hard-closes its connection mid-run: both
+    // partitions must abort with an Io-kind root cause naming the dead
+    // peer, and the USO copy on node 0 must leave only `.tmp` residue —
+    // a committed parameter file from a half-delivered run would
+    // masquerade as a complete result.
+    let cfg = Arc::new(AppConfig::test_scale(Representation::Full));
+    let (data, out) = setup("dist_drop", &cfg, 240);
+    let fault = TransportFault {
+        peer: None,
+        after_frames: 1,
+        kind: TransportFaultKind::Drop,
+    };
+    let results = run_two_node_pipeline(&cfg, &data, &out, [None, Some(fault)]);
+    let err0 = results[0].as_ref().expect_err("node 0 must fail");
+    let err1 = results[1].as_ref().expect_err("node 1 must fail");
+    assert_eq!(err0.error.kind(), FilterErrorKind::Io, "node 0: {err0}");
+    assert_eq!(err1.error.kind(), FilterErrorKind::Io, "node 1: {err1}");
+    assert!(
+        err0.error.message().contains("node 1"),
+        "node 0 root cause does not name the dead peer: {err0}"
+    );
+    assert!(
+        err1.error.message().contains("node 0"),
+        "node 1 root cause does not name its dropped connection: {err1}"
+    );
+    let leaked = committed_outputs(&out);
+    assert!(
+        leaked.is_empty(),
+        "failed distributed run committed output files {leaked:?}"
+    );
 }
 
 /// A one-shot source that emits pre-built parameter packets, for driving
