@@ -1,0 +1,157 @@
+//! Exports `BENCH_io.json`: disk traffic and chunk-delivery latency of the
+//! reader's naive per-request subrect path versus the overlap-aware slice
+//! cache, at the paper-default analysis window (10x10x3x3 ROI) over a
+//! disk-resident distributed dataset.
+//!
+//! Both passes replay the RFR filters' exact emission order — chunk grid
+//! order, `t` outer, `z` inner, each storage node reading only the slices
+//! it owns — so the byte counts are the counts the pipeline itself incurs.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin io_json
+//! ```
+
+use haralick::roi::RoiShape;
+use haralick::volume::Dims4;
+use mri::chunks::ChunkGrid;
+use mri::store::{write_distributed, DistributedDataset, SliceKey};
+use mri::synth::{generate, SynthConfig};
+use mri::{crop_subrect, IoStats, ReusePlan, SliceCache, SliceSource};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Naive pass for one storage node: every piece is a fresh subrect read,
+/// halos re-read once per consuming chunk. Returns (bytes read, per-chunk
+/// delivery seconds).
+fn naive_pass(ds: &DistributedDataset, grid: &ChunkGrid, node: usize) -> (u64, Vec<f64>) {
+    let mut bytes = 0u64;
+    let mut latencies = Vec::with_capacity(grid.len());
+    for chunk in grid.chunks() {
+        let r = chunk.input;
+        let t0 = Instant::now();
+        for t in r.origin.t..r.end().t {
+            for z in r.origin.z..r.end().z {
+                let key = SliceKey { t, z };
+                if ds.node_of(key) != Some(node) {
+                    continue;
+                }
+                let piece = ds
+                    .read_subrect(key, r.origin.x, r.origin.y, r.size.x, r.size.y)
+                    .expect("naive subrect read");
+                bytes += piece.len() as u64 * 2;
+                std::hint::black_box(&piece);
+            }
+        }
+        latencies.push(t0.elapsed().as_secs_f64());
+    }
+    (bytes, latencies)
+}
+
+/// Cached pass for one storage node: full slices decoded once, retained
+/// until their last consuming chunk, pieces cropped in memory.
+fn cached_pass(
+    ds: &DistributedDataset,
+    grid: &ChunkGrid,
+    node: usize,
+    budget: usize,
+) -> (Arc<IoStats>, Vec<f64>) {
+    let plan = ReusePlan::new(grid, |key| ds.node_of(key) == Some(node));
+    let stats = Arc::new(IoStats::default());
+    let cache = SliceCache::new(ds, plan, budget, stats.clone());
+    let (slice_x, _) = ds.slice_dims();
+    let mut latencies = Vec::with_capacity(grid.len());
+    let mut piece = Vec::new();
+    for (seq, chunk) in grid.chunks().enumerate() {
+        let r = chunk.input;
+        let t0 = Instant::now();
+        for &key in cache.plan().keys_for(seq) {
+            let slice = cache.get(key).expect("cached slice read");
+            crop_subrect(
+                &slice, slice_x, r.origin.x, r.origin.y, r.size.x, r.size.y, &mut piece,
+            );
+            std::hint::black_box(&piece);
+        }
+        cache.advance(seq);
+        latencies.push(t0.elapsed().as_secs_f64());
+    }
+    (stats, latencies)
+}
+
+fn main() {
+    let dims = Dims4::new(96, 96, 12, 12);
+    let roi = RoiShape::from_lengths(10, 10, 3, 3);
+    let chunk = Dims4::new(48, 48, 6, 6);
+    let nodes = 2usize;
+    let budget = 64usize << 20;
+
+    let base = std::env::temp_dir().join(format!("h4d_bench_io_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let raw = generate(&SynthConfig {
+        dims,
+        ..SynthConfig::test_scale(42)
+    });
+    write_distributed(&raw, &base, "bench_io", nodes).expect("write dataset");
+    let ds = DistributedDataset::open(&base).expect("open dataset");
+    let grid = ChunkGrid::new(dims, roi, chunk);
+    let dataset_bytes = dims.len() as u64 * 2;
+
+    let mut naive_bytes = 0u64;
+    let mut naive_lat = Vec::new();
+    for node in 0..nodes {
+        let (b, lat) = naive_pass(&ds, &grid, node);
+        naive_bytes += b;
+        naive_lat.extend(lat);
+    }
+
+    let mut cached_bytes = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut cached_lat = Vec::new();
+    for node in 0..nodes {
+        let (stats, lat) = cached_pass(&ds, &grid, node, budget);
+        cached_bytes += stats.bytes_read();
+        hits += stats.cache_hits();
+        misses += stats.cache_misses();
+        cached_lat.extend(lat);
+    }
+
+    let reduction = naive_bytes as f64 / cached_bytes as f64;
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    let naive_ms = median(naive_lat) * 1e3;
+    let cached_ms = median(cached_lat) * 1e3;
+    println!(
+        "naive {naive_bytes} B, cached {cached_bytes} B ({reduction:.2}x), \
+         hit rate {hit_rate:.3}, chunk median {naive_ms:.3} ms -> {cached_ms:.3} ms"
+    );
+
+    let out = serde_json::json!({
+        "config": {
+            "dims": [dims.x, dims.y, dims.z, dims.t],
+            "roi": [10, 10, 3, 3],
+            "chunk": [chunk.x, chunk.y, chunk.z, chunk.t],
+            "storage_nodes": nodes,
+            "chunks": grid.len(),
+            "cache_budget_bytes": budget,
+        },
+        "dataset_bytes": dataset_bytes,
+        "naive_bytes_read": naive_bytes,
+        "cached_bytes_read": cached_bytes,
+        "bytes_read_reduction": reduction,
+        "cache_hit_rate": hit_rate,
+        "naive_chunk_median_ms": naive_ms,
+        "cached_chunk_median_ms": cached_ms,
+    });
+    let path = "BENCH_io.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&out).expect("serializable") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+    let _ = std::fs::remove_dir_all(&base);
+}

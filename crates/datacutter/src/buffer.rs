@@ -75,6 +75,26 @@ impl DataBuffer {
         })
     }
 
+    /// Consumes the buffer and returns the payload **by value**. When this
+    /// buffer holds the last reference (the common case on tag-modulo and
+    /// demand-driven streams, where exactly one copy receives each buffer),
+    /// the payload moves out without copying — letting the consumer reuse
+    /// its backing store instead of cloning it. Extra live references fall
+    /// back to a clone; a type mismatch is a typed `App`-kind error naming
+    /// the expected type and the tag.
+    pub fn into_payload<T: Any + Send + Sync + Clone>(
+        self,
+    ) -> Result<T, crate::filter::FilterError> {
+        let tag = self.tag;
+        let arc: Arc<T> = self.payload.downcast::<T>().map_err(|_| {
+            crate::filter::FilterError::msg(format!(
+                "buffer payload is not a {} (tag {tag})",
+                std::any::type_name::<T>(),
+            ))
+        })?;
+        Ok(Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
     /// The buffer's wire size in bytes: what would cross the network if the
     /// producer and consumer were on different nodes.
     pub const fn size_bytes(&self) -> usize {
@@ -140,6 +160,22 @@ mod tests {
     fn expect_panics_on_wrong_type() {
         let b = DataBuffer::new(3u32, 4, 1);
         let _ = b.expect::<String>();
+    }
+
+    #[test]
+    fn into_payload_moves_when_uniquely_held() {
+        let b = DataBuffer::new(vec![1u16, 2, 3], 6, 5);
+        let v: Vec<u16> = b.into_payload().unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        // Shared payloads fall back to a clone; both views stay valid.
+        let shared = Arc::new(vec![9u16; 4]);
+        let b = DataBuffer::from_arc(shared.clone(), 8, 6);
+        let v: Vec<u16> = b.into_payload().unwrap();
+        assert_eq!(v, *shared);
+        // And mismatches are typed errors, not panics.
+        let b = DataBuffer::new(3u32, 4, 7);
+        let e = b.into_payload::<String>().unwrap_err();
+        assert!(e.message().contains("tag 7"), "{e}");
     }
 
     #[test]

@@ -264,8 +264,9 @@ pub(crate) fn run_graph_partition(
             // In a distributed run the consumer's copies live on a single
             // node (the transport validates this), so the queue is either
             // entirely local or entirely behind one uplink.
-            let local_consumers =
-                (0..cdecl.copies).filter(|&c| partition.is_local(cdecl, c)).count();
+            let local_consumers = (0..cdecl.copies)
+                .filter(|&c| partition.is_local(cdecl, c))
+                .count();
             if local_consumers == cdecl.copies {
                 let (tx, rx) = bounded(s.capacity);
                 let senders = if has_local_producer {
@@ -310,8 +311,7 @@ pub(crate) fn run_graph_partition(
             .enumerate()
             .map(|(si, s)| {
                 let pdecl = spec.filter_decl(&s.from).expect("validated");
-                let has_remote_producer =
-                    (0..pdecl.copies).any(|c| !partition.is_local(pdecl, c));
+                let has_remote_producer = (0..pdecl.copies).any(|c| !partition.is_local(pdecl, c));
                 if chans[si].local_txs.is_empty() || !has_remote_producer {
                     return None;
                 }

@@ -36,6 +36,7 @@ pub mod fault;
 pub mod filter;
 pub mod graph;
 pub mod metrics;
+pub mod pool;
 pub mod schedule;
 pub mod stats;
 pub mod transport;
@@ -46,8 +47,9 @@ pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use filter::{Filter, FilterContext, FilterError, FilterErrorKind};
 pub use graph::{FilterDecl, GraphSpec, StreamDecl};
 pub use metrics::{
-    CopyReport, FilterShape, PhaseReport, RunPhases, RunReport, StreamMeter, StreamStats,
+    CopyReport, FilterShape, IoReport, PhaseReport, RunPhases, RunReport, StreamMeter, StreamStats,
 };
+pub use pool::{BufferPool, PoolReport};
 pub use schedule::SchedulePolicy;
 pub use stats::{FilterCopyStats, RunStats};
 pub use transport::{

@@ -172,6 +172,27 @@ impl From<RunPhases> for PhaseReport {
     }
 }
 
+/// Reader-side I/O plane counters (slice cache + disk reads) as serialized
+/// into the run report. Populated by the pipeline layer from the shared
+/// `mri::IoStats`; absent when the run did not go through the I/O plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoReport {
+    /// Disk reads issued (cached loads + naive subrect reads).
+    pub disk_reads: u64,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+    /// Slice requests served from the cache.
+    pub cache_hits: u64,
+    /// Slice requests that went to disk.
+    pub cache_misses: u64,
+    /// Slices loaded by read-ahead before demand.
+    pub prefetched: u64,
+    /// Loads the cache's byte budget refused to retain.
+    pub budget_rejects: u64,
+    /// Peak bytes retained by the slice cache.
+    pub retained_high_water: u64,
+}
+
 /// The serializable run report: graph shape, schedule policies, run phases,
 /// per-stream delivery aggregates, and the per-copy busy / blocked-send /
 /// blocked-recv breakdown of paper Figure 9.
@@ -189,6 +210,13 @@ pub struct RunReport {
     pub streams: Vec<StreamStats>,
     /// Per-copy breakdown, sorted by (filter, copy).
     pub per_copy: Vec<CopyReport>,
+    /// Reader-side I/O plane counters, when the run recorded them.
+    /// Additive and optional, so schema version 1 documents stay valid.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub io: Option<IoReport>,
+    /// Buffer-pool counters, when the run recorded them.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub pool: Option<crate::pool::PoolReport>,
 }
 
 /// Current [`RunReport::schema_version`].
@@ -216,6 +244,8 @@ impl RunReport {
                 .iter()
                 .map(CopyReport::from)
                 .collect(),
+            io: None,
+            pool: None,
         }
     }
 
@@ -350,6 +380,8 @@ mod tests {
                 blocked_recv_s: 0.1,
                 wall_s: 0.9,
             }],
+            io: None,
+            pool: None,
         }
     }
 

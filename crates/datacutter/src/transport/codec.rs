@@ -144,7 +144,9 @@ mod tests {
         let buf = DataBuffer::new(vec![9u8, 8, 7], 4096, 42);
         let (ptype, bytes) = c.encode(&buf).unwrap();
         assert_eq!(ptype, 1);
-        let back = c.decode(ptype, &bytes, buf.size_bytes(), buf.tag()).unwrap();
+        let back = c
+            .decode(ptype, &bytes, buf.size_bytes(), buf.tag())
+            .unwrap();
         assert_eq!(back.size_bytes(), 4096);
         assert_eq!(back.tag(), 42);
         assert_eq!(back.downcast::<Vec<u8>>().unwrap(), &vec![9u8, 8, 7]);

@@ -19,7 +19,5 @@ pub mod node;
 pub mod wire;
 
 pub use codec::PayloadCodec;
-pub use node::{
-    free_loopback_addrs, run_node, NodeConfig, TransportFault, TransportFaultKind,
-};
+pub use node::{free_loopback_addrs, run_node, NodeConfig, TransportFault, TransportFaultKind};
 pub use wire::{spec_digest, Frame, WireError, MAX_PAYLOAD_LEN, SHARED_QUEUE, WIRE_VERSION};

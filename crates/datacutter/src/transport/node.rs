@@ -386,9 +386,8 @@ fn connect_mesh(cfg: &NodeConfig, digest: u64) -> Result<HashMap<usize, TcpStrea
         };
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(Some(cfg.connect_timeout)).ok();
-        write_frame(&mut stream, &hello).map_err(|e| {
-            io_filter_error(format!("handshake send to node {peer} failed: {e}"))
-        })?;
+        write_frame(&mut stream, &hello)
+            .map_err(|e| io_filter_error(format!("handshake send to node {peer} failed: {e}")))?;
         let got = read_frame(&mut stream)
             .map_err(|e| io_filter_error(format!("handshake with node {peer} failed: {e}")))?;
         let said = check_hello(got, &format!("node {peer}"))?;
@@ -402,9 +401,8 @@ fn connect_mesh(cfg: &NodeConfig, digest: u64) -> Result<HashMap<usize, TcpStrea
     }
     // Accept every higher-numbered peer; the Hello tells us which one.
     if me + 1 < nodes {
-        let listener = TcpListener::bind(cfg.addrs[me]).map_err(|e| {
-            io_filter_error(format!("could not listen on {}: {e}", cfg.addrs[me]))
-        })?;
+        let listener = TcpListener::bind(cfg.addrs[me])
+            .map_err(|e| io_filter_error(format!("could not listen on {}: {e}", cfg.addrs[me])))?;
         for _ in me + 1..nodes {
             let (mut stream, from) = listener
                 .accept()
@@ -508,9 +506,9 @@ fn writer_thread(
                         ptype,
                         payload,
                     };
-                    if let Err(e) = write_frame(&mut out, &frame).and_then(|()| {
-                        out.flush().map_err(WireError::Io)
-                    }) {
+                    if let Err(e) = write_frame(&mut out, &frame)
+                        .and_then(|()| out.flush().map_err(WireError::Io))
+                    {
                         shared.record(
                             ErrClass::Local,
                             peer,

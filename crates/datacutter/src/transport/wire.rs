@@ -436,7 +436,10 @@ mod tests {
         let mut bytes = encode_frame(&Frame::Eos { stream: 4, dest: 2 });
         bytes[4] = 0x7f;
         let mut cur = std::io::Cursor::new(&bytes);
-        assert!(matches!(read_frame(&mut cur), Err(WireError::BadKind(0x7f))));
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(WireError::BadKind(0x7f))
+        ));
     }
 
     #[test]
@@ -454,7 +457,10 @@ mod tests {
         let mut cur = std::io::Cursor::new(&bytes);
         assert!(matches!(
             read_frame(&mut cur),
-            Err(WireError::Oversized { field: "payload", .. })
+            Err(WireError::Oversized {
+                field: "payload",
+                ..
+            })
         ));
     }
 

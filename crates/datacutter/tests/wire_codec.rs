@@ -39,10 +39,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 payload,
             }),
         (any::<u32>(), any::<u32>()).prop_map(|(stream, dest)| Frame::Eos { stream, dest }),
-        (any::<u32>(), "[ -~]{0,200}").prop_map(|(origin, message)| Frame::Error {
-            origin,
-            message,
-        }),
+        (any::<u32>(), "[ -~]{0,200}")
+            .prop_map(|(origin, message)| Frame::Error { origin, message }),
     ]
 }
 

@@ -1,0 +1,701 @@
+//! Overlap-aware reader-side I/O plane: the lifetime-exact slice cache.
+//!
+//! The paper's chunked retrieval (§4.4, Eqs. 1–2) makes adjacent chunks
+//! overlap by `ROI − 1` voxels per axis, so a reading filter that walks the
+//! [`ChunkGrid`] re-reads every halo slice from disk once per chunk that
+//! touches it — up to `roi − 1`-fold on the z and t axes. But the grid fixes
+//! the chunk emission order completely, which means the *first and last
+//! chunk to consume each slice are known before the first byte is read*.
+//! This module exploits that:
+//!
+//! * [`ReusePlan`] replays the reader's exact emission order (chunk grid
+//!   order, `t` outer, `z` inner, skipping slices another storage node
+//!   owns) and derives per-[`SliceKey`] first/last-use chunk sequence
+//!   numbers;
+//! * [`SliceCache`] retains each decoded slice from its first read until
+//!   its last consuming chunk completes ([`SliceCache::advance`]), so with
+//!   a sufficient byte budget every slice is read from disk **exactly
+//!   once** per run — and when retention would exceed the budget, the
+//!   slice is served without being retained and simply re-read later (the
+//!   correct-but-slower fallback);
+//! * the cache is prefetch-safe: a per-key *loading* state guarantees the
+//!   exactly-once property even when a read-ahead thread and the consumer
+//!   race for the same slice, and [`SliceCache::wait_for_window`] bounds
+//!   how far ahead the prefetcher may run.
+//!
+//! Everything is instrumented through a shared [`IoStats`] (lock-free
+//! counters), which the pipeline surfaces in its run report and the
+//! `BENCH_io.json` exporter.
+
+use crate::chunks::ChunkGrid;
+use crate::dicom::{DicomDataset, DicomError};
+use crate::store::{DistributedDataset, SliceKey};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Anything the slice cache can decode whole 2D slices from.
+///
+/// Implemented by the raw [`DistributedDataset`] and the DICOM
+/// [`DicomDataset`] (and by references to either, so a filter can build a
+/// cache over a dataset it keeps owning).
+pub trait SliceSource {
+    /// In-plane slice extents `(x, y)`.
+    fn slice_dims(&self) -> (usize, usize);
+
+    /// Loads one full slice, row-major, `x`-fastest.
+    fn load_slice(&self, key: SliceKey) -> io::Result<Vec<u16>>;
+}
+
+impl<S: SliceSource + ?Sized> SliceSource for &S {
+    fn slice_dims(&self) -> (usize, usize) {
+        (**self).slice_dims()
+    }
+
+    fn load_slice(&self, key: SliceKey) -> io::Result<Vec<u16>> {
+        (**self).load_slice(key)
+    }
+}
+
+impl SliceSource for DistributedDataset {
+    fn slice_dims(&self) -> (usize, usize) {
+        let d = self.descriptor().dims;
+        (d.x, d.y)
+    }
+
+    fn load_slice(&self, key: SliceKey) -> io::Result<Vec<u16>> {
+        self.read_slice(key)
+    }
+}
+
+impl SliceSource for DicomDataset {
+    fn slice_dims(&self) -> (usize, usize) {
+        let d = self.descriptor().dims;
+        (d.x, d.y)
+    }
+
+    fn load_slice(&self, key: SliceKey) -> io::Result<Vec<u16>> {
+        match self.read_slice(key) {
+            Ok(s) => Ok(s.pixels),
+            Err(DicomError::Io(e)) => Err(e),
+            Err(e @ DicomError::Malformed(_)) => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }
+        }
+    }
+}
+
+/// Crops the `w x h` sub-rectangle at `(x0, y0)` out of a full row-major
+/// slice of width `slice_x`, appending into `out` (cleared first). Shared by
+/// the RFR and DFR filters so both serve chunk pieces from cached slices.
+///
+/// # Panics
+/// If the rectangle does not fit inside the slice.
+pub fn crop_subrect(
+    slice: &[u16],
+    slice_x: usize,
+    x0: usize,
+    y0: usize,
+    w: usize,
+    h: usize,
+    out: &mut Vec<u16>,
+) {
+    assert!(
+        x0 + w <= slice_x && slice_x != 0 && (y0 + h) * slice_x <= slice.len(),
+        "crop {w}x{h} at ({x0}, {y0}) exceeds slice (width {slice_x}, len {})",
+        slice.len()
+    );
+    out.clear();
+    out.reserve(w * h);
+    for y in y0..y0 + h {
+        let start = y * slice_x + x0;
+        out.extend_from_slice(&slice[start..start + w]);
+    }
+}
+
+/// Per-slice first/last use, derived from the deterministic chunk emission
+/// order of a [`ChunkGrid`] restricted to the slices one storage node owns.
+///
+/// Chunk *sequence numbers* are positions in [`ChunkGrid::chunks`] order
+/// (identical to [`crate::chunks::Chunk::id`]); within one chunk, keys are
+/// listed `t` outer, `z` inner — exactly the order the reading filters
+/// request them.
+#[derive(Debug, Clone)]
+pub struct ReusePlan {
+    /// Chunk seq → slice keys this reader loads for that chunk, in order.
+    per_chunk: Vec<Vec<SliceKey>>,
+    /// Key → (first, last) consuming chunk seq.
+    lifetimes: HashMap<SliceKey, (usize, usize)>,
+}
+
+impl ReusePlan {
+    /// Builds the plan for the keys `owned` selects (a storage-node
+    /// predicate; pass `|_| true` for a single-reader run).
+    pub fn new(grid: &ChunkGrid, owned: impl Fn(SliceKey) -> bool) -> Self {
+        let mut per_chunk = Vec::with_capacity(grid.len());
+        let mut lifetimes: HashMap<SliceKey, (usize, usize)> = HashMap::new();
+        for (seq, chunk) in grid.chunks().enumerate() {
+            let r = chunk.input;
+            let mut keys = Vec::new();
+            for t in r.origin.t..r.end().t {
+                for z in r.origin.z..r.end().z {
+                    let key = SliceKey { t, z };
+                    if !owned(key) {
+                        continue;
+                    }
+                    keys.push(key);
+                    lifetimes
+                        .entry(key)
+                        .and_modify(|(_, last)| *last = seq)
+                        .or_insert((seq, seq));
+                }
+            }
+            per_chunk.push(keys);
+        }
+        Self {
+            per_chunk,
+            lifetimes,
+        }
+    }
+
+    /// Number of chunks in the plan.
+    pub fn chunks(&self) -> usize {
+        self.per_chunk.len()
+    }
+
+    /// Slice keys chunk `seq` consumes, in request order.
+    pub fn keys_for(&self, seq: usize) -> &[SliceKey] {
+        &self.per_chunk[seq]
+    }
+
+    /// First/last consuming chunk seq of `key`, if any chunk uses it.
+    pub fn lifetime(&self, key: SliceKey) -> Option<(usize, usize)> {
+        self.lifetimes.get(&key).copied()
+    }
+
+    /// Number of distinct slices the plan touches.
+    pub fn distinct_slices(&self) -> usize {
+        self.lifetimes.len()
+    }
+
+    /// Total slice *requests* across all chunks (the reads a naive reader
+    /// would issue); `total_requests - distinct_slices` is the redundancy
+    /// the cache removes.
+    pub fn total_requests(&self) -> usize {
+        self.per_chunk.iter().map(Vec::len).sum()
+    }
+}
+
+/// Lock-free counters for the reader-side I/O plane, shared across the
+/// reading filter copies of one process.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    disk_reads: AtomicU64,
+    bytes_read: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    prefetched: AtomicU64,
+    budget_rejects: AtomicU64,
+    retained_high_water: AtomicU64,
+}
+
+impl IoStats {
+    /// Records one disk read of `bytes` bytes.
+    pub fn record_disk_read(&self, bytes: u64) {
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a request served from a retained slice.
+    pub fn record_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request that had to go to disk (or to a naive read).
+    pub fn record_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one slice loaded by the read-ahead thread before demand.
+    pub fn record_prefetch(&self) {
+        self.prefetched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a load that could not be retained within the byte budget.
+    pub fn record_budget_reject(&self) {
+        self.budget_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the retained-bytes high-water mark.
+    pub fn record_retained(&self, bytes: u64) {
+        self.retained_high_water.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Disk reads issued.
+    pub fn disk_reads(&self) -> u64 {
+        self.disk_reads.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read from disk.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Requests served from retained slices.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that went to disk.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Slices loaded by read-ahead before demand.
+    pub fn prefetched(&self) -> u64 {
+        self.prefetched.load(Ordering::Relaxed)
+    }
+
+    /// Loads the byte budget refused to retain.
+    pub fn budget_rejects(&self) -> u64 {
+        self.budget_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Highest number of retained bytes observed.
+    pub fn retained_high_water(&self) -> u64 {
+        self.retained_high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// One cache entry's lifecycle. `Loading` is the prefetch-safety device:
+/// whoever transitions a key `Absent → Loading` (consumer or prefetcher)
+/// is the only party that reads it from disk; everyone else waits on the
+/// condvar for the transition out of `Loading`.
+enum Entry {
+    Loading,
+    Present(Arc<Vec<u16>>),
+}
+
+struct CacheState {
+    entries: HashMap<SliceKey, Entry>,
+    /// Bytes held by `Present` entries.
+    retained_bytes: usize,
+    /// Chunks fully consumed so far (`advance` moves this forward).
+    completed: usize,
+    /// Raised once; unblocks window waits so the prefetcher can exit.
+    shutdown: bool,
+}
+
+/// The lifetime-exact slice cache over a [`SliceSource`].
+///
+/// Correctness contract: [`SliceCache::get`] always returns the same pixels
+/// as `source.load_slice(key)`; the cache changes *when* disk is touched,
+/// never *what* is read. With `budget_bytes` at least the plan's peak
+/// retention, each distinct slice is loaded exactly once.
+pub struct SliceCache<S> {
+    source: S,
+    plan: ReusePlan,
+    /// Retention cap in bytes. Loads always succeed; only *retention* is
+    /// refused beyond the cap.
+    budget_bytes: usize,
+    state: Mutex<CacheState>,
+    cond: Condvar,
+    stats: Arc<IoStats>,
+}
+
+impl<S: SliceSource> SliceCache<S> {
+    /// Creates a cache with a retention budget of `budget_bytes`, feeding
+    /// the shared `stats`.
+    pub fn new(source: S, plan: ReusePlan, budget_bytes: usize, stats: Arc<IoStats>) -> Self {
+        Self {
+            source,
+            plan,
+            budget_bytes,
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                retained_bytes: 0,
+                completed: 0,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            stats,
+        }
+    }
+
+    /// The plan this cache retains by.
+    pub fn plan(&self) -> &ReusePlan {
+        &self.plan
+    }
+
+    /// Bytes currently retained (tests and diagnostics).
+    pub fn retained_bytes(&self) -> usize {
+        self.state.lock().expect("cache lock").retained_bytes
+    }
+
+    /// Returns the full decoded slice, reading from disk at most once while
+    /// the slice is retained. Concurrent requests for a slice mid-load wait
+    /// for the in-flight read instead of issuing their own.
+    pub fn get(&self, key: SliceKey) -> io::Result<Arc<Vec<u16>>> {
+        {
+            let mut st = self.state.lock().expect("cache lock");
+            loop {
+                match st.entries.get(&key) {
+                    Some(Entry::Present(data)) => {
+                        self.stats.record_hit();
+                        return Ok(data.clone());
+                    }
+                    Some(Entry::Loading) => {
+                        st = self.cond.wait(st).expect("cache lock");
+                    }
+                    None => {
+                        st.entries.insert(key, Entry::Loading);
+                        break;
+                    }
+                }
+            }
+        }
+        self.stats.record_miss();
+        self.finish_load(key, self.source.load_slice(key), false)
+    }
+
+    /// Loads every not-yet-cached slice of chunk `seq` that still fits the
+    /// budget — the read-ahead thread's work item. I/O errors leave the key
+    /// absent (the demand path will retry and surface them); slices whose
+    /// retention would exceed the budget are skipped rather than loaded and
+    /// dropped.
+    pub fn prefetch_chunk(&self, seq: usize) {
+        for &key in self.plan.keys_for(seq) {
+            let claimed = {
+                let mut st = self.state.lock().expect("cache lock");
+                if st.shutdown || st.entries.contains_key(&key) {
+                    false
+                } else if st.retained_bytes >= self.budget_bytes {
+                    // No room to retain: a prefetched-then-dropped slice
+                    // would be pure wasted I/O. Leave it to the demand path.
+                    false
+                } else {
+                    st.entries.insert(key, Entry::Loading);
+                    true
+                }
+            };
+            if !claimed {
+                continue;
+            }
+            if self
+                .finish_load(key, self.source.load_slice(key), true)
+                .is_ok()
+            {
+                self.stats.record_prefetch();
+            }
+        }
+    }
+
+    /// Completes a claimed load: retains the slice if its last consuming
+    /// chunk is still ahead and the budget allows, publishes it, and wakes
+    /// every waiter. On error the key reverts to absent.
+    fn finish_load(
+        &self,
+        key: SliceKey,
+        loaded: io::Result<Vec<u16>>,
+        prefetch: bool,
+    ) -> io::Result<Arc<Vec<u16>>> {
+        let mut st = self.state.lock().expect("cache lock");
+        let data = match loaded {
+            Ok(v) => {
+                self.stats.record_disk_read(v.len() as u64 * 2);
+                Arc::new(v)
+            }
+            Err(e) => {
+                st.entries.remove(&key);
+                self.cond.notify_all();
+                return Err(e);
+            }
+        };
+        let bytes = data.len() * 2;
+        let has_future_use = self
+            .plan
+            .lifetime(key)
+            .is_some_and(|(_, last)| last >= st.completed);
+        let fits = st.retained_bytes + bytes <= self.budget_bytes;
+        if has_future_use && fits {
+            st.entries.insert(key, Entry::Present(data.clone()));
+            st.retained_bytes += bytes;
+            self.stats.record_retained(st.retained_bytes as u64);
+        } else {
+            // Serve without retaining; a later chunk re-reads it. A
+            // prefetch load that no longer fits is also a reject (the
+            // budget moved between the claim and the load).
+            st.entries.remove(&key);
+            if has_future_use || prefetch {
+                self.stats.record_budget_reject();
+            }
+        }
+        self.cond.notify_all();
+        Ok(data)
+    }
+
+    /// Marks chunk `seq` fully consumed: slices whose last use that was are
+    /// evicted, and the read-ahead window slides forward.
+    pub fn advance(&self, seq: usize) {
+        let mut st = self.state.lock().expect("cache lock");
+        st.completed = st.completed.max(seq + 1);
+        let completed = st.completed;
+        let plan = &self.plan;
+        let mut freed = 0usize;
+        st.entries.retain(|key, entry| match entry {
+            Entry::Loading => true,
+            Entry::Present(data) => {
+                let keep = plan
+                    .lifetime(*key)
+                    .is_some_and(|(_, last)| last >= completed);
+                if !keep {
+                    freed += data.len() * 2;
+                }
+                keep
+            }
+        });
+        st.retained_bytes -= freed;
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the prefetcher may work on chunk `seq` — i.e. until
+    /// `seq <= completed + ahead` — or the cache shuts down. Returns `false`
+    /// on shutdown.
+    pub fn wait_for_window(&self, seq: usize, ahead: usize) -> bool {
+        let mut st = self.state.lock().expect("cache lock");
+        while !st.shutdown && seq > st.completed + ahead {
+            st = self.cond.wait(st).expect("cache lock");
+        }
+        !st.shutdown
+    }
+
+    /// Unblocks the prefetcher permanently. Must be called before joining a
+    /// read-ahead thread on *every* exit path of the consumer, including
+    /// errors — otherwise the join deadlocks on `wait_for_window`.
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock().expect("cache lock");
+        st.shutdown = true;
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunks::ChunkGrid;
+    use haralick::roi::RoiShape;
+    use haralick::volume::Dims4;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A deterministic in-memory source that counts reads per key.
+    struct CountingSource {
+        dims: Dims4,
+        reads: Mutex<HashMap<SliceKey, usize>>,
+        total_reads: AtomicUsize,
+    }
+
+    impl CountingSource {
+        fn new(dims: Dims4) -> Self {
+            Self {
+                dims,
+                reads: Mutex::new(HashMap::new()),
+                total_reads: AtomicUsize::new(0),
+            }
+        }
+
+        fn pixel(&self, key: SliceKey, x: usize, y: usize) -> u16 {
+            (key.t * 31 + key.z * 17 + y * 5 + x) as u16
+        }
+
+        fn reads_of(&self, key: SliceKey) -> usize {
+            *self.reads.lock().unwrap().get(&key).unwrap_or(&0)
+        }
+    }
+
+    impl SliceSource for CountingSource {
+        fn slice_dims(&self) -> (usize, usize) {
+            (self.dims.x, self.dims.y)
+        }
+
+        fn load_slice(&self, key: SliceKey) -> io::Result<Vec<u16>> {
+            *self.reads.lock().unwrap().entry(key).or_insert(0) += 1;
+            self.total_reads.fetch_add(1, Ordering::Relaxed);
+            let mut v = Vec::with_capacity(self.dims.x * self.dims.y);
+            for y in 0..self.dims.y {
+                for x in 0..self.dims.x {
+                    v.push(self.pixel(key, x, y));
+                }
+            }
+            Ok(v)
+        }
+    }
+
+    fn grid() -> ChunkGrid {
+        ChunkGrid::new(
+            Dims4::new(16, 16, 6, 6),
+            RoiShape::from_lengths(4, 4, 3, 3),
+            Dims4::new(8, 8, 4, 4),
+        )
+    }
+
+    #[test]
+    fn plan_lifetimes_are_ordered_and_cover_all_requests() {
+        let g = grid();
+        let plan = ReusePlan::new(&g, |_| true);
+        assert_eq!(plan.chunks(), g.len());
+        for seq in 0..plan.chunks() {
+            for key in plan.keys_for(seq) {
+                let (first, last) = plan.lifetime(*key).expect("requested key has a lifetime");
+                assert!(first <= seq && seq <= last, "{key:?} used outside lifetime");
+            }
+        }
+        // Overlapping chunks in z/t mean redundancy exists to remove.
+        assert!(plan.total_requests() > plan.distinct_slices());
+    }
+
+    #[test]
+    fn unlimited_budget_reads_each_slice_exactly_once() {
+        let g = grid();
+        let src = CountingSource::new(g.data_dims());
+        let plan = ReusePlan::new(&g, |_| true);
+        let distinct = plan.distinct_slices();
+        let cache = SliceCache::new(&src, plan, usize::MAX, Arc::new(IoStats::default()));
+        for (seq, chunk) in g.chunks().enumerate() {
+            let r = chunk.input;
+            for t in r.origin.t..r.end().t {
+                for z in r.origin.z..r.end().z {
+                    let key = SliceKey { t, z };
+                    let slice = cache.get(key).unwrap();
+                    assert_eq!(slice[1], src.pixel(key, 1, 0));
+                }
+            }
+            cache.advance(seq);
+        }
+        assert_eq!(src.total_reads.load(Ordering::Relaxed), distinct);
+        assert_eq!(cache.retained_bytes(), 0, "everything evicted at the end");
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_and_results_stay_correct() {
+        let g = grid();
+        let src = CountingSource::new(g.data_dims());
+        let plan = ReusePlan::new(&g, |_| true);
+        let slice_bytes = g.data_dims().x * g.data_dims().y * 2;
+        let budget = 2 * slice_bytes;
+        let stats = Arc::new(IoStats::default());
+        let cache = SliceCache::new(&src, plan, budget, stats.clone());
+        for (seq, chunk) in g.chunks().enumerate() {
+            let r = chunk.input;
+            for t in r.origin.t..r.end().t {
+                for z in r.origin.z..r.end().z {
+                    let key = SliceKey { t, z };
+                    let slice = cache.get(key).unwrap();
+                    assert_eq!(slice[5], src.pixel(key, 5, 0));
+                    assert!(cache.retained_bytes() <= budget);
+                }
+            }
+            cache.advance(seq);
+        }
+        assert!(stats.retained_high_water() as usize <= budget);
+        assert!(stats.budget_rejects() > 0, "tiny budget must have rejected");
+    }
+
+    #[test]
+    fn io_error_leaves_key_retryable() {
+        struct Flaky {
+            inner: CountingSource,
+            fail_first: Mutex<bool>,
+        }
+        impl SliceSource for Flaky {
+            fn slice_dims(&self) -> (usize, usize) {
+                self.inner.slice_dims()
+            }
+            fn load_slice(&self, key: SliceKey) -> io::Result<Vec<u16>> {
+                let mut f = self.fail_first.lock().unwrap();
+                if *f {
+                    *f = false;
+                    return Err(io::Error::other("injected"));
+                }
+                self.inner.load_slice(key)
+            }
+        }
+        let g = grid();
+        let src = Flaky {
+            inner: CountingSource::new(g.data_dims()),
+            fail_first: Mutex::new(true),
+        };
+        let plan = ReusePlan::new(&g, |_| true);
+        let cache = SliceCache::new(&src, plan, usize::MAX, Arc::new(IoStats::default()));
+        let key = SliceKey { t: 0, z: 0 };
+        assert!(cache.get(key).is_err());
+        // The failed load must not wedge the entry in `Loading`.
+        let slice = cache.get(key).unwrap();
+        assert_eq!(slice[0], src.inner.pixel(key, 0, 0));
+    }
+
+    #[test]
+    fn prefetch_and_demand_never_double_read() {
+        let g = grid();
+        let src = CountingSource::new(g.data_dims());
+        let plan = ReusePlan::new(&g, |_| true);
+        let distinct = plan.distinct_slices();
+        let stats = Arc::new(IoStats::default());
+        let cache = SliceCache::new(&src, plan, usize::MAX, stats.clone());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for seq in 0..cache.plan().chunks() {
+                    if !cache.wait_for_window(seq, 2) {
+                        break;
+                    }
+                    cache.prefetch_chunk(seq);
+                }
+            });
+            for (seq, chunk) in g.chunks().enumerate() {
+                let r = chunk.input;
+                for t in r.origin.t..r.end().t {
+                    for z in r.origin.z..r.end().z {
+                        let key = SliceKey { t, z };
+                        let slice = cache.get(key).unwrap();
+                        assert_eq!(slice[0], src.pixel(key, 0, 0));
+                    }
+                }
+                cache.advance(seq);
+            }
+            cache.shutdown();
+        });
+        assert_eq!(
+            src.total_reads.load(Ordering::Relaxed),
+            distinct,
+            "prefetcher and consumer must coordinate to exactly-once"
+        );
+        assert_eq!(stats.disk_reads() as usize, distinct);
+    }
+
+    #[test]
+    fn shutdown_unblocks_waiting_prefetcher() {
+        let g = grid();
+        let src = CountingSource::new(g.data_dims());
+        let plan = ReusePlan::new(&g, |_| true);
+        let cache = SliceCache::new(&src, plan, usize::MAX, Arc::new(IoStats::default()));
+        std::thread::scope(|s| {
+            let h = s.spawn(|| cache.wait_for_window(1000, 0));
+            cache.shutdown();
+            assert!(!h.join().unwrap(), "shutdown must return false");
+        });
+    }
+
+    #[test]
+    fn crop_matches_direct_indexing() {
+        let src = CountingSource::new(Dims4::new(9, 7, 1, 1));
+        let key = SliceKey { t: 0, z: 0 };
+        let slice = src.load_slice(key).unwrap();
+        let mut out = Vec::new();
+        crop_subrect(&slice, 9, 2, 3, 4, 3, &mut out);
+        for y in 0..3 {
+            for x in 0..4 {
+                assert_eq!(out[y * 4 + x], src.pixel(key, 2 + x, 3 + y));
+            }
+        }
+    }
+}

@@ -22,11 +22,16 @@
 //!   each a distributed dataset, with synthetic lesion ground truth;
 //! * [`dicom`] — a DICOM subset (Explicit VR Little Endian) so studies can
 //!   be stored and read as standards-shaped `.dcm` slices (the paper's
-//!   "easily replaced by a filter which reads DICOM format images").
+//!   "easily replaced by a filter which reads DICOM format images");
+//! * [`cache`] — the overlap-aware I/O plane: a lifetime-exact slice cache
+//!   driven by the chunk grid's deterministic emission order, with
+//!   byte-budget fallback, bounded read-ahead support and shared I/O
+//!   counters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod chunks;
 pub mod dicom;
 pub mod output;
@@ -35,6 +40,7 @@ pub mod store;
 pub mod study;
 pub mod synth;
 
+pub use cache::{crop_subrect, IoStats, ReusePlan, SliceCache, SliceSource};
 pub use chunks::{Chunk, ChunkGrid};
 pub use dicom::{DicomDataset, DicomSlice};
 pub use raw::RawVolume;

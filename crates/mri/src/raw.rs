@@ -114,6 +114,33 @@ impl RawVolume {
         }
     }
 
+    /// Pastes a `w x h` row-major 2D plane into `self` with its origin at
+    /// `at` — [`RawVolume::paste`] without requiring the plane to be wrapped
+    /// in its own `RawVolume` first, so stitching filters can paste borrowed
+    /// pixel buffers directly.
+    ///
+    /// # Panics
+    /// If `plane.len() != w * h` or the plane does not fit at `at`.
+    pub fn paste_plane(&mut self, w: usize, h: usize, plane: &[u16], at: Point4) {
+        assert_eq!(plane.len(), w * h, "plane does not match {w}x{h}");
+        let dst_region = Region4::new(at, Dims4::new(w, h, 1, 1));
+        assert!(
+            self.dims.region().contains_region(&dst_region),
+            "paste target {dst_region:?} exceeds volume {:?}",
+            self.dims
+        );
+        for y in 0..h {
+            let dst_start = self.dims.index(Point4::new(at.x, at.y + y, at.z, at.t));
+            self.data[dst_start..dst_start + w].copy_from_slice(&plane[y * w..(y + 1) * w]);
+        }
+    }
+
+    /// Consumes the volume, returning its backing store (so callers can
+    /// recycle the allocation through a buffer pool).
+    pub fn into_data(self) -> Vec<u16> {
+        self.data
+    }
+
     /// Requantizes into a [`LevelVolume`] with the given quantizer.
     pub fn quantize(&self, q: &Quantizer) -> LevelVolume {
         q.quantize(self.dims, &self.data)
@@ -180,6 +207,19 @@ mod tests {
         for p in r.points() {
             assert_eq!(blank.get(p), v.get(p));
         }
+    }
+
+    #[test]
+    fn paste_plane_matches_paste_of_wrapped_plane() {
+        let v = ramp(Dims4::new(8, 7, 3, 3));
+        let r = Region4::new(Point4::new(2, 1, 1, 2), Dims4::new(4, 3, 1, 1));
+        let sub = v.extract(r);
+        let mut a = RawVolume::zeros(v.dims());
+        a.paste(&sub, r.origin);
+        let mut b = RawVolume::zeros(v.dims());
+        b.paste_plane(4, 3, sub.as_slice(), r.origin);
+        assert_eq!(a, b);
+        assert_eq!(sub.clone().into_data(), sub.as_slice());
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Property tests for the overlap-aware slice cache (`mri::cache`) over
+//! random chunk geometries.
+//!
+//! The cache's contract has three parts, each checked against a counting
+//! in-memory [`SliceSource`] while replaying the reading filters' exact
+//! emission order (chunk grid order, `t` outer, `z` inner, ownership
+//! filtered):
+//!
+//! 1. with an unlimited budget every distinct slice is read from disk
+//!    **exactly once**, including when the slices are split across several
+//!    storage-node readers;
+//! 2. every piece cropped out of a cached slice is pixel-identical to a
+//!    crop of an uncached direct read — the cache changes *when* disk is
+//!    touched, never *what* is read;
+//! 3. retained bytes never exceed the budget, for any budget.
+
+use haralick::roi::RoiShape;
+use haralick::volume::Dims4;
+use mri::chunks::ChunkGrid;
+use mri::store::SliceKey;
+use mri::{crop_subrect, IoStats, ReusePlan, SliceCache, SliceSource};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Deterministic in-memory slice store that counts every disk read.
+struct CountingSource {
+    dims: Dims4,
+    reads: Mutex<HashMap<SliceKey, usize>>,
+    total_reads: AtomicUsize,
+}
+
+impl CountingSource {
+    fn new(dims: Dims4) -> Self {
+        Self {
+            dims,
+            reads: Mutex::new(HashMap::new()),
+            total_reads: AtomicUsize::new(0),
+        }
+    }
+
+    fn pixel(&self, key: SliceKey, x: usize, y: usize) -> u16 {
+        (key.t.wrapping_mul(193) ^ key.z.wrapping_mul(131) ^ y.wrapping_mul(17) ^ x) as u16
+    }
+
+    fn max_reads_of_any_key(&self) -> usize {
+        self.reads
+            .lock()
+            .unwrap()
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl SliceSource for CountingSource {
+    fn slice_dims(&self) -> (usize, usize) {
+        (self.dims.x, self.dims.y)
+    }
+
+    fn load_slice(&self, key: SliceKey) -> io::Result<Vec<u16>> {
+        *self.reads.lock().unwrap().entry(key).or_insert(0) += 1;
+        self.total_reads.fetch_add(1, Ordering::Relaxed);
+        let mut v = Vec::with_capacity(self.dims.x * self.dims.y);
+        for y in 0..self.dims.y {
+            for x in 0..self.dims.x {
+                v.push(self.pixel(key, x, y));
+            }
+        }
+        Ok(v)
+    }
+}
+
+/// Replays one reader's full run over `grid` restricted to `owned`,
+/// asserting every cropped piece matches an uncached direct read. Returns
+/// the stats the run produced.
+fn replay_reader(
+    grid: &ChunkGrid,
+    src: &CountingSource,
+    owned: impl Fn(SliceKey) -> bool,
+    budget: usize,
+) -> Result<Arc<IoStats>, TestCaseError> {
+    let plan = ReusePlan::new(grid, owned);
+    let stats = Arc::new(IoStats::default());
+    let cache = SliceCache::new(src, plan, budget, stats.clone());
+    let (slice_x, _) = src.slice_dims();
+    let mut piece = Vec::new();
+    for (seq, chunk) in grid.chunks().enumerate() {
+        let r = chunk.input;
+        for &key in cache.plan().keys_for(seq) {
+            let slice = cache.get(key).unwrap();
+            crop_subrect(
+                &slice, slice_x, r.origin.x, r.origin.y, r.size.x, r.size.y, &mut piece,
+            );
+            // Pixel-identical to an uncached read of the same rectangle.
+            for dy in 0..r.size.y {
+                for dx in 0..r.size.x {
+                    prop_assert_eq!(
+                        piece[dy * r.size.x + dx],
+                        src.pixel(key, r.origin.x + dx, r.origin.y + dy),
+                        "cached crop diverges at ({}, {}) of {:?}",
+                        dx,
+                        dy,
+                        key
+                    );
+                }
+            }
+            prop_assert!(
+                cache.retained_bytes() <= budget,
+                "retained {} exceeds budget {}",
+                cache.retained_bytes(),
+                budget
+            );
+        }
+        cache.advance(seq);
+    }
+    Ok(stats)
+}
+
+fn geometry(
+    xs: usize,
+    ys: usize,
+    zs: usize,
+    ts: usize,
+    roi: (usize, usize, usize, usize),
+    extra: (usize, usize, usize, usize),
+) -> ChunkGrid {
+    let roi = RoiShape::from_lengths(roi.0, roi.1, roi.2, roi.3);
+    let chunk = Dims4::new(
+        roi.size().x + extra.0,
+        roi.size().y + extra.1,
+        roi.size().z + extra.2,
+        roi.size().t + extra.3,
+    );
+    ChunkGrid::new(Dims4::new(xs, ys, zs, ts), roi, chunk)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unlimited budget: every reader loads each of its distinct slices
+    /// exactly once, even with the dataset split round-robin across
+    /// several storage nodes, and all crops stay pixel-identical.
+    #[test]
+    fn unlimited_budget_is_exactly_once_across_node_splits(
+        xs in 8usize..=20,
+        ys in 8usize..=20,
+        zs in 3usize..=7,
+        ts in 3usize..=7,
+        rx in 2usize..=5,
+        ry in 2usize..=5,
+        rz in 1usize..=3,
+        rt in 1usize..=3,
+        ex in 0usize..=6,
+        ey in 0usize..=6,
+        ez in 0usize..=3,
+        et in 0usize..=3,
+        nodes in 1usize..=3,
+    ) {
+        let grid = geometry(xs, ys, zs, ts, (rx, ry, rz, rt), (ex, ey, ez, et));
+        let mut covered = 0;
+        for node in 0..nodes {
+            let owned = move |key: SliceKey| (key.t * zs + key.z) % nodes == node;
+            let plan = ReusePlan::new(&grid, owned);
+            covered += plan.distinct_slices();
+            let src = CountingSource::new(grid.data_dims());
+            let stats = replay_reader(&grid, &src, owned, usize::MAX)?;
+            prop_assert_eq!(
+                src.total_reads.load(Ordering::Relaxed),
+                plan.distinct_slices(),
+                "node {} of {} read some slice more than once",
+                node,
+                nodes
+            );
+            prop_assert!(src.max_reads_of_any_key() <= 1);
+            prop_assert_eq!(stats.disk_reads() as usize, plan.distinct_slices());
+            prop_assert_eq!(
+                stats.cache_hits() + stats.cache_misses(),
+                ReusePlan::new(&grid, owned).total_requests() as u64
+            );
+        }
+        // The round-robin predicates partition the slices: together the
+        // node readers cover every distinct slice exactly once.
+        prop_assert_eq!(covered, ReusePlan::new(&grid, |_| true).distinct_slices());
+    }
+
+    /// Any budget, including pathologically small ones: retention never
+    /// exceeds the cap, results stay pixel-identical, and the number of
+    /// disk reads never exceeds the naive reader's (one per request) nor
+    /// drops below one per distinct slice.
+    #[test]
+    fn bounded_budget_never_exceeds_cap_and_stays_correct(
+        xs in 8usize..=16,
+        ys in 8usize..=16,
+        zs in 3usize..=6,
+        ts in 3usize..=6,
+        rz in 1usize..=3,
+        rt in 1usize..=3,
+        ez in 0usize..=3,
+        et in 0usize..=3,
+        budget_slices in 0usize..=6,
+    ) {
+        let grid = geometry(xs, ys, zs, ts, (3, 3, rz, rt), (4, 4, ez, et));
+        let src = CountingSource::new(grid.data_dims());
+        let slice_bytes = xs * ys * 2;
+        let budget = budget_slices * slice_bytes;
+        let plan = ReusePlan::new(&grid, |_| true);
+        let stats = replay_reader(&grid, &src, |_| true, budget)?;
+        prop_assert!(stats.retained_high_water() as usize <= budget);
+        let reads = src.total_reads.load(Ordering::Relaxed);
+        prop_assert!(reads >= plan.distinct_slices());
+        prop_assert!(reads <= plan.total_requests());
+    }
+}

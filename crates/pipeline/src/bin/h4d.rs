@@ -6,16 +6,19 @@
 //! h4d info     <dataset_dir>
 //! h4d analyze  <dataset_dir> <out_dir> [--variant hmp|split|visual]
 //!              [--repr full|naive|sparse|sparse-accum] [--texture N]
-//!              [--report run.json]
+//!              [--report run.json] [--canonical true]
+//!              [--io-cache-bytes B] [--read-ahead N]
 //! h4d graph    <out.json> [--variant hmp|split|visual] [--texture N]
 //! h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]
 //! h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr ...]
 //!              [--report run.json] [--canonical true]
+//!              [--io-cache-bytes B] [--read-ahead N]
 //! h4d node     <graph.json> <dataset_dir> <out_dir> --node K
 //!              --peers addr0,addr1,... [--repr ...] [--report run.json]
-//!              [--canonical true]
+//!              [--canonical true] [--io-cache-bytes B] [--read-ahead N]
 //! h4d launch   <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...]
 //!              [--report-base run] [--canonical true]
+//!              [--io-cache-bytes B] [--read-ahead N]
 //! ```
 //!
 //! The `graph` subcommand serializes the filter network to JSON — the
@@ -37,7 +40,7 @@ use mri::synth::{generate, SynthConfig};
 use pipeline::config::AppConfig;
 use pipeline::experiments::{run_hmp_piii, run_split_piii};
 use pipeline::graphs::{Copies, HmpGraph, SplitGraph, VisualGraph};
-use pipeline::run::{run_node_threaded, run_threaded_outcome};
+use pipeline::run::{run_node_threaded_with, run_threaded_outcome_with, IoRuntime};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::exit;
@@ -49,15 +52,16 @@ fn usage() -> ! {
          h4d generate <dataset_dir> [--dims X,Y,Z,T] [--nodes N] [--seed S] [--format raw|dicom]\n  \
          h4d info <dataset_dir>\n  \
          h4d analyze <dataset_dir> <out_dir> [--variant hmp|split|visual] \
-         [--repr full|naive|sparse|sparse-accum] [--texture N] [--report run.json]\n  \
+         [--repr full|naive|sparse|sparse-accum] [--texture N] [--report run.json] \
+         [--canonical true] [--io-cache-bytes B] [--read-ahead N]\n  \
          h4d graph <out.json> [--variant hmp|split|visual] [--texture N]\n  \
          h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]\n  \
          h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr full|naive|sparse|sparse-accum] \
-         [--report run.json] [--canonical true]\n  \
+         [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N]\n  \
          h4d node <graph.json> <dataset_dir> <out_dir> --node K --peers addr0,addr1,... \
-         [--repr ...] [--report run.json] [--canonical true]\n  \
+         [--repr ...] [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N]\n  \
          h4d launch <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...] \
-         [--report-base run] [--canonical true]"
+         [--report-base run] [--canonical true] [--io-cache-bytes B] [--read-ahead N]"
     );
     exit(2);
 }
@@ -148,9 +152,23 @@ fn app_config(dims: Dims4, nodes: usize, repr: Representation) -> AppConfig {
     cfg
 }
 
-/// Writes the Figure-9-style busy-vs-wait run report as JSON to `path`.
-fn write_report(path: &str, spec: &datacutter::GraphSpec, outcome: &datacutter::RunOutcome) {
-    let report = datacutter::RunReport::new(spec, outcome);
+/// Applies the I/O-plane flag overrides (`--io-cache-bytes`,
+/// `--read-ahead`) onto a loaded configuration.
+fn apply_io_flags(cfg: &mut AppConfig, flags: &Flags) {
+    cfg.io_cache_bytes = flags.parse_or("io-cache-bytes", cfg.io_cache_bytes);
+    cfg.read_ahead_chunks = flags.parse_or("read-ahead", cfg.read_ahead_chunks);
+}
+
+/// Writes the Figure-9-style busy-vs-wait run report as JSON to `path`,
+/// annotated with the run's I/O and buffer-pool counters.
+fn write_report(
+    path: &str,
+    spec: &datacutter::GraphSpec,
+    outcome: &datacutter::RunOutcome,
+    rt: &IoRuntime,
+) {
+    let mut report = datacutter::RunReport::new(spec, outcome);
+    rt.annotate(&mut report);
     if let Err(msg) = report.check() {
         eprintln!("warning: run report failed its invariant check: {msg}");
     }
@@ -303,18 +321,27 @@ fn main() {
                 exit(1);
             });
             let desc = ds.descriptor();
-            let cfg = Arc::new(app_config(desc.dims, desc.num_nodes, repr));
+            let mut cfg = app_config(desc.dims, desc.num_nodes, repr);
+            cfg.canonical_output = flags.parse_or("canonical", false);
+            apply_io_flags(&mut cfg, &flags);
+            let cfg = Arc::new(cfg);
             let spec = build_graph(&variant, desc.num_nodes, texture);
             std::fs::create_dir_all(out).ok();
+            let rt = IoRuntime::new();
             let t = std::time::Instant::now();
-            let outcome =
-                run_threaded_outcome(&spec, &cfg, &PathBuf::from(dir), &PathBuf::from(out))
-                    .unwrap_or_else(|e| {
-                        eprintln!("pipeline failed: {e}");
-                        exit(1);
-                    });
+            let outcome = run_threaded_outcome_with(
+                &spec,
+                &cfg,
+                &PathBuf::from(dir),
+                &PathBuf::from(out),
+                &rt,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("pipeline failed: {e}");
+                exit(1);
+            });
             if let Some(rp) = flags.get("report") {
-                write_report(rp, &spec, &outcome);
+                write_report(rp, &spec, &outcome, &rt);
             }
             let stats = outcome.stats;
             println!(
@@ -365,17 +392,24 @@ fn main() {
             let desc = load_descriptor(dir);
             let mut cfg = app_config(desc.dims, desc.num_nodes, repr);
             cfg.canonical_output = flags.parse_or("canonical", false);
+            apply_io_flags(&mut cfg, &flags);
             let cfg = Arc::new(cfg);
             std::fs::create_dir_all(out).ok();
+            let rt = IoRuntime::new();
             let t = std::time::Instant::now();
-            let outcome =
-                run_threaded_outcome(&spec, &cfg, &PathBuf::from(dir), &PathBuf::from(out))
-                    .unwrap_or_else(|e| {
-                        eprintln!("pipeline failed: {e}");
-                        exit(1);
-                    });
+            let outcome = run_threaded_outcome_with(
+                &spec,
+                &cfg,
+                &PathBuf::from(dir),
+                &PathBuf::from(out),
+                &rt,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("pipeline failed: {e}");
+                exit(1);
+            });
             if let Some(rp) = flags.get("report") {
-                write_report(rp, &spec, &outcome);
+                write_report(rp, &spec, &outcome, &rt);
             }
             println!(
                 "ran {} filters / {} streams in {:.2?}; output under {out}",
@@ -418,24 +452,28 @@ fn main() {
             let desc = load_descriptor(dir);
             let mut cfg = app_config(desc.dims, desc.num_nodes, repr);
             cfg.canonical_output = flags.parse_or("canonical", false);
+            apply_io_flags(&mut cfg, &flags);
             let cfg = Arc::new(cfg);
             std::fs::create_dir_all(out).ok();
             // Picks up H4D_TRANSPORT_FAULT from the environment.
             let node_cfg = NodeConfig::new(node, addrs);
+            let rt = IoRuntime::new();
             let t = std::time::Instant::now();
-            let outcome = run_node_threaded(
+            let outcome = run_node_threaded_with(
                 &spec,
                 &cfg,
                 &PathBuf::from(dir),
                 &PathBuf::from(out),
                 &node_cfg,
+                &rt,
             )
             .unwrap_or_else(|e| {
                 eprintln!("node {node} failed: {e}");
                 exit(1);
             });
             if let Some(rp) = flags.get("report") {
-                let report = datacutter::RunReport::for_node(&spec, &outcome, node);
+                let mut report = datacutter::RunReport::for_node(&spec, &outcome, node);
+                rt.annotate(&mut report);
                 if let Err(msg) = report.check() {
                     eprintln!("warning: node {node} report failed its invariant check: {msg}");
                 }
@@ -487,7 +525,7 @@ fn main() {
                     .arg(node.to_string())
                     .arg("--peers")
                     .arg(&peers);
-                for key in ["repr", "canonical"] {
+                for key in ["repr", "canonical", "io-cache-bytes", "read-ahead"] {
                     if let Some(v) = flags.get(key) {
                         cmd.arg(format!("--{key}")).arg(v);
                     }

@@ -141,7 +141,9 @@ impl<'a> Cur<'a> {
     fn count(&mut self, what: &str, min_elem_bytes: usize) -> Result<usize, String> {
         let n = self.usize_(what)?;
         let remaining = self.bytes.len() - self.off;
-        if n.checked_mul(min_elem_bytes.max(1)).map_or(true, |need| need > remaining) {
+        if n.checked_mul(min_elem_bytes.max(1))
+            .map_or(true, |need| need > remaining)
+        {
             return Err(format!(
                 "implausible {what} {n}: only {remaining} payload bytes remain"
             ));
@@ -206,10 +208,12 @@ fn checked_len(d: Dims4) -> Result<usize, String> {
 }
 
 fn decode_feature(idx: u8) -> Result<Feature, String> {
-    Feature::ALL
-        .get(idx as usize)
-        .copied()
-        .ok_or_else(|| format!("feature index {idx} out of range (0..{})", Feature::ALL.len()))
+    Feature::ALL.get(idx as usize).copied().ok_or_else(|| {
+        format!(
+            "feature index {idx} out of range (0..{})",
+            Feature::ALL.len()
+        )
+    })
 }
 
 // ---- per-type codecs ------------------------------------------------------
@@ -363,7 +367,7 @@ fn encode_param_packet(p: &ParamPacket) -> Vec<u8> {
     let mut out = Vec::with_capacity(p.points.len() * 40 + 16);
     out.push(p.feature.index() as u8);
     put_usize(&mut out, p.points.len());
-    for &pt in &p.points {
+    for &pt in p.points.iter() {
         put_point(&mut out, pt);
     }
     put_usize(&mut out, p.values.len());
@@ -392,7 +396,7 @@ fn decode_param_packet(bytes: &[u8]) -> Result<ParamPacket, String> {
     cur.done()?;
     Ok(ParamPacket {
         feature,
-        points,
+        points: std::sync::Arc::new(points),
         values,
     })
 }
@@ -440,7 +444,11 @@ pub fn payload_codec() -> PayloadCodec {
     let mut c = PayloadCodec::new();
     c.register::<Piece, _, _>(TAG_PIECE, encode_piece, decode_piece);
     c.register::<ChunkData, _, _>(TAG_CHUNK_DATA, encode_chunk_data, decode_chunk_data);
-    c.register::<MatrixPacket, _, _>(TAG_MATRIX_PACKET, encode_matrix_packet, decode_matrix_packet);
+    c.register::<MatrixPacket, _, _>(
+        TAG_MATRIX_PACKET,
+        encode_matrix_packet,
+        decode_matrix_packet,
+    );
     c.register::<ParamPacket, _, _>(TAG_PARAM_PACKET, encode_param_packet, decode_param_packet);
     c.register::<FeatureVolume, _, _>(
         TAG_FEATURE_VOLUME,
@@ -533,7 +541,7 @@ mod tests {
     fn param_packet_roundtrips_bit_exact() {
         let p = ParamPacket {
             feature: Feature::Entropy,
-            points: vec![Point4::new(0, 1, 2, 3), Point4::new(9, 9, 9, 9)],
+            points: std::sync::Arc::new(vec![Point4::new(0, 1, 2, 3), Point4::new(9, 9, 9, 9)]),
             values: vec![0.1 + 0.2, f64::MIN_POSITIVE],
         };
         let back = decode_param_packet(&encode_param_packet(&p)).unwrap();
@@ -550,7 +558,10 @@ mod tests {
             min: -2.5,
             max: 3.25,
         };
-        assert_eq!(decode_feature_volume(&encode_feature_volume(&v)).unwrap(), v);
+        assert_eq!(
+            decode_feature_volume(&encode_feature_volume(&v)).unwrap(),
+            v
+        );
     }
 
     #[test]
@@ -578,7 +589,7 @@ mod tests {
     fn truncated_payloads_are_typed_errors() {
         let p = ParamPacket {
             feature: Feature::ALL[0],
-            points: vec![Point4::new(1, 1, 1, 1)],
+            points: std::sync::Arc::new(vec![Point4::new(1, 1, 1, 1)]),
             values: vec![2.0],
         };
         let bytes = encode_param_packet(&p);

@@ -56,9 +56,33 @@ pub struct AppConfig {
     /// byte-identical `.h4dp` files despite different arrival orders.
     #[serde(default)]
     pub canonical_output: bool,
+    /// Byte budget of the reader-side slice cache (per reading-filter
+    /// copy). The cache retains each decoded slice until its last consuming
+    /// chunk, so with a sufficient budget every slice is read from disk
+    /// exactly once; when retention would exceed the budget the slice is
+    /// re-read later instead. `0` disables the cache entirely and restores
+    /// the naive per-request subrect reads.
+    #[serde(default = "default_io_cache_bytes")]
+    pub io_cache_bytes: usize,
+    /// How many chunks ahead of the consumer the reader's prefetch thread
+    /// may decode slices (`0` disables read-ahead). Bounded so prefetch
+    /// memory stays proportional to the window, not the dataset.
+    #[serde(default = "default_read_ahead_chunks")]
+    pub read_ahead_chunks: usize,
 }
 
 fn default_texture_threads() -> usize {
+    1
+}
+
+fn default_io_cache_bytes() -> usize {
+    // 64 MiB holds the retained set of every geometry in the experiments
+    // (the paper-scale run peaks well below: ~chunk_z*chunk_t slices of
+    // 256x256 u16 = 8 MiB).
+    64 << 20
+}
+
+fn default_read_ahead_chunks() -> usize {
     1
 }
 
@@ -95,6 +119,8 @@ impl AppConfig {
             engine: ScanEngine::Parallel,
             texture_threads: 1,
             canonical_output: false,
+            io_cache_bytes: default_io_cache_bytes(),
+            read_ahead_chunks: default_read_ahead_chunks(),
         }
     }
 
@@ -164,6 +190,21 @@ mod tests {
             .replace(",\"engine\":\"Parallel\"", "");
         let back: AppConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(back.engine, ScanEngine::IncrementalParallel);
+    }
+
+    #[test]
+    fn io_knobs_default_for_legacy_configs() {
+        let c = AppConfig::paper(Representation::Full);
+        assert_eq!(c.io_cache_bytes, 64 << 20);
+        assert_eq!(c.read_ahead_chunks, 1);
+        // Pre-I/O-plane JSON configs pick up the defaults.
+        let s = serde_json::to_string(&c)
+            .unwrap()
+            .replace(&format!(",\"io_cache_bytes\":{}", 64 << 20), "")
+            .replace(",\"read_ahead_chunks\":1", "");
+        let back: AppConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.io_cache_bytes, 64 << 20);
+        assert_eq!(back.read_ahead_chunks, 1);
     }
 
     #[test]

@@ -9,13 +9,14 @@ use crate::config::AppConfig;
 use crate::payload::{
     linear_point, ChunkData, FeatureVolume, MatrixBatch, MatrixPacket, ParamPacket, Piece,
 };
-use datacutter::{DataBuffer, Filter, FilterContext, FilterError};
+use datacutter::{BufferPool, DataBuffer, Filter, FilterContext, FilterError};
 use haralick::coocc::CoMatrix;
 use haralick::features::{compute_features, FeatureSelection, MatrixStats};
 use haralick::raster::Representation;
 use haralick::sparse::{SparseAccumulator, SparseCoMatrix};
-use haralick::volume::{Dims4, LevelVolume, Point4, Region4};
+use haralick::volume::{LevelVolume, Point4, Region4};
 use haralick::window::MatrixCursor;
+use mri::cache::{crop_subrect, IoStats, ReusePlan, SliceCache, SliceSource};
 use mri::chunks::ChunkGrid;
 use mri::dicom::DicomDataset;
 use mri::output::{normalize_to_gray, write_pgm, ParameterWriter};
@@ -24,6 +25,59 @@ use mri::store::{DistributedDataset, SliceKey};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Shared reading loop of the RFR and DFR filters: walks the chunk grid in
+/// emission order through a lifetime-exact [`SliceCache`], with an optional
+/// bounded read-ahead thread, cropping each chunk's sub-rectangle out of
+/// the cached full slices into pooled buffers. `emit` receives
+/// `(chunk, key, data)` for every piece this node owns, in the exact order
+/// the naive path produces.
+fn emit_chunks_cached<S: SliceSource + Sync>(
+    cfg: &AppConfig,
+    grid: &ChunkGrid,
+    source: S,
+    owned: impl Fn(SliceKey) -> bool,
+    pool: &BufferPool,
+    io: &Arc<IoStats>,
+    mut emit: impl FnMut(mri::chunks::Chunk, SliceKey, Vec<u16>) -> Result<(), FilterError>,
+) -> Result<(), FilterError> {
+    let plan = ReusePlan::new(grid, owned);
+    let (slice_x, _) = source.slice_dims();
+    let cache = SliceCache::new(source, plan, cfg.io_cache_bytes, Arc::clone(io));
+    let ahead = cfg.read_ahead_chunks;
+    std::thread::scope(|s| {
+        if ahead > 0 {
+            let cache = &cache;
+            s.spawn(move || {
+                for seq in 0..cache.plan().chunks() {
+                    if !cache.wait_for_window(seq, ahead) {
+                        break;
+                    }
+                    cache.prefetch_chunk(seq);
+                }
+            });
+        }
+        let result = (|| -> Result<(), FilterError> {
+            for (seq, chunk) in grid.chunks().enumerate() {
+                let r = chunk.input;
+                for &key in cache.plan().keys_for(seq) {
+                    let slice = cache.get(key)?;
+                    let mut data = pool.take::<u16>(r.size.x * r.size.y);
+                    crop_subrect(
+                        &slice, slice_x, r.origin.x, r.origin.y, r.size.x, r.size.y, &mut data,
+                    );
+                    emit(chunk, key, data)?;
+                }
+                cache.advance(seq);
+            }
+            Ok(())
+        })();
+        // Unblock the prefetcher on every exit path (including errors)
+        // before the scope's implicit join, or the join deadlocks.
+        cache.shutdown();
+        result
+    })
+}
 
 /// RAWFileReader: reads the local portions of every chunk's input region
 /// from this storage node and ships them to the stitch filters.
@@ -34,10 +88,13 @@ pub struct RfrFilter {
     cfg: Arc<AppConfig>,
     dataset: DistributedDataset,
     node: usize,
+    pool: Arc<BufferPool>,
+    io: Arc<IoStats>,
 }
 
 impl RfrFilter {
-    /// Opens the dataset for one copy.
+    /// Opens the dataset for one copy (private pool and I/O counters; use
+    /// [`RfrFilter::with_io`] to share the run's).
     pub fn open(
         cfg: Arc<AppConfig>,
         root: &std::path::Path,
@@ -51,35 +108,71 @@ impl RfrFilter {
                 cfg.storage_nodes
             )));
         }
-        Ok(Self { cfg, dataset, node })
+        Ok(Self {
+            cfg,
+            dataset,
+            node,
+            pool: Arc::new(BufferPool::new()),
+            io: Arc::new(IoStats::default()),
+        })
+    }
+
+    /// Attaches the run's shared buffer pool and I/O counters.
+    pub fn with_io(mut self, pool: Arc<BufferPool>, io: Arc<IoStats>) -> Self {
+        self.pool = pool;
+        self.io = io;
+        self
     }
 }
 
 impl Filter for RfrFilter {
     fn start(&mut self, ctx: &mut FilterContext) -> Result<(), FilterError> {
         let grid = ChunkGrid::new(self.cfg.dims, self.cfg.roi, self.cfg.chunk_dims);
-        for chunk in grid.chunks() {
-            let r = chunk.input;
-            for t in r.origin.t..r.end().t {
-                for z in r.origin.z..r.end().z {
-                    let key = SliceKey { t, z };
-                    if self.dataset.node_of(key) != Some(self.node) {
-                        continue;
+        if self.cfg.io_cache_bytes == 0 {
+            // Cache disabled: the original per-request subrect reads.
+            for chunk in grid.chunks() {
+                let r = chunk.input;
+                for t in r.origin.t..r.end().t {
+                    for z in r.origin.z..r.end().z {
+                        let key = SliceKey { t, z };
+                        if self.dataset.node_of(key) != Some(self.node) {
+                            continue;
+                        }
+                        let data = self
+                            .dataset
+                            .read_subrect(key, r.origin.x, r.origin.y, r.size.x, r.size.y)?;
+                        self.io.record_miss();
+                        self.io.record_disk_read(data.len() as u64 * 2);
+                        let piece = Piece {
+                            chunk,
+                            slice: key,
+                            data,
+                        };
+                        let size = piece.wire_size();
+                        ctx.emit(0, DataBuffer::new(piece, size, chunk.id as u64))?;
                     }
-                    let data = self
-                        .dataset
-                        .read_subrect(key, r.origin.x, r.origin.y, r.size.x, r.size.y)?;
-                    let piece = Piece {
-                        chunk,
-                        slice: key,
-                        data,
-                    };
-                    let size = piece.wire_size();
-                    ctx.emit(0, DataBuffer::new(piece, size, chunk.id as u64))?;
                 }
             }
+            return Ok(());
         }
-        Ok(())
+        let (dataset, node) = (&self.dataset, self.node);
+        emit_chunks_cached(
+            &self.cfg,
+            &grid,
+            dataset,
+            |key| dataset.node_of(key) == Some(node),
+            &self.pool,
+            &self.io,
+            |chunk, key, data| {
+                let piece = Piece {
+                    chunk,
+                    slice: key,
+                    data,
+                };
+                let size = piece.wire_size();
+                ctx.emit(0, DataBuffer::new(piece, size, chunk.id as u64))
+            },
+        )
     }
 
     fn process(
@@ -101,10 +194,13 @@ pub struct DfrFilter {
     cfg: Arc<AppConfig>,
     dataset: DicomDataset,
     node: usize,
+    pool: Arc<BufferPool>,
+    io: Arc<IoStats>,
 }
 
 impl DfrFilter {
-    /// Opens the DICOM dataset for one copy.
+    /// Opens the DICOM dataset for one copy (private pool and I/O counters;
+    /// use [`DfrFilter::with_io`] to share the run's).
     pub fn open(
         cfg: Arc<AppConfig>,
         root: &std::path::Path,
@@ -119,7 +215,20 @@ impl DfrFilter {
                 cfg.storage_nodes
             )));
         }
-        Ok(Self { cfg, dataset, node })
+        Ok(Self {
+            cfg,
+            dataset,
+            node,
+            pool: Arc::new(BufferPool::new()),
+            io: Arc::new(IoStats::default()),
+        })
+    }
+
+    /// Attaches the run's shared buffer pool and I/O counters.
+    pub fn with_io(mut self, pool: Arc<BufferPool>, io: Arc<IoStats>) -> Self {
+        self.pool = pool;
+        self.io = io;
+        self
     }
 }
 
@@ -127,35 +236,59 @@ impl Filter for DfrFilter {
     fn start(&mut self, ctx: &mut FilterContext) -> Result<(), FilterError> {
         let grid = ChunkGrid::new(self.cfg.dims, self.cfg.roi, self.cfg.chunk_dims);
         let dims = self.cfg.dims;
-        for chunk in grid.chunks() {
-            let r = chunk.input;
-            for t in r.origin.t..r.end().t {
-                for z in r.origin.z..r.end().z {
-                    let key = SliceKey { t, z };
-                    if self.dataset.node_of(key) != Some(self.node) {
-                        continue;
+        if self.cfg.io_cache_bytes == 0 {
+            // Cache disabled: decode the whole DICOM slice per request, as
+            // before.
+            for chunk in grid.chunks() {
+                let r = chunk.input;
+                for t in r.origin.t..r.end().t {
+                    for z in r.origin.z..r.end().z {
+                        let key = SliceKey { t, z };
+                        if self.dataset.node_of(key) != Some(self.node) {
+                            continue;
+                        }
+                        let slice = self
+                            .dataset
+                            .read_slice(key)
+                            .map_err(|e| FilterError::msg(format!("DICOM read failed: {e}")))?;
+                        self.io.record_miss();
+                        self.io.record_disk_read(slice.pixels.len() as u64 * 2);
+                        // Crop the chunk's sub-rectangle out of the full slice.
+                        let mut data = self.pool.take::<u16>(r.size.x * r.size.y);
+                        for y in r.origin.y..r.origin.y + r.size.y {
+                            let start = y * dims.x + r.origin.x;
+                            data.extend_from_slice(&slice.pixels[start..start + r.size.x]);
+                        }
+                        let piece = Piece {
+                            chunk,
+                            slice: key,
+                            data,
+                        };
+                        let size = piece.wire_size();
+                        ctx.emit(0, DataBuffer::new(piece, size, chunk.id as u64))?;
                     }
-                    let slice = self
-                        .dataset
-                        .read_slice(key)
-                        .map_err(|e| FilterError::msg(format!("DICOM read failed: {e}")))?;
-                    // Crop the chunk's sub-rectangle out of the full slice.
-                    let mut data = Vec::with_capacity(r.size.x * r.size.y);
-                    for y in r.origin.y..r.origin.y + r.size.y {
-                        let start = y * dims.x + r.origin.x;
-                        data.extend_from_slice(&slice.pixels[start..start + r.size.x]);
-                    }
-                    let piece = Piece {
-                        chunk,
-                        slice: key,
-                        data,
-                    };
-                    let size = piece.wire_size();
-                    ctx.emit(0, DataBuffer::new(piece, size, chunk.id as u64))?;
                 }
             }
+            return Ok(());
         }
-        Ok(())
+        let (dataset, node) = (&self.dataset, self.node);
+        emit_chunks_cached(
+            &self.cfg,
+            &grid,
+            dataset,
+            |key| dataset.node_of(key) == Some(node),
+            &self.pool,
+            &self.io,
+            |chunk, key, data| {
+                let piece = Piece {
+                    chunk,
+                    slice: key,
+                    data,
+                };
+                let size = piece.wire_size();
+                ctx.emit(0, DataBuffer::new(piece, size, chunk.id as u64))
+            },
+        )
     }
 
     fn process(
@@ -175,14 +308,23 @@ impl Filter for DfrFilter {
 pub struct IicFilter {
     /// chunk id → (assembly buffer, received pieces, expected pieces).
     pending: HashMap<usize, (ChunkData, usize, usize)>,
+    pool: Arc<BufferPool>,
 }
 
 impl IicFilter {
-    /// Creates an empty stitcher.
+    /// Creates an empty stitcher with a private buffer pool (use
+    /// [`IicFilter::with_pool`] to share the run's).
     pub fn new() -> Self {
         Self {
             pending: HashMap::new(),
+            pool: Arc::new(BufferPool::new()),
         }
+    }
+
+    /// Attaches the run's shared buffer pool.
+    pub fn with_pool(mut self, pool: Arc<BufferPool>) -> Self {
+        self.pool = pool;
+        self
     }
 }
 
@@ -199,30 +341,37 @@ impl Filter for IicFilter {
         buf: DataBuffer,
         ctx: &mut FilterContext,
     ) -> Result<(), FilterError> {
-        let piece = buf.payload::<Piece>()?;
+        // Take the piece by value: on the tag-modulo stream exactly one IIC
+        // copy holds each piece, so this moves (no pixel copy) and lets the
+        // piece's backing store go back to the pool below.
+        let piece: Piece = buf.into_payload()?;
         let chunk = piece.chunk;
+        let pool = &self.pool;
         let entry = self.pending.entry(chunk.id).or_insert_with(|| {
             let expected = chunk.input.size.z * chunk.input.size.t;
+            let len = chunk.input.size.len();
+            let mut store = pool.take::<u16>(len);
+            store.resize(len, 0);
             (
                 ChunkData {
                     chunk,
-                    raw: RawVolume::zeros(chunk.input.size),
+                    raw: RawVolume::new(chunk.input.size, store),
                 },
                 0,
                 expected,
             )
         });
-        let plane = RawVolume::new(
-            Dims4::new(chunk.input.size.x, chunk.input.size.y, 1, 1),
-            piece.data.clone(),
-        );
         let at = Point4::new(
             0,
             0,
             piece.slice.z - chunk.input.origin.z,
             piece.slice.t - chunk.input.origin.t,
         );
-        entry.0.raw.paste(&plane, at);
+        entry
+            .0
+            .raw
+            .paste_plane(chunk.input.size.x, chunk.input.size.y, &piece.data, at);
+        self.pool.put(piece.data);
         entry.1 += 1;
         if entry.1 == entry.2 {
             let (data, _, _) = self.pending.remove(&chunk.id).expect("entry exists");
@@ -293,13 +442,15 @@ pub fn analyze_chunk(cfg: &AppConfig, data: &ChunkData) -> Result<Vec<ParamPacke
     // `linear_point` and the feature-map layout both enumerate the owned
     // ROIs x-fastest, so placement `k` occupies `values[k * sel.len()..]`.
     let values = maps.as_slice();
-    let points: Vec<Point4> = (0..n).map(|k| linear_point(chunk, k)).collect();
+    // One shared positions vector for all per-feature packets: cloning the
+    // Arc is a refcount bump, not a copy of the points.
+    let points: Arc<Vec<Point4>> = Arc::new((0..n).map(|k| linear_point(chunk, k)).collect());
     Ok(sel
         .iter()
         .enumerate()
         .map(|(slot, feature)| ParamPacket {
             feature,
-            points: points.clone(),
+            points: Arc::clone(&points),
             values: (0..n).map(|k| values[k * sel.len() + slot]).collect(),
         })
         .collect())
@@ -309,12 +460,23 @@ pub fn analyze_chunk(cfg: &AppConfig, data: &ChunkData) -> Result<Vec<ParamPacke
 /// and Haralick parameters in one filter (paper Figure 5).
 pub struct HmpFilter {
     cfg: Arc<AppConfig>,
+    pool: Arc<BufferPool>,
 }
 
 impl HmpFilter {
-    /// Creates the filter.
+    /// Creates the filter with a private buffer pool (use
+    /// [`HmpFilter::with_pool`] to share the run's).
     pub fn new(cfg: Arc<AppConfig>) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            pool: Arc::new(BufferPool::new()),
+        }
+    }
+
+    /// Attaches the run's shared buffer pool.
+    pub fn with_pool(mut self, pool: Arc<BufferPool>) -> Self {
+        self.pool = pool;
+        self
     }
 }
 
@@ -325,10 +487,16 @@ impl Filter for HmpFilter {
         buf: DataBuffer,
         ctx: &mut FilterContext,
     ) -> Result<(), FilterError> {
-        let data = buf.payload::<ChunkData>()?;
-        for packet in analyze_chunk(&self.cfg, data)? {
+        let tag = buf.tag();
+        // Demand-driven streams deliver each chunk to one copy, so this
+        // moves the chunk out of the buffer instead of borrowing it and
+        // lets its backing store recycle once quantized.
+        let data: ChunkData = buf.into_payload()?;
+        let packets = analyze_chunk(&self.cfg, &data)?;
+        self.pool.put(data.raw.into_data());
+        for packet in packets {
             let size = packet.wire_size(self.cfg.param_value_bytes);
-            ctx.emit(0, DataBuffer::new(packet, size, buf.tag()))?;
+            ctx.emit(0, DataBuffer::new(packet, size, tag))?;
         }
         Ok(())
     }
@@ -339,12 +507,23 @@ impl Filter for HmpFilter {
 /// ROIs have been processed.
 pub struct HccFilter {
     cfg: Arc<AppConfig>,
+    pool: Arc<BufferPool>,
 }
 
 impl HccFilter {
-    /// Creates the filter.
+    /// Creates the filter with a private buffer pool (use
+    /// [`HccFilter::with_pool`] to share the run's).
     pub fn new(cfg: Arc<AppConfig>) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            pool: Arc::new(BufferPool::new()),
+        }
+    }
+
+    /// Attaches the run's shared buffer pool.
+    pub fn with_pool(mut self, pool: Arc<BufferPool>) -> Self {
+        self.pool = pool;
+        self
     }
 }
 
@@ -355,10 +534,14 @@ impl Filter for HccFilter {
         buf: DataBuffer,
         ctx: &mut FilterContext,
     ) -> Result<(), FilterError> {
-        let data = buf.payload::<ChunkData>()?;
+        let tag = buf.tag();
+        let data: ChunkData = buf.into_payload()?;
         let cfg = &self.cfg;
         let vol = data.raw.quantize(&cfg.quantizer);
         let chunk = data.chunk;
+        // The raw chunk is only needed for quantization; recycle its
+        // backing store before the per-ROI scan.
+        self.pool.put(data.raw.into_data());
         let n = chunk.rois();
         let per_packet = n.div_ceil(cfg.packet_split.max(1)).max(1);
         // With an incremental engine, maintain the dense matrix with the
@@ -369,11 +552,18 @@ impl Filter for HccFilter {
         let mut cursor = (cfg.engine.is_incremental()
             && cfg.representation != Representation::SparseAccum)
             .then(|| MatrixCursor::new(&vol, &cfg.directions, cfg.roi.size()));
+        // Exactly one of the two batch vectors is used per representation;
+        // reserve the packet's matrix count up front instead of growing
+        // from empty.
+        let sparse_repr = matches!(
+            cfg.representation,
+            Representation::Sparse | Representation::SparseAccum
+        );
         let mut first = 0usize;
         while first < n {
             let count = per_packet.min(n - first);
-            let mut dense = Vec::new();
-            let mut sparse = Vec::new();
+            let mut dense = Vec::with_capacity(if sparse_repr { 0 } else { count });
+            let mut sparse = Vec::with_capacity(if sparse_repr { count } else { 0 });
             for k in first..first + count {
                 let global = linear_point(&chunk, k);
                 let local = Point4::new(
@@ -408,7 +598,7 @@ impl Filter for HccFilter {
                 batch,
             };
             let size = packet.wire_size(cfg.levels);
-            ctx.emit(0, DataBuffer::new(packet, size, buf.tag()))?;
+            ctx.emit(0, DataBuffer::new(packet, size, tag))?;
             first += count;
         }
         Ok(())
@@ -459,10 +649,13 @@ impl Filter for HpcFilter {
                 }
             }
         }
+        // Share one positions vector across the per-feature packets: each
+        // `Arc::clone` is a refcount bump where a `Vec` clone used to be.
+        let points = Arc::new(points);
         for (slot, feature) in sel.iter().enumerate() {
             let out = ParamPacket {
                 feature,
-                points: points.clone(),
+                points: Arc::clone(&points),
                 values: std::mem::take(&mut per_feature[slot]),
             };
             let size = out.wire_size(cfg.param_value_bytes);
@@ -484,10 +677,13 @@ pub struct UsoFilter {
     /// the file bytes do not depend on packet arrival order — the property
     /// the distributed conformance suite compares across process counts.
     pending: HashMap<haralick::features::Feature, Vec<(Point4, f64)>>,
+    pool: Arc<BufferPool>,
 }
 
 impl UsoFilter {
-    /// Creates the filter writing into `dir` (created on demand).
+    /// Creates the filter writing into `dir` (created on demand), with a
+    /// private buffer pool (use [`UsoFilter::with_pool`] to share the
+    /// run's).
     pub fn new(cfg: Arc<AppConfig>, dir: PathBuf, copy: usize) -> Self {
         Self {
             cfg,
@@ -495,7 +691,14 @@ impl UsoFilter {
             copy,
             writers: HashMap::new(),
             pending: HashMap::new(),
+            pool: Arc::new(BufferPool::new()),
         }
+    }
+
+    /// Attaches the run's shared buffer pool.
+    pub fn with_pool(mut self, pool: Arc<BufferPool>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The file a given (feature, copy) pair is written to, relative to the
@@ -514,10 +717,17 @@ impl Filter for UsoFilter {
     ) -> Result<(), FilterError> {
         let packet = buf.payload::<ParamPacket>()?;
         if self.cfg.canonical_output {
+            let pool = &self.pool;
             self.pending
                 .entry(packet.feature)
-                .or_default()
-                .extend(packet.points.iter().copied().zip(packet.values.iter().copied()));
+                .or_insert_with(|| pool.take(0))
+                .extend(
+                    packet
+                        .points
+                        .iter()
+                        .copied()
+                        .zip(packet.values.iter().copied()),
+                );
             return Ok(());
         }
         if !self.writers.contains_key(&packet.feature) {
@@ -556,9 +766,10 @@ impl Filter for UsoFilter {
             std::fs::create_dir_all(&self.dir)?;
             let path = self.dir.join(Self::file_name(feature, self.copy));
             let mut w = ParameterWriter::create(&path, feature.short_name(), out_dims)?;
-            for (p, v) in vals {
+            for &(p, v) in &vals {
                 w.push(p, v)?;
             }
+            self.pool.put(vals);
             self.writers.insert(feature, w);
         }
         for (_, w) in self.writers.drain() {

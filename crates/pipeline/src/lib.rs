@@ -41,6 +41,8 @@ pub mod workload;
 pub use codecs::payload_codec;
 pub use config::AppConfig;
 pub use run::{
-    merge_uso_outputs, run_node_threaded, run_threaded, run_threaded_outcome, threaded_factories,
+    merge_uso_outputs, run_node_threaded, run_node_threaded_with, run_threaded,
+    run_threaded_outcome, run_threaded_outcome_with, threaded_factories, threaded_factories_with,
+    IoRuntime,
 };
 pub use workload::Workload;

@@ -119,12 +119,17 @@ pub fn linear_point(chunk: &Chunk, linear: usize) -> Point4 {
 
 /// One TEXTURE→OUTPUT packet: values of a single Haralick parameter at
 /// explicit output positions.
+///
+/// `points` is shared (`Arc`): the HPC filter fans one chunk's positions out
+/// into one packet per feature, and sharing the positions vector replaces
+/// thirteen per-feature clones with reference-count bumps.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParamPacket {
     /// Which parameter.
     pub feature: Feature,
-    /// Global output positions.
-    pub points: Vec<Point4>,
+    /// Global output positions (shared across the per-feature packets of
+    /// one chunk).
+    pub points: std::sync::Arc<Vec<Point4>>,
     /// Values aligned with `points`.
     pub values: Vec<f64>,
 }

@@ -12,15 +12,54 @@ use crate::filters::{
 };
 use datacutter::engine::FilterFactory;
 use datacutter::{
-    run_graph, run_node, EngineConfig, Filter, FilterError, GraphSpec, NodeConfig, RunFailure,
-    RunOutcome, RunStats,
+    run_graph, run_node, BufferPool, EngineConfig, Filter, FilterError, GraphSpec, IoReport,
+    NodeConfig, RunFailure, RunOutcome, RunReport, RunStats,
 };
 use haralick::features::Feature;
 use haralick::volume::Dims4;
+use mri::cache::IoStats;
 use mri::output::{read_parameter_file, ParameterData};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// The shared I/O-plane state of one run: the buffer pool every filter
+/// recycles allocations through, and the I/O counters every reading-filter
+/// copy records into. Create one per run, pass it to the `_with` driver
+/// variants, and call [`IoRuntime::annotate`] on the run's report.
+#[derive(Clone, Default)]
+pub struct IoRuntime {
+    /// Buffer pool shared by all filter copies of this process.
+    pub pool: Arc<BufferPool>,
+    /// Reader-side I/O counters shared by all reading-filter copies.
+    pub io: Arc<IoStats>,
+}
+
+impl IoRuntime {
+    /// Fresh pool and counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The run's I/O counters as a serializable report fragment.
+    pub fn io_report(&self) -> IoReport {
+        IoReport {
+            disk_reads: self.io.disk_reads(),
+            bytes_read: self.io.bytes_read(),
+            cache_hits: self.io.cache_hits(),
+            cache_misses: self.io.cache_misses(),
+            prefetched: self.io.prefetched(),
+            budget_rejects: self.io.budget_rejects(),
+            retained_high_water: self.io.retained_high_water(),
+        }
+    }
+
+    /// Attaches this runtime's I/O and pool counters to a run report.
+    pub fn annotate(&self, report: &mut RunReport) {
+        report.io = Some(self.io_report());
+        report.pool = Some(self.pool.report());
+    }
+}
 
 /// Builds real-filter factories for every filter named in `spec`.
 ///
@@ -33,17 +72,35 @@ use std::sync::Arc;
 /// dataset path), and a filter kind this application does not provide
 /// yields an `Engine`-kind error from its factory — the engine turns either
 /// into a [`RunFailure`] instead of panicking.
+///
+/// Uses a fresh private [`IoRuntime`]; use [`threaded_factories_with`] to
+/// share the run's pool and counters across filters and observe them
+/// afterwards.
 pub fn threaded_factories(
     spec: &GraphSpec,
     cfg: &Arc<AppConfig>,
     dataset_root: &Path,
     out_dir: &Path,
 ) -> HashMap<String, FilterFactory> {
+    threaded_factories_with(spec, cfg, dataset_root, out_dir, &IoRuntime::new())
+}
+
+/// [`threaded_factories`] with an explicit shared [`IoRuntime`]: every
+/// filter copy recycles buffers through `rt.pool`, and the reading filters
+/// record cache/disk activity into `rt.io`.
+pub fn threaded_factories_with(
+    spec: &GraphSpec,
+    cfg: &Arc<AppConfig>,
+    dataset_root: &Path,
+    out_dir: &Path,
+    rt: &IoRuntime,
+) -> HashMap<String, FilterFactory> {
     let mut out: HashMap<String, FilterFactory> = HashMap::new();
     for f in &spec.filters {
         let cfg = cfg.clone();
         let root: PathBuf = dataset_root.to_path_buf();
         let dir: PathBuf = out_dir.to_path_buf();
+        let rt = rt.clone();
         let factory: FilterFactory = match f.name.as_str() {
             "RFR" => Box::new(move |copy| {
                 let f = RfrFilter::open(cfg.clone(), &root, copy).map_err(|e| {
@@ -56,6 +113,7 @@ pub fn threaded_factories(
                         ),
                     )
                 })?;
+                let f = f.with_io(rt.pool.clone(), rt.io.clone());
                 Ok(Box::new(f) as Box<dyn Filter>)
             }),
             "DFR" => Box::new(move |copy| {
@@ -69,15 +127,26 @@ pub fn threaded_factories(
                         ),
                     )
                 })?;
+                let f = f.with_io(rt.pool.clone(), rt.io.clone());
                 Ok(Box::new(f) as Box<dyn Filter>)
             }),
-            "IIC" => Box::new(move |_| Ok(Box::new(IicFilter::new()))),
-            "HMP" => Box::new(move |_| Ok(Box::new(HmpFilter::new(cfg.clone())))),
-            "HCC" => Box::new(move |_| Ok(Box::new(HccFilter::new(cfg.clone())))),
+            "IIC" => Box::new(move |_| Ok(Box::new(IicFilter::new().with_pool(rt.pool.clone())))),
+            "HMP" => Box::new(move |_| {
+                Ok(Box::new(
+                    HmpFilter::new(cfg.clone()).with_pool(rt.pool.clone()),
+                ))
+            }),
+            "HCC" => Box::new(move |_| {
+                Ok(Box::new(
+                    HccFilter::new(cfg.clone()).with_pool(rt.pool.clone()),
+                ))
+            }),
             "HPC" => Box::new(move |_| Ok(Box::new(HpcFilter::new(cfg.clone())))),
-            "USO" => {
-                Box::new(move |copy| Ok(Box::new(UsoFilter::new(cfg.clone(), dir.clone(), copy))))
-            }
+            "USO" => Box::new(move |copy| {
+                Ok(Box::new(
+                    UsoFilter::new(cfg.clone(), dir.clone(), copy).with_pool(rt.pool.clone()),
+                ))
+            }),
             "HIC" => Box::new(move |_| Ok(Box::new(HicFilter::new(cfg.clone())))),
             "JIW" => Box::new(move |_| Ok(Box::new(JiwFilter::new(dir.clone())))),
             other => {
@@ -107,7 +176,20 @@ pub fn run_threaded_outcome(
     dataset_root: &Path,
     out_dir: &Path,
 ) -> Result<RunOutcome, RunFailure> {
-    let mut factories = threaded_factories(spec, cfg, dataset_root, out_dir);
+    run_threaded_outcome_with(spec, cfg, dataset_root, out_dir, &IoRuntime::new())
+}
+
+/// [`run_threaded_outcome`] with an explicit shared [`IoRuntime`], so the
+/// caller can read the I/O and pool counters after the run (and attach them
+/// to the report with [`IoRuntime::annotate`]).
+pub fn run_threaded_outcome_with(
+    spec: &GraphSpec,
+    cfg: &Arc<AppConfig>,
+    dataset_root: &Path,
+    out_dir: &Path,
+    rt: &IoRuntime,
+) -> Result<RunOutcome, RunFailure> {
+    let mut factories = threaded_factories_with(spec, cfg, dataset_root, out_dir, rt);
     run_graph(spec, &mut factories, &EngineConfig::default())
 }
 
@@ -128,7 +210,27 @@ pub fn run_node_threaded(
     out_dir: &Path,
     node_cfg: &NodeConfig,
 ) -> Result<RunOutcome, RunFailure> {
-    let mut factories = threaded_factories(spec, cfg, dataset_root, out_dir);
+    run_node_threaded_with(
+        spec,
+        cfg,
+        dataset_root,
+        out_dir,
+        node_cfg,
+        &IoRuntime::new(),
+    )
+}
+
+/// [`run_node_threaded`] with an explicit shared [`IoRuntime`] for this
+/// process's filter copies.
+pub fn run_node_threaded_with(
+    spec: &GraphSpec,
+    cfg: &Arc<AppConfig>,
+    dataset_root: &Path,
+    out_dir: &Path,
+    node_cfg: &NodeConfig,
+    rt: &IoRuntime,
+) -> Result<RunOutcome, RunFailure> {
+    let mut factories = threaded_factories_with(spec, cfg, dataset_root, out_dir, rt);
     run_node(
         spec,
         &mut factories,

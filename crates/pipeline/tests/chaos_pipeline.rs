@@ -18,7 +18,9 @@ use mri::synth::{generate, SynthConfig};
 use pipeline::config::AppConfig;
 use pipeline::graphs::{Copies, HmpGraph};
 use pipeline::payload::ParamPacket;
-use pipeline::run::{merge_uso_outputs, run_node_threaded, run_threaded_outcome, threaded_factories};
+use pipeline::run::{
+    merge_uso_outputs, run_node_threaded, run_threaded_outcome, threaded_factories,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -413,7 +415,7 @@ fn hic_graph(cfg: Arc<AppConfig>, packets: Vec<ParamPacket>) -> (GraphSpec, Fact
 fn packet(feature: haralick::features::Feature, p: Point4, v: f64) -> ParamPacket {
     ParamPacket {
         feature,
-        points: vec![p],
+        points: std::sync::Arc::new(vec![p]),
         values: vec![v],
     }
 }

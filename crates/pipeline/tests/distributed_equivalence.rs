@@ -138,10 +138,14 @@ fn multi_process_runs_are_byte_identical_to_in_process() {
     // A dataset small enough for the paper-shape config the CLI derives
     // (10×10×3×3 ROI) to run quickly, split over two storage nodes.
     run(
-        h4d()
-            .arg("generate")
-            .arg(&data)
-            .args(["--dims", "20,20,6,6", "--nodes", "2", "--seed", "7"]),
+        h4d().arg("generate").arg(&data).args([
+            "--dims",
+            "20,20,6,6",
+            "--nodes",
+            "2",
+            "--seed",
+            "7",
+        ]),
         "h4d generate",
     );
 
