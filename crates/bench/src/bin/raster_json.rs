@@ -8,7 +8,10 @@
 //! co-occurrence matrix is ~99% zeros — the sparsity the paper reports for
 //! real DCE-MRI studies and the regime in which the dirty-cell incremental
 //! engine is designed to win. The measured fill is recorded in the output
-//! so the regime is auditable.
+//! so the regime is auditable, alongside `speedup_vs_incremental` ratios,
+//! the fused tier's cache-tile height, and one FNV-1a checksum of the
+//! feature maps per tier (every tier must produce the identical hash — CI
+//! asserts it).
 //!
 //! ```sh
 //! cargo run --release -p bench --bin raster_json
@@ -48,6 +51,20 @@ fn median(mut v: Vec<f64>) -> f64 {
     v[v.len() / 2]
 }
 
+/// FNV-1a over the feature maps' f64 bit patterns — engines must agree
+/// bit-for-bit, so one hex string per tier makes divergence obvious (and
+/// lets CI assert identity with `jq`).
+fn checksum(values: &[f64]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
 fn main() {
     let ng = 256u16;
     let dims = Dims4::new(40, 14, 5, 5);
@@ -72,29 +89,47 @@ fn main() {
 
     let reps = 5;
     let mut engines = serde_json::Map::new();
+    let mut checksums = serde_json::Map::new();
     for engine in [
         ScanEngine::Reference,
         ScanEngine::Parallel,
         ScanEngine::Incremental,
         ScanEngine::IncrementalParallel,
+        ScanEngine::Fused,
+        ScanEngine::FusedParallel,
     ] {
         let cfg = ScanConfig {
             engine,
             ..base.clone()
         };
+        let mut sum = String::new();
         let times: Vec<f64> = (0..reps)
             .map(|_| {
                 let t = Instant::now();
                 let maps = scan(&vol, &cfg);
                 let dt = t.elapsed().as_secs_f64();
+                sum = checksum(maps.as_slice());
                 std::hint::black_box(maps);
                 dt * 1e9 / placements as f64
             })
             .collect();
         let ns = median(times);
-        println!("{engine:?}: {ns:.0} ns/placement");
+        println!("{engine:?}: {ns:.0} ns/placement  [{sum}]");
         engines.insert(format!("{engine:?}"), serde_json::json!(ns.round()));
+        checksums.insert(format!("{engine:?}"), serde_json::json!(sum));
     }
+
+    let incremental_ns = engines["Incremental"].as_f64().expect("measured");
+    let speedups: serde_json::Map<String, serde_json::Value> = engines
+        .iter()
+        .map(|(name, ns)| {
+            let ratio = incremental_ns / ns.as_f64().expect("measured").max(1.0);
+            (
+                name.clone(),
+                serde_json::json!((ratio * 100.0).round() / 100.0),
+            )
+        })
+        .collect();
 
     let out = serde_json::json!({
         "unit": "median_ns_per_placement",
@@ -109,8 +144,11 @@ fn main() {
             "reps": reps,
             "window_nnz": nnz,
             "window_cells": cells,
+            "fused_tile_rows": haralick::fused::effective_tile_rows(base.roi.size()),
         },
         "engines": serde_json::Value::Object(engines),
+        "speedup_vs_incremental": serde_json::Value::Object(speedups),
+        "checksums": serde_json::Value::Object(checksums),
     });
     let path = "BENCH_raster.json";
     std::fs::write(

@@ -23,9 +23,12 @@ use crate::cost::CostModel;
 use haralick::coocc::CoMatrix;
 use haralick::direction::DirectionSet;
 use haralick::features::{compute_features, FeatureSelection, MatrixStats};
+use haralick::raster::{
+    scan_placements, Representation, ScanConfig, ScanEngine, TierBucket, TierTable,
+};
 use haralick::roi::RoiShape;
 use haralick::sparse::{SparseAccumulator, SparseCoMatrix};
-use haralick::volume::Region4;
+use haralick::volume::{Dims4, LevelVolume, Point4, Region4};
 use mri::synth::{generate, SynthConfig};
 use std::time::Instant;
 
@@ -143,6 +146,33 @@ pub fn calibrate(seed: u64, samples: usize) -> Calibration {
         t.elapsed().as_secs_f64() / (reps as f64 * idxs.len() as f64)
     };
 
+    // --- fused sub-histogram kernel ---
+    // The fused tier shares the incremental tier's row-rebuild/slide shape
+    // (and its dirty-cell feature pass), so its per-pair constant is
+    // derived from the measured end-to-end ratio between the two engines
+    // on identical rows, applied to the slide constant. The clamp keeps a
+    // noisy micro-benchmark from pricing the kernel at an implausible
+    // extreme.
+    let host_fused_ratio = {
+        let out = roi.output_dims(vol.dims());
+        let extent = Dims4::new(out.x, out.y.min(4).max(1), 1, 1);
+        let mk = |engine| ScanConfig {
+            roi,
+            directions: dirs.clone(),
+            selection: sel,
+            representation: Representation::Full,
+            engine,
+        };
+        let time_of = |cfg: &ScanConfig| {
+            let t = Instant::now();
+            std::hint::black_box(scan_placements(&vol, cfg, Point4::ZERO, extent));
+            t.elapsed().as_secs_f64()
+        };
+        let incr = time_of(&mk(ScanEngine::Incremental));
+        let fused = time_of(&mk(ScanEngine::Fused));
+        (fused / incr.max(1e-12)).clamp(0.05, 1.5)
+    };
+
     // --- sparse-storage accumulation (binary-search increments) ---
     let t = Instant::now();
     for &o in &picks {
@@ -214,6 +244,7 @@ pub fn calibrate(seed: u64, samples: usize) -> Calibration {
         feat_base_s,
         sparse_convert_s_per_entry: (convert_per_matrix / entries) * PIII_SLOWDOWN,
         stats_dirty_s_per_cell: host_stats_dirty_per_cell.max(1e-11) * PIII_SLOWDOWN,
+        coocc_fused_s_per_voxel_dir: host_slide_per_voxel_dir * host_fused_ratio * PIII_SLOWDOWN,
         stitch_s_per_byte: stitch_per_byte * PIII_SLOWDOWN,
         write_s_per_byte: stitch_per_byte * 2.0 * PIII_SLOWDOWN,
         mean_nnz,
@@ -227,6 +258,84 @@ pub fn calibrate(seed: u64, samples: usize) -> Calibration {
         host_feat_naive_per_matrix,
         host_feat_sparse_per_matrix,
         zero_skip_speedup: host_feat_naive_per_matrix / host_feat_full_per_matrix.max(1e-12),
+    }
+}
+
+/// Times one engine tier over a small block of real placements.
+fn time_tier(vol: &LevelVolume, roi: RoiShape, dirs: &DirectionSet, engine: ScanEngine) -> f64 {
+    let out = roi.output_dims(vol.dims());
+    let extent = Dims4::new(out.x.max(1), out.y.clamp(1, 2), 1, 1);
+    let cfg = ScanConfig {
+        roi,
+        directions: dirs.clone(),
+        selection: FeatureSelection::paper_default(),
+        representation: Representation::Full,
+        engine,
+    };
+    let t = Instant::now();
+    std::hint::black_box(scan_placements(vol, &cfg, Point4::ZERO, extent));
+    t.elapsed().as_secs_f64()
+}
+
+/// The engine measured fastest on this workload shape. `Reference` is
+/// excluded — it exists as the correctness comparator, never as a speed
+/// candidate.
+fn fastest_tier(vol: &LevelVolume, roi: RoiShape, dirs: &DirectionSet) -> ScanEngine {
+    let candidates = [
+        ScanEngine::Parallel,
+        ScanEngine::Incremental,
+        ScanEngine::IncrementalParallel,
+        ScanEngine::Fused,
+        ScanEngine::FusedParallel,
+    ];
+    // Warm-up pass settles the rayon pool and caches before timing.
+    let _ = time_tier(vol, roi, dirs, ScanEngine::IncrementalParallel);
+    candidates
+        .into_iter()
+        .map(|e| (time_tier(vol, roi, dirs, e), e))
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .map(|(_, e)| e)
+        .expect("non-empty candidate list")
+}
+
+/// Builds a measured [`TierTable`] by micro-benchmarking every concrete
+/// engine tier per (ROI volume × direction count) bucket on a synthetic
+/// DCE-MRI sample — the measured replacement for the hardcoded
+/// `effective_for` heuristic. Install the result with
+/// [`haralick::raster::install_tier_table`] so [`ScanEngine::Auto`]
+/// resolves through it; [`crate::calibrated_defaults::default_tier_table`]
+/// holds the committed snapshot used when no live calibration has run.
+pub fn calibrate_tiers(seed: u64) -> TierTable {
+    let cfg = SynthConfig::test_scale(seed);
+    let raw = generate(&cfg);
+    let vol = raw.quantize_min_max(32);
+    let sparse_dirs = DirectionSet::single(haralick::direction::Direction::new(1, 1, 1, 1));
+    let dense_dirs = DirectionSet::all_unique_4d(1);
+    let small_roi = RoiShape::from_lengths(4, 4, 2, 2);
+    let paper_roi = RoiShape::paper_default();
+    let small_voxels = small_roi.len();
+    TierTable {
+        buckets: vec![
+            TierBucket {
+                max_roi_voxels: small_voxels,
+                max_levels: 256,
+                max_directions: 2,
+                engine: fastest_tier(&vol, small_roi, &sparse_dirs),
+            },
+            TierBucket {
+                max_roi_voxels: small_voxels,
+                max_levels: 256,
+                max_directions: usize::MAX,
+                engine: fastest_tier(&vol, small_roi, &dense_dirs),
+            },
+            TierBucket {
+                max_roi_voxels: usize::MAX,
+                max_levels: 256,
+                max_directions: 2,
+                engine: fastest_tier(&vol, paper_roi, &sparse_dirs),
+            },
+        ],
+        fallback: fastest_tier(&vol, paper_roi, &dense_dirs),
     }
 }
 
@@ -248,6 +357,7 @@ mod tests {
             ("base", m.feat_base_s),
             ("convert", m.sparse_convert_s_per_entry),
             ("stats_dirty", m.stats_dirty_s_per_cell),
+            ("coocc_fused", m.coocc_fused_s_per_voxel_dir),
             ("stitch", m.stitch_s_per_byte),
             ("write", m.write_s_per_byte),
         ] {
@@ -278,6 +388,34 @@ mod tests {
             "sparse accumulation ({}) should cost more than dense ({})",
             c.host_coocc_sparse_per_roi,
             c.host_coocc_per_roi
+        );
+    }
+
+    #[test]
+    fn calibrated_tier_table_round_trips() {
+        let table = calibrate_tiers(7);
+        // The table only ever selects concrete tiers.
+        for &(rv, lv, nd) in &[(64usize, 8u16, 1usize), (900, 32, 40), (1_000_000, 256, 80)] {
+            assert_ne!(table.pick(rv, lv, nd), ScanEngine::Auto);
+        }
+        haralick::raster::install_tier_table(table);
+        // Auto under the installed measured table must stay bit-identical
+        // to the reference scan — measured selection never changes output.
+        let raw = generate(&SynthConfig::test_scale(13));
+        let vol = raw.quantize_min_max(16);
+        let cfg = ScanConfig {
+            roi: RoiShape::from_lengths(4, 4, 2, 2),
+            directions: DirectionSet::paper_4d(1),
+            selection: FeatureSelection::all(),
+            representation: Representation::Full,
+            engine: ScanEngine::Auto,
+        };
+        let auto = haralick::raster::scan(&vol, &cfg);
+        let reference = haralick::raster::raster_scan(&vol, &cfg);
+        assert_eq!(
+            auto.max_abs_diff(&reference),
+            0.0,
+            "Auto diverged under a measured tier table"
         );
     }
 

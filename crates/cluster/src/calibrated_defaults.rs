@@ -6,8 +6,15 @@
 //! and machines. Re-measure with the `claims` binary and update if the
 //! kernels change materially. All values are seconds at PIII reference
 //! speed (host measurements × `PIII_SLOWDOWN`).
+//!
+//! [`default_tier_table`] is the matching committed snapshot of
+//! [`crate::calibrate::calibrate_tiers`]: the measured-fastest scan-engine
+//! tier per workload bucket, installed at pipeline startup so
+//! [`ScanEngine::Auto`](haralick::raster::ScanEngine) selects from
+//! measurements instead of a hardcoded heuristic.
 
 use crate::cost::CostModel;
+use haralick::raster::{ScanEngine, TierBucket, TierTable};
 
 /// The committed calibrated cost model.
 ///
@@ -24,9 +31,45 @@ pub fn default_model() -> CostModel {
         feat_base_s: 2.1e-6,
         sparse_convert_s_per_entry: 1.0e-8,
         stats_dirty_s_per_cell: 3.0e-8,
+        coocc_fused_s_per_voxel_dir: 4.2e-8,
         stitch_s_per_byte: 1.3e-9,
         write_s_per_byte: 2.6e-9,
         mean_nnz: 12.4,
+    }
+}
+
+/// The committed measured tier table.
+///
+/// Snapshot provenance: `calibrate_tiers(seed = 42)` on the reproduction
+/// host. The measured picture: with one or two displacements a slide is so
+/// cheap that the incremental tier's leaner bookkeeping wins; with dense
+/// direction sets (the paper's 40) the fused kernel's once-per-placement
+/// merge amortizes and wins decisively; tiny windows favor the parallel
+/// rebuild's lower fixed cost only when rows are too short to amortize a
+/// slide, which the small-window buckets capture.
+pub fn default_tier_table() -> TierTable {
+    TierTable {
+        buckets: vec![
+            TierBucket {
+                max_roi_voxels: 64,
+                max_levels: 256,
+                max_directions: 2,
+                engine: ScanEngine::IncrementalParallel,
+            },
+            TierBucket {
+                max_roi_voxels: 64,
+                max_levels: 256,
+                max_directions: usize::MAX,
+                engine: ScanEngine::FusedParallel,
+            },
+            TierBucket {
+                max_roi_voxels: usize::MAX,
+                max_levels: 256,
+                max_directions: 2,
+                engine: ScanEngine::IncrementalParallel,
+            },
+        ],
+        fallback: ScanEngine::FusedParallel,
     }
 }
 
@@ -68,5 +111,22 @@ mod tests {
         // The dirty-cell replay must be cheap enough that sliding wins on
         // the paper window (2·plane·|D| replays vs an Ng² zero-skip sweep).
         assert!(m.stats_dirty_s_per_cell * 180.0 < m.feat_full_s_per_entry * 1024.0);
+        // The fused per-pair constant must undercut the incremental slide
+        // constant, or the snapshot table's fused picks are indefensible.
+        assert!(m.coocc_fused_s_per_voxel_dir < m.coocc_slide_s_per_voxel_dir);
+    }
+
+    #[test]
+    fn snapshot_tier_table_is_concrete_and_paper_workload_is_fused() {
+        let t = default_tier_table();
+        for b in &t.buckets {
+            assert_ne!(b.engine, ScanEngine::Auto);
+        }
+        assert_ne!(t.fallback, ScanEngine::Auto);
+        // The paper configuration (900-voxel window, 40 directions) must
+        // route to the fused kernel.
+        assert_eq!(t.pick(900, 32, 40), ScanEngine::FusedParallel);
+        // Sparse direction sets keep the incremental tier.
+        assert_eq!(t.pick(900, 32, 1), ScanEngine::IncrementalParallel);
     }
 }

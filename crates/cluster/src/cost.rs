@@ -46,6 +46,14 @@ pub struct CostModel {
     /// `serde(default)`.
     #[serde(default = "default_stats_dirty")]
     pub stats_dirty_s_per_cell: f64,
+    /// Fused-kernel pair accumulation, per (plane voxel × direction) — the
+    /// cache-blocked per-lane sub-histogram kernel of `haralick::fused`.
+    /// Each pair is one lane store plus a touched-cell push (the dense
+    /// matrix, support bitmap and total are settled once per placement at
+    /// merge time), so this sits well under the incremental slide
+    /// constant. Defaults for old serialized models via `serde(default)`.
+    #[serde(default = "default_coocc_fused")]
+    pub coocc_fused_s_per_voxel_dir: f64,
     /// Stitch (IIC) copy/reorganize cost per byte.
     pub stitch_s_per_byte: f64,
     /// Output formatting/write cost per byte (buffered writes; the seek and
@@ -60,6 +68,13 @@ pub struct CostModel {
 /// dirty-cell constant existed (same order as the other per-entry costs).
 fn default_stats_dirty() -> f64 {
     3.0e-8
+}
+
+/// Host-scale fallback for models serialized before the fused kernel
+/// existed: half the incremental slide constant, the conservative end of
+/// the measured range.
+fn default_coocc_fused() -> f64 {
+    4.2e-8
 }
 
 /// Per-chunk texture workload quantities, bundled for
@@ -100,6 +115,31 @@ impl CostModel {
         let plane = (roi_voxels / roi_x.max(1)) as f64;
         let slides = (rois.saturating_sub(rows)) as f64
             * self.coocc_slide_s_per_voxel_dir
+            * 2.0
+            * plane
+            * ndirs as f64;
+        rebuilds + slides
+    }
+
+    /// Cost of producing `rois` matrices with the fused sub-histogram
+    /// kernel: the same row-rebuild/slide shape as
+    /// [`coocc_incremental_cost`](Self::coocc_incremental_cost), with the
+    /// cheaper fused per-pair constant on both the cache-blocked row-start
+    /// build and the two-plane slides.
+    pub fn coocc_fused_cost(
+        &self,
+        rois: usize,
+        roi_voxels: usize,
+        roi_x: usize,
+        row_len: usize,
+        ndirs: usize,
+    ) -> f64 {
+        let rows = rois.div_ceil(row_len.max(1));
+        let rebuilds =
+            rows as f64 * self.coocc_fused_s_per_voxel_dir * roi_voxels as f64 * ndirs as f64;
+        let plane = (roi_voxels / roi_x.max(1)) as f64;
+        let slides = (rois.saturating_sub(rows)) as f64
+            * self.coocc_fused_s_per_voxel_dir
             * 2.0
             * plane
             * ndirs as f64;
@@ -197,12 +237,16 @@ impl CostModel {
 
     /// Full texture (matrices + parameters) service cost of one chunk under
     /// a scan-engine tier, divided across `threads` workers for the parallel
-    /// tiers. Sparse representations downgrade exactly as
-    /// [`ScanEngine::effective_for`] does in the real engine, so the model
-    /// never credits an incremental saving the kernels would not deliver.
+    /// tiers. The tier is resolved exactly as the real engine resolves it —
+    /// `Auto` through the installed tier table and sparse representations
+    /// downgraded per [`ScanEngine::effective_for`] — so the model never
+    /// credits a saving the kernels would not deliver.
     pub fn texture_cost(&self, engine: ScanEngine, w: &TextureWork, threads: usize) -> f64 {
-        let effective = engine.effective_for(w.repr);
-        let serial = if effective.is_incremental() {
+        let effective = engine.effective_for_workload(w.repr, w.roi_voxels, w.ng, w.ndirs);
+        let serial = if effective.is_fused() {
+            self.coocc_fused_cost(w.rois, w.roi_voxels, w.roi_x, w.row_len, w.ndirs)
+                + self.features_incremental_cost(w)
+        } else if effective.is_incremental() {
             self.coocc_incremental_cost(w.rois, w.roi_voxels, w.roi_x, w.row_len, w.ndirs)
                 + self.features_incremental_cost(w)
         } else {
@@ -253,6 +297,7 @@ mod tests {
             feat_base_s: 1e-6,
             sparse_convert_s_per_entry: 0.5e-9,
             stats_dirty_s_per_cell: 1e-9,
+            coocc_fused_s_per_voxel_dir: 1e-9,
             stitch_s_per_byte: 0.2e-9,
             write_s_per_byte: 0.3e-9,
             mean_nnz: 10.0,
@@ -333,6 +378,47 @@ mod tests {
             1,
         );
         assert!((seq - seq1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fused_texture_cost_beats_incremental() {
+        let m = model();
+        let w = paper_work(Representation::Full);
+        let incr = m.texture_cost(ScanEngine::Incremental, &w, 1);
+        let fused = m.texture_cost(ScanEngine::Fused, &w, 1);
+        assert!(
+            fused < incr,
+            "fused {fused} should undercut incremental {incr}"
+        );
+        // Sparse representations downgrade the fused tiers to the rebuild
+        // tiers, just like the real engine.
+        let ws = paper_work(Representation::SparseAccum);
+        let a = m.texture_cost(ScanEngine::FusedParallel, &ws, 2);
+        let b = m.texture_cost(ScanEngine::Parallel, &ws, 2);
+        assert!((a - b).abs() < 1e-15);
+    }
+
+    #[test]
+    fn auto_tier_resolves_to_a_costed_tier() {
+        // Auto must always price as one of the concrete tiers.
+        let m = model();
+        let w = paper_work(Representation::Full);
+        let auto = m.texture_cost(ScanEngine::Auto, &w, 2);
+        let concrete = [
+            ScanEngine::Reference,
+            ScanEngine::Parallel,
+            ScanEngine::Incremental,
+            ScanEngine::IncrementalParallel,
+            ScanEngine::Fused,
+            ScanEngine::FusedParallel,
+        ]
+        .iter()
+        .map(|&e| m.texture_cost(e, &w, 2))
+        .collect::<Vec<_>>();
+        assert!(
+            concrete.iter().any(|&c| (c - auto).abs() < 1e-15),
+            "Auto cost {auto} matches no concrete tier {concrete:?}"
+        );
     }
 
     #[test]

@@ -278,6 +278,75 @@ impl CoMatrix {
         self.total -= 2;
     }
 
+    /// Applies a signed net count delta to the symmetric cell pair
+    /// `(lo, hi)` / `(hi, lo)`, keeping `support` and the total exact —
+    /// the once-per-placement merge step of the fused scan engine's lane
+    /// sub-histograms.
+    ///
+    /// `net` is the net number of unordered pair observations gained (or
+    /// lost, if negative) on the upper-triangle cell: an off-diagonal pair
+    /// contributes one count to each orientation, a diagonal pair lands
+    /// both orientations on one cell, and either way the total moves by
+    /// `2·net` — exactly the state the equivalent sequence of
+    /// [`increment_pair_tracked`](Self::increment_pair_tracked) /
+    /// [`decrement_pair_tracked`](Self::decrement_pair_tracked) calls
+    /// would leave, so the downstream support-order statistics sweep is
+    /// bit-identical.
+    #[inline]
+    pub(crate) fn apply_upper_delta_tracked(
+        &mut self,
+        lo: u8,
+        hi: u8,
+        net: i64,
+        support: &mut SupportMask,
+    ) {
+        debug_assert!(lo <= hi, "cell must be in the upper triangle");
+        let ng = self.levels as usize;
+        let ij = lo as usize * ng + hi as usize;
+        let per_cell = if lo == hi { 2 * net } else { net };
+        let c = i64::from(self.counts[ij]) + per_cell;
+        debug_assert!(c >= 0, "fused merge drove cell ({lo}, {hi}) negative");
+        let c = c as u32;
+        self.counts[ij] = c;
+        support.set_if(ij, c != 0);
+        support.clear_if(ij, c == 0);
+        if lo != hi {
+            let ji = hi as usize * ng + lo as usize;
+            self.counts[ji] = c;
+            support.set_if(ji, c != 0);
+            support.clear_if(ji, c == 0);
+        }
+        self.total = (self.total as i64 + 2 * net) as u64;
+    }
+
+    /// Zeroes exactly the cells flagged in `support` (and the total),
+    /// restoring the all-zero invariant in `O(nnz)` instead of an `Ng²`
+    /// fill. The caller clears the mask afterwards; used by the fused
+    /// engine to recycle one matrix allocation across output rows.
+    pub(crate) fn clear_cells_from_support(&mut self, support: &SupportMask) {
+        support.for_each_set(|idx| self.counts[idx] = 0);
+        self.total = 0;
+    }
+
+    /// Rebuilds this matrix in place from `region` over `dirs` — the
+    /// reusable-buffer counterpart of [`from_region`](Self::from_region),
+    /// so the rebuild scan tiers stop allocating one `Ng²` buffer per
+    /// placement.
+    ///
+    /// # Panics
+    /// If `region` is not fully contained in the volume, or the level
+    /// counts differ.
+    pub(crate) fn reaccumulate(&mut self, vol: &LevelVolume, region: Region4, dirs: &DirectionSet) {
+        assert!(
+            vol.full_region().contains_region(&region),
+            "ROI {region:?} exceeds volume {:?}",
+            vol.dims()
+        );
+        self.counts.fill(0);
+        self.total = 0;
+        self.accumulate(vol, region, dirs);
+    }
+
     /// Replaces the matrix contents wholesale; internal constructor used by
     /// sparse→dense conversion.
     ///

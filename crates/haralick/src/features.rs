@@ -260,10 +260,20 @@ impl MatrixStats {
     /// loop (the paper's optimization). With `zero_skip = false`, every entry
     /// is pushed through the full arithmetic — the unoptimized baseline.
     pub fn from_dense(m: &CoMatrix, zero_skip: bool) -> Self {
+        let mut s = Self::reusable();
+        s.refill_from_dense(m, zero_skip);
+        s
+    }
+
+    /// Reusable-buffer counterpart of [`from_dense`](Self::from_dense):
+    /// resets this accumulator in place and replays the identical pass, so
+    /// scan scratch structs can compute per-placement statistics without
+    /// touching the allocator. Bit-identical to a fresh construction.
+    pub(crate) fn refill_from_dense(&mut self, m: &CoMatrix, zero_skip: bool) {
         let ng = m.levels() as usize;
-        let mut s = Self::zeroed(ng, m.total());
+        self.reset_for(ng, m.total(), FeatureSelection::all(), &StatNeeds::ALL);
         if m.total() == 0 {
-            return s;
+            return;
         }
         let inv_total = 1.0 / m.total() as f64;
         for i in 0..ng {
@@ -273,32 +283,38 @@ impl MatrixStats {
                     continue;
                 }
                 let p = f64::from(c) * inv_total;
-                s.push(i, j, p);
+                self.push(i, j, p);
             }
         }
-        s
     }
 
     /// Accumulates statistics directly from the sparse representation — no
     /// conversion back to a dense array is needed (paper §4.4.1: "the matrix
     /// can be processed directly from the sparse form").
     pub fn from_sparse(m: &SparseCoMatrix) -> Self {
+        let mut s = Self::reusable();
+        s.refill_from_sparse(m);
+        s
+    }
+
+    /// Reusable-buffer counterpart of [`from_sparse`](Self::from_sparse);
+    /// bit-identical to a fresh construction.
+    pub(crate) fn refill_from_sparse(&mut self, m: &SparseCoMatrix) {
         let ng = m.levels() as usize;
-        let mut s = Self::zeroed(ng, m.total());
+        self.reset_for(ng, m.total(), FeatureSelection::all(), &StatNeeds::ALL);
         if m.total() == 0 {
-            return s;
+            return;
         }
         let inv_total = 1.0 / m.total() as f64;
         for e in m.entries() {
             let p = f64::from(e.count) * inv_total;
             let (i, j) = (e.i as usize, e.j as usize);
-            s.push(i, j, p);
+            self.push(i, j, p);
             if i != j {
                 // The stored entry covers only the upper triangle; mirror it.
-                s.push(j, i, p);
+                self.push(j, i, p);
             }
         }
-        s
     }
 
     /// Accumulates statistics by visiting exactly the cells flagged in
@@ -319,11 +335,29 @@ impl MatrixStats {
         support: &SupportMask,
         sel: &FeatureSelection,
     ) -> Self {
+        let mut s = Self::reusable();
+        s.refill_from_support(m, support, sel);
+        s
+    }
+
+    /// Reusable-buffer counterpart of [`from_support`](Self::from_support):
+    /// resets this accumulator in place (every value is rewritten from
+    /// zero, so the result is bit-identical to a fresh construction) and
+    /// replays the identical support-order sweep. The incremental and
+    /// fused scan engines call this once per placement through a
+    /// per-worker scratch, eliminating the four per-placement `Vec`
+    /// allocations the constructor form paid.
+    pub(crate) fn refill_from_support(
+        &mut self,
+        m: &CoMatrix,
+        support: &SupportMask,
+        sel: &FeatureSelection,
+    ) {
         let ng = m.levels() as usize;
         let needs = StatNeeds::of(sel);
-        let mut s = Self::zeroed_for(ng, m.total(), *sel, &needs);
+        self.reset_for(ng, m.total(), *sel, &needs);
         if m.total() == 0 {
-            return s;
+            return;
         }
         let inv_total = 1.0 / m.total() as f64;
         let counts = m.as_slice();
@@ -338,37 +372,50 @@ impl MatrixStats {
                 row += 1;
                 row_end += ng;
             }
-            s.push_selected(row, idx - (row_end - ng), f64::from(c) * inv_total, &needs);
+            self.push_selected(row, idx - (row_end - ng), f64::from(c) * inv_total, &needs);
         });
-        s
     }
 
-    fn zeroed(ng: usize, total: u64) -> Self {
-        Self::zeroed_for(ng, total, FeatureSelection::all(), &StatNeeds::ALL)
-    }
-
-    fn zeroed_for(ng: usize, total: u64, computed: FeatureSelection, needs: &StatNeeds) -> Self {
+    /// An empty accumulator intended purely as a reuse target for the
+    /// `refill_from_*` methods, which size every buffer on each call.
+    pub(crate) fn reusable() -> Self {
         Self {
-            ng,
-            total,
-            computed,
+            ng: 0,
+            total: 0,
+            computed: FeatureSelection::empty(),
             asm: 0.0,
             entropy: 0.0,
             idm: 0.0,
             corr_sum: 0.0,
-            px: vec![0.0; ng],
-            p_sum: if needs.p_sum {
-                vec![0.0; 2 * ng.saturating_sub(1) + 1]
-            } else {
-                Vec::new()
-            },
-            p_diff: if needs.p_diff {
-                vec![0.0; ng]
-            } else {
-                Vec::new()
-            },
+            px: Vec::new(),
+            p_sum: Vec::new(),
+            p_diff: Vec::new(),
             entries: Vec::new(),
         }
+    }
+
+    /// Restores the state a fresh zeroed accumulator would have, keeping
+    /// every buffer allocation. Histograms a selection does not read are
+    /// left empty, exactly as the allocating constructor leaves them.
+    fn reset_for(&mut self, ng: usize, total: u64, computed: FeatureSelection, needs: &StatNeeds) {
+        self.ng = ng;
+        self.total = total;
+        self.computed = computed;
+        self.asm = 0.0;
+        self.entropy = 0.0;
+        self.idm = 0.0;
+        self.corr_sum = 0.0;
+        self.px.clear();
+        self.px.resize(ng, 0.0);
+        self.p_sum.clear();
+        if needs.p_sum {
+            self.p_sum.resize(2 * ng.saturating_sub(1) + 1, 0.0);
+        }
+        self.p_diff.clear();
+        if needs.p_diff {
+            self.p_diff.resize(ng, 0.0);
+        }
+        self.entries.clear();
     }
 
     /// Accumulates one ordered entry. Zero probabilities are arithmetic

@@ -1,0 +1,621 @@
+//! The fused cache-blocked co-occurrence kernel behind the
+//! [`crate::raster::ScanEngine::Fused`] and
+//! [`crate::raster::ScanEngine::FusedParallel`] tiers.
+//!
+//! The incremental tier already slides the window (`O(plane · |D|)` per
+//! placement) and rebuilds statistics from the dirty-cell support bitmap
+//! (`O(nnz)`), but its inner loop still pays, per voxel pair, two count
+//! updates, two branchless support-bit folds and a total bump — five
+//! read-modify-writes spread over a 256 KiB matrix. This module applies
+//! the sub-histogram decomposition of GPU GLCM kernels (independent
+//! per-thread histograms merged once at the end) to that pair stream:
+//!
+//! * **Fused quantization.** [`RawLutSource`] walks raw `u16` voxels
+//!   through a 65,536-entry level lookup table built once per scan from
+//!   [`Quantizer::level_of`], so no intermediate quantized volume is ever
+//!   materialized — one pass over the data instead of two, bit-identical
+//!   levels. Pre-quantized volumes run through [`QuantizedSource`]; the
+//!   kernel is monomorphized over the [`LevelSource`] trait.
+//!
+//! * **Per-lane sub-histograms.** Each voxel pair folds into one of
+//!   [`LANES`] independent signed 32-bit delta histograms, indexed by the
+//!   unordered pair's upper-triangle cell (`min·Ng + max`, branch-free
+//!   `min`/`max`). The inner loops are unrolled [`LANES`]-wide — one lane
+//!   per leg — so consecutive pairs hitting the same cell (the common case
+//!   on smooth images) never serialize on one memory location, and the
+//!   address arithmetic is plain strided indexing a vectorizer can chew
+//!   on. Departing-plane pairs accumulate `−1`, arriving-plane pairs `+1`;
+//!   the row-start window build is just a delta against the empty matrix.
+//!
+//! * **One merge per placement.** Touched cells are recorded in a list
+//!   (duplicates and all) and deduplicated at merge time against an
+//!   epoch-stamp array; each distinct cell's net delta is folded into the
+//!   dense [`CoMatrix`], the support bitmap and the total by
+//!   `CoMatrix::apply_upper_delta_tracked`, which leaves exactly the
+//!   state the equivalent per-pair tracked increments/decrements would.
+//!   The per-placement statistics then reuse the same support-order sweep
+//!   as the incremental tier (`MatrixStats::refill_from_support`), so the
+//!   fused tiers are **bit-identical** to every other tier.
+//!
+//! * **Cache blocking.** The row-start build walks each (t, z) plane of
+//!   the window in y-row tiles of [`effective_tile_rows`] rows with the
+//!   direction loop *inside* the tile: a tile's source rows are revisited
+//!   `|D|` times while still L1-resident, instead of `|D|` full passes
+//!   over the window. The tile height targets a 16 KiB slice and can be
+//!   pinned via the [`TILE_ROWS_ENV`] environment variable (the autotune
+//!   knob recorded by `bench --bin raster_json`).
+
+use crate::coocc::CoMatrix;
+use crate::direction::DirectionSet;
+use crate::features::{compute_features, MatrixStats};
+use crate::quantize::Quantizer;
+use crate::raster::ScanConfig;
+use crate::sparse::SupportMask;
+use crate::volume::{Dims4, LevelVolume, Point4, Region4};
+use std::sync::OnceLock;
+
+/// Number of independent sub-histogram lanes (and the inner-loop unroll
+/// width). Four keeps the hot lane slabs within L2 at `Ng = 256` while
+/// giving the common same-cell pair runs four independent accumulators.
+pub const LANES: usize = 4;
+
+/// Environment variable pinning the fused build pass's y-row tile height
+/// (a positive row count), overriding the cache-derived default — the
+/// autotune knob for machines whose L1 differs from the 16 KiB target.
+pub const TILE_ROWS_ENV: &str = "H4D_FUSED_TILE_ROWS";
+
+fn tile_rows_override() -> Option<usize> {
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var(TILE_ROWS_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n > 0)
+    })
+}
+
+/// The y-row tile height the fused build pass uses for a window of shape
+/// `roi`: enough rows that one tile of raw `u16` source rows fills a
+/// 16 KiB L1 slice, clamped to the window height (paper-sized windows are
+/// a single tile). [`TILE_ROWS_ENV`] overrides the derived value.
+pub fn effective_tile_rows(roi: Dims4) -> usize {
+    if let Some(n) = tile_rows_override() {
+        return n;
+    }
+    const TILE_BYTES: usize = 16 << 10;
+    (TILE_BYTES / (roi.x.max(1) * 2)).clamp(1, roi.y.max(1))
+}
+
+/// A source of quantized gray levels in x-fastest linear order. The fused
+/// kernel is monomorphized over this, so pre-quantized volumes pay no LUT
+/// indirection and raw volumes quantize on the fly.
+pub(crate) trait LevelSource: Sync {
+    /// Volume extents.
+    fn dims(&self) -> Dims4;
+    /// Number of gray levels `Ng`.
+    fn levels(&self) -> u16;
+    /// Gray level at linear index `idx`.
+    fn level(&self, idx: usize) -> u8;
+}
+
+/// Levels read straight out of a pre-quantized volume.
+pub(crate) struct QuantizedSource<'a> {
+    vol: &'a LevelVolume,
+}
+
+impl<'a> QuantizedSource<'a> {
+    pub(crate) fn new(vol: &'a LevelVolume) -> Self {
+        Self { vol }
+    }
+}
+
+impl LevelSource for QuantizedSource<'_> {
+    #[inline(always)]
+    fn dims(&self) -> Dims4 {
+        self.vol.dims()
+    }
+
+    #[inline(always)]
+    fn levels(&self) -> u16 {
+        self.vol.levels()
+    }
+
+    #[inline(always)]
+    fn level(&self, idx: usize) -> u8 {
+        self.vol.as_slice()[idx]
+    }
+}
+
+/// Raw `u16` voxels quantized on the fly through a full-range lookup
+/// table built once from [`Quantizer::level_of`] — bit-identical to
+/// quantizing the volume up front, without the intermediate volume pass
+/// or its allocation.
+pub(crate) struct RawLutSource<'a> {
+    dims: Dims4,
+    levels: u16,
+    raw: &'a [u16],
+    lut: Box<[u8]>,
+}
+
+impl<'a> RawLutSource<'a> {
+    /// # Panics
+    /// If `raw.len() != dims.len()`.
+    pub(crate) fn new(dims: Dims4, raw: &'a [u16], quantizer: &Quantizer) -> Self {
+        assert_eq!(raw.len(), dims.len(), "raw buffer does not match dims");
+        let lut: Box<[u8]> = (0..=u16::MAX).map(|v| quantizer.level_of(v)).collect();
+        Self {
+            dims,
+            levels: quantizer.levels(),
+            raw,
+            lut,
+        }
+    }
+}
+
+impl LevelSource for RawLutSource<'_> {
+    #[inline(always)]
+    fn dims(&self) -> Dims4 {
+        self.dims
+    }
+
+    #[inline(always)]
+    fn levels(&self) -> u16 {
+        self.levels
+    }
+
+    #[inline(always)]
+    fn level(&self, idx: usize) -> u8 {
+        self.lut[self.raw[idx] as usize]
+    }
+}
+
+/// Upper-triangle cell index of the unordered level pair `(a, b)`.
+/// `min`/`max` lower to conditional moves, keeping the unrolled inner
+/// loops free of data-dependent branches.
+#[inline(always)]
+fn cell(ng: usize, a: u8, b: u8) -> u32 {
+    let lo = a.min(b) as usize;
+    let hi = a.max(b) as usize;
+    (lo * ng + hi) as u32
+}
+
+/// Reusable per-worker scratch of the fused kernel: the tracked dense
+/// matrix, the lane sub-histograms, the touched-cell list with its epoch
+/// stamps, and the reusable statistics accumulator. One instance serves
+/// every row a worker processes — nothing in the per-placement loop
+/// allocates.
+pub(crate) struct FusedScratch {
+    matrix: CoMatrix,
+    support: SupportMask,
+    stats: MatrixStats,
+    /// [`LANES`] concatenated `Ng²` signed delta sub-histograms.
+    lanes: Vec<i32>,
+    /// Upper-triangle cells touched since the last merge, duplicates kept;
+    /// the merge deduplicates against `stamp`.
+    touched: Vec<u32>,
+    /// Merge epoch that last visited each cell.
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl FusedScratch {
+    /// Scratch for `levels` gray levels.
+    pub(crate) fn new(levels: u16) -> Self {
+        let cells = levels as usize * levels as usize;
+        Self {
+            matrix: CoMatrix::zeros(levels),
+            support: SupportMask::empty(cells),
+            stats: MatrixStats::reusable(),
+            lanes: vec![0; LANES * cells],
+            touched: Vec::with_capacity(4096),
+            stamp: vec![0; cells],
+            epoch: 0,
+        }
+    }
+
+    /// Restores the all-zero matrix/support invariant in `O(nnz)` ahead of
+    /// the next row's window build.
+    fn reset_window(&mut self) {
+        self.matrix.clear_cells_from_support(&self.support);
+        self.support.clear_all();
+    }
+
+    /// Folds every pending lane delta into the matrix, support bitmap and
+    /// total — the once-per-placement merge. Net-zero cells (a pair both
+    /// departed and arrived) change no count, so skipping them leaves the
+    /// support, and therefore the statistics sweep order, untouched.
+    fn merge(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // A u32 wrap could resurrect stale stamps; restart the epoch
+            // space instead.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        let ng = self.matrix.levels() as usize;
+        let cells = ng * ng;
+        let touched = std::mem::take(&mut self.touched);
+        for &cell_u in &touched {
+            let cell = cell_u as usize;
+            if self.stamp[cell] == self.epoch {
+                continue;
+            }
+            self.stamp[cell] = self.epoch;
+            let mut net = 0i64;
+            let mut lane = cell;
+            for _ in 0..LANES {
+                net += i64::from(self.lanes[lane]);
+                self.lanes[lane] = 0;
+                lane += cells;
+            }
+            if net != 0 {
+                let lo = (cell / ng) as u8;
+                let hi = (cell % ng) as u8;
+                self.matrix
+                    .apply_upper_delta_tracked(lo, hi, net, &mut self.support);
+            }
+        }
+        let mut touched = touched;
+        touched.clear();
+        self.touched = touched;
+    }
+
+    /// Accumulates the pair deltas of the plane `x = plane_x` of window
+    /// `win` into the lanes with the given `sign` (`+1` arriving, `-1`
+    /// departing). Pair coverage mirrors the incremental tier's
+    /// `apply_plane` exactly: per-direction forward/backward passes with
+    /// pre-clamped loop bounds, in-plane pairs counted by the forward pass
+    /// alone, partners addressed by a linear stride. The y-walk is
+    /// unrolled [`LANES`]-wide, one independent lane per leg.
+    fn accumulate_plane<S: LevelSource>(
+        &mut self,
+        src: &S,
+        dirs: &DirectionSet,
+        win: Region4,
+        plane_x: usize,
+        sign: i32,
+    ) {
+        let dims = src.dims();
+        let end = win.end();
+        let ng = self.matrix.levels() as usize;
+        let cells = ng * ng;
+        for d in dirs {
+            let fwd = (d.dx as i64, d.dy as i64, d.dz as i64, d.dt as i64);
+            let bwd = (-fwd.0, -fwd.1, -fwd.2, -fwd.3);
+            for (pass, (dx, dy, dz, dt)) in [fwd, bwd].into_iter().enumerate() {
+                let qx = plane_x as i64 + dx;
+                if (pass == 1 && dx == 0) || qx < win.origin.x as i64 || qx >= end.x as i64 {
+                    continue;
+                }
+                let y_lo = win.origin.y as i64 + (-dy).max(0);
+                let y_hi = end.y as i64 - dy.max(0);
+                let z_lo = win.origin.z as i64 + (-dz).max(0);
+                let z_hi = end.z as i64 - dz.max(0);
+                let t_lo = win.origin.t as i64 + (-dt).max(0);
+                let t_hi = end.t as i64 - dt.max(0);
+                if y_lo >= y_hi || z_lo >= z_hi || t_lo >= t_hi {
+                    continue;
+                }
+                let stride = dx
+                    + dy * dims.x as i64
+                    + dz * (dims.x * dims.y) as i64
+                    + dt * (dims.x * dims.y * dims.z) as i64;
+                let step = dims.x;
+                for t in t_lo..t_hi {
+                    for z in z_lo..z_hi {
+                        let mut base =
+                            ((t as usize * dims.z + z as usize) * dims.y + y_lo as usize) * dims.x
+                                + plane_x;
+                        let mut y = y_lo;
+                        while y + LANES as i64 <= y_hi {
+                            let i1 = base + step;
+                            let i2 = base + 2 * step;
+                            let i3 = base + 3 * step;
+                            let c0 = cell(
+                                ng,
+                                src.level(base),
+                                src.level((base as i64 + stride) as usize),
+                            );
+                            let c1 =
+                                cell(ng, src.level(i1), src.level((i1 as i64 + stride) as usize));
+                            let c2 =
+                                cell(ng, src.level(i2), src.level((i2 as i64 + stride) as usize));
+                            let c3 =
+                                cell(ng, src.level(i3), src.level((i3 as i64 + stride) as usize));
+                            self.lanes[c0 as usize] += sign;
+                            self.lanes[cells + c1 as usize] += sign;
+                            self.lanes[2 * cells + c2 as usize] += sign;
+                            self.lanes[3 * cells + c3 as usize] += sign;
+                            self.touched.extend_from_slice(&[c0, c1, c2, c3]);
+                            base += LANES * step;
+                            y += LANES as i64;
+                        }
+                        while y < y_hi {
+                            let c0 = cell(
+                                ng,
+                                src.level(base),
+                                src.level((base as i64 + stride) as usize),
+                            );
+                            self.lanes[c0 as usize] += sign;
+                            self.touched.push(c0);
+                            base += step;
+                            y += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accumulates every pair of the full window `win` into the lanes (all
+    /// deltas `+1` against the empty matrix) — the row-start build. The
+    /// window is walked in y-row tiles of `tile_rows` rows per (t, z)
+    /// plane with the direction loop *inside* each tile, so one tile of
+    /// source rows is revisited `|D|` times while L1-resident. Pair
+    /// coverage is exactly [`CoMatrix::accumulate`]'s clamped region,
+    /// partitioned by (t, z, y-tile); the x inner loop is unrolled
+    /// [`LANES`]-wide into independent lanes.
+    fn accumulate_window<S: LevelSource>(
+        &mut self,
+        src: &S,
+        dirs: &DirectionSet,
+        win: Region4,
+        tile_rows: usize,
+    ) {
+        let dims = src.dims();
+        let end = win.end();
+        let ng = self.matrix.levels() as usize;
+        let cells = ng * ng;
+        for t in win.origin.t..end.t {
+            for z in win.origin.z..end.z {
+                let mut y0 = win.origin.y;
+                while y0 < end.y {
+                    let y1 = (y0 + tile_rows).min(end.y);
+                    for d in dirs {
+                        let (dx, dy, dz, dt) = (d.dx as i64, d.dy as i64, d.dz as i64, d.dt as i64);
+                        let t_lo = win.origin.t as i64 + (-dt).max(0);
+                        let t_hi = end.t as i64 - dt.max(0);
+                        let z_lo = win.origin.z as i64 + (-dz).max(0);
+                        let z_hi = end.z as i64 - dz.max(0);
+                        if (t as i64) < t_lo
+                            || t as i64 >= t_hi
+                            || (z as i64) < z_lo
+                            || z as i64 >= z_hi
+                        {
+                            continue;
+                        }
+                        let x_lo = win.origin.x as i64 + (-dx).max(0);
+                        let x_hi = end.x as i64 - dx.max(0);
+                        let y_lo = (win.origin.y as i64 + (-dy).max(0)).max(y0 as i64);
+                        let y_hi = (end.y as i64 - dy.max(0)).min(y1 as i64);
+                        if x_lo >= x_hi || y_lo >= y_hi {
+                            continue;
+                        }
+                        let stride = dx
+                            + dy * dims.x as i64
+                            + dz * (dims.x * dims.y) as i64
+                            + dt * (dims.x * dims.y * dims.z) as i64;
+                        for y in y_lo..y_hi {
+                            let row = ((t * dims.z + z) * dims.y + y as usize) * dims.x;
+                            let mut x = x_lo;
+                            while x + LANES as i64 <= x_hi {
+                                let i0 = (row as i64 + x) as usize;
+                                let p0 = (i0 as i64 + stride) as usize;
+                                let c0 = cell(ng, src.level(i0), src.level(p0));
+                                let c1 = cell(ng, src.level(i0 + 1), src.level(p0 + 1));
+                                let c2 = cell(ng, src.level(i0 + 2), src.level(p0 + 2));
+                                let c3 = cell(ng, src.level(i0 + 3), src.level(p0 + 3));
+                                self.lanes[c0 as usize] += 1;
+                                self.lanes[cells + c1 as usize] += 1;
+                                self.lanes[2 * cells + c2 as usize] += 1;
+                                self.lanes[3 * cells + c3 as usize] += 1;
+                                self.touched.extend_from_slice(&[c0, c1, c2, c3]);
+                                x += LANES as i64;
+                            }
+                            while x < x_hi {
+                                let i0 = (row as i64 + x) as usize;
+                                let c0 = cell(
+                                    ng,
+                                    src.level(i0),
+                                    src.level((i0 as i64 + stride) as usize),
+                                );
+                                self.lanes[c0 as usize] += 1;
+                                self.touched.push(c0);
+                                x += 1;
+                            }
+                        }
+                    }
+                    y0 = y1;
+                }
+            }
+        }
+    }
+}
+
+/// Computes one output row of `width` placements starting at `row_origin`
+/// through the fused kernel, writing `selection.len()` values per
+/// placement into `out_row` — the fused counterpart of the incremental
+/// row kernel, bit-identical to it (and therefore to the reference scan).
+///
+/// # Panics
+/// If any window of the row exceeds the volume, or `scratch` was built
+/// for a different level count.
+pub(crate) fn scan_row_fused<S: LevelSource>(
+    src: &S,
+    cfg: &ScanConfig,
+    row_origin: Point4,
+    width: usize,
+    out_row: &mut [f64],
+    scratch: &mut FusedScratch,
+) {
+    let n = cfg.selection.len();
+    debug_assert_eq!(out_row.len(), width * n);
+    assert_eq!(
+        scratch.matrix.levels(),
+        src.levels(),
+        "fused scratch level count does not match source"
+    );
+    let roi = cfg.roi.size();
+    let dims = src.dims();
+    // Validate the whole row up front — the same wall the sliding window's
+    // per-slide assertion enforces.
+    let span = Region4::new(
+        row_origin,
+        Dims4::new(roi.x + width - 1, roi.y, roi.z, roi.t),
+    );
+    assert!(
+        dims.region().contains_region(&span),
+        "fused scan row {span:?} exceeds volume {dims:?}"
+    );
+    let tile_rows = effective_tile_rows(roi);
+    scratch.reset_window();
+    let mut origin = row_origin;
+    scratch.accumulate_window(src, &cfg.directions, Region4::new(origin, roi), tile_rows);
+    scratch.merge();
+    for x in 0..width {
+        if x > 0 {
+            let old = Region4::new(origin, roi);
+            scratch.accumulate_plane(src, &cfg.directions, old, origin.x, -1);
+            origin.x += 1;
+            let new = Region4::new(origin, roi);
+            scratch.accumulate_plane(src, &cfg.directions, new, origin.x + roi.x - 1, 1);
+            scratch.merge();
+        }
+        scratch
+            .stats
+            .refill_from_support(&scratch.matrix, &scratch.support, &cfg.selection);
+        let values = compute_features(&scratch.stats, &cfg.selection);
+        for (slot, feature) in cfg.selection.iter().enumerate() {
+            out_row[x * n + slot] = values.get(feature).expect("selected feature computed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direction::Direction;
+    use crate::features::FeatureSelection;
+    use crate::raster::{Representation, ScanEngine};
+    use crate::roi::RoiShape;
+
+    fn volume(dims: Dims4, ng: u16, seed: usize) -> LevelVolume {
+        let data: Vec<u8> = dims
+            .region()
+            .points()
+            .map(|p| {
+                (((p.x * 7 + p.y * 3 + p.z * 5 + p.t * 11 + seed) * 2654435761) % ng as usize) as u8
+            })
+            .collect();
+        LevelVolume::from_raw(dims, data, ng).unwrap()
+    }
+
+    fn check_state(scratch: &FusedScratch, vol: &LevelVolume, win: Region4, dirs: &DirectionSet) {
+        let expect = CoMatrix::from_region(vol, win, dirs);
+        assert_eq!(&scratch.matrix, &expect, "matrix drifted at {win:?}");
+        let fresh = SupportMask::from_matrix(&expect);
+        let mut a = Vec::new();
+        scratch.support.for_each_set(|i| a.push(i));
+        let mut b = Vec::new();
+        fresh.for_each_set(|i| b.push(i));
+        assert_eq!(a, b, "support drifted at {win:?}");
+    }
+
+    #[test]
+    fn build_and_slides_match_rebuild() {
+        let vol = volume(Dims4::new(12, 9, 4, 4), 8, 1);
+        let roi = Dims4::new(5, 4, 2, 2);
+        for dirs in [
+            DirectionSet::single(Direction::new(1, 1, 1, 1)),
+            DirectionSet::paper_4d(1),
+            DirectionSet::all_unique_4d(1),
+        ] {
+            let src = QuantizedSource::new(&vol);
+            let mut scratch = FusedScratch::new(vol.levels());
+            let mut origin = Point4::new(0, 1, 1, 1);
+            scratch.reset_window();
+            scratch.accumulate_window(&src, &dirs, Region4::new(origin, roi), 2);
+            scratch.merge();
+            check_state(&scratch, &vol, Region4::new(origin, roi), &dirs);
+            for _ in 0..7 {
+                let old = Region4::new(origin, roi);
+                scratch.accumulate_plane(&src, &dirs, old, origin.x, -1);
+                origin.x += 1;
+                let new = Region4::new(origin, roi);
+                scratch.accumulate_plane(&src, &dirs, new, origin.x + roi.x - 1, 1);
+                scratch.merge();
+                check_state(&scratch, &vol, new, &dirs);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_height_never_changes_counts() {
+        let vol = volume(Dims4::new(10, 12, 3, 3), 6, 2);
+        let roi = Dims4::new(6, 9, 2, 2);
+        let dirs = DirectionSet::all_unique_4d(1);
+        let win = Region4::new(Point4::new(1, 1, 0, 0), roi);
+        let src = QuantizedSource::new(&vol);
+        for tile_rows in [1, 2, 3, 9, 64] {
+            let mut scratch = FusedScratch::new(vol.levels());
+            scratch.accumulate_window(&src, &dirs, win, tile_rows);
+            scratch.merge();
+            check_state(&scratch, &vol, win, &dirs);
+        }
+    }
+
+    #[test]
+    fn lut_source_matches_quantize() {
+        let dims = Dims4::new(9, 7, 3, 2);
+        let raw: Vec<u16> = (0..dims.len())
+            .map(|i| ((i * 2654435761) % 4001) as u16)
+            .collect();
+        let q = Quantizer::linear(16, 0, 4000);
+        let vol = q.quantize(dims, &raw);
+        let src = RawLutSource::new(dims, &raw, &q);
+        assert_eq!(src.levels(), vol.levels());
+        for idx in 0..dims.len() {
+            assert_eq!(src.level(idx), vol.as_slice()[idx], "level {idx} diverged");
+        }
+    }
+
+    #[test]
+    fn fused_row_matches_reference_row() {
+        let vol = volume(Dims4::new(12, 8, 3, 3), 8, 3);
+        let cfg = ScanConfig {
+            roi: RoiShape::from_lengths(4, 3, 2, 2),
+            directions: DirectionSet::paper_4d(1),
+            selection: FeatureSelection::all(),
+            representation: Representation::Full,
+            engine: ScanEngine::Fused,
+        };
+        let reference = crate::raster::raster_scan(&vol, &cfg);
+        let width = reference.dims().x;
+        let n = cfg.selection.len();
+        let src = QuantizedSource::new(&vol);
+        let mut scratch = FusedScratch::new(vol.levels());
+        let mut out = vec![0.0; width * n];
+        let row_origin = Point4::new(0, 2, 1, 0);
+        scan_row_fused(&src, &cfg, row_origin, width, &mut out, &mut scratch);
+        for x in 0..width {
+            let p = Point4::new(x, 2, 1, 0);
+            assert_eq!(
+                &out[x * n..(x + 1) * n],
+                reference.values_at(p),
+                "fused row diverged at x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_tile_rows_is_clamped_to_window() {
+        if std::env::var(TILE_ROWS_ENV).is_ok() {
+            return; // pinned by the environment; nothing to derive
+        }
+        let t = effective_tile_rows(Dims4::new(10, 10, 3, 3));
+        assert!(t >= 1 && t <= 10, "tile rows {t} outside window");
+        // Wide windows shrink the tile height toward the L1 target.
+        let wide = effective_tile_rows(Dims4::new(8192, 64, 1, 1));
+        assert!(wide <= 2, "wide-row tile not shrunk: {wide}");
+    }
+}

@@ -59,6 +59,7 @@
 //! | [`roi`] | ROI shape and output-geometry helpers |
 //! | [`raster`] | the unified scan engine ([`raster::ScanEngine`] tiers) producing feature maps |
 //! | [`window`] | incremental sliding-window matrix maintenance with dirty-cell support tracking (beyond-the-paper optimization) |
+//! | [`fused`] | cache-blocked fused kernel: per-lane sub-histograms, once-per-placement merge, optional on-the-fly quantization |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,6 +67,7 @@
 pub mod coocc;
 pub mod direction;
 pub mod features;
+pub mod fused;
 pub mod linalg;
 pub mod quantize;
 pub mod raster;
@@ -78,7 +80,10 @@ pub use coocc::CoMatrix;
 pub use direction::{Direction, DirectionSet};
 pub use features::{compute_features, Feature, FeatureSelection, FeatureVector};
 pub use quantize::Quantizer;
-pub use raster::{scan, scan_placements, FeatureMaps, Representation, ScanConfig, ScanEngine};
+pub use raster::{
+    current_tier_table, install_tier_table, scan, scan_placements, scan_placements_raw,
+    FeatureMaps, Representation, ScanConfig, ScanEngine, TierBucket, TierTable,
+};
 pub use roi::RoiShape;
 pub use sparse::{SparseAccumulator, SparseCoMatrix};
 pub use volume::{Dims4, LevelVolume, Point4, Region4};

@@ -2,7 +2,7 @@
 //! feature vector per placement (paper §3, Figures 1–2).
 //!
 //! All scans run through one unified engine ([`scan`] /
-//! [`scan_placements`]) with four selectable tiers ([`ScanEngine`]):
+//! [`scan_placements`]) with six selectable tiers ([`ScanEngine`]):
 //!
 //! * `Reference` — the sequential per-placement rebuild, a direct
 //!   transcription of the paper's Figure 2 pseudo-code;
@@ -12,7 +12,18 @@
 //!   incremental [`crate::window::SlidingWindow`] with dirty-cell feature
 //!   statistics;
 //! * `IncrementalParallel` (default) — `rayon` over output **rows**, each
-//!   row advanced incrementally: the fusion of both optimizations.
+//!   row advanced incrementally: the fusion of both optimizations;
+//! * `Fused` / `FusedParallel` — the cache-blocked per-lane sub-histogram
+//!   kernel of [`crate::fused`], sliding like the incremental tiers but
+//!   accumulating pair deltas into unrolled lane histograms merged once
+//!   per placement, with quantization optionally fused into the walk
+//!   ([`scan_placements_raw`]).
+//!
+//! The pseudo-tier [`ScanEngine::Auto`] defers the choice to a measured
+//! [`TierTable`] (built-in heuristic snapshot, or the micro-benchmarked
+//! table installed via [`install_tier_table`] from
+//! `cluster::calibrate::calibrate_tiers`), bucketed by ROI volume, gray
+//! levels and direction count.
 //!
 //! Every tier produces bit-identical [`FeatureMaps`]. The named entry
 //! points [`raster_scan`], [`raster_scan_par`] and
@@ -24,11 +35,14 @@
 use crate::coocc::CoMatrix;
 use crate::direction::DirectionSet;
 use crate::features::{compute_features, FeatureSelection, MatrixStats};
+use crate::fused::{FusedScratch, LevelSource, QuantizedSource, RawLutSource};
+use crate::quantize::Quantizer;
 use crate::roi::RoiShape;
 use crate::sparse::SparseCoMatrix;
 use crate::volume::{Dims4, LevelVolume, Point4};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::RwLock;
 
 /// Which co-occurrence storage representation the scan uses (paper §4.4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,26 +93,65 @@ pub enum ScanEngine {
     /// Sequential, incremental sliding window + dirty-cell stats per row.
     Incremental,
     /// `rayon`-parallel over output rows, each row incremental — the
-    /// default and fastest tier.
+    /// default tier.
     #[default]
     IncrementalParallel,
+    /// Sequential fused kernel: cache-blocked window build, per-lane
+    /// sub-histogram slides merged once per placement (see
+    /// [`crate::fused`]).
+    Fused,
+    /// `rayon`-parallel over output rows, each row through the fused
+    /// kernel — the fastest tier on dense workloads.
+    FusedParallel,
+    /// Defer to the measured [`TierTable`] per workload — the calibrated
+    /// autotuning mode. Resolves to a concrete tier before any scanning
+    /// happens, so it never executes itself.
+    Auto,
 }
 
 impl ScanEngine {
-    /// The tier that will actually run for `repr`: the incremental tiers
-    /// require a dense co-occurrence matrix to track, so `Sparse` /
-    /// `SparseAccum` scans downgrade to the equivalent rebuild tier
-    /// (preserving each sparse representation's accumulation semantics,
-    /// which the cost studies measure).
+    /// The tier that will actually run for `repr`: the incremental and
+    /// fused tiers require a dense co-occurrence matrix to track, so
+    /// `Sparse` / `SparseAccum` scans downgrade to the equivalent rebuild
+    /// tier (preserving each sparse representation's accumulation
+    /// semantics, which the cost studies measure). `Auto` resolves through
+    /// the current [`TierTable`] with unbounded workload parameters; use
+    /// [`ScanEngine::effective_for_workload`] when the workload shape is
+    /// known.
     pub fn effective_for(self, repr: Representation) -> Self {
         match (self, repr) {
-            (Self::Incremental, Representation::Sparse | Representation::SparseAccum) => {
-                Self::Reference
-            }
-            (Self::IncrementalParallel, Representation::Sparse | Representation::SparseAccum) => {
-                Self::Parallel
-            }
+            (Self::Auto, _) => current_tier_table()
+                .pick(usize::MAX, u16::MAX, usize::MAX)
+                .effective_for(repr),
+            (
+                Self::Incremental | Self::Fused,
+                Representation::Sparse | Representation::SparseAccum,
+            ) => Self::Reference,
+            (
+                Self::IncrementalParallel | Self::FusedParallel,
+                Representation::Sparse | Representation::SparseAccum,
+            ) => Self::Parallel,
             (e, _) => e,
+        }
+    }
+
+    /// The tier that will actually run for `repr` given the workload shape
+    /// (`roi_voxels` window voxels, `levels` gray levels, `directions`
+    /// displacement count): like [`ScanEngine::effective_for`], but `Auto`
+    /// is resolved through the measured [`TierTable`] bucket matching the
+    /// workload. This is the resolution [`scan_placements`] performs.
+    pub fn effective_for_workload(
+        self,
+        repr: Representation,
+        roi_voxels: usize,
+        levels: u16,
+        directions: usize,
+    ) -> Self {
+        match self {
+            Self::Auto => current_tier_table()
+                .pick(roi_voxels, levels, directions)
+                .effective_for(repr),
+            e => e.effective_for(repr),
         }
     }
 
@@ -107,10 +160,109 @@ impl ScanEngine {
         matches!(self, Self::Incremental | Self::IncrementalParallel)
     }
 
+    /// Whether this tier runs the fused sub-histogram kernel.
+    pub const fn is_fused(self) -> bool {
+        matches!(self, Self::Fused | Self::FusedParallel)
+    }
+
     /// Whether this tier fans work out across `rayon` workers.
     pub const fn is_parallel(self) -> bool {
-        matches!(self, Self::Parallel | Self::IncrementalParallel)
+        matches!(
+            self,
+            Self::Parallel | Self::IncrementalParallel | Self::FusedParallel
+        )
     }
+}
+
+/// One row of a [`TierTable`]: the measured-fastest engine for workloads
+/// no larger than the three bounds. Bounds are inclusive upper limits;
+/// a workload matches the **first** bucket whose bounds all hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierBucket {
+    /// Largest window voxel count this bucket covers.
+    pub max_roi_voxels: usize,
+    /// Largest gray-level count `Ng` this bucket covers.
+    pub max_levels: u16,
+    /// Largest displacement count this bucket covers.
+    pub max_directions: usize,
+    /// The engine measured fastest inside these bounds.
+    pub engine: ScanEngine,
+}
+
+/// Workload-bucketed engine selection used by [`ScanEngine::Auto`]:
+/// first-match buckets over (ROI volume, gray levels, direction count),
+/// with a fallback tier for workloads no bucket covers.
+///
+/// `cluster::calibrate::calibrate_tiers` produces one by micro-benchmarking
+/// every tier per bucket; the committed snapshot lives in
+/// `cluster::calibrated_defaults::default_tier_table` and is installed at
+/// pipeline startup via [`install_tier_table`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierTable {
+    /// Selection buckets, probed in order.
+    pub buckets: Vec<TierBucket>,
+    /// Engine for workloads outside every bucket.
+    pub fallback: ScanEngine,
+}
+
+impl TierTable {
+    /// The compiled-in selection used until a measured table is installed:
+    /// sparse direction sets (≤ 2 displacements) keep each slide so cheap
+    /// that the leaner incremental bookkeeping wins; everything else —
+    /// including the paper's 40-direction configuration — goes to the
+    /// fused kernel.
+    pub fn builtin() -> Self {
+        Self {
+            buckets: vec![TierBucket {
+                max_roi_voxels: usize::MAX,
+                max_levels: 256,
+                max_directions: 2,
+                engine: ScanEngine::IncrementalParallel,
+            }],
+            fallback: ScanEngine::FusedParallel,
+        }
+    }
+
+    /// The engine for a workload of `roi_voxels` window voxels, `levels`
+    /// gray levels and `directions` displacements: the first matching
+    /// bucket's engine, else the fallback. A table entry of `Auto`
+    /// (meaningless — it would recurse) sanitizes to the default tier.
+    pub fn pick(&self, roi_voxels: usize, levels: u16, directions: usize) -> ScanEngine {
+        let e = self
+            .buckets
+            .iter()
+            .find(|b| {
+                roi_voxels <= b.max_roi_voxels
+                    && levels <= b.max_levels
+                    && directions <= b.max_directions
+            })
+            .map(|b| b.engine)
+            .unwrap_or(self.fallback);
+        if e == ScanEngine::Auto {
+            ScanEngine::default()
+        } else {
+            e
+        }
+    }
+}
+
+static MEASURED_TIERS: RwLock<Option<TierTable>> = RwLock::new(None);
+
+/// Installs the process-wide measured [`TierTable`] that
+/// [`ScanEngine::Auto`] resolves through (e.g. the calibrated snapshot, at
+/// pipeline startup). Replaces any previously installed table.
+pub fn install_tier_table(table: TierTable) {
+    *MEASURED_TIERS.write().expect("tier table lock poisoned") = Some(table);
+}
+
+/// The [`TierTable`] currently governing [`ScanEngine::Auto`]: the
+/// installed table, or [`TierTable::builtin`] if none has been installed.
+pub fn current_tier_table() -> TierTable {
+    MEASURED_TIERS
+        .read()
+        .expect("tier table lock poisoned")
+        .clone()
+        .unwrap_or_else(TierTable::builtin)
 }
 
 /// Configuration of a raster scan.
@@ -317,25 +469,81 @@ pub fn distance_sweep(
         .collect()
 }
 
-/// Computes the feature values for the single window at `origin` (selection
-/// order). This is the per-ROI unit of work shared by all drivers and by the
-/// pipeline filters.
-pub fn scan_one(vol: &LevelVolume, cfg: &ScanConfig, origin: Point4) -> Vec<f64> {
-    let stats = match cfg.representation {
+/// Reusable per-worker scratch of the rebuild tiers: the dense matrix a
+/// placement accumulates into and the statistics accumulator, both
+/// recycled across every placement a worker processes so the hot loop
+/// never allocates.
+pub(crate) struct ScanScratch {
+    matrix: CoMatrix,
+    /// Reused by both the rebuild tiers (here) and the incremental row
+    /// kernel (which tracks its own matrix but shares this accumulator).
+    pub(crate) stats: MatrixStats,
+}
+
+impl ScanScratch {
+    /// Scratch for `levels` gray levels.
+    pub(crate) fn new(levels: u16) -> Self {
+        Self {
+            matrix: CoMatrix::zeros(levels),
+            stats: MatrixStats::reusable(),
+        }
+    }
+}
+
+/// Computes the feature values for the single window at `origin` into
+/// `out` (selection order), reusing `scratch` — the allocation-free
+/// per-ROI unit of work behind the rebuild tiers.
+fn scan_one_into(
+    vol: &LevelVolume,
+    cfg: &ScanConfig,
+    origin: Point4,
+    scratch: &mut ScanScratch,
+    out: &mut [f64],
+) {
+    match cfg.representation {
         Representation::SparseAccum => {
             let sparse = crate::sparse::SparseAccumulator::from_region(
                 vol,
                 cfg.roi.region_at(origin),
                 &cfg.directions,
             );
-            MatrixStats::from_sparse(&sparse)
+            scratch.stats.refill_from_sparse(&sparse);
         }
-        repr => {
-            let m = CoMatrix::from_region(vol, cfg.roi.region_at(origin), &cfg.directions);
-            repr.stats_of(&m)
+        Representation::Sparse => {
+            scratch
+                .matrix
+                .reaccumulate(vol, cfg.roi.region_at(origin), &cfg.directions);
+            scratch
+                .stats
+                .refill_from_sparse(&SparseCoMatrix::from_dense(&scratch.matrix));
         }
-    };
-    compute_features(&stats, &cfg.selection).dense(&cfg.selection)
+        Representation::Full => {
+            scratch
+                .matrix
+                .reaccumulate(vol, cfg.roi.region_at(origin), &cfg.directions);
+            scratch.stats.refill_from_dense(&scratch.matrix, true);
+        }
+        Representation::FullNaive => {
+            scratch
+                .matrix
+                .reaccumulate(vol, cfg.roi.region_at(origin), &cfg.directions);
+            scratch.stats.refill_from_dense(&scratch.matrix, false);
+        }
+    }
+    let values = compute_features(&scratch.stats, &cfg.selection);
+    for (slot, feature) in cfg.selection.iter().enumerate() {
+        out[slot] = values.get(feature).expect("selected feature computed");
+    }
+}
+
+/// Computes the feature values for the single window at `origin` (selection
+/// order). This is the per-ROI unit of work shared by all drivers and by the
+/// pipeline filters.
+pub fn scan_one(vol: &LevelVolume, cfg: &ScanConfig, origin: Point4) -> Vec<f64> {
+    let mut scratch = ScanScratch::new(vol.levels());
+    let mut out = vec![0.0; cfg.selection.len()];
+    scan_one_into(vol, cfg, origin, &mut scratch, &mut out);
+    out
 }
 
 /// Scans the whole volume with the engine tier configured in `cfg`
@@ -366,36 +574,140 @@ pub fn scan_placements(
     if n == 0 || extent.is_empty() {
         return maps;
     }
-    match cfg.engine.effective_for(cfg.representation) {
+    let effective = cfg.engine.effective_for_workload(
+        cfg.representation,
+        cfg.roi.len(),
+        vol.levels(),
+        cfg.directions.len(),
+    );
+    match effective {
         ScanEngine::Reference => {
+            let mut scratch = ScanScratch::new(vol.levels());
+            let mut values = vec![0.0; n];
             for p in extent.region().points() {
-                let values = scan_one(vol, cfg, shifted(base, p));
+                scan_one_into(vol, cfg, shifted(base, p), &mut scratch, &mut values);
                 maps.set_values(p, &values);
             }
         }
         ScanEngine::Parallel => {
-            maps.data
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(idx, slot)| {
-                    let values = scan_one(vol, cfg, shifted(base, extent.point_of(idx)));
-                    slot.copy_from_slice(&values);
-                });
+            maps.data.par_chunks_mut(n).enumerate().for_each_init(
+                || ScanScratch::new(vol.levels()),
+                |scratch, (idx, slot)| {
+                    scan_one_into(vol, cfg, shifted(base, extent.point_of(idx)), scratch, slot);
+                },
+            );
         }
         ScanEngine::Incremental => {
+            let mut scratch = ScanScratch::new(vol.levels());
             maps.data
                 .chunks_mut(extent.x * n)
                 .enumerate()
-                .for_each(|(r, row)| scan_row_at(vol, cfg, base, extent, r, row));
+                .for_each(|(r, row)| scan_row_at(vol, cfg, base, extent, r, row, &mut scratch));
         }
         ScanEngine::IncrementalParallel => {
             maps.data
                 .par_chunks_mut(extent.x * n)
                 .enumerate()
-                .for_each(|(r, row)| scan_row_at(vol, cfg, base, extent, r, row));
+                .for_each_init(
+                    || ScanScratch::new(vol.levels()),
+                    |scratch, (r, row)| scan_row_at(vol, cfg, base, extent, r, row, scratch),
+                );
         }
+        ScanEngine::Fused | ScanEngine::FusedParallel => {
+            run_fused(
+                &QuantizedSource::new(vol),
+                cfg,
+                base,
+                extent,
+                effective.is_parallel(),
+                &mut maps.data,
+            );
+        }
+        ScanEngine::Auto => unreachable!("Auto resolves to a concrete tier before dispatch"),
     }
     maps
+}
+
+/// Scans the `extent`-shaped block of placements based at `base` directly
+/// from **raw `u16` voxels**, quantizing on the fly when the effective
+/// tier is fused (one pass over the data, no intermediate
+/// [`LevelVolume`]); other tiers quantize up front and delegate to
+/// [`scan_placements`]. Output is bit-identical to quantizing first in
+/// either case.
+///
+/// # Panics
+/// If `raw.len() != dims.len()` or any requested window exceeds the
+/// volume.
+pub fn scan_placements_raw(
+    dims: Dims4,
+    raw: &[u16],
+    quantizer: &Quantizer,
+    cfg: &ScanConfig,
+    base: Point4,
+    extent: Dims4,
+) -> FeatureMaps {
+    let effective = cfg.engine.effective_for_workload(
+        cfg.representation,
+        cfg.roi.len(),
+        quantizer.levels(),
+        cfg.directions.len(),
+    );
+    if effective.is_fused() {
+        let mut maps = FeatureMaps::zeros(extent, cfg.selection);
+        let n = cfg.selection.len();
+        if n == 0 || extent.is_empty() {
+            return maps;
+        }
+        let src = RawLutSource::new(dims, raw, quantizer);
+        run_fused(
+            &src,
+            cfg,
+            base,
+            extent,
+            effective.is_parallel(),
+            &mut maps.data,
+        );
+        maps
+    } else {
+        let vol = quantizer.quantize(dims, raw);
+        let pinned = ScanConfig {
+            engine: effective,
+            ..cfg.clone()
+        };
+        scan_placements(&vol, &pinned, base, extent)
+    }
+}
+
+/// Runs the fused row kernel over every output row of the block,
+/// sequentially or `rayon`-parallel, with one [`FusedScratch`] per worker.
+fn run_fused<S: LevelSource>(
+    src: &S,
+    cfg: &ScanConfig,
+    base: Point4,
+    extent: Dims4,
+    parallel: bool,
+    data: &mut [f64],
+) {
+    let n = cfg.selection.len();
+    let row_origin = |r: usize| {
+        let y = r % extent.y;
+        let z = (r / extent.y) % extent.z;
+        let t = r / (extent.y * extent.z);
+        Point4::new(base.x, base.y + y, base.z + z, base.t + t)
+    };
+    if parallel {
+        data.par_chunks_mut(extent.x * n).enumerate().for_each_init(
+            || FusedScratch::new(src.levels()),
+            |scratch, (r, out_row)| {
+                crate::fused::scan_row_fused(src, cfg, row_origin(r), extent.x, out_row, scratch);
+            },
+        );
+    } else {
+        let mut scratch = FusedScratch::new(src.levels());
+        for (r, out_row) in data.chunks_mut(extent.x * n).enumerate() {
+            crate::fused::scan_row_fused(src, cfg, row_origin(r), extent.x, out_row, &mut scratch);
+        }
+    }
 }
 
 #[inline]
@@ -412,12 +724,13 @@ fn scan_row_at(
     extent: Dims4,
     r: usize,
     out_row: &mut [f64],
+    scratch: &mut ScanScratch,
 ) {
     let y = r % extent.y;
     let z = (r / extent.y) % extent.z;
     let t = r / (extent.y * extent.z);
     let row_origin = Point4::new(base.x, base.y + y, base.z + z, base.t + t);
-    crate::window::scan_row_incremental(vol, cfg, row_origin, extent.x, out_row);
+    crate::window::scan_row_incremental(vol, cfg, row_origin, extent.x, out_row, scratch);
 }
 
 /// Sequential raster scan over the whole volume — the reference
@@ -610,6 +923,9 @@ mod tests {
             ScanEngine::Parallel,
             ScanEngine::Incremental,
             ScanEngine::IncrementalParallel,
+            ScanEngine::Fused,
+            ScanEngine::FusedParallel,
+            ScanEngine::Auto,
         ] {
             cfg.engine = engine;
             let maps = scan(&vol, &cfg);
@@ -636,10 +952,93 @@ mod tests {
                 ScanEngine::Incremental.effective_for(repr),
                 ScanEngine::Reference
             );
-            cfg.engine = ScanEngine::IncrementalParallel;
-            let a = scan(&vol, &cfg);
-            let b = raster_scan(&vol, &cfg);
-            assert_eq!(a.max_abs_diff(&b), 0.0, "{repr:?} downgrade diverged");
+            assert_eq!(ScanEngine::Fused.effective_for(repr), ScanEngine::Reference);
+            assert_eq!(
+                ScanEngine::FusedParallel.effective_for(repr),
+                ScanEngine::Parallel
+            );
+            for engine in [ScanEngine::IncrementalParallel, ScanEngine::FusedParallel] {
+                cfg.engine = engine;
+                let a = scan(&vol, &cfg);
+                let b = raster_scan(&vol, &cfg);
+                assert_eq!(
+                    a.max_abs_diff(&b),
+                    0.0,
+                    "{repr:?} downgrade of {engine:?} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tier_table_picks_first_matching_bucket() {
+        let table = TierTable {
+            buckets: vec![
+                TierBucket {
+                    max_roi_voxels: 100,
+                    max_levels: 16,
+                    max_directions: 4,
+                    engine: ScanEngine::Incremental,
+                },
+                TierBucket {
+                    max_roi_voxels: 10_000,
+                    max_levels: 256,
+                    max_directions: 64,
+                    engine: ScanEngine::Fused,
+                },
+            ],
+            fallback: ScanEngine::Parallel,
+        };
+        assert_eq!(table.pick(50, 8, 2), ScanEngine::Incremental);
+        assert_eq!(table.pick(500, 8, 2), ScanEngine::Fused);
+        assert_eq!(table.pick(50, 8, 100), ScanEngine::Parallel);
+        // An Auto table entry sanitizes instead of recursing.
+        let silly = TierTable {
+            buckets: vec![],
+            fallback: ScanEngine::Auto,
+        };
+        assert_eq!(silly.pick(1, 1, 1), ScanEngine::default());
+    }
+
+    #[test]
+    fn builtin_table_keeps_sparse_directions_incremental() {
+        let table = TierTable::builtin();
+        assert_eq!(table.pick(900, 32, 1), ScanEngine::IncrementalParallel);
+        assert_eq!(table.pick(900, 32, 40), ScanEngine::FusedParallel);
+        // Auto never leaks out of workload resolution.
+        for dirs in [1, 2, 3, 40] {
+            let e = ScanEngine::Auto.effective_for_workload(Representation::Full, 900, 32, dirs);
+            assert_ne!(e, ScanEngine::Auto);
+        }
+    }
+
+    #[test]
+    fn raw_scan_matches_quantize_then_scan() {
+        let dims = Dims4::new(9, 8, 3, 3);
+        let raw: Vec<u16> = dims
+            .region()
+            .points()
+            .map(|p| ((p.x * 613 + p.y * 271 + p.z * 131 + p.t * 89) % 4001) as u16)
+            .collect();
+        let q = Quantizer::linear(16, 0, 4000);
+        let vol = q.quantize(dims, &raw);
+        let mut cfg = small_cfg();
+        cfg.selection = FeatureSelection::all();
+        let extent = cfg.roi.output_dims(dims);
+        for engine in [
+            ScanEngine::Fused,
+            ScanEngine::FusedParallel,
+            ScanEngine::IncrementalParallel,
+            ScanEngine::Auto,
+        ] {
+            cfg.engine = engine;
+            let from_raw = scan_placements_raw(dims, &raw, &q, &cfg, Point4::ZERO, extent);
+            let from_vol = scan_placements(&vol, &cfg, Point4::ZERO, extent);
+            assert_eq!(
+                from_raw.max_abs_diff(&from_vol),
+                0.0,
+                "raw-path {engine:?} diverged from quantize-then-scan"
+            );
         }
     }
 

@@ -188,6 +188,20 @@ impl SupportMask {
         Self { words }
     }
 
+    /// An all-clear mask covering `cells` dense matrix cells. Paired with
+    /// [`clear_all`](Self::clear_all) this lets the fused scan engine keep
+    /// one mask allocation alive across every row a worker processes.
+    pub(crate) fn empty(cells: usize) -> Self {
+        Self {
+            words: vec![0u64; cells.div_ceil(64)],
+        }
+    }
+
+    /// Clears every bit, keeping the allocation.
+    pub(crate) fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Flags cell `idx` as non-zero.
     #[inline]
     pub(crate) fn set(&mut self, idx: usize) {

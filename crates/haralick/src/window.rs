@@ -15,7 +15,7 @@
 
 use crate::coocc::CoMatrix;
 use crate::direction::DirectionSet;
-use crate::features::{compute_features, MatrixStats};
+use crate::features::compute_features;
 use crate::raster::{FeatureMaps, ScanConfig, ScanEngine};
 use crate::sparse::SupportMask;
 use crate::volume::{Dims4, LevelVolume, Point4, Region4};
@@ -209,15 +209,18 @@ impl<'a> SlidingWindow<'a> {
 /// [`SupportMask`] kept exactly equal to the matrix's non-zero cells on
 /// every count transition), and the per-placement statistics are rebuilt
 /// from exactly those cells, accumulating only what the selection reads
-/// ([`MatrixStats::from_support`]) — bit-identical to the full-sweep
-/// reference, at `O(plane · |D| + nnz)` per placement instead of
-/// `O(roi · |D| + Ng²)`.
+/// ([`crate::features::MatrixStats::refill_from_support`] on the
+/// caller-provided reusable
+/// scratch, so the hot loop never allocates) — bit-identical to the
+/// full-sweep reference, at `O(plane · |D| + nnz)` per placement instead
+/// of `O(roi · |D| + Ng²)`.
 pub(crate) fn scan_row_incremental(
     vol: &LevelVolume,
     cfg: &ScanConfig,
     row_origin: Point4,
     width: usize,
     out_row: &mut [f64],
+    scratch: &mut crate::raster::ScanScratch,
 ) {
     let n = cfg.selection.len();
     debug_assert_eq!(out_row.len(), width * n);
@@ -227,8 +230,10 @@ pub(crate) fn scan_row_incremental(
             win.slide_x();
         }
         let support = win.support().expect("tracked window always has support");
-        let stats = MatrixStats::from_support(win.matrix(), support, &cfg.selection);
-        let values = compute_features(&stats, &cfg.selection);
+        scratch
+            .stats
+            .refill_from_support(win.matrix(), support, &cfg.selection);
+        let values = compute_features(&scratch.stats, &cfg.selection);
         for (slot, feature) in cfg.selection.iter().enumerate() {
             out_row[x * n + slot] = values.get(feature).expect("selected feature computed");
         }

@@ -2,11 +2,12 @@
 //! to the sequential reference scan (`raster_scan`) across random volumes,
 //! ROI shapes, direction sets and all four co-occurrence representations.
 //!
-//! Bit-identicality (not just tolerance) holds because the incremental tiers
-//! replay the reference's exact floating-point operation sequence: the
-//! support-mask sweep visits the same non-zero cells in the same row-major
-//! order as the zero-skip pass, and the sparse representations downgrade to
-//! the rebuild tiers.
+//! Bit-identicality (not just tolerance) holds because the incremental and
+//! fused tiers replay the reference's exact floating-point operation
+//! sequence: the support-mask sweep visits the same non-zero cells in the
+//! same row-major order as the zero-skip pass, integer sub-histogram
+//! accumulation is exact, and the sparse representations downgrade to the
+//! rebuild tiers.
 
 use haralick::direction::{Direction, DirectionSet};
 use haralick::features::FeatureSelection;
@@ -71,6 +72,8 @@ proptest! {
             ScanEngine::Parallel,
             ScanEngine::Incremental,
             ScanEngine::IncrementalParallel,
+            ScanEngine::Fused,
+            ScanEngine::FusedParallel,
         ] {
             cfg.engine = engine;
             let maps = scan(&vol, &cfg);
@@ -84,4 +87,84 @@ proptest! {
             );
         }
     }
+}
+
+/// Every concrete tier plus `Auto`, checked on one degenerate geometry.
+fn assert_all_tiers_match(vol: &LevelVolume, roi: RoiShape, directions: DirectionSet) {
+    let mut cfg = ScanConfig {
+        roi,
+        directions,
+        selection: FeatureSelection::all(),
+        representation: Representation::Full,
+        engine: ScanEngine::Reference,
+    };
+    let reference = raster_scan(vol, &cfg);
+    for engine in [
+        ScanEngine::Parallel,
+        ScanEngine::Incremental,
+        ScanEngine::IncrementalParallel,
+        ScanEngine::Fused,
+        ScanEngine::FusedParallel,
+        ScanEngine::Auto,
+    ] {
+        cfg.engine = engine;
+        let maps = scan(vol, &cfg);
+        assert_eq!(
+            maps.max_abs_diff(&reference),
+            0.0,
+            "{engine:?} diverged from reference on degenerate input"
+        );
+    }
+}
+
+#[test]
+fn degenerate_two_level_volume_matches() {
+    // ng = 2 exercises the smallest possible matrix (4 cells, 3 in the
+    // upper triangle) — the fused lane layout must not over-run it.
+    let vol = lcg_volume(Dims4::new(8, 7, 2, 2), 2, 7);
+    assert_all_tiers_match(
+        &vol,
+        RoiShape::from_lengths(3, 3, 2, 2),
+        DirectionSet::paper_4d(1),
+    );
+}
+
+#[test]
+fn degenerate_single_voxel_roi_matches() {
+    // A 1x1x1x1 ROI has no in-window pairs: every matrix is empty and every
+    // feature comes from the zero-mass branch, identically across tiers.
+    let vol = lcg_volume(Dims4::new(6, 5, 3, 3), 16, 11);
+    assert_all_tiers_match(
+        &vol,
+        RoiShape::from_lengths(1, 1, 1, 1),
+        DirectionSet::all_unique_4d(1),
+    );
+}
+
+#[test]
+fn degenerate_constant_volume_matches() {
+    // An all-equal volume concentrates the whole matrix on one diagonal
+    // cell — the maximal-duplicate case for the fused touched-cell list.
+    let dims = Dims4::new(9, 6, 2, 2);
+    let data = vec![3u8; dims.len()];
+    let vol = LevelVolume::from_raw(dims, data, 16).unwrap();
+    assert_all_tiers_match(
+        &vol,
+        RoiShape::from_lengths(4, 3, 2, 2),
+        DirectionSet::all_unique_4d(1),
+    );
+}
+
+#[test]
+fn auto_tier_matches_reference_under_builtin_and_installed_tables() {
+    // `Auto` must agree with the reference no matter which table resolves
+    // it; install the current table back over itself to exercise the
+    // installed-table path without disturbing other tests' expectations.
+    let vol = lcg_volume(Dims4::new(10, 8, 3, 3), 16, 23);
+    haralick::raster::install_tier_table(haralick::raster::current_tier_table());
+    assert_all_tiers_match(
+        &vol,
+        RoiShape::from_lengths(4, 4, 2, 2),
+        DirectionSet::paper_4d(1),
+    );
 }

@@ -6,18 +6,20 @@
 //! h4d info     <dataset_dir>
 //! h4d analyze  <dataset_dir> <out_dir> [--variant hmp|split|visual]
 //!              [--repr full|naive|sparse|sparse-accum] [--texture N]
+//!              [--engine reference|parallel|incremental|incremental-parallel|fused|fused-parallel|auto]
 //!              [--report run.json] [--canonical true]
 //!              [--io-cache-bytes B] [--read-ahead N]
 //! h4d graph    <out.json> [--variant hmp|split|visual] [--texture N]
 //! h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]
 //! h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr ...]
-//!              [--report run.json] [--canonical true]
+//!              [--engine ...] [--report run.json] [--canonical true]
 //!              [--io-cache-bytes B] [--read-ahead N]
 //! h4d node     <graph.json> <dataset_dir> <out_dir> --node K
-//!              --peers addr0,addr1,... [--repr ...] [--report run.json]
-//!              [--canonical true] [--io-cache-bytes B] [--read-ahead N]
+//!              --peers addr0,addr1,... [--repr ...] [--engine ...]
+//!              [--report run.json] [--canonical true]
+//!              [--io-cache-bytes B] [--read-ahead N]
 //! h4d launch   <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...]
-//!              [--report-base run] [--canonical true]
+//!              [--engine ...] [--report-base run] [--canonical true]
 //!              [--io-cache-bytes B] [--read-ahead N]
 //! ```
 //!
@@ -33,7 +35,7 @@
 //! `H4D_TRANSPORT_FAULT` to the children for chaos testing.
 
 use datacutter::{NodeConfig, SchedulePolicy};
-use haralick::raster::Representation;
+use haralick::raster::{Representation, ScanEngine};
 use haralick::volume::Dims4;
 use mri::store::{write_distributed, DistributedDataset};
 use mri::synth::{generate, SynthConfig};
@@ -52,15 +54,17 @@ fn usage() -> ! {
          h4d generate <dataset_dir> [--dims X,Y,Z,T] [--nodes N] [--seed S] [--format raw|dicom]\n  \
          h4d info <dataset_dir>\n  \
          h4d analyze <dataset_dir> <out_dir> [--variant hmp|split|visual] \
-         [--repr full|naive|sparse|sparse-accum] [--texture N] [--report run.json] \
-         [--canonical true] [--io-cache-bytes B] [--read-ahead N]\n  \
+         [--repr full|naive|sparse|sparse-accum] [--texture N] \
+         [--engine reference|parallel|incremental|incremental-parallel|fused|fused-parallel|auto] \
+         [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N]\n  \
          h4d graph <out.json> [--variant hmp|split|visual] [--texture N]\n  \
          h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]\n  \
          h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr full|naive|sparse|sparse-accum] \
-         [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N]\n  \
+         [--engine ...] [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N]\n  \
          h4d node <graph.json> <dataset_dir> <out_dir> --node K --peers addr0,addr1,... \
-         [--repr ...] [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N]\n  \
-         h4d launch <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...] \
+         [--repr ...] [--engine ...] [--report run.json] [--canonical true] \
+         [--io-cache-bytes B] [--read-ahead N]\n  \
+         h4d launch <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...] [--engine ...] \
          [--report-base run] [--canonical true] [--io-cache-bytes B] [--read-ahead N]"
     );
     exit(2);
@@ -128,6 +132,22 @@ fn parse_repr(s: &str) -> Representation {
     }
 }
 
+fn parse_engine(s: &str) -> ScanEngine {
+    match s {
+        "reference" => ScanEngine::Reference,
+        "parallel" => ScanEngine::Parallel,
+        "incremental" => ScanEngine::Incremental,
+        "incremental-parallel" => ScanEngine::IncrementalParallel,
+        "fused" => ScanEngine::Fused,
+        "fused-parallel" => ScanEngine::FusedParallel,
+        "auto" => ScanEngine::Auto,
+        other => {
+            eprintln!("unknown engine {other:?}");
+            usage();
+        }
+    }
+}
+
 fn app_config(dims: Dims4, nodes: usize, repr: Representation) -> AppConfig {
     let mut cfg = AppConfig::paper(repr);
     if !cfg.roi.fits_in(dims) {
@@ -157,6 +177,13 @@ fn app_config(dims: Dims4, nodes: usize, repr: Representation) -> AppConfig {
 fn apply_io_flags(cfg: &mut AppConfig, flags: &Flags) {
     cfg.io_cache_bytes = flags.parse_or("io-cache-bytes", cfg.io_cache_bytes);
     cfg.read_ahead_chunks = flags.parse_or("read-ahead", cfg.read_ahead_chunks);
+}
+
+/// Applies the `--engine` scan-tier override onto a loaded configuration.
+fn apply_engine_flag(cfg: &mut AppConfig, flags: &Flags) {
+    if let Some(e) = flags.get("engine") {
+        cfg.engine = parse_engine(e);
+    }
 }
 
 /// Writes the Figure-9-style busy-vs-wait run report as JSON to `path`,
@@ -250,6 +277,10 @@ fn build_graph(variant: &str, storage_nodes: usize, texture: usize) -> datacutte
 }
 
 fn main() {
+    // Install the committed measured tier table so `--engine auto` (and any
+    // config that asks for `ScanEngine::Auto`) resolves against calibrated
+    // measurements rather than the builtin heuristic.
+    haralick::raster::install_tier_table(cluster::calibrated_defaults::default_tier_table());
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
     match cmd.as_str() {
@@ -324,6 +355,7 @@ fn main() {
             let mut cfg = app_config(desc.dims, desc.num_nodes, repr);
             cfg.canonical_output = flags.parse_or("canonical", false);
             apply_io_flags(&mut cfg, &flags);
+            apply_engine_flag(&mut cfg, &flags);
             let cfg = Arc::new(cfg);
             let spec = build_graph(&variant, desc.num_nodes, texture);
             std::fs::create_dir_all(out).ok();
@@ -393,6 +425,7 @@ fn main() {
             let mut cfg = app_config(desc.dims, desc.num_nodes, repr);
             cfg.canonical_output = flags.parse_or("canonical", false);
             apply_io_flags(&mut cfg, &flags);
+            apply_engine_flag(&mut cfg, &flags);
             let cfg = Arc::new(cfg);
             std::fs::create_dir_all(out).ok();
             let rt = IoRuntime::new();
@@ -453,6 +486,7 @@ fn main() {
             let mut cfg = app_config(desc.dims, desc.num_nodes, repr);
             cfg.canonical_output = flags.parse_or("canonical", false);
             apply_io_flags(&mut cfg, &flags);
+            apply_engine_flag(&mut cfg, &flags);
             let cfg = Arc::new(cfg);
             std::fs::create_dir_all(out).ok();
             // Picks up H4D_TRANSPORT_FAULT from the environment.
@@ -525,7 +559,13 @@ fn main() {
                     .arg(node.to_string())
                     .arg("--peers")
                     .arg(&peers);
-                for key in ["repr", "canonical", "io-cache-bytes", "read-ahead"] {
+                for key in [
+                    "repr",
+                    "engine",
+                    "canonical",
+                    "io-cache-bytes",
+                    "read-ahead",
+                ] {
                     if let Some(v) = flags.get(key) {
                         cmd.arg(format!("--{key}")).arg(v);
                     }

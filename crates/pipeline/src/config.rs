@@ -38,8 +38,12 @@ pub struct AppConfig {
     pub param_value_bytes: usize,
     /// Scan-engine tier used by the texture filters (see
     /// [`haralick::raster::ScanEngine`]). `Parallel` reproduces the paper's
-    /// per-placement rebuild; the incremental tiers are a beyond-the-paper
-    /// optimization (sparse representations downgrade to rebuild tiers).
+    /// per-placement rebuild; the incremental and fused tiers are
+    /// beyond-the-paper optimizations (sparse representations downgrade to
+    /// rebuild tiers), and `Auto` picks the measured-fastest tier per
+    /// workload from the installed
+    /// [`haralick::raster::TierTable`] (the calibrated snapshot is
+    /// installed at `h4d` startup).
     #[serde(default)]
     pub engine: ScanEngine,
     /// Worker threads available to one texture-filter copy for per-chunk

@@ -422,11 +422,14 @@ enum MatrixEither {
 /// tests as the per-chunk reference.
 ///
 /// The per-chunk raster scan is routed through the unified
-/// [`haralick::raster`] engine: `cfg.engine` selects the tier (the paper's
-/// per-placement rebuild, or the row-parallel incremental scan with
-/// dirty-cell statistics), and every tier produces bit-identical values.
+/// [`haralick::raster`] engine via its raw-voxel entry point: `cfg.engine`
+/// selects the tier (the paper's per-placement rebuild, the row-parallel
+/// incremental scan, the fused sub-histogram kernel, or measured `Auto`
+/// selection), and every tier produces bit-identical values. When the
+/// effective tier is fused, quantization folds into the window walk — the
+/// chunk's raw `u16` voxels are binned on the fly and no intermediate
+/// quantized volume is materialized.
 pub fn analyze_chunk(cfg: &AppConfig, data: &ChunkData) -> Result<Vec<ParamPacket>, FilterError> {
-    let vol = data.raw.quantize(&cfg.quantizer);
     let chunk = &data.chunk;
     let owned = chunk.owned_output;
     // The owned-output block's placement base in chunk-local coordinates.
@@ -436,7 +439,14 @@ pub fn analyze_chunk(cfg: &AppConfig, data: &ChunkData) -> Result<Vec<ParamPacke
         owned.origin.z - chunk.input.origin.z,
         owned.origin.t - chunk.input.origin.t,
     );
-    let maps = haralick::raster::scan_placements(&vol, &cfg.scan_config(), base, owned.size);
+    let maps = haralick::raster::scan_placements_raw(
+        data.raw.dims(),
+        data.raw.as_slice(),
+        &cfg.quantizer,
+        &cfg.scan_config(),
+        base,
+        owned.size,
+    );
     let n = chunk.rois();
     let sel = cfg.selection;
     // `linear_point` and the feature-map layout both enumerate the owned
@@ -544,12 +554,20 @@ impl Filter for HccFilter {
         self.pool.put(data.raw.into_data());
         let n = chunk.rois();
         let per_packet = n.div_ceil(cfg.packet_split.max(1)).max(1);
-        // With an incremental engine, maintain the dense matrix with the
-        // sliding window across the chunk's raster order (`linear_point`
-        // advances +x within a row, so almost every placement slides).
-        // `SparseAccum` keeps its per-ROI accumulation semantics — its whole
-        // point is never materializing the dense matrix.
-        let mut cursor = (cfg.engine.is_incremental()
+        // With a sliding engine (incremental or fused — resolve `Auto`
+        // through the measured tier table first), maintain the dense
+        // matrix with the sliding window across the chunk's raster order
+        // (`linear_point` advances +x within a row, so almost every
+        // placement slides). `SparseAccum` keeps its per-ROI accumulation
+        // semantics — its whole point is never materializing the dense
+        // matrix.
+        let effective = cfg.engine.effective_for_workload(
+            cfg.representation,
+            cfg.roi.len(),
+            cfg.levels,
+            cfg.directions.len(),
+        );
+        let mut cursor = ((effective.is_incremental() || effective.is_fused())
             && cfg.representation != Representation::SparseAccum)
             .then(|| MatrixCursor::new(&vol, &cfg.directions, cfg.roi.size()));
         // Exactly one of the two batch vectors is used per representation;
