@@ -9,11 +9,19 @@
 //! boundary, which is exactly what the placement decision trades against
 //! in the paper's multi-node experiments.
 //!
+//! Two further sections probe the v2 frame path:
+//!
+//! * `batching` — the same frame stream written with one flush per frame
+//!   (the v1 writer discipline) versus coalesced batches flushed together
+//!   (the v2 discipline); `speedup` is the headline ratio CI gates on.
+//! * `fanout` — one sender feeding 1, 2, 4, and 8 peers at once, small
+//!   (256 B) and large (64 KiB) frames, aggregate delivered throughput.
+//!
 //! ```sh
 //! cargo run --release -p bench --bin transport_json
 //! ```
 
-use datacutter::transport::wire::{read_frame, write_frame, Frame};
+use datacutter::transport::wire::{encode_frame, read_frame, write_frame, Frame};
 use datacutter::{DataBuffer, PayloadCodec};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
@@ -88,6 +96,136 @@ fn tcp_run(len: usize, frames: u64) -> f64 {
     dt
 }
 
+fn data_frame(tag: u64, len: usize, payload: Vec<u8>) -> Frame {
+    Frame::Data {
+        stream: 0,
+        dest: 0,
+        tag,
+        size: len as u64,
+        ptype: 1,
+        payload,
+    }
+}
+
+/// Drains every frame from `stream`, returning how many arrived.
+fn drain(stream: TcpStream) -> u64 {
+    let mut input = BufReader::new(stream);
+    let mut got = 0u64;
+    while let Some(frame) = read_frame(&mut input).expect("loopback read") {
+        std::hint::black_box(&frame);
+        got += 1;
+    }
+    got
+}
+
+/// Seconds to deliver `frames` frames of `len` payload bytes with one
+/// syscall flush per frame — the v1 writer discipline the batched path
+/// replaced.
+fn flush_per_frame_run(len: usize, frames: u64) -> f64 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect loopback");
+        stream.set_nodelay(true).ok();
+        let mut out = BufWriter::new(stream);
+        let payload = payload_of(len);
+        for i in 0..frames {
+            write_frame(&mut out, &data_frame(i, len, payload.clone())).expect("loopback write");
+            out.flush().expect("flush");
+        }
+    });
+    let (stream, _) = listener.accept().expect("accept loopback");
+    let t = Instant::now();
+    let got = drain(stream);
+    let dt = t.elapsed().as_secs_f64();
+    writer.join().expect("writer thread");
+    assert_eq!(got, frames, "frames lost on loopback");
+    dt
+}
+
+/// How many encoded bytes a batch accumulates before one coalesced flush
+/// (mirrors the writer thread's flush threshold).
+const BATCH_FLUSH_BYTES: usize = 1 << 20;
+
+/// Seconds to deliver the same frames coalesced into large flushes — the
+/// v2 writer discipline.
+fn batched_run(len: usize, frames: u64) -> f64 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect loopback");
+        stream.set_nodelay(true).ok();
+        let payload = payload_of(len);
+        let mut batch: Vec<u8> = Vec::with_capacity(BATCH_FLUSH_BYTES + len + 64);
+        for i in 0..frames {
+            batch.extend_from_slice(&encode_frame(&data_frame(i, len, payload.clone())));
+            if batch.len() >= BATCH_FLUSH_BYTES {
+                stream.write_all(&batch).expect("loopback write");
+                batch.clear();
+            }
+        }
+        stream.write_all(&batch).expect("loopback write");
+    });
+    let (stream, _) = listener.accept().expect("accept loopback");
+    let t = Instant::now();
+    let got = drain(stream);
+    let dt = t.elapsed().as_secs_f64();
+    writer.join().expect("writer thread");
+    assert_eq!(got, frames, "frames lost on loopback");
+    dt
+}
+
+/// Seconds for one process to feed `peers` receivers `frames_per_peer`
+/// frames each (batched discipline, one writer thread per peer — the
+/// shape of a fan-out placement, where one node's output streams serve
+/// every texture node at once).
+fn fanout_run(len: usize, frames_per_peer: u64, peers: usize) -> f64 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let receivers: Vec<_> = (0..peers)
+        .map(|_| {
+            let listener = listener.try_clone().expect("clone listener");
+            std::thread::spawn(move || {
+                let (stream, _) = listener.accept().expect("accept loopback");
+                drain(stream)
+            })
+        })
+        .collect();
+    let t = Instant::now();
+    let writers: Vec<_> = (0..peers)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect loopback");
+                stream.set_nodelay(true).ok();
+                let payload = payload_of(len);
+                let mut batch: Vec<u8> = Vec::with_capacity(BATCH_FLUSH_BYTES + len + 64);
+                for i in 0..frames_per_peer {
+                    batch.extend_from_slice(&encode_frame(&data_frame(i, len, payload.clone())));
+                    if batch.len() >= BATCH_FLUSH_BYTES {
+                        stream.write_all(&batch).expect("loopback write");
+                        batch.clear();
+                    }
+                }
+                stream.write_all(&batch).expect("loopback write");
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+    let mut got = 0u64;
+    for r in receivers {
+        got += r.join().expect("receiver thread");
+    }
+    let dt = t.elapsed().as_secs_f64();
+    assert_eq!(
+        got,
+        frames_per_peer * peers as u64,
+        "frames lost in fan-out"
+    );
+    dt
+}
+
 /// Seconds to push the same buffers through a bounded in-process channel:
 /// the zero-copy `Arc` path same-node streams keep.
 fn channel_run(len: usize, frames: u64) -> f64 {
@@ -135,10 +273,80 @@ fn main() {
         );
         sizes.insert(format!("{len}"), entry);
     }
+    // Batching A/B: the identical frame stream under the v1 flush-per-frame
+    // discipline and the v2 coalesced discipline. Small frames are where
+    // per-frame syscalls dominate; the 256 B speedup is the CI-gated
+    // headline number.
+    let mut batching = serde_json::Map::new();
+    for &(len, frames) in &[(256usize, 40_000u64), (4096, 20_000)] {
+        let per_frame_s = median(
+            (0..reps)
+                .map(|_| flush_per_frame_run(len, frames))
+                .collect(),
+        );
+        let batched_s = median((0..reps).map(|_| batched_run(len, frames)).collect());
+        let speedup = per_frame_s / batched_s;
+        println!(
+            "batch {len:>6} B: per-frame {:>9.0} frames/s, batched {:>9.0} frames/s, speedup {speedup:.1}x",
+            frames as f64 / per_frame_s,
+            frames as f64 / batched_s,
+        );
+        batching.insert(
+            format!("{len}"),
+            serde_json::json!({
+                "payload_bytes": len,
+                "frames": frames,
+                "flush_per_frame_frames_per_s": (frames as f64 / per_frame_s).round(),
+                "batched_frames_per_s": (frames as f64 / batched_s).round(),
+                "speedup": speedup,
+            }),
+        );
+    }
+
+    // Fan-out sweep: one sender node feeding N peers at once, small and
+    // large frames, batched discipline throughout.
+    let fan_reps = 3;
+    let mut fanout = serde_json::Map::new();
+    for &peers in &[1usize, 2, 4, 8] {
+        let mut entry = serde_json::Map::new();
+        entry.insert("peers".into(), serde_json::json!(peers));
+        for &(label, len, per_peer) in &[("small", 256usize, 20_000u64), ("large", 65_536, 1_000)] {
+            let s = median(
+                (0..fan_reps)
+                    .map(|_| fanout_run(len, per_peer, peers))
+                    .collect(),
+            );
+            let frames = per_peer * peers as u64;
+            let bytes = len as f64 * frames as f64;
+            println!(
+                "fanout 1->{peers} {label:>5} ({len:>6} B): {:>10.0} frames/s, {:>12.0} B/s aggregate",
+                frames as f64 / s,
+                bytes / s,
+            );
+            entry.insert(
+                label.to_string(),
+                serde_json::json!({
+                    "payload_bytes": len,
+                    "frames_per_peer": per_peer,
+                    "frames_per_s": (frames as f64 / s).round(),
+                    "bytes_per_s": (bytes / s).round(),
+                }),
+            );
+        }
+        fanout.insert(format!("{peers}"), serde_json::Value::Object(entry));
+    }
+
     let out = serde_json::json!({
         "unit": "loopback transport throughput vs in-process channel",
-        "config": { "reps": reps, "channel_capacity": 64 },
+        "config": {
+            "reps": reps,
+            "fanout_reps": fan_reps,
+            "channel_capacity": 64,
+            "batch_flush_bytes": BATCH_FLUSH_BYTES,
+        },
         "sizes": serde_json::Value::Object(sizes),
+        "batching": serde_json::Value::Object(batching),
+        "fanout": serde_json::Value::Object(fanout),
     });
     let path = "BENCH_transport.json";
     std::fs::write(

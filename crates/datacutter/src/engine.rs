@@ -67,6 +67,9 @@ pub struct RunOutcome {
     pub streams: Vec<StreamStats>,
     /// Spin-up / steady / drain phase split of the run.
     pub phases: RunPhases,
+    /// Per-peer transport counters, one per connection; empty for
+    /// single-process runs (filled by [`crate::transport::run_node`]).
+    pub transport: Vec<crate::metrics::ConnectionReport>,
 }
 
 /// A failed run: the selected root cause, the cascade errors it triggered,
@@ -558,6 +561,7 @@ pub(crate) fn run_graph_partition(
             stats,
             streams,
             phases,
+            transport: Vec::new(),
         });
     }
     let error = candidates.remove(0);

@@ -47,12 +47,13 @@ pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use filter::{Filter, FilterContext, FilterError, FilterErrorKind};
 pub use graph::{FilterDecl, GraphSpec, StreamDecl};
 pub use metrics::{
-    CopyReport, FilterShape, IoReport, PhaseReport, RunPhases, RunReport, StreamMeter, StreamStats,
+    ConnectionReport, CopyReport, FilterShape, IoReport, PhaseReport, RunPhases, RunReport,
+    StreamMeter, StreamStats,
 };
 pub use pool::{BufferPool, PoolReport};
 pub use schedule::SchedulePolicy;
 pub use stats::{FilterCopyStats, RunStats};
 pub use transport::{
     free_loopback_addrs, run_node, NodeConfig, PayloadCodec, TransportFault, TransportFaultKind,
-    WireError,
+    WireConfig, WireError,
 };

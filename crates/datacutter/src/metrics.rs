@@ -193,6 +193,41 @@ pub struct IoReport {
     pub retained_high_water: u64,
 }
 
+/// Per-peer transport counters of one node process in a distributed run:
+/// how well the writer coalesced frames into flushes, how often credit
+/// windows stalled a route with data ready, and what compression saved.
+/// `frames_sent / flushes` is the measured batching factor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionReport {
+    /// Peer node id of this connection.
+    pub peer: usize,
+    /// Whether payload checksums were negotiated on this connection.
+    pub checksum: bool,
+    /// Whether payload compression was negotiated on this connection.
+    pub compression: bool,
+    /// Data frames sent toward the peer.
+    pub frames_sent: u64,
+    /// Wire bytes written (headers + possibly-compressed payloads + control
+    /// frames).
+    pub bytes_sent: u64,
+    /// Vectored flushes issued; every frame rides exactly one flush.
+    pub flushes: u64,
+    /// Data frames received from the peer.
+    pub frames_recv: u64,
+    /// Logical (decompressed) payload bytes received.
+    pub bytes_recv: u64,
+    /// `Credit` frames sent to the peer.
+    pub credits_sent: u64,
+    /// Times the writer went to sleep with data ready on a route whose
+    /// credit window was empty — the flow-control analogue of
+    /// `blocked_send`.
+    pub credit_stalls: u64,
+    /// Data frames whose payload shipped compressed.
+    pub compressed_frames: u64,
+    /// Payload bytes saved by compression across those frames.
+    pub compression_saved_bytes: u64,
+}
+
 /// The serializable run report: graph shape, schedule policies, run phases,
 /// per-stream delivery aggregates, and the per-copy busy / blocked-send /
 /// blocked-recv breakdown of paper Figure 9.
@@ -217,6 +252,9 @@ pub struct RunReport {
     /// Buffer-pool counters, when the run recorded them.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub pool: Option<crate::pool::PoolReport>,
+    /// Per-peer transport counters, present only for distributed runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub transport: Option<Vec<ConnectionReport>>,
 }
 
 /// Current [`RunReport::schema_version`].
@@ -246,6 +284,7 @@ impl RunReport {
                 .collect(),
             io: None,
             pool: None,
+            transport: (!outcome.transport.is_empty()).then(|| outcome.transport.clone()),
         }
     }
 
@@ -382,6 +421,7 @@ mod tests {
             }],
             io: None,
             pool: None,
+            transport: None,
         }
     }
 

@@ -6,13 +6,16 @@
 //! length-prefixed frame protocol — same-node streams keep the engine's
 //! zero-copy `Arc` path. Built on `std::net` only.
 //!
-//! * [`wire`] — the frame codec: `Hello` / `Data` / `Eos` / `Error`
-//!   frames, typed decode errors, and the spec digest both ends of the
-//!   handshake must agree on.
+//! * [`wire`] — the frame codec: `Hello` / `Data` / `Eos` / `Error` /
+//!   `Credit` frames, typed decode errors, optional per-frame payload
+//!   checksums and LZ compression (negotiated in the handshake), and the
+//!   spec digest both ends must agree on.
 //! * [`codec`] — the [`PayloadCodec`] registry translating opaque
 //!   [`crate::DataBuffer`] payloads to and from bytes.
-//! * [`node`] — mesh handshake, per-peer writer/reader threads, fault
-//!   injection for chaos tests, and the distributed root-cause merge.
+//! * [`node`] — mesh handshake with feature negotiation, per-peer
+//!   writer/reader/injector threads (batched vectored writes, per-route
+//!   credit flow control), fault injection for chaos tests, and the
+//!   distributed root-cause merge.
 
 pub mod codec;
 pub mod node;
@@ -20,4 +23,7 @@ pub mod wire;
 
 pub use codec::PayloadCodec;
 pub use node::{free_loopback_addrs, run_node, NodeConfig, TransportFault, TransportFaultKind};
-pub use wire::{spec_digest, Frame, WireError, MAX_PAYLOAD_LEN, SHARED_QUEUE, WIRE_VERSION};
+pub use wire::{
+    spec_digest, Frame, WireConfig, WireError, FEATURE_CHECKSUM, FEATURE_COMPRESS,
+    MAX_CREDIT_GRANT, MAX_PAYLOAD_LEN, SHARED_QUEUE, SUPPORTED_FEATURES, WIRE_VERSION,
+};

@@ -6,14 +6,19 @@
 //! same manual encoding discipline as the `.h4dp` parameter files, so the
 //! format is readable with a hex dump and has no serializer dependency.
 //!
-//! Frame layout:
+//! Frame layout (protocol version 2):
 //!
 //! ```text
-//! Hello: magic u32 | 0x01 | version u16 | node u32 | digest u64
-//! Data : magic u32 | 0x02 | stream u32 | dest u32 | tag u64 | size u64
-//!                          | ptype u16 | plen u32 | payload [plen]
-//! Eos  : magic u32 | 0x03 | stream u32 | dest u32
-//! Error: magic u32 | 0x04 | origin u32 | mlen u32 | message [mlen]
+//! Hello : magic u32 | 0x01 | version u16 | node u32 | digest u64
+//!                           | features u32            (version >= 2 only)
+//! Data  : magic u32 | 0x02 | stream u32 | dest u32 | tag u64 | size u64
+//!                           | ptype u16 | flags u8
+//!                           | crc u32                 (flags bit 1 only)
+//!                           | raw u32                 (flags bit 0 only)
+//!                           | plen u32 | payload [plen]
+//! Eos   : magic u32 | 0x03 | stream u32 | dest u32
+//! Error : magic u32 | 0x04 | origin u32 | mlen u32 | message [mlen]
+//! Credit: magic u32 | 0x05 | stream u32 | dest u32 | credits u32
 //! ```
 //!
 //! `dest` is the global index of the consumer copy the buffer is routed to,
@@ -21,9 +26,24 @@
 //! per-copy routing). `size` preserves the producer-declared
 //! [`crate::DataBuffer::size_bytes`] so byte accounting is bit-identical on
 //! both sides of the bridge; `ptype` names the payload codec
-//! (see [`super::PayloadCodec`]). Decoding is hardened like
-//! `read_parameter_file`: truncation, bad magic, unknown kinds and absurd
-//! lengths all yield a typed [`WireError`], never a panic.
+//! (see [`super::PayloadCodec`]).
+//!
+//! **Version-2 data path.** The `flags` byte makes each `Data` frame
+//! self-describing: bit 0 ([`FLAG_COMPRESSED`]) means the wire payload is
+//! an [`lz_compress`] block and `raw` carries the decompressed length; bit
+//! 1 ([`FLAG_CHECKSUM`]) means `crc` carries the FNV-1a-32 digest of the
+//! wire payload bytes (post-compression), verified before decompression.
+//! Which flags a writer *uses* is negotiated in the handshake: `Hello`
+//! carries a `features` bitmask ([`FEATURE_CHECKSUM`] | [`FEATURE_COMPRESS`])
+//! and each side enables only the intersection. `Credit` frames implement
+//! per-route flow control: the receiver grants the sender permission for
+//! `credits` more `Data` frames on one `(stream, dest)` route (see
+//! [`super::node`]); a grant that lifts the window to [`MAX_CREDIT_GRANT`]
+//! marks the route unthrottled.
+//!
+//! Decoding is hardened like `read_parameter_file`: truncation, bad magic,
+//! unknown kinds or flags, absurd lengths, checksum mismatches and corrupt
+//! compression blocks all yield a typed [`WireError`], never a panic.
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -31,8 +51,28 @@ use std::io::{Read, Write};
 /// Magic word opening every frame (`"H4DW"` as a big-endian u32).
 pub const WIRE_MAGIC: u32 = 0x4834_4457;
 
-/// Wire protocol version carried in the handshake.
-pub const WIRE_VERSION: u16 = 1;
+/// Wire protocol version carried in the handshake. Version 2 added the
+/// `Data` flags byte (checksums, compression), the `features` word in
+/// `Hello`, and the `Credit` frame; mixed-version meshes are rejected at
+/// handshake time.
+pub const WIRE_VERSION: u16 = 2;
+
+/// `Hello` feature bit: the sender can verify per-frame payload checksums.
+pub const FEATURE_CHECKSUM: u32 = 1 << 0;
+
+/// `Hello` feature bit: the sender can decode compressed payloads.
+pub const FEATURE_COMPRESS: u32 = 1 << 1;
+
+/// Every feature bit this build understands.
+pub const SUPPORTED_FEATURES: u32 = FEATURE_CHECKSUM | FEATURE_COMPRESS;
+
+/// `Data` flag bit: the wire payload is an [`lz_compress`] block.
+pub const FLAG_COMPRESSED: u8 = 1 << 0;
+
+/// `Data` flag bit: the frame carries an FNV-1a-32 payload checksum.
+pub const FLAG_CHECKSUM: u8 = 1 << 1;
+
+const KNOWN_FLAGS: u8 = FLAG_COMPRESSED | FLAG_CHECKSUM;
 
 /// `dest` value meaning "the shared demand-driven queue" rather than a
 /// specific consumer copy.
@@ -45,12 +85,50 @@ pub const MAX_PAYLOAD_LEN: u32 = 256 * 1024 * 1024;
 /// input).
 pub const MAX_MESSAGE_LEN: u32 = 1024 * 1024;
 
+/// Upper bound on one `Credit` grant, and the sticky "unthrottled" window:
+/// a route whose window reaches this value stops counting credits (the
+/// receiver granted it when abandoning the route, see [`super::node`]).
+pub const MAX_CREDIT_GRANT: u32 = 1 << 20;
+
+/// Payloads below this many bytes are never compressed — the token
+/// overhead cannot win and the attempt wastes cycles on `ParamPacket`s.
+pub const COMPRESS_MIN_LEN: usize = 64;
+
+/// Per-connection frame options negotiated in the handshake: the
+/// intersection of what this node was configured to send and what the
+/// peer's `Hello` advertised.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Stamp outgoing `Data` frames with an FNV-1a-32 payload checksum.
+    pub checksum: bool,
+    /// Compress outgoing `Data` payloads when it wins.
+    pub compress: bool,
+}
+
+impl WireConfig {
+    /// The `Hello` feature bits this configuration advertises.
+    pub fn features(self) -> u32 {
+        (if self.checksum { FEATURE_CHECKSUM } else { 0 })
+            | (if self.compress { FEATURE_COMPRESS } else { 0 })
+    }
+
+    /// The configuration actually usable against a peer that advertised
+    /// `peer_features`: the bitwise intersection.
+    pub fn negotiate(self, peer_features: u32) -> Self {
+        Self {
+            checksum: self.checksum && peer_features & FEATURE_CHECKSUM != 0,
+            compress: self.compress && peer_features & FEATURE_COMPRESS != 0,
+        }
+    }
+}
+
 /// A decoded wire frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
-    /// Connection handshake: protocol version, sender's node id, and a
-    /// digest of the graph spec + node count, so two processes running
-    /// different graphs fail fast instead of misrouting buffers.
+    /// Connection handshake: protocol version, sender's node id, a digest
+    /// of the graph spec + node count (so two processes running different
+    /// graphs fail fast instead of misrouting buffers), and the feature
+    /// bits the sender supports.
     Hello {
         /// Protocol version ([`WIRE_VERSION`]).
         version: u16,
@@ -58,8 +136,13 @@ pub enum Frame {
         node: u32,
         /// Graph-spec digest (see [`super::spec_digest`]).
         digest: u64,
+        /// Supported feature bits; on the wire only for `version >= 2`
+        /// (decoded as `0` from a version-1 hello).
+        features: u32,
     },
-    /// One routed data buffer.
+    /// One routed data buffer. The payload here is always the *logical*
+    /// (decompressed, verified) bytes — compression and checksums live
+    /// only on the wire.
     Data {
         /// Stream index in the graph spec.
         stream: u32,
@@ -91,6 +174,16 @@ pub enum Frame {
         /// Human-readable failure description.
         message: String,
     },
+    /// Flow control: the receiver of a route grants the sender permission
+    /// for `credits` more `Data` frames on it.
+    Credit {
+        /// Stream index in the graph spec.
+        stream: u32,
+        /// Global consumer copy index, or [`SHARED_QUEUE`].
+        dest: u32,
+        /// Additional frames permitted; `1..=`[`MAX_CREDIT_GRANT`].
+        credits: u32,
+    },
 }
 
 /// Typed decode/IO failure of the wire layer.
@@ -107,6 +200,8 @@ pub enum WireError {
     BadMagic(u32),
     /// An unknown frame kind byte.
     BadKind(u8),
+    /// A `Data` frame carried flag bits this build does not understand.
+    BadFlags(u8),
     /// A declared length exceeds its sanity bound.
     Oversized {
         /// Which length field was oversized.
@@ -126,6 +221,17 @@ pub enum WireError {
     /// The connection handshake failed (version or digest mismatch, or an
     /// unexpected first frame).
     BadHandshake(String),
+    /// A `Data` frame's payload bytes do not match its checksum.
+    ChecksumMismatch {
+        /// The checksum carried by the frame.
+        expected: u32,
+        /// The checksum computed over the received payload.
+        computed: u32,
+    },
+    /// A compressed payload failed to decompress cleanly.
+    BadCompression(String),
+    /// A `Credit` frame granted zero or more than [`MAX_CREDIT_GRANT`].
+    BadCredit(u32),
 }
 
 impl fmt::Display for WireError {
@@ -139,6 +245,7 @@ impl fmt::Display for WireError {
                 write!(f, "bad frame magic {m:#010x} (expected {WIRE_MAGIC:#010x})")
             }
             WireError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::BadFlags(b) => write!(f, "unknown data-frame flags {b:#04x}"),
             WireError::Oversized { field, len, max } => {
                 write!(f, "{field} length {len} exceeds the {max}-byte bound")
             }
@@ -148,6 +255,13 @@ impl fmt::Display for WireError {
                 write!(f, "no payload codec registered for type tag {t}")
             }
             WireError::BadHandshake(m) => write!(f, "handshake failed: {m}"),
+            WireError::ChecksumMismatch { expected, computed } => write!(
+                f,
+                "payload checksum mismatch: frame says {expected:#010x}, \
+                 received bytes hash to {computed:#010x}"
+            ),
+            WireError::BadCompression(m) => write!(f, "corrupt compressed payload: {m}"),
+            WireError::BadCredit(c) => write!(f, "credit grant {c} outside 1..={MAX_CREDIT_GRANT}"),
         }
     }
 }
@@ -164,6 +278,152 @@ const KIND_HELLO: u8 = 0x01;
 const KIND_DATA: u8 = 0x02;
 const KIND_EOS: u8 = 0x03;
 const KIND_ERROR: u8 = 0x04;
+const KIND_CREDIT: u8 = 0x05;
+
+/// FNV-1a 32-bit digest — the per-frame payload checksum. Not
+/// cryptographic; catches bit rot and desync on links that leave one host.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+// ---- LZ-style payload compression -----------------------------------------
+//
+// A from-scratch byte-oriented LZ format in the LZ4-block spirit, kept
+// deliberately tiny so the decoder can be exhaustively hardened:
+//
+//   token t < 0x80 : literal run of (t + 1) bytes follows         (1..=128)
+//   token t >= 0x80: match of ((t & 0x7f) + 4) bytes              (4..=131)
+//                    at back-offset u16 LE (1..=65535), overlap allowed
+//
+// The compressor is greedy with a 8192-entry hash of 4-byte prefixes; the
+// decoder verifies every offset and never writes past the declared raw
+// length, so corrupt input yields a typed error, never UB or unbounded
+// allocation.
+
+const LZ_HASH_BITS: u32 = 13;
+const LZ_MIN_MATCH: usize = 4;
+const LZ_MAX_MATCH: usize = 131;
+const LZ_MAX_OFFSET: usize = 65535;
+
+#[inline]
+fn lz_hash(w: u32) -> usize {
+    ((w.wrapping_mul(0x9e37_79b1)) >> (32 - LZ_HASH_BITS)) as usize
+}
+
+fn lz_push_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
+    while !lits.is_empty() {
+        let n = lits.len().min(128);
+        out.push((n - 1) as u8);
+        out.extend_from_slice(&lits[..n]);
+        lits = &lits[n..];
+    }
+}
+
+/// Compresses `input` into the transport's LZ block format. Always
+/// succeeds; the caller compares lengths and keeps the raw bytes when
+/// compression does not win.
+pub fn lz_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // Positions are stored +1 so 0 means "empty slot".
+    let mut table = vec![0u32; 1 << LZ_HASH_BITS];
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    while i + LZ_MIN_MATCH <= input.len() {
+        let w = u32::from_le_bytes([input[i], input[i + 1], input[i + 2], input[i + 3]]);
+        let h = lz_hash(w);
+        let cand = table[h] as usize;
+        table[h] = (i + 1) as u32;
+        if cand > 0 {
+            let c = cand - 1;
+            let off = i - c;
+            if off >= 1
+                && off <= LZ_MAX_OFFSET
+                && input[c..c + LZ_MIN_MATCH] == input[i..i + LZ_MIN_MATCH]
+            {
+                let mut len = LZ_MIN_MATCH;
+                while len < LZ_MAX_MATCH
+                    && i + len < input.len()
+                    && input[c + len] == input[i + len]
+                {
+                    len += 1;
+                }
+                lz_push_literals(&mut out, &input[lit_start..i]);
+                out.push(0x80 | (len - LZ_MIN_MATCH) as u8);
+                out.extend_from_slice(&(off as u16).to_le_bytes());
+                i += len;
+                lit_start = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    lz_push_literals(&mut out, &input[lit_start..]);
+    out
+}
+
+/// Decompresses an [`lz_compress`] block into exactly `raw_len` bytes.
+///
+/// # Errors
+/// A human-readable description of the first structural violation: a run
+/// past the end of input, an offset outside the produced output, or a
+/// length disagreement with `raw_len`. The output allocation is bounded by
+/// `raw_len`, which callers bound by [`MAX_PAYLOAD_LEN`].
+pub fn lz_decompress(input: &[u8], raw_len: usize) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut i = 0usize;
+    while i < input.len() {
+        let t = input[i];
+        i += 1;
+        if t < 0x80 {
+            let n = t as usize + 1;
+            if i + n > input.len() {
+                return Err(format!("literal run of {n} past end of block"));
+            }
+            if out.len() + n > raw_len {
+                return Err(format!(
+                    "literal run overflows declared raw length {raw_len}"
+                ));
+            }
+            out.extend_from_slice(&input[i..i + n]);
+            i += n;
+        } else {
+            let len = (t & 0x7f) as usize + LZ_MIN_MATCH;
+            if i + 2 > input.len() {
+                return Err("match token truncated before its offset".into());
+            }
+            let off = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+            i += 2;
+            if off == 0 || off > out.len() {
+                return Err(format!(
+                    "match offset {off} outside the {} bytes produced",
+                    out.len()
+                ));
+            }
+            if out.len() + len > raw_len {
+                return Err(format!("match overflows declared raw length {raw_len}"));
+            }
+            // Byte-at-a-time copy: offsets smaller than the match length
+            // are legal (RLE-style overlap) and must see their own output.
+            let start = out.len() - off;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != raw_len {
+        return Err(format!(
+            "block decompressed to {} bytes, header declared {raw_len}",
+            out.len()
+        ));
+    }
+    Ok(out)
+}
 
 fn read_exact_or(
     r: &mut impl Read,
@@ -193,9 +453,81 @@ read_int!(read_u16, u16);
 read_int!(read_u32, u32);
 read_int!(read_u64, u64);
 
-/// Writes one frame. The caller flushes (frames are usually batched behind
-/// a `BufWriter`).
-pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+fn read_u8(r: &mut impl Read, context: &'static str) -> Result<u8, WireError> {
+    let mut b = [0u8; 1];
+    read_exact_or(r, &mut b, context)?;
+    Ok(b[0])
+}
+
+fn payload_len(len: usize, field: &'static str) -> Result<u32, WireError> {
+    u32::try_from(len)
+        .ok()
+        .filter(|&l| l <= MAX_PAYLOAD_LEN)
+        .ok_or(WireError::Oversized {
+            field,
+            len: u32::try_from(len).unwrap_or(u32::MAX),
+            max: MAX_PAYLOAD_LEN,
+        })
+}
+
+/// Encodes a `Data` frame as a `(header, wire payload)` pair under `cfg`,
+/// applying compression (when it wins and the payload is at least
+/// [`COMPRESS_MIN_LEN`]) and the payload checksum. The split lets a
+/// batching writer queue the header bytes and the (possibly large) payload
+/// as separate vectored-write segments without copying the payload again.
+///
+/// # Errors
+/// [`WireError::Oversized`] when the payload exceeds [`MAX_PAYLOAD_LEN`].
+#[allow(clippy::too_many_arguments)]
+pub fn encode_data_frame(
+    stream: u32,
+    dest: u32,
+    tag: u64,
+    size: u64,
+    ptype: u16,
+    payload: Vec<u8>,
+    cfg: &WireConfig,
+) -> Result<(Vec<u8>, Vec<u8>), WireError> {
+    let raw_len = payload_len(payload.len(), "payload")?;
+    let (body, mut flags) = if cfg.compress && payload.len() >= COMPRESS_MIN_LEN {
+        let packed = lz_compress(&payload);
+        if packed.len() < payload.len() {
+            (packed, FLAG_COMPRESSED)
+        } else {
+            (payload, 0)
+        }
+    } else {
+        (payload, 0)
+    };
+    if cfg.checksum {
+        flags |= FLAG_CHECKSUM;
+    }
+    let mut header = Vec::with_capacity(44);
+    header.extend_from_slice(&WIRE_MAGIC.to_le_bytes());
+    header.push(KIND_DATA);
+    header.extend_from_slice(&stream.to_le_bytes());
+    header.extend_from_slice(&dest.to_le_bytes());
+    header.extend_from_slice(&tag.to_le_bytes());
+    header.extend_from_slice(&size.to_le_bytes());
+    header.extend_from_slice(&ptype.to_le_bytes());
+    header.push(flags);
+    if flags & FLAG_CHECKSUM != 0 {
+        header.extend_from_slice(&fnv1a32(&body).to_le_bytes());
+    }
+    if flags & FLAG_COMPRESSED != 0 {
+        header.extend_from_slice(&raw_len.to_le_bytes());
+    }
+    header.extend_from_slice(&payload_len(body.len(), "payload")?.to_le_bytes());
+    Ok((header, body))
+}
+
+/// Writes one frame under `cfg` (checksums/compression apply to `Data`
+/// frames only). The caller flushes — frames are batched by the writer.
+pub fn write_frame_cfg(
+    w: &mut impl Write,
+    frame: &Frame,
+    cfg: &WireConfig,
+) -> Result<(), WireError> {
     let mut out = Vec::with_capacity(32);
     out.extend_from_slice(&WIRE_MAGIC.to_le_bytes());
     match frame {
@@ -203,11 +535,17 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
             version,
             node,
             digest,
+            features,
         } => {
             out.push(KIND_HELLO);
             out.extend_from_slice(&version.to_le_bytes());
             out.extend_from_slice(&node.to_le_bytes());
             out.extend_from_slice(&digest.to_le_bytes());
+            // The features word exists only in version-2 hellos; encoding
+            // a version-1 frame (tests, mixed-version probes) omits it.
+            if *version >= 2 {
+                out.extend_from_slice(&features.to_le_bytes());
+            }
         }
         Frame::Data {
             stream,
@@ -217,27 +555,10 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
             ptype,
             payload,
         } => {
-            out.push(KIND_DATA);
-            out.extend_from_slice(&stream.to_le_bytes());
-            out.extend_from_slice(&dest.to_le_bytes());
-            out.extend_from_slice(&tag.to_le_bytes());
-            out.extend_from_slice(&size.to_le_bytes());
-            out.extend_from_slice(&ptype.to_le_bytes());
-            let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized {
-                field: "payload",
-                len: u32::MAX,
-                max: MAX_PAYLOAD_LEN,
-            })?;
-            if len > MAX_PAYLOAD_LEN {
-                return Err(WireError::Oversized {
-                    field: "payload",
-                    len,
-                    max: MAX_PAYLOAD_LEN,
-                });
-            }
-            out.extend_from_slice(&len.to_le_bytes());
-            w.write_all(&out)?;
-            w.write_all(payload)?;
+            let (header, body) =
+                encode_data_frame(*stream, *dest, *tag, *size, *ptype, payload.clone(), cfg)?;
+            w.write_all(&header)?;
+            w.write_all(&body)?;
             return Ok(());
         }
         Frame::Eos { stream, dest } => {
@@ -260,14 +581,35 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
             out.extend_from_slice(&len.to_le_bytes());
             out.extend_from_slice(bytes);
         }
+        Frame::Credit {
+            stream,
+            dest,
+            credits,
+        } => {
+            if *credits == 0 || *credits > MAX_CREDIT_GRANT {
+                return Err(WireError::BadCredit(*credits));
+            }
+            out.push(KIND_CREDIT);
+            out.extend_from_slice(&stream.to_le_bytes());
+            out.extend_from_slice(&dest.to_le_bytes());
+            out.extend_from_slice(&credits.to_le_bytes());
+        }
     }
     w.write_all(&out)?;
     Ok(())
 }
 
+/// Writes one frame with checksums and compression off (the
+/// pre-negotiation default; handshake frames always go this way).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    write_frame_cfg(w, frame, &WireConfig::default())
+}
+
 /// Reads one frame. Returns `Ok(None)` on a clean end of stream (EOF
 /// exactly at a frame boundary); EOF anywhere inside a frame is a
-/// [`WireError::Truncated`].
+/// [`WireError::Truncated`]. `Data` frames are self-describing — the flags
+/// byte says whether to verify a checksum and/or decompress — so no
+/// negotiated state is needed to decode.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
     // The first magic byte doubles as the EOF probe: zero bytes here is a
     // clean close, anything less than four afterwards is truncation.
@@ -284,20 +626,52 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
     if magic != WIRE_MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    let mut kind = [0u8; 1];
-    read_exact_or(r, &mut kind, "frame kind")?;
-    match kind[0] {
-        KIND_HELLO => Ok(Some(Frame::Hello {
-            version: read_u16(r, "hello version")?,
-            node: read_u32(r, "hello node")?,
-            digest: read_u64(r, "hello digest")?,
-        })),
+    let kind = read_u8(r, "frame kind")?;
+    match kind {
+        KIND_HELLO => {
+            let version = read_u16(r, "hello version")?;
+            let node = read_u32(r, "hello node")?;
+            let digest = read_u64(r, "hello digest")?;
+            let features = if version >= 2 {
+                read_u32(r, "hello features")?
+            } else {
+                0
+            };
+            Ok(Some(Frame::Hello {
+                version,
+                node,
+                digest,
+                features,
+            }))
+        }
         KIND_DATA => {
             let stream = read_u32(r, "data stream")?;
             let dest = read_u32(r, "data dest")?;
             let tag = read_u64(r, "data tag")?;
             let size = read_u64(r, "data size")?;
             let ptype = read_u16(r, "data ptype")?;
+            let flags = read_u8(r, "data flags")?;
+            if flags & !KNOWN_FLAGS != 0 {
+                return Err(WireError::BadFlags(flags));
+            }
+            let crc = if flags & FLAG_CHECKSUM != 0 {
+                Some(read_u32(r, "data checksum")?)
+            } else {
+                None
+            };
+            let raw = if flags & FLAG_COMPRESSED != 0 {
+                let raw = read_u32(r, "data raw length")?;
+                if raw > MAX_PAYLOAD_LEN {
+                    return Err(WireError::Oversized {
+                        field: "raw payload",
+                        len: raw,
+                        max: MAX_PAYLOAD_LEN,
+                    });
+                }
+                Some(raw)
+            } else {
+                None
+            };
             let len = read_u32(r, "data payload length")?;
             if len > MAX_PAYLOAD_LEN {
                 return Err(WireError::Oversized {
@@ -308,6 +682,18 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
             }
             let mut payload = vec![0u8; len as usize];
             read_exact_or(r, &mut payload, "data payload")?;
+            if let Some(expected) = crc {
+                let computed = fnv1a32(&payload);
+                if computed != expected {
+                    return Err(WireError::ChecksumMismatch { expected, computed });
+                }
+            }
+            let payload = match raw {
+                Some(raw_len) => {
+                    lz_decompress(&payload, raw_len as usize).map_err(WireError::BadCompression)?
+                }
+                None => payload,
+            };
             Ok(Some(Frame::Data {
                 stream,
                 dest,
@@ -336,14 +722,36 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
             let message = String::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?;
             Ok(Some(Frame::Error { origin, message }))
         }
+        KIND_CREDIT => {
+            let stream = read_u32(r, "credit stream")?;
+            let dest = read_u32(r, "credit dest")?;
+            let credits = read_u32(r, "credit grant")?;
+            if credits == 0 || credits > MAX_CREDIT_GRANT {
+                return Err(WireError::BadCredit(credits));
+            }
+            Ok(Some(Frame::Credit {
+                stream,
+                dest,
+                credits,
+            }))
+        }
         k => Err(WireError::BadKind(k)),
     }
 }
 
-/// Encodes a frame to a standalone byte vector (tests, benchmarks).
+/// Encodes a frame to a standalone byte vector with default options
+/// (tests, benchmarks, handshake).
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::new();
     write_frame(&mut out, frame).expect("Vec<u8> writes cannot fail below the length bounds");
+    out
+}
+
+/// Encodes a frame to a standalone byte vector under `cfg`.
+pub fn encode_frame_cfg(frame: &Frame, cfg: &WireConfig) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_frame_cfg(&mut out, frame, cfg)
+        .expect("Vec<u8> writes cannot fail below the length bounds");
     out
 }
 
@@ -368,12 +776,21 @@ pub fn spec_digest(spec_json: &[u8], nodes: usize) -> u64 {
 mod tests {
     use super::*;
 
-    fn roundtrip(f: Frame) {
-        let bytes = encode_frame(&f);
+    const ALL_ON: WireConfig = WireConfig {
+        checksum: true,
+        compress: true,
+    };
+
+    fn roundtrip_cfg(f: Frame, cfg: &WireConfig) {
+        let bytes = encode_frame_cfg(&f, cfg);
         let mut cur = std::io::Cursor::new(&bytes);
         let back = read_frame(&mut cur).unwrap().unwrap();
         assert_eq!(f, back);
         assert_eq!(cur.position() as usize, bytes.len(), "no trailing bytes");
+    }
+
+    fn roundtrip(f: Frame) {
+        roundtrip_cfg(f, &WireConfig::default());
     }
 
     #[test]
@@ -382,6 +799,7 @@ mod tests {
             version: WIRE_VERSION,
             node: 3,
             digest: 0xdead_beef_cafe_f00d,
+            features: SUPPORTED_FEATURES,
         });
         roundtrip(Frame::Data {
             stream: 2,
@@ -396,6 +814,66 @@ mod tests {
             origin: 1,
             message: "filter error [io] in RFR#0: boom".into(),
         });
+        roundtrip(Frame::Credit {
+            stream: 3,
+            dest: 0,
+            credits: 16,
+        });
+    }
+
+    #[test]
+    fn data_roundtrips_under_every_option_combination() {
+        let payloads: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            vec![9; 5],
+            vec![0xab; 4096],                                     // compresses well
+            (0..2048u32).flat_map(|i| i.to_le_bytes()).collect(), // mixed
+        ];
+        for checksum in [false, true] {
+            for compress in [false, true] {
+                let cfg = WireConfig { checksum, compress };
+                for p in &payloads {
+                    roundtrip_cfg(
+                        Frame::Data {
+                            stream: 1,
+                            dest: 2,
+                            tag: 42,
+                            size: p.len() as u64,
+                            ptype: 7,
+                            payload: p.clone(),
+                        },
+                        &cfg,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn version_1_hello_has_no_features_word_and_decodes_to_zero() {
+        let v1 = encode_frame(&Frame::Hello {
+            version: 1,
+            node: 4,
+            digest: 9,
+            features: 0,
+        });
+        let v2 = encode_frame(&Frame::Hello {
+            version: 2,
+            node: 4,
+            digest: 9,
+            features: SUPPORTED_FEATURES,
+        });
+        assert_eq!(v2.len(), v1.len() + 4);
+        let mut cur = std::io::Cursor::new(&v1);
+        match read_frame(&mut cur).unwrap().unwrap() {
+            Frame::Hello {
+                version, features, ..
+            } => {
+                assert_eq!(version, 1);
+                assert_eq!(features, 0);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -406,19 +884,22 @@ mod tests {
 
     #[test]
     fn truncation_is_typed_not_a_panic() {
-        let bytes = encode_frame(&Frame::Data {
+        let frame = Frame::Data {
             stream: 1,
             dest: 0,
             tag: 9,
             size: 100,
             ptype: 1,
             payload: vec![7; 32],
-        });
-        for cut in 1..bytes.len() {
-            let mut cur = std::io::Cursor::new(&bytes[..cut]);
-            match read_frame(&mut cur) {
-                Err(WireError::Truncated { .. }) => {}
-                other => panic!("prefix of {cut} bytes gave {other:?}"),
+        };
+        for cfg in [WireConfig::default(), ALL_ON] {
+            let bytes = encode_frame_cfg(&frame, &cfg);
+            for cut in 1..bytes.len() {
+                let mut cur = std::io::Cursor::new(&bytes[..cut]);
+                match read_frame(&mut cur) {
+                    Err(WireError::Truncated { .. }) => {}
+                    other => panic!("prefix of {cut} bytes gave {other:?}"),
+                }
             }
         }
     }
@@ -443,6 +924,26 @@ mod tests {
     }
 
     #[test]
+    fn unknown_data_flags_detected() {
+        let mut bytes = encode_frame(&Frame::Data {
+            stream: 0,
+            dest: 0,
+            tag: 0,
+            size: 0,
+            ptype: 0,
+            payload: Vec::new(),
+        });
+        // flags byte sits right after magic|kind|stream|dest|tag|size|ptype.
+        let flags_off = 4 + 1 + 4 + 4 + 8 + 8 + 2;
+        bytes[flags_off] = 0x80;
+        let mut cur = std::io::Cursor::new(&bytes);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(WireError::BadFlags(0x80))
+        ));
+    }
+
+    #[test]
     fn oversized_payload_length_rejected_before_allocating() {
         let mut bytes = encode_frame(&Frame::Data {
             stream: 0,
@@ -462,6 +963,135 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_checksum() {
+        let cfg = WireConfig {
+            checksum: true,
+            compress: false,
+        };
+        let bytes = encode_frame_cfg(
+            &Frame::Data {
+                stream: 1,
+                dest: 1,
+                tag: 5,
+                size: 16,
+                ptype: 2,
+                payload: (0..16).collect(),
+            },
+            &cfg,
+        );
+        let payload_start = bytes.len() - 16;
+        for pos in payload_start..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x40;
+            let mut cur = std::io::Cursor::new(&corrupt);
+            assert!(
+                matches!(
+                    read_frame(&mut cur),
+                    Err(WireError::ChecksumMismatch { .. })
+                ),
+                "flip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn credit_bounds_enforced_on_write_and_read() {
+        for bad in [0u32, MAX_CREDIT_GRANT + 1, u32::MAX] {
+            let mut sink = Vec::new();
+            assert!(matches!(
+                write_frame(
+                    &mut sink,
+                    &Frame::Credit {
+                        stream: 0,
+                        dest: 0,
+                        credits: bad
+                    }
+                ),
+                Err(WireError::BadCredit(_))
+            ));
+            // Hand-craft the same frame on the wire.
+            let mut bytes = encode_frame(&Frame::Credit {
+                stream: 0,
+                dest: 0,
+                credits: 1,
+            });
+            let off = bytes.len() - 4;
+            bytes[off..].copy_from_slice(&bad.to_le_bytes());
+            let mut cur = std::io::Cursor::new(&bytes);
+            assert!(matches!(read_frame(&mut cur), Err(WireError::BadCredit(_))));
+        }
+    }
+
+    #[test]
+    fn lz_roundtrips_structured_and_incompressible_data() {
+        let cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"abcabcabcabcabcabcabcabc".to_vec(),
+            vec![0u8; 100_000],
+            (0..50_000u32)
+                .flat_map(|i| (i % 251).to_le_bytes())
+                .collect(),
+            (0..4096u32)
+                .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+                .collect(),
+        ];
+        for data in cases {
+            let packed = lz_compress(&data);
+            let back = lz_decompress(&packed, data.len()).unwrap();
+            assert_eq!(back, data);
+        }
+    }
+
+    #[test]
+    fn lz_compresses_repetitive_payloads() {
+        let data = vec![0x5a; 65536];
+        let packed = lz_compress(&data);
+        assert!(packed.len() * 10 < data.len(), "{} bytes", packed.len());
+    }
+
+    #[test]
+    fn lz_decoder_rejects_corrupt_blocks_with_typed_errors() {
+        // Offset beyond produced output.
+        let block = [0x80u8, 0xff, 0xff];
+        assert!(lz_decompress(&block, 4).is_err());
+        // Zero offset.
+        let block = [0x00u8, 0x42, 0x80, 0x00, 0x00];
+        assert!(lz_decompress(&block, 5).is_err());
+        // Literal run past end of block.
+        let block = [0x7fu8, 0x01];
+        assert!(lz_decompress(&block, 128).is_err());
+        // Output length disagreement.
+        let block = [0x00u8, 0x42];
+        assert!(lz_decompress(&block, 2).is_err());
+        // Never more output than declared.
+        let good = lz_compress(&vec![7u8; 1000]);
+        assert!(lz_decompress(&good, 999).is_err());
+    }
+
+    #[test]
+    fn negotiation_is_the_feature_intersection() {
+        let want = WireConfig {
+            checksum: true,
+            compress: true,
+        };
+        assert_eq!(want.negotiate(SUPPORTED_FEATURES), want);
+        assert_eq!(
+            want.negotiate(FEATURE_CHECKSUM),
+            WireConfig {
+                checksum: true,
+                compress: false
+            }
+        );
+        assert_eq!(want.negotiate(0), WireConfig::default());
+        assert_eq!(
+            WireConfig::default()
+                .negotiate(SUPPORTED_FEATURES)
+                .features(),
+            0
+        );
     }
 
     #[test]

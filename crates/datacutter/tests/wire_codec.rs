@@ -8,20 +8,26 @@
 //! typed [`WireError`]s the node loop can turn into a root cause.
 
 use datacutter::transport::wire::{
-    encode_frame, read_frame, spec_digest, write_frame, Frame, WireError, MAX_PAYLOAD_LEN,
+    encode_frame, encode_frame_cfg, lz_compress, lz_decompress, read_frame, spec_digest,
+    write_frame, Frame, WireConfig, WireError, MAX_CREDIT_GRANT, MAX_PAYLOAD_LEN, WIRE_VERSION,
 };
 use datacutter::{DataBuffer, PayloadCodec};
 use proptest::prelude::*;
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        (any::<u16>(), any::<u32>(), any::<u64>()).prop_map(|(version, node, digest)| {
-            Frame::Hello {
-                version,
-                node,
-                digest,
+        (any::<u16>(), any::<u32>(), any::<u64>(), any::<u32>()).prop_map(
+            |(version, node, digest, features)| {
+                Frame::Hello {
+                    version,
+                    node,
+                    digest,
+                    // The features word is on the wire only for v2+
+                    // hellos; a v1 hello always decodes to features 0.
+                    features: if version >= 2 { features } else { 0 },
+                }
             }
-        }),
+        ),
         (
             any::<u32>(),
             any::<u32>(),
@@ -41,6 +47,36 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         (any::<u32>(), any::<u32>()).prop_map(|(stream, dest)| Frame::Eos { stream, dest }),
         (any::<u32>(), "[ -~]{0,200}")
             .prop_map(|(origin, message)| Frame::Error { origin, message }),
+        (any::<u32>(), any::<u32>(), 1..=MAX_CREDIT_GRANT).prop_map(|(stream, dest, credits)| {
+            Frame::Credit {
+                stream,
+                dest,
+                credits,
+            }
+        }),
+    ]
+}
+
+/// All four checksum × compression combinations.
+fn arb_wire_config() -> impl Strategy<Value = WireConfig> {
+    (any::<bool>(), any::<bool>())
+        .prop_map(|(checksum, compress)| WireConfig { checksum, compress })
+}
+
+/// Payloads with long runs and repeated blocks — the shape the LZ pass
+/// actually compresses — alongside plain arbitrary bytes.
+fn arb_compressible() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..512),
+        (any::<u8>(), 1usize..2048).prop_map(|(b, n)| vec![b; n]),
+        (proptest::collection::vec(any::<u8>(), 1..32), 1usize..64).prop_map(|(block, reps)| {
+            block
+                .iter()
+                .copied()
+                .cycle()
+                .take(block.len() * reps)
+                .collect()
+        }),
     ]
 }
 
@@ -170,6 +206,109 @@ proptest! {
             Err(other) => prop_assert!(false, "unexpected error {:?}", other),
         }
     }
+
+    /// Data frames round-trip bit-exact under every checksum × compression
+    /// combination — the decoder recovers the logical payload regardless of
+    /// what the wire carried — and still consume exactly their own bytes.
+    #[test]
+    fn data_roundtrips_bit_exact_under_every_wire_config(
+        payload in arb_compressible(),
+        cfg in arb_wire_config(),
+        stream in any::<u32>(), dest in any::<u32>(),
+        tag in any::<u64>(), size in any::<u64>(), ptype in any::<u16>(),
+    ) {
+        let frame = Frame::Data { stream, dest, tag, size, ptype, payload };
+        let bytes = encode_frame_cfg(&frame, &cfg);
+        let mut cur = std::io::Cursor::new(&bytes);
+        let back = read_frame(&mut cur).unwrap().unwrap();
+        prop_assert_eq!(&back, &frame);
+        prop_assert_eq!(cur.position() as usize, bytes.len());
+    }
+
+    /// With checksums on, flipping ANY payload byte on the wire is caught
+    /// as the typed `ChecksumMismatch` — never a panic, never silently
+    /// delivered data.
+    #[test]
+    fn checksum_detects_any_payload_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        pos in any::<prop::sample::Index>(),
+        flip in 1..=255u8,
+    ) {
+        let cfg = WireConfig { checksum: true, compress: false };
+        let frame = Frame::Data {
+            stream: 1, dest: 2, tag: 3, size: payload.len() as u64, ptype: 4,
+            payload: payload.clone(),
+        };
+        let mut bytes = encode_frame_cfg(&frame, &cfg);
+        // Compression is off, so the wire body is exactly the payload, at
+        // the very end of the frame.
+        let body_start = bytes.len() - payload.len();
+        let at = body_start + pos.index(payload.len());
+        bytes[at] ^= flip;
+        let mut cur = std::io::Cursor::new(&bytes);
+        match read_frame(&mut cur) {
+            Err(WireError::ChecksumMismatch { expected, computed }) => {
+                prop_assert_ne!(expected, computed);
+            }
+            other => prop_assert!(false, "corrupt payload byte gave {:?}", other),
+        }
+    }
+
+    /// The LZ pass itself round-trips bit-exact for compressible and
+    /// incompressible inputs alike.
+    #[test]
+    fn lz_roundtrips_bit_exact(input in arb_compressible()) {
+        let packed = lz_compress(&input);
+        let back = lz_decompress(&packed, input.len()).unwrap();
+        prop_assert_eq!(back, input);
+    }
+
+    /// Corrupting any byte of a compressed block yields a typed error or a
+    /// wrong-but-bounded output — never a panic or an out-of-bounds copy.
+    #[test]
+    fn lz_decoder_never_panics_on_corruption(
+        input in arb_compressible(),
+        pos in any::<prop::sample::Index>(),
+        flip in 1..=255u8,
+    ) {
+        let mut packed = lz_compress(&input);
+        if packed.is_empty() {
+            return Ok(());
+        }
+        let at = pos.index(packed.len());
+        packed[at] ^= flip;
+        if let Ok(out) = lz_decompress(&packed, input.len()) {
+            prop_assert_eq!(out.len(), input.len());
+        }
+    }
+
+    /// Credit frames round-trip across the full legal grant range.
+    #[test]
+    fn credit_frames_roundtrip(stream in any::<u32>(), dest in any::<u32>(),
+                               credits in 1..=MAX_CREDIT_GRANT) {
+        let frame = Frame::Credit { stream, dest, credits };
+        let bytes = encode_frame(&frame);
+        let mut cur = std::io::Cursor::new(&bytes);
+        prop_assert_eq!(read_frame(&mut cur).unwrap().unwrap(), frame);
+    }
+
+    /// Out-of-range grants (zero, above the cap) are rejected on read with
+    /// the typed `BadCredit`, whatever the route key.
+    #[test]
+    fn out_of_range_credits_rejected(stream in any::<u32>(), dest in any::<u32>(),
+                                     excess in prop_oneof![
+                                         Just(0u32),
+                                         (MAX_CREDIT_GRANT + 1)..=u32::MAX,
+                                     ]) {
+        let mut bytes = encode_frame(&Frame::Credit { stream, dest, credits: 1 });
+        let at = bytes.len() - 4;
+        bytes[at..].copy_from_slice(&excess.to_le_bytes());
+        let mut cur = std::io::Cursor::new(&bytes);
+        prop_assert!(matches!(
+            read_frame(&mut cur),
+            Err(WireError::BadCredit(c)) if c == excess
+        ));
+    }
 }
 
 /// The declared-length bound rejects a hostile payload length before
@@ -195,4 +334,38 @@ fn oversized_lengths_rejected_before_allocation() {
             ..
         })
     ));
+}
+
+/// A version-1 `Hello` has no features word: it is four bytes shorter on
+/// the wire than a version-2 one and always decodes with `features == 0`.
+/// The node layer turns the version difference into a typed handshake
+/// rejection; this pins the wire-level shape that makes that detection
+/// possible against a genuine v1 peer.
+#[test]
+fn v1_hello_has_no_features_word_and_is_distinguishable() {
+    let v2 = encode_frame(&Frame::Hello {
+        version: WIRE_VERSION,
+        node: 3,
+        digest: 99,
+        features: 0b11,
+    });
+    let v1 = encode_frame(&Frame::Hello {
+        version: 1,
+        node: 3,
+        digest: 99,
+        features: 0,
+    });
+    assert_eq!(v2.len(), v1.len() + 4);
+    let mut cur = std::io::Cursor::new(&v1);
+    match read_frame(&mut cur).unwrap().unwrap() {
+        Frame::Hello {
+            version, features, ..
+        } => {
+            assert_eq!(version, 1);
+            assert_eq!(features, 0);
+            assert_ne!(version, WIRE_VERSION);
+        }
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    assert_eq!(cur.position() as usize, v1.len());
 }

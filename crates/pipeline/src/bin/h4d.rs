@@ -18,9 +18,11 @@
 //!              --peers addr0,addr1,... [--repr ...] [--engine ...]
 //!              [--report run.json] [--canonical true]
 //!              [--io-cache-bytes B] [--read-ahead N]
+//!              [--checksum true] [--compress true]
 //! h4d launch   <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...]
 //!              [--engine ...] [--report-base run] [--canonical true]
 //!              [--io-cache-bytes B] [--read-ahead N]
+//!              [--checksum true] [--compress true]
 //! ```
 //!
 //! The `graph` subcommand serializes the filter network to JSON — the
@@ -63,9 +65,10 @@ fn usage() -> ! {
          [--engine ...] [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N]\n  \
          h4d node <graph.json> <dataset_dir> <out_dir> --node K --peers addr0,addr1,... \
          [--repr ...] [--engine ...] [--report run.json] [--canonical true] \
-         [--io-cache-bytes B] [--read-ahead N]\n  \
+         [--io-cache-bytes B] [--read-ahead N] [--checksum true] [--compress true]\n  \
          h4d launch <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...] [--engine ...] \
-         [--report-base run] [--canonical true] [--io-cache-bytes B] [--read-ahead N]"
+         [--report-base run] [--canonical true] [--io-cache-bytes B] [--read-ahead N] \
+         [--checksum true] [--compress true]"
     );
     exit(2);
 }
@@ -184,6 +187,14 @@ fn apply_engine_flag(cfg: &mut AppConfig, flags: &Flags) {
     if let Some(e) = flags.get("engine") {
         cfg.engine = parse_engine(e);
     }
+}
+
+/// Applies the transport feature toggles (`--checksum`, `--compress`) onto
+/// a loaded configuration. Each connection enables a feature only when both
+/// endpoints request it (the handshake negotiates the intersection).
+fn apply_transport_flags(cfg: &mut AppConfig, flags: &Flags) {
+    cfg.transport_checksum = flags.parse_or("checksum", cfg.transport_checksum);
+    cfg.transport_compress = flags.parse_or("compress", cfg.transport_compress);
 }
 
 /// Writes the Figure-9-style busy-vs-wait run report as JSON to `path`,
@@ -487,10 +498,13 @@ fn main() {
             cfg.canonical_output = flags.parse_or("canonical", false);
             apply_io_flags(&mut cfg, &flags);
             apply_engine_flag(&mut cfg, &flags);
+            apply_transport_flags(&mut cfg, &flags);
             let cfg = Arc::new(cfg);
             std::fs::create_dir_all(out).ok();
             // Picks up H4D_TRANSPORT_FAULT from the environment.
-            let node_cfg = NodeConfig::new(node, addrs);
+            let mut node_cfg = NodeConfig::new(node, addrs);
+            node_cfg.checksum = cfg.transport_checksum;
+            node_cfg.compress = cfg.transport_compress;
             let rt = IoRuntime::new();
             let t = std::time::Instant::now();
             let outcome = run_node_threaded_with(
@@ -565,6 +579,8 @@ fn main() {
                     "canonical",
                     "io-cache-bytes",
                     "read-ahead",
+                    "checksum",
+                    "compress",
                 ] {
                     if let Some(v) = flags.get(key) {
                         cmd.arg(format!("--{key}")).arg(v);

@@ -73,6 +73,15 @@ pub struct AppConfig {
     /// memory stays proportional to the window, not the dataset.
     #[serde(default = "default_read_ahead_chunks")]
     pub read_ahead_chunks: usize,
+    /// Distributed runs: stamp cross-node data frames with a payload
+    /// checksum. Effective per connection only when the peer advertises it
+    /// too (the handshake negotiates the feature intersection).
+    #[serde(default)]
+    pub transport_checksum: bool,
+    /// Distributed runs: compress cross-node payloads when it wins.
+    /// Negotiated like `transport_checksum`.
+    #[serde(default)]
+    pub transport_compress: bool,
 }
 
 fn default_texture_threads() -> usize {
@@ -125,6 +134,8 @@ impl AppConfig {
             canonical_output: false,
             io_cache_bytes: default_io_cache_bytes(),
             read_ahead_chunks: default_read_ahead_chunks(),
+            transport_checksum: false,
+            transport_compress: false,
         }
     }
 

@@ -5,16 +5,18 @@
 //! `run-graph` reference, then the same placed graph as 2 and 3
 //! cooperating `h4d node` processes over loopback TCP via `h4d launch`.
 //! Canonical output mode pins the `.h4dp` write order, so the files must
-//! be **byte-identical** across all three runs — any surviving difference
-//! is a transport defect (lost, altered, duplicated or misrouted
-//! buffers). Per-node run reports must parse, pass their own invariant
-//! check, and satisfy `busy + blocked_send + blocked_recv <= wall` for
-//! every copy.
+//! be **byte-identical** across all runs — any surviving difference is a
+//! transport defect (lost, altered, duplicated or misrouted buffers). The
+//! multi-process runs cover both wire modes: plain frames, and frames with
+//! payload checksums plus compression negotiated on (`--checksum true
+//! --compress true`), which must not change a single output byte. Per-node
+//! run reports must parse, pass their own invariant check, and satisfy
+//! `busy + blocked_send + blocked_recv <= wall` for every copy.
 //!
 //! Every child process runs under a watchdog; a wedged distributed run
 //! fails the test instead of hanging CI.
 
-use datacutter::{GraphSpec, RunReport, SchedulePolicy};
+use datacutter::{ConnectionReport, GraphSpec, RunReport, SchedulePolicy};
 use pipeline::graphs::{Copies, HmpGraph};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
@@ -128,6 +130,47 @@ fn check_node_report(path: &Path, node: usize) -> RunReport {
     report
 }
 
+/// Verifies a node report's per-connection transport section: one entry
+/// per peer, negotiated features as expected, sane frame/flush accounting.
+/// Returns the connections so the caller can aggregate across nodes.
+fn check_transport(report: &RunReport, node: usize, nodes: usize, features: bool) -> u64 {
+    let conns = report
+        .transport
+        .as_ref()
+        .unwrap_or_else(|| panic!("node {node} report has no transport section"));
+    let mut peers: Vec<usize> = conns.iter().map(|c| c.peer).collect();
+    peers.sort_unstable();
+    let expected: Vec<usize> = (0..nodes).filter(|&p| p != node).collect();
+    assert_eq!(peers, expected, "node {node} transport peers");
+    let mut frames = 0;
+    for c in conns {
+        let ConnectionReport {
+            peer,
+            checksum,
+            compression,
+            frames_sent,
+            flushes,
+            credits_sent,
+            ..
+        } = *c;
+        assert_eq!(
+            (checksum, compression),
+            (features, features),
+            "node {node}->{peer}: negotiated features"
+        );
+        // Every flush ships at least one frame (data, credit, or EOS), so
+        // a flush-per-frame regression shows up as flushes outrunning the
+        // frames this connection sent (slack covers EOS/error frames).
+        assert!(
+            flushes <= frames_sent + credits_sent + 8,
+            "node {node}->{peer}: {flushes} flushes for {frames_sent} data + \
+             {credits_sent} credit frames (writer is not batching)"
+        );
+        frames += frames_sent;
+    }
+    frames
+}
+
 #[test]
 fn multi_process_runs_are_byte_identical_to_in_process() {
     let base = std::env::temp_dir().join(format!("h4d_dist_equiv_{}", std::process::id()));
@@ -179,7 +222,27 @@ fn multi_process_runs_are_byte_identical_to_in_process() {
     );
     assert_byte_identical(&out_ref, &out2, "2-process run");
 
-    // And as three processes, with the stitch/output stage on its own node.
+    // The same two processes with the v2 wire features negotiated on:
+    // per-frame payload checksums plus compression must be invisible in
+    // the committed output.
+    let out2c = base.join("out2c");
+    let rep2c = base.join("rep2c");
+    run(
+        h4d()
+            .arg("launch")
+            .arg(&graph2)
+            .arg(&data)
+            .arg(&out2c)
+            .args(["--nodes", "2", "--canonical", "true"])
+            .args(["--checksum", "true", "--compress", "true"])
+            .arg("--report-base")
+            .arg(&rep2c),
+        "h4d launch --nodes 2 --checksum --compress",
+    );
+    assert_byte_identical(&out_ref, &out2c, "2-process checksum+compress run");
+
+    // And as three processes (stitch/output on its own node), also with
+    // checksums and compression on.
     let graph3 = write_graph(&base, 3);
     let out3 = base.join("out3");
     let rep3 = base.join("rep3");
@@ -190,18 +253,21 @@ fn multi_process_runs_are_byte_identical_to_in_process() {
             .arg(&data)
             .arg(&out3)
             .args(["--nodes", "3", "--canonical", "true"])
+            .args(["--checksum", "true", "--compress", "true"])
             .arg("--report-base")
             .arg(&rep3),
         "h4d launch --nodes 3",
     );
-    assert_byte_identical(&out_ref, &out3, "3-process run");
+    assert_byte_identical(&out_ref, &out3, "3-process checksum+compress run");
 
     // Per-node reports: parse, pass invariants, and cover exactly the
     // copies placed on each node.
     let spec2 = placed_graph(2);
     let mut copies_seen = 0;
+    let mut plain_frames = 0;
     for node in 0..2 {
         let report = check_node_report(&base.join(format!("rep2.node{node}.json")), node);
+        plain_frames += check_transport(&report, node, 2, false);
         for shape in &report.filters {
             let decl = spec2.filter_decl(&shape.name).expect("filter exists");
             let placed_here = decl.placement.iter().filter(|&&n| n == node).count();
@@ -218,8 +284,17 @@ fn multi_process_runs_are_byte_identical_to_in_process() {
         copies_seen, total,
         "per-node reports do not cover every placed copy exactly once"
     );
+    assert!(plain_frames > 0, "2-process run moved no data frames");
+
+    let mut v2_frames = 0;
+    for node in 0..2 {
+        let report = check_node_report(&base.join(format!("rep2c.node{node}.json")), node);
+        v2_frames += check_transport(&report, node, 2, true);
+    }
+    assert!(v2_frames > 0, "checksum+compress run moved no data frames");
 
     for node in 0..3 {
-        check_node_report(&base.join(format!("rep3.node{node}.json")), node);
+        let report = check_node_report(&base.join(format!("rep3.node{node}.json")), node);
+        check_transport(&report, node, 3, true);
     }
 }
