@@ -48,15 +48,29 @@ pub type FilterFactory = Box<dyn FnMut(usize) -> Result<Box<dyn Filter>, FilterE
 pub struct EngineConfig {
     /// Prefix for spawned thread names (diagnostics).
     pub thread_name_prefix: String,
+    /// Cooperative cancellation flag. When set and later raised (by e.g. a
+    /// service job manager), every copy aborts at its next callback
+    /// boundary with an `App`-kind "run cancelled" error; blocked receives
+    /// poll the flag, and long-running source filters should consult
+    /// [`FilterContext::check_cancelled`] between emissions. The run then
+    /// drains through the normal failure path: sinks observe
+    /// [`FilterContext::run_failed`] and withhold output commitment.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             thread_name_prefix: "dc".to_string(),
+            cancel: None,
         }
     }
 }
+
+/// Message used for every cancellation-induced error; the service layer
+/// distinguishes "cancelled" from "failed" by having requested the cancel,
+/// never by matching this string.
+pub const CANCEL_MESSAGE: &str = "run cancelled";
 
 /// The result of a successful run.
 #[derive(Debug, Clone)]
@@ -401,6 +415,7 @@ pub(crate) fn run_graph_partition(
                 bytes_out: 0,
                 blocked_send: Duration::ZERO,
                 failed: failed.clone(),
+                cancel: cfg.cancel.clone(),
             };
             // Spin-up is fallible: a factory error or panic aborts further
             // spawning with a typed, origin-stamped root cause, while the
@@ -596,6 +611,11 @@ fn contained(site: &str, f: impl FnOnce() -> Result<(), FilterError>) -> Result<
     }
 }
 
+/// How long a cancellable copy waits for input before re-checking the
+/// cancel flag; bounds cancellation latency for copies parked on empty
+/// input queues.
+const CANCEL_POLL: Duration = Duration::from_millis(25);
+
 /// Drives one filter copy to completion on the current thread.
 ///
 /// Every callback runs under panic containment; after a failure (error or
@@ -614,8 +634,11 @@ fn run_copy(
     let mut bytes_in = 0u64;
     let mut error: Option<FilterError> = None;
 
-    // start()
-    if let Some(e) = {
+    // start() — a copy of an already-cancelled run never calls into the
+    // filter at all.
+    if ctx.cancelled() {
+        error = Some(FilterError::msg(CANCEL_MESSAGE));
+    } else if let Some(e) = {
         let t = Instant::now();
         let r = contained("start", || filter.start(&mut ctx));
         busy += t.elapsed();
@@ -628,6 +651,10 @@ fn run_copy(
     // stops consuming; dropping the receivers below disconnects upstream.
     let mut alive = receivers;
     while error.is_none() && !alive.is_empty() {
+        if ctx.cancelled() {
+            error = Some(FilterError::msg(CANCEL_MESSAGE));
+            break;
+        }
         let msg = {
             let mut sel = Select::new();
             for r in &alive {
@@ -635,15 +662,35 @@ fn run_copy(
             }
             // Only the blocking wait for a ready stream counts as
             // blocked-recv; the non-blocking completion below does not.
+            // Cancellable runs wait in short slices so a copy parked on
+            // empty inputs still notices the flag promptly.
             let t = Instant::now();
-            let op = sel.select();
+            let op = if ctx.cancel.is_none() {
+                Some(sel.select())
+            } else {
+                loop {
+                    match sel.select_timeout(CANCEL_POLL) {
+                        Ok(op) => break Some(op),
+                        Err(_) if ctx.cancelled() => break None,
+                        Err(_) => continue,
+                    }
+                }
+            };
             blocked_recv += t.elapsed();
-            let idx = op.index();
-            match op.recv(&alive[idx]) {
-                Ok(m) => Some(m),
-                Err(_) => {
-                    alive.swap_remove(idx);
+            match op {
+                None => {
+                    error = Some(FilterError::msg(CANCEL_MESSAGE));
                     None
+                }
+                Some(op) => {
+                    let idx = op.index();
+                    match op.recv(&alive[idx]) {
+                        Ok(m) => Some(m),
+                        Err(_) => {
+                            alive.swap_remove(idx);
+                            None
+                        }
+                    }
                 }
             }
         };
@@ -659,13 +706,19 @@ fn run_copy(
         }
     }
 
-    // finish()
+    // finish() — skipped on cancelled runs: flushing partial output on a
+    // run whose result will be discarded is wasted (and possibly committed)
+    // work.
     if error.is_none() {
-        let t = Instant::now();
-        let r = contained("finish", || filter.finish(&mut ctx));
-        busy += t.elapsed();
-        if let Err(e) = r {
-            error = Some(e);
+        if ctx.cancelled() {
+            error = Some(FilterError::msg(CANCEL_MESSAGE));
+        } else {
+            let t = Instant::now();
+            let r = contained("finish", || filter.finish(&mut ctx));
+            busy += t.elapsed();
+            if let Err(e) = r {
+                error = Some(e);
+            }
         }
     }
 

@@ -320,6 +320,7 @@ mod tests {
             bytes_out: 0,
             blocked_send: Duration::ZERO,
             failed: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            cancel: None,
         }
     }
 }

@@ -233,6 +233,9 @@ pub struct FilterContext {
     /// time end-of-stream cascades to a downstream filter the flag is
     /// already visible.
     pub(crate) failed: Arc<AtomicBool>,
+    /// Cooperative cancellation flag shared with the run's owner (see
+    /// [`crate::EngineConfig::cancel`]); `None` on uncancellable runs.
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
 }
 
 impl FilterContext {
@@ -264,6 +267,28 @@ impl FilterContext {
     /// atomic rename of a `.tmp` file) on aborted runs.
     pub fn run_failed(&self) -> bool {
         self.failed.load(Ordering::SeqCst)
+    }
+
+    /// Whether cooperative cancellation has been requested for this run
+    /// (see [`crate::EngineConfig::cancel`]). Always `false` on runs
+    /// started without a cancel flag.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::SeqCst))
+    }
+
+    /// Bails with an `App`-kind "run cancelled" error when cancellation has
+    /// been requested. The engine checks the flag at callback boundaries;
+    /// long-running *source* filters (which do all their work inside one
+    /// `start` call) call this between emissions so a cancel lands promptly
+    /// even with no input queue to poll.
+    pub fn check_cancelled(&self) -> Result<(), FilterError> {
+        if self.cancelled() {
+            Err(FilterError::msg(crate::engine::CANCEL_MESSAGE))
+        } else {
+            Ok(())
+        }
     }
 
     /// Emits a buffer on output port `port`, blocking while the target
@@ -381,6 +406,7 @@ mod tests {
             bytes_out: 0,
             blocked_send: Duration::ZERO,
             failed: Arc::new(AtomicBool::new(false)),
+            cancel: None,
         };
         (ctx, receivers)
     }

@@ -42,7 +42,7 @@ pub mod stats;
 pub mod transport;
 
 pub use buffer::DataBuffer;
-pub use engine::{run_graph, EngineConfig, FilterFactory, RunFailure, RunOutcome};
+pub use engine::{run_graph, EngineConfig, FilterFactory, RunFailure, RunOutcome, CANCEL_MESSAGE};
 pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use filter::{Filter, FilterContext, FilterError, FilterErrorKind};
 pub use graph::{FilterDecl, GraphSpec, StreamDecl};
@@ -54,6 +54,6 @@ pub use pool::{BufferPool, PoolReport};
 pub use schedule::SchedulePolicy;
 pub use stats::{FilterCopyStats, RunStats};
 pub use transport::{
-    free_loopback_addrs, run_node, NodeConfig, PayloadCodec, TransportFault, TransportFaultKind,
-    WireConfig, WireError,
+    free_loopback_addrs, reserve_loopback_listeners, run_node, NodeConfig, PayloadCodec,
+    TransportFault, TransportFaultKind, WireConfig, WireError,
 };

@@ -22,7 +22,10 @@ pub mod node;
 pub mod wire;
 
 pub use codec::PayloadCodec;
-pub use node::{free_loopback_addrs, run_node, NodeConfig, TransportFault, TransportFaultKind};
+pub use node::{
+    free_loopback_addrs, reserve_loopback_listeners, run_node, NodeConfig, TransportFault,
+    TransportFaultKind,
+};
 pub use wire::{
     spec_digest, Frame, WireConfig, WireError, FEATURE_CHECKSUM, FEATURE_COMPRESS,
     MAX_CREDIT_GRANT, MAX_PAYLOAD_LEN, SHARED_QUEUE, SUPPORTED_FEATURES, WIRE_VERSION,

@@ -69,7 +69,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{IoSlice, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Where an injected transport fault strikes.
@@ -171,6 +171,11 @@ pub struct NodeConfig {
     pub compress: bool,
     /// Optional injected fault, for chaos tests.
     pub fault: Option<TransportFault>,
+    /// A pre-bound listener for this node's own address. When set,
+    /// [`run_node`] accepts higher-numbered peers on it instead of binding
+    /// `addrs[node]` itself — closing the TOCTOU window between reserving
+    /// a port (see [`reserve_loopback_listeners`]) and listening on it.
+    pub listener: Option<Arc<TcpListener>>,
 }
 
 impl NodeConfig {
@@ -186,24 +191,47 @@ impl NodeConfig {
             checksum: false,
             compress: false,
             fault: TransportFault::from_env(node),
+            listener: None,
         }
     }
 }
 
 /// Reserves `n` distinct loopback addresses by binding ephemeral listeners
+/// and **keeping them bound**: each returned listener is handed to its
+/// node's [`NodeConfig::listener`], so the port can never be stolen between
+/// reservation and use. This is the race-free replacement for
+/// [`free_loopback_addrs`].
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn reserve_loopback_listeners(
+    n: usize,
+) -> std::io::Result<(Vec<SocketAddr>, Vec<Arc<TcpListener>>)> {
+    let listeners: Vec<Arc<TcpListener>> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").map(Arc::new))
+        .collect::<Result<_, _>>()?;
+    let addrs = listeners
+        .iter()
+        .map(|l| l.local_addr())
+        .collect::<Result<_, _>>()?;
+    Ok((addrs, listeners))
+}
+
+/// Reserves `n` distinct loopback addresses by binding ephemeral listeners
 /// and collecting their ports.
 ///
-/// The listeners are dropped before returning, so a raced process could in
-/// principle steal a port before the node binds it — acceptable for tests
-/// and single-host launches, which is what this helper is for.
+/// The listeners are dropped before returning, so a raced process *can*
+/// steal a port before the node binds it. In-process callers should use
+/// [`reserve_loopback_listeners`] instead; this helper remains only for
+/// multi-process launches, where the listener cannot cross the `exec`
+/// boundary — such callers must treat a child's bind failure as retryable
+/// with fresh ports (as `h4d launch` does).
 ///
 /// # Errors
 /// Propagates the bind failure.
 pub fn free_loopback_addrs(n: usize) -> std::io::Result<Vec<SocketAddr>> {
-    let listeners: Vec<TcpListener> = (0..n)
-        .map(|_| TcpListener::bind("127.0.0.1:0"))
-        .collect::<Result<_, _>>()?;
-    listeners.iter().map(TcpListener::local_addr).collect()
+    let (addrs, _listeners) = reserve_loopback_listeners(n)?;
+    Ok(addrs)
 }
 
 /// Route key on the wire: `(stream index, destination)` where destination
@@ -275,9 +303,12 @@ impl Shared {
             Ordering::SeqCst,
             Ordering::SeqCst,
         );
+        // Poison recovery: error recording must survive a panicking
+        // sibling thread — in a daemon, one wrecked run must never take
+        // the recorder down with a lock panic.
         self.errors
             .lock()
-            .expect("transport error list lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .push((class, origin, err));
         self.failed.store(true, Ordering::SeqCst);
     }
@@ -293,7 +324,7 @@ impl Shared {
         let message = self
             .errors
             .lock()
-            .expect("transport error list lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .first()
             .map(|(_, _, e)| e.to_string())
             .unwrap_or_else(|| format!("run failed on node {}", self.node));
@@ -513,8 +544,15 @@ fn connect_mesh(
     // listener is non-blocking and polled against the same deadline the
     // dial side uses, so an absent peer is a typed timeout, not a hang.
     if me + 1 < nodes {
-        let listener = TcpListener::bind(cfg.addrs[me])
-            .map_err(|e| io_filter_error(format!("could not listen on {}: {e}", cfg.addrs[me])))?;
+        // A pre-bound listener (reserve_loopback_listeners) wins: the port
+        // was never released, so there is no window for another process to
+        // steal it between reservation and this point.
+        let listener = match &cfg.listener {
+            Some(l) => Arc::clone(l),
+            None => Arc::new(TcpListener::bind(cfg.addrs[me]).map_err(|e| {
+                io_filter_error(format!("could not listen on {}: {e}", cfg.addrs[me]))
+            })?),
+        };
         listener
             .set_nonblocking(true)
             .map_err(|e| io_filter_error(format!("could not poll listener: {e}")))?;
@@ -1160,11 +1198,17 @@ impl Injector {
                 ptype,
                 payload,
             } => {
-                if !self.routes.contains_key(&key) {
-                    // Route already closed locally (consumer finished or
-                    // failed); drop the frame, keep draining.
+                // One route lookup up front: everything below is driven by
+                // remote input, so a missing route is handled by dropping
+                // the frame (route already closed locally), never by
+                // panicking on a violated "checked above" assumption.
+                let Some((port, tx, meter)) = self
+                    .routes
+                    .get(&key)
+                    .map(|r| (r.port, r.tx.clone(), r.meter.clone()))
+                else {
                     return Flow::Continue;
-                }
+                };
                 let buf: DataBuffer = match self.codec.decode(ptype, &payload, size as usize, tag) {
                     Ok(b) => b,
                     Err(e) => {
@@ -1181,17 +1225,12 @@ impl Injector {
                         return Flow::Continue;
                     }
                 };
-                let (port, tx, meter) = {
-                    let r = self.routes.get(&key).expect("checked above");
-                    (r.port, r.tx.clone(), r.meter.clone())
-                };
-                if self.staged.get(&key).is_some_and(|q| !q.is_empty()) {
-                    // Keep arrival order: behind staged buffers, stage.
-                    self.staged
-                        .get_mut(&key)
-                        .expect("checked above")
-                        .push_back(Msg { port, buf });
-                    return Flow::Continue;
+                if let Some(q) = self.staged.get_mut(&key) {
+                    if !q.is_empty() {
+                        // Keep arrival order: behind staged buffers, stage.
+                        q.push_back(Msg { port, buf });
+                        return Flow::Continue;
+                    }
                 }
                 let bytes = buf.size_bytes() as u64;
                 match tx.try_send(Msg { port, buf }) {
@@ -1257,10 +1296,7 @@ impl Injector {
                         }
                     }
                     Err(TrySendError::Full(m)) => {
-                        self.staged
-                            .get_mut(&key)
-                            .expect("staged entry")
-                            .push_front(m);
+                        self.staged.entry(key).or_default().push_front(m);
                         break;
                     }
                     Err(TrySendError::Disconnected(_)) => {
@@ -1399,6 +1435,10 @@ fn injector_thread(
                 }
             } else {
                 let (key, tx) = &sendable[at - 1];
+                // Local invariant, not remote-reachable: `sendable` was
+                // snapshotted by this same thread moments ago with nothing
+                // mutating `staged` in between, and a `SelectedOperation`
+                // must be completed once taken.
                 let msg = inj
                     .staged
                     .get_mut(key)
@@ -1529,14 +1569,25 @@ pub fn run_node(
     let mut watch_txs = Vec::new();
     let mut route_map_txs: Vec<(usize, Sender<HashMap<RouteKey, RouteIn>>)> = Vec::new();
     let mut conn_stats: Vec<Arc<ConnStats>> = Vec::new();
-    for (&peer, (stream, wire)) in &peers {
+    let mut spawn_failure: Option<FilterError> = None;
+    'conn: for (&peer, (stream, wire)) in &peers {
         let clone_err = |e: std::io::Error| {
-            RunFailure::from(io_filter_error(format!(
-                "could not clone connection to node {peer}: {e}"
-            )))
+            io_filter_error(format!("could not clone connection to node {peer}: {e}"))
         };
-        let read_half = stream.try_clone().map_err(clone_err)?;
-        let write_half = stream.try_clone().map_err(clone_err)?;
+        let read_half = match stream.try_clone().map_err(clone_err) {
+            Ok(h) => h,
+            Err(e) => {
+                spawn_failure = Some(e);
+                break 'conn;
+            }
+        };
+        let write_half = match stream.try_clone().map_err(clone_err) {
+            Ok(h) => h,
+            Err(e) => {
+                spawn_failure = Some(e);
+                break 'conn;
+            }
+        };
         let routes = writer_routes.remove(&peer).unwrap_or_default();
         let (keys, rxs): (Vec<RouteKey>, Vec<Receiver<Msg>>) = routes.into_iter().unzip();
         let init_credit: Vec<u32> = keys
@@ -1565,26 +1616,55 @@ pub fn run_node(
             wire: *wire,
             stats: stats.clone(),
         };
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("{}-tx-{peer}", cfg.engine.thread_name_prefix))
-                .spawn(move || writer_thread(side))
-                .map_err(|e| FilterError::engine(format!("thread spawn failed: {e}")))?,
-        );
+        match std::thread::Builder::new()
+            .name(format!("{}-tx-{peer}", cfg.engine.thread_name_prefix))
+            .spawn(move || writer_thread(side))
+        {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                spawn_failure = Some(FilterError::engine(format!("thread spawn failed: {e}")));
+                break 'conn;
+            }
+        }
         let (r_shared, r_ctl) = (shared.clone(), ctl_tx.clone());
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("{}-rx-{peer}", cfg.engine.thread_name_prefix))
-                .spawn(move || reader_thread(read_half, peer, inj_tx, r_ctl, r_shared, stats))
-                .map_err(|e| FilterError::engine(format!("thread spawn failed: {e}")))?,
-        );
+        match std::thread::Builder::new()
+            .name(format!("{}-rx-{peer}", cfg.engine.thread_name_prefix))
+            .spawn(move || reader_thread(read_half, peer, inj_tx, r_ctl, r_shared, stats))
+        {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                spawn_failure = Some(FilterError::engine(format!("thread spawn failed: {e}")));
+                break 'conn;
+            }
+        }
         let (i_codec, i_shared) = (codec.clone(), shared.clone());
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("{}-inj-{peer}", cfg.engine.thread_name_prefix))
-                .spawn(move || injector_thread(peer, map_rx, inj_rx, ctl_tx, i_codec, i_shared))
-                .map_err(|e| FilterError::engine(format!("thread spawn failed: {e}")))?,
-        );
+        match std::thread::Builder::new()
+            .name(format!("{}-inj-{peer}", cfg.engine.thread_name_prefix))
+            .spawn(move || injector_thread(peer, map_rx, inj_rx, ctl_tx, i_codec, i_shared))
+        {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                spawn_failure = Some(FilterError::engine(format!("thread spawn failed: {e}")));
+                break 'conn;
+            }
+        }
+    }
+    if let Some(error) = spawn_failure {
+        // Pre-PR-8 this was an early `?` return that left already-spawned
+        // reader threads blocked forever on their (dup'd) sockets — fatal
+        // for a daemon. Shut every socket so readers see EOF, release the
+        // watch and route-map channels so writers and injectors exit, then
+        // join whatever spawned before reporting.
+        for (stream, _) in peers.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        drop(route_map_txs);
+        drop(watch_txs);
+        drop(peers);
+        for h in handles {
+            let _ = h.join();
+        }
+        return Err(RunFailure::from(error));
     }
     drop(peers);
 
@@ -1640,7 +1720,7 @@ pub fn run_node(
     let mut errors = shared
         .errors
         .lock()
-        .expect("transport error list lock")
+        .unwrap_or_else(PoisonError::into_inner)
         .drain(..)
         .collect::<Vec<_>>();
     let local_at = errors
@@ -1795,12 +1875,68 @@ mod tests {
     }
 
     #[test]
+    fn reserved_listeners_hold_their_ports() {
+        let (addrs, listeners) = reserve_loopback_listeners(3).unwrap();
+        assert_eq!(addrs.len(), 3);
+        assert_eq!(listeners.len(), 3);
+        // While the reservation is alive, nobody can steal the port — the
+        // exact TOCTOU free_loopback_addrs() leaves open.
+        for a in &addrs {
+            assert!(
+                TcpListener::bind(a).is_err(),
+                "port {a} must stay reserved while the listener lives"
+            );
+        }
+        drop(listeners);
+    }
+
+    #[test]
+    fn prebound_listener_survives_port_contention() {
+        // Regression for the launch port race: a thief hammers the
+        // reserved address with bind attempts for the whole handshake; a
+        // pre-bound listener makes that provably futile, where the old
+        // reserve-then-drop dance could lose the port.
+        for _ in 0..5 {
+            let (addrs, listeners) = reserve_loopback_listeners(2).unwrap();
+            let digest = 7u64;
+            let stop = Arc::new(AtomicBool::new(false));
+            let thief = {
+                let addr = addrs[0];
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        assert!(
+                            TcpListener::bind(addr).is_err(),
+                            "thief stole the reserved port {addr}"
+                        );
+                    }
+                })
+            };
+            let mut cfg0 = NodeConfig::new(0, addrs.clone());
+            cfg0.listener = Some(listeners[0].clone());
+            cfg0.connect_timeout = Duration::from_secs(10);
+            let mut cfg1 = NodeConfig::new(1, addrs);
+            cfg1.connect_timeout = Duration::from_secs(10);
+            std::thread::scope(|s| {
+                let n0 = s.spawn(|| connect_mesh(&cfg0, digest));
+                let n1 = s.spawn(|| connect_mesh(&cfg1, digest));
+                let p0 = n0.join().unwrap().expect("node 0 mesh");
+                let p1 = n1.join().unwrap().expect("node 1 mesh");
+                assert!(p0.contains_key(&1) && p1.contains_key(&0));
+            });
+            stop.store(true, Ordering::Relaxed);
+            thief.join().unwrap();
+        }
+    }
+
+    #[test]
     fn mixed_wire_versions_are_rejected_loudly() {
-        let addrs = free_loopback_addrs(2).unwrap();
+        let (addrs, mut listeners) = reserve_loopback_listeners(2).unwrap();
         let digest = 42u64;
         // A fake version-1 node 0: accepts the dial, answers with a v1
-        // Hello (no features word on the wire).
-        let listener = TcpListener::bind(addrs[0]).unwrap();
+        // Hello (no features word on the wire). Reusing the reserved
+        // listener keeps this test itself race-free.
+        let listener = listeners.remove(0);
         let v1 = std::thread::spawn(move || {
             let (mut s, _) = listener.accept().unwrap();
             s.set_read_timeout(Some(Duration::from_secs(5))).ok();

@@ -11,9 +11,9 @@
 //! single seed (e.g. `H4D_CHAOS_SEED=7 cargo test -p datacutter chaos`).
 
 use datacutter::{
-    free_loopback_addrs, run_graph, run_node, DataBuffer, EngineConfig, FaultKind, FaultPlan,
-    FaultSite, FaultSpec, Filter, FilterContext, FilterError, FilterErrorKind, GraphSpec,
-    NodeConfig, PayloadCodec, RunFailure, RunOutcome, SchedulePolicy, TransportFault,
+    reserve_loopback_listeners, run_graph, run_node, DataBuffer, EngineConfig, FaultKind,
+    FaultPlan, FaultSite, FaultSpec, Filter, FilterContext, FilterError, FilterErrorKind,
+    GraphSpec, NodeConfig, PayloadCodec, RunFailure, RunOutcome, SchedulePolicy, TransportFault,
     TransportFaultKind,
 };
 use parking_lot::Mutex;
@@ -288,13 +288,16 @@ fn run_two_nodes(
     logs: &[Arc<Mutex<Vec<u64>>>; 2],
     faults: [Option<TransportFault>; 2],
 ) -> Vec<Result<RunOutcome, RunFailure>> {
-    let addrs = free_loopback_addrs(2).expect("loopback ports");
+    // Pre-bound listeners: the reservation is handed straight to each
+    // node, so parallel test processes can never steal the ports.
+    let (addrs, listeners) = reserve_loopback_listeners(2).expect("loopback ports");
     let (tx, rx) = mpsc::channel();
     let mut handles = Vec::new();
     for node in 0..2 {
         let spec = dist_spec();
         let mut factories = dist_factories(buffers, logs);
         let mut cfg = NodeConfig::new(node, addrs.clone());
+        cfg.listener = Some(listeners[node].clone());
         cfg.fault = faults[node];
         let codec = u64_codec();
         let tx = tx.clone();

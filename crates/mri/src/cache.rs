@@ -31,9 +31,12 @@ use crate::chunks::ChunkGrid;
 use crate::dicom::{DicomDataset, DicomError};
 use crate::store::{DistributedDataset, SliceKey};
 use std::collections::HashMap;
+use std::fmt;
 use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Anything the slice cache can decode whole 2D slices from.
 ///
@@ -49,6 +52,16 @@ pub trait SliceSource {
 }
 
 impl<S: SliceSource + ?Sized> SliceSource for &S {
+    fn slice_dims(&self) -> (usize, usize) {
+        (**self).slice_dims()
+    }
+
+    fn load_slice(&self, key: SliceKey) -> io::Result<Vec<u16>> {
+        (**self).load_slice(key)
+    }
+}
+
+impl<S: SliceSource + ?Sized> SliceSource for Box<S> {
     fn slice_dims(&self) -> (usize, usize) {
         (**self).slice_dims()
     }
@@ -268,23 +281,150 @@ impl IoStats {
     }
 }
 
+/// Typed failure of a cache request.
+///
+/// `mri` cannot name the engine's `FilterError`, so the pipeline maps these:
+/// `Io` to an `Io`-kind error and `LoaderPanicked` to a `Panic`-kind error,
+/// both naming the failing slice — root-cause selection then points at the
+/// loader, not at whichever waiter happened to observe the wreckage.
+#[derive(Debug)]
+pub enum CacheError {
+    /// The disk load of `key` failed.
+    Io {
+        /// Slice whose load failed.
+        key: SliceKey,
+        /// The underlying I/O error.
+        error: io::Error,
+    },
+    /// The party that claimed the load of `key` (a consumer or the
+    /// read-ahead thread) panicked before publishing a result. The key has
+    /// been reverted to absent, so a retry is permitted.
+    LoaderPanicked {
+        /// Slice whose loader died.
+        key: SliceKey,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { key, error } => {
+                write!(f, "slice load failed for z={} t={}: {error}", key.z, key.t)
+            }
+            Self::LoaderPanicked { key } => {
+                write!(f, "slice loader panicked for z={} t={}", key.z, key.t)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Outcome of a bounded [`SliceCache::wait_for_window`] wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowWait {
+    /// The window opened; the prefetcher may work on the chunk.
+    Ready,
+    /// The cache (or this plan) shut down; the prefetcher should exit.
+    ShutDown,
+    /// The deadline expired with the window still closed — the producer
+    /// that was supposed to call `advance` is presumed dead.
+    TimedOut,
+}
+
+/// Identifies one attached [`ReusePlan`] on a (possibly shared) cache.
+///
+/// Handles are plain ids — cloning one does not attach anything, and using
+/// a handle after [`SliceCache::detach`] degrades to no-ops / `ShutDown`
+/// rather than panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanHandle(u64);
+
 /// One cache entry's lifecycle. `Loading` is the prefetch-safety device:
 /// whoever transitions a key `Absent → Loading` (consumer or prefetcher)
 /// is the only party that reads it from disk; everyone else waits on the
-/// condvar for the transition out of `Loading`.
+/// condvar for the transition out of `Loading`. `Poisoned` records a loader
+/// that panicked mid-claim: the first waiter to observe it reverts the key
+/// to absent and surfaces a typed [`CacheError::LoaderPanicked`].
 enum Entry {
     Loading,
     Present(Arc<Vec<u16>>),
+    Poisoned,
+}
+
+/// Per-attached-plan progress: which chunk the consumer has fully drained.
+struct PlanState {
+    plan: Arc<ReusePlan>,
+    /// Chunks fully consumed so far (`advance` moves this forward).
+    completed: usize,
 }
 
 struct CacheState {
     entries: HashMap<SliceKey, Entry>,
     /// Bytes held by `Present` entries.
     retained_bytes: usize,
-    /// Chunks fully consumed so far (`advance` moves this forward).
-    completed: usize,
-    /// Raised once; unblocks window waits so the prefetcher can exit.
+    /// Attached plans by handle id. A slice is retained while *any*
+    /// attached plan still has a future use for it.
+    plans: HashMap<u64, PlanState>,
+    next_plan: u64,
+    /// Raised once; unblocks window waits so prefetchers can exit.
     shutdown: bool,
+}
+
+impl CacheState {
+    /// Whether any attached plan still needs `key` at its current progress.
+    fn key_live(&self, key: SliceKey) -> bool {
+        self.plans.values().any(|p| {
+            p.plan
+                .lifetime(key)
+                .is_some_and(|(_, last)| last >= p.completed)
+        })
+    }
+
+    /// Evicts every retained slice no attached plan needs anymore.
+    fn evict_dead(&mut self) {
+        let mut dead: Vec<SliceKey> = Vec::new();
+        for (&key, entry) in &self.entries {
+            if matches!(entry, Entry::Present(_)) && !self.key_live(key) {
+                dead.push(key);
+            }
+        }
+        for key in dead {
+            if let Some(Entry::Present(data)) = self.entries.remove(&key) {
+                self.retained_bytes -= data.len() * 2;
+            }
+        }
+    }
+}
+
+/// Reverts a claimed `Loading` key to `Poisoned` if the claimant unwinds
+/// between claiming and publishing — without this, a panicking loader
+/// leaves every waiter blocked on the condvar forever (and, pre-PR-8,
+/// crashed them with a lock-poison panic instead of the real root cause).
+struct LoadClaim<'a> {
+    state: &'a Mutex<CacheState>,
+    cond: &'a Condvar,
+    key: SliceKey,
+    armed: bool,
+}
+
+impl Drop for LoadClaim<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut st = lock_recovered(self.state);
+        st.entries.insert(self.key, Entry::Poisoned);
+        self.cond.notify_all();
+    }
+}
+
+/// Locks `state`, recovering from mutex poisoning: a panicking loader must
+/// surface as a typed error on the waiters, never as a lock panic. The
+/// invariants the lock protects are re-established by the poisoning
+/// party's own `LoadClaim` guard, so the inner guard is safe to use.
+fn lock_recovered(state: &Mutex<CacheState>) -> MutexGuard<'_, CacheState> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The lifetime-exact slice cache over a [`SliceSource`].
@@ -293,11 +433,18 @@ struct CacheState {
 /// as `source.load_slice(key)`; the cache changes *when* disk is touched,
 /// never *what* is read. With `budget_bytes` at least the plan's peak
 /// retention, each distinct slice is loaded exactly once.
+///
+/// A cache built with [`SliceCache::new`] carries one *primary* plan and
+/// behaves exactly like the per-run cache of PR 5. A cache built with
+/// [`SliceCache::shared`] starts with no plans: concurrent jobs over the
+/// same dataset [`attach`](SliceCache::attach) their own [`ReusePlan`]s and
+/// the cache retains each slice until **no attached job** needs it — this
+/// is what lets a daemon serve N analyses of one study with each slice
+/// read from disk once, total.
 pub struct SliceCache<S> {
     source: S,
-    plan: ReusePlan,
-    /// Retention cap in bytes. Loads always succeed; only *retention* is
-    /// refused beyond the cap.
+    /// Retention cap in bytes, shared across all attached plans. Loads
+    /// always succeed; only *retention* is refused beyond the cap.
     budget_bytes: usize,
     state: Mutex<CacheState>,
     cond: Condvar,
@@ -305,17 +452,27 @@ pub struct SliceCache<S> {
 }
 
 impl<S: SliceSource> SliceCache<S> {
-    /// Creates a cache with a retention budget of `budget_bytes`, feeding
-    /// the shared `stats`.
+    /// Creates a single-plan cache with a retention budget of
+    /// `budget_bytes`, feeding the shared `stats`. The plan is attached as
+    /// the primary, which the handle-free methods operate on.
     pub fn new(source: S, plan: ReusePlan, budget_bytes: usize, stats: Arc<IoStats>) -> Self {
+        let cache = Self::shared(source, budget_bytes, stats);
+        cache.attach(plan);
+        cache
+    }
+
+    /// Creates a cache with no attached plans, for daemon scope: each job
+    /// calls [`attach`](SliceCache::attach) / [`detach`](SliceCache::detach)
+    /// around its run.
+    pub fn shared(source: S, budget_bytes: usize, stats: Arc<IoStats>) -> Self {
         Self {
             source,
-            plan,
             budget_bytes,
             state: Mutex::new(CacheState {
                 entries: HashMap::new(),
                 retained_bytes: 0,
-                completed: 0,
+                plans: HashMap::new(),
+                next_plan: 0,
                 shutdown: false,
             }),
             cond: Condvar::new(),
@@ -323,22 +480,79 @@ impl<S: SliceSource> SliceCache<S> {
         }
     }
 
-    /// The plan this cache retains by.
-    pub fn plan(&self) -> &ReusePlan {
-        &self.plan
+    /// Attaches a job's reuse plan. From this point until
+    /// [`detach`](SliceCache::detach), slices the plan still needs are kept
+    /// retained (budget permitting) even if every other job is done with
+    /// them.
+    pub fn attach(&self, plan: ReusePlan) -> PlanHandle {
+        let mut st = lock_recovered(&self.state);
+        let id = st.next_plan;
+        st.next_plan += 1;
+        st.plans.insert(
+            id,
+            PlanState {
+                plan: Arc::new(plan),
+                completed: 0,
+            },
+        );
+        PlanHandle(id)
+    }
+
+    /// Detaches a job's plan, evicting every slice only that job still
+    /// held and unblocking any prefetcher waiting on the plan's window.
+    pub fn detach(&self, h: PlanHandle) {
+        let mut st = lock_recovered(&self.state);
+        if st.plans.remove(&h.0).is_some() {
+            st.evict_dead();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Number of plans currently attached (diagnostics; a registry evicts
+    /// dataset caches that report zero).
+    pub fn attached_plans(&self) -> usize {
+        lock_recovered(&self.state).plans.len()
+    }
+
+    /// The handle of the primary plan a [`SliceCache::new`]-built cache
+    /// carries (always the first attached plan).
+    pub fn primary_handle(&self) -> PlanHandle {
+        PlanHandle(0)
+    }
+
+    /// The primary plan — the one `new` attached. Panics on a
+    /// [`shared`](SliceCache::shared) cache with no plan 0; use
+    /// [`plan_of`](SliceCache::plan_of) there.
+    pub fn plan(&self) -> Arc<ReusePlan> {
+        self.plan_of(PlanHandle(0))
+            .expect("primary plan is attached for the cache's whole life")
+    }
+
+    /// The plan behind `h`, if still attached.
+    pub fn plan_of(&self, h: PlanHandle) -> Option<Arc<ReusePlan>> {
+        lock_recovered(&self.state)
+            .plans
+            .get(&h.0)
+            .map(|p| Arc::clone(&p.plan))
     }
 
     /// Bytes currently retained (tests and diagnostics).
     pub fn retained_bytes(&self) -> usize {
-        self.state.lock().expect("cache lock").retained_bytes
+        lock_recovered(&self.state).retained_bytes
+    }
+
+    /// In-plane slice extents `(x, y)` of the underlying source.
+    pub fn slice_dims(&self) -> (usize, usize) {
+        self.source.slice_dims()
     }
 
     /// Returns the full decoded slice, reading from disk at most once while
     /// the slice is retained. Concurrent requests for a slice mid-load wait
-    /// for the in-flight read instead of issuing their own.
-    pub fn get(&self, key: SliceKey) -> io::Result<Arc<Vec<u16>>> {
+    /// for the in-flight read instead of issuing their own — including
+    /// requests from *other jobs* on a shared cache.
+    pub fn get(&self, key: SliceKey) -> Result<Arc<Vec<u16>>, CacheError> {
         {
-            let mut st = self.state.lock().expect("cache lock");
+            let mut st = lock_recovered(&self.state);
             loop {
                 match st.entries.get(&key) {
                     Some(Entry::Present(data)) => {
@@ -346,7 +560,14 @@ impl<S: SliceSource> SliceCache<S> {
                         return Ok(data.clone());
                     }
                     Some(Entry::Loading) => {
-                        st = self.cond.wait(st).expect("cache lock");
+                        st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    }
+                    Some(Entry::Poisoned) => {
+                        // First observer reverts the key so later requests
+                        // may retry, and reports the loader's death.
+                        st.entries.remove(&key);
+                        self.cond.notify_all();
+                        return Err(CacheError::LoaderPanicked { key });
                     }
                     None => {
                         st.entries.insert(key, Entry::Loading);
@@ -356,18 +577,29 @@ impl<S: SliceSource> SliceCache<S> {
             }
         }
         self.stats.record_miss();
-        self.finish_load(key, self.source.load_slice(key), false)
+        let mut claim = LoadClaim {
+            state: &self.state,
+            cond: &self.cond,
+            key,
+            armed: true,
+        };
+        let loaded = self.source.load_slice(key);
+        claim.armed = false;
+        self.finish_load(key, loaded, false)
     }
 
-    /// Loads every not-yet-cached slice of chunk `seq` that still fits the
-    /// budget — the read-ahead thread's work item. I/O errors leave the key
-    /// absent (the demand path will retry and surface them); slices whose
-    /// retention would exceed the budget are skipped rather than loaded and
-    /// dropped.
-    pub fn prefetch_chunk(&self, seq: usize) {
-        for &key in self.plan.keys_for(seq) {
+    /// Loads every not-yet-cached slice of chunk `seq` of plan `h` that
+    /// still fits the budget — the read-ahead thread's work item. I/O
+    /// errors leave the key absent (the demand path will retry and surface
+    /// them); slices whose retention would exceed the budget are skipped
+    /// rather than loaded and dropped.
+    pub fn prefetch_chunk(&self, h: PlanHandle, seq: usize) {
+        let Some(plan) = self.plan_of(h) else {
+            return;
+        };
+        for &key in plan.keys_for(seq) {
             let claimed = {
-                let mut st = self.state.lock().expect("cache lock");
+                let mut st = lock_recovered(&self.state);
                 if st.shutdown || st.entries.contains_key(&key) {
                     false
                 } else if st.retained_bytes >= self.budget_bytes {
@@ -382,41 +614,43 @@ impl<S: SliceSource> SliceCache<S> {
             if !claimed {
                 continue;
             }
-            if self
-                .finish_load(key, self.source.load_slice(key), true)
-                .is_ok()
-            {
+            let mut claim = LoadClaim {
+                state: &self.state,
+                cond: &self.cond,
+                key,
+                armed: true,
+            };
+            let loaded = self.source.load_slice(key);
+            claim.armed = false;
+            if self.finish_load(key, loaded, true).is_ok() {
                 self.stats.record_prefetch();
             }
         }
     }
 
-    /// Completes a claimed load: retains the slice if its last consuming
-    /// chunk is still ahead and the budget allows, publishes it, and wakes
-    /// every waiter. On error the key reverts to absent.
+    /// Completes a claimed load: retains the slice if any attached plan
+    /// still needs it and the budget allows, publishes it, and wakes every
+    /// waiter. On error the key reverts to absent.
     fn finish_load(
         &self,
         key: SliceKey,
         loaded: io::Result<Vec<u16>>,
         prefetch: bool,
-    ) -> io::Result<Arc<Vec<u16>>> {
-        let mut st = self.state.lock().expect("cache lock");
+    ) -> Result<Arc<Vec<u16>>, CacheError> {
+        let mut st = lock_recovered(&self.state);
         let data = match loaded {
             Ok(v) => {
                 self.stats.record_disk_read(v.len() as u64 * 2);
                 Arc::new(v)
             }
-            Err(e) => {
+            Err(error) => {
                 st.entries.remove(&key);
                 self.cond.notify_all();
-                return Err(e);
+                return Err(CacheError::Io { key, error });
             }
         };
         let bytes = data.len() * 2;
-        let has_future_use = self
-            .plan
-            .lifetime(key)
-            .is_some_and(|(_, last)| last >= st.completed);
+        let has_future_use = st.key_live(key);
         let fits = st.retained_bytes + bytes <= self.budget_bytes;
         if has_future_use && fits {
             st.entries.insert(key, Entry::Present(data.clone()));
@@ -435,48 +669,164 @@ impl<S: SliceSource> SliceCache<S> {
         Ok(data)
     }
 
-    /// Marks chunk `seq` fully consumed: slices whose last use that was are
-    /// evicted, and the read-ahead window slides forward.
+    /// Marks chunk `seq` of the primary plan fully consumed. See
+    /// [`advance_for`](SliceCache::advance_for).
     pub fn advance(&self, seq: usize) {
-        let mut st = self.state.lock().expect("cache lock");
-        st.completed = st.completed.max(seq + 1);
-        let completed = st.completed;
-        let plan = &self.plan;
-        let mut freed = 0usize;
-        st.entries.retain(|key, entry| match entry {
-            Entry::Loading => true,
-            Entry::Present(data) => {
-                let keep = plan
-                    .lifetime(*key)
-                    .is_some_and(|(_, last)| last >= completed);
-                if !keep {
-                    freed += data.len() * 2;
-                }
-                keep
-            }
-        });
-        st.retained_bytes -= freed;
+        self.advance_for(PlanHandle(0), seq);
+    }
+
+    /// Marks chunk `seq` of plan `h` fully consumed: slices no attached
+    /// plan needs anymore are evicted, and that plan's read-ahead window
+    /// slides forward.
+    pub fn advance_for(&self, h: PlanHandle, seq: usize) {
+        let mut st = lock_recovered(&self.state);
+        let Some(plan) = st.plans.get_mut(&h.0) else {
+            return;
+        };
+        plan.completed = plan.completed.max(seq + 1);
+        st.evict_dead();
         self.cond.notify_all();
     }
 
-    /// Blocks until the prefetcher may work on chunk `seq` — i.e. until
-    /// `seq <= completed + ahead` — or the cache shuts down. Returns `false`
-    /// on shutdown.
-    pub fn wait_for_window(&self, seq: usize, ahead: usize) -> bool {
-        let mut st = self.state.lock().expect("cache lock");
-        while !st.shutdown && seq > st.completed + ahead {
-            st = self.cond.wait(st).expect("cache lock");
+    /// Blocks until the prefetcher may work on chunk `seq` of plan `h` —
+    /// i.e. until `seq <= completed + ahead` — the cache or plan shuts
+    /// down, or `deadline` expires. A deadline bounds how long a prefetcher
+    /// can be held hostage by a consumer that died without calling
+    /// [`advance_for`](SliceCache::advance_for) or
+    /// [`shutdown`](SliceCache::shutdown); pass `None` to wait forever.
+    pub fn wait_for_window(
+        &self,
+        h: PlanHandle,
+        seq: usize,
+        ahead: usize,
+        deadline: Option<Duration>,
+    ) -> WindowWait {
+        let expires = deadline.map(|d| Instant::now() + d);
+        let mut st = lock_recovered(&self.state);
+        loop {
+            if st.shutdown {
+                return WindowWait::ShutDown;
+            }
+            let Some(plan) = st.plans.get(&h.0) else {
+                return WindowWait::ShutDown;
+            };
+            if seq <= plan.completed + ahead {
+                return WindowWait::Ready;
+            }
+            st = match expires {
+                None => self.cond.wait(st).unwrap_or_else(PoisonError::into_inner),
+                Some(when) => {
+                    let Some(left) = when
+                        .checked_duration_since(Instant::now())
+                        .filter(|d| !d.is_zero())
+                    else {
+                        return WindowWait::TimedOut;
+                    };
+                    self.cond
+                        .wait_timeout(st, left)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0
+                }
+            };
         }
-        !st.shutdown
     }
 
-    /// Unblocks the prefetcher permanently. Must be called before joining a
-    /// read-ahead thread on *every* exit path of the consumer, including
+    /// Unblocks every prefetcher permanently. Must be called before joining
+    /// a read-ahead thread on *every* exit path of the consumer, including
     /// errors — otherwise the join deadlocks on `wait_for_window`.
     pub fn shutdown(&self) {
-        let mut st = self.state.lock().expect("cache lock");
+        let mut st = lock_recovered(&self.state);
         st.shutdown = true;
         self.cond.notify_all();
+    }
+}
+
+/// A boxed, thread-safe slice source — what a daemon-scoped cache owns.
+pub type SharedSliceSource = Box<dyn SliceSource + Send + Sync>;
+
+/// A daemon-scoped cache shared by every job reading one dataset.
+pub type SharedSliceCache = SliceCache<SharedSliceSource>;
+
+/// Daemon-scoped registry: one [`SharedSliceCache`] per dataset root, so
+/// concurrent jobs over the same study share retained slices (and the one
+/// retention budget), while jobs over different datasets stay independent.
+///
+/// All caches feed one [`IoStats`], which is how the service's `/status`
+/// endpoint exposes the cross-job exactly-once property.
+pub struct SliceCacheRegistry {
+    budget_bytes: usize,
+    stats: Arc<IoStats>,
+    caches: Mutex<HashMap<PathBuf, Arc<SharedSliceCache>>>,
+}
+
+impl SliceCacheRegistry {
+    /// Creates a registry whose caches each get a retention budget of
+    /// `budget_bytes` and report into `stats`.
+    pub fn new(budget_bytes: usize, stats: Arc<IoStats>) -> Self {
+        Self {
+            budget_bytes,
+            stats,
+            caches: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The byte budget handed to each dataset cache.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// The shared I/O counters every dataset cache reports into.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Returns the shared cache for `root`, opening the dataset via `open`
+    /// on first use. The key is the path as given; callers should
+    /// canonicalize before calling so `a/b` and `a/./b` share.
+    pub fn get_or_open(
+        &self,
+        root: &Path,
+        open: impl FnOnce() -> io::Result<SharedSliceSource>,
+    ) -> io::Result<Arc<SharedSliceCache>> {
+        let mut caches = self.caches.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(cache) = caches.get(root) {
+            return Ok(Arc::clone(cache));
+        }
+        let cache = Arc::new(SliceCache::shared(
+            open()?,
+            self.budget_bytes,
+            Arc::clone(&self.stats),
+        ));
+        caches.insert(root.to_path_buf(), Arc::clone(&cache));
+        Ok(cache)
+    }
+
+    /// Drops every dataset cache with no attached plans, returning how many
+    /// were released. Called by the service between jobs and on drain so an
+    /// idle daemon holds no pixel data.
+    pub fn release_idle(&self) -> usize {
+        let mut caches = self.caches.lock().unwrap_or_else(PoisonError::into_inner);
+        let before = caches.len();
+        caches.retain(|_, c| c.attached_plans() > 0);
+        before - caches.len()
+    }
+
+    /// Number of dataset caches currently open.
+    pub fn open_caches(&self) -> usize {
+        self.caches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Shuts down every open cache (unblocks all prefetchers) and drops
+    /// them. Part of daemon drain.
+    pub fn shutdown(&self) {
+        let mut caches = self.caches.lock().unwrap_or_else(PoisonError::into_inner);
+        for cache in caches.values() {
+            cache.shutdown();
+        }
+        caches.clear();
     }
 }
 
@@ -644,11 +994,12 @@ mod tests {
         let cache = SliceCache::new(&src, plan, usize::MAX, stats.clone());
         std::thread::scope(|s| {
             s.spawn(|| {
+                let h = cache.primary_handle();
                 for seq in 0..cache.plan().chunks() {
-                    if !cache.wait_for_window(seq, 2) {
+                    if cache.wait_for_window(h, seq, 2, None) != WindowWait::Ready {
                         break;
                     }
-                    cache.prefetch_chunk(seq);
+                    cache.prefetch_chunk(h, seq);
                 }
             });
             for (seq, chunk) in g.chunks().enumerate() {
@@ -679,10 +1030,190 @@ mod tests {
         let plan = ReusePlan::new(&g, |_| true);
         let cache = SliceCache::new(&src, plan, usize::MAX, Arc::new(IoStats::default()));
         std::thread::scope(|s| {
-            let h = s.spawn(|| cache.wait_for_window(1000, 0));
+            let handle = cache.primary_handle();
+            let h = s.spawn(move || cache.wait_for_window(handle, 1000, 0, None));
             cache.shutdown();
-            assert!(!h.join().unwrap(), "shutdown must return false");
+            assert_eq!(
+                h.join().unwrap(),
+                WindowWait::ShutDown,
+                "shutdown must unblock the window wait"
+            );
         });
+    }
+
+    #[test]
+    fn window_wait_deadline_fires_without_producer() {
+        let g = grid();
+        let src = CountingSource::new(g.data_dims());
+        let plan = ReusePlan::new(&g, |_| true);
+        let cache = SliceCache::new(&src, plan, usize::MAX, Arc::new(IoStats::default()));
+        // Nobody ever advances or shuts down: the deadline is the only exit.
+        let got = cache.wait_for_window(
+            cache.primary_handle(),
+            1000,
+            0,
+            Some(Duration::from_millis(50)),
+        );
+        assert_eq!(got, WindowWait::TimedOut);
+    }
+
+    #[test]
+    fn panicking_loader_surfaces_typed_error_not_lock_panic() {
+        use std::sync::atomic::AtomicBool;
+        struct Exploding {
+            inner: CountingSource,
+            bad: SliceKey,
+            entered: AtomicBool,
+        }
+        impl SliceSource for Exploding {
+            fn slice_dims(&self) -> (usize, usize) {
+                self.inner.slice_dims()
+            }
+            fn load_slice(&self, key: SliceKey) -> io::Result<Vec<u16>> {
+                if key == self.bad {
+                    // Let the waiter observe the Loading claim first.
+                    self.entered.store(true, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    panic!("loader bug");
+                }
+                self.inner.load_slice(key)
+            }
+        }
+        let g = grid();
+        let key = SliceKey { t: 0, z: 0 };
+        let src = Exploding {
+            inner: CountingSource::new(g.data_dims()),
+            bad: key,
+            entered: AtomicBool::new(false),
+        };
+        let plan = ReusePlan::new(&g, |_| true);
+        let cache = SliceCache::new(&src, plan, usize::MAX, Arc::new(IoStats::default()));
+        std::thread::scope(|s| {
+            let loader = s.spawn(|| {
+                // Filter containment in the engine; here its stand-in.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = cache.get(key);
+                }));
+            });
+            while !src.entered.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            // The loader holds the claim and is about to die. The waiter
+            // must come back with a typed error, never a lock panic.
+            let waiter = s.spawn(|| cache.get(key));
+            loader.join().unwrap();
+            match waiter.join().expect("waiter must not panic") {
+                Err(CacheError::LoaderPanicked { key: k }) => assert_eq!(k, key),
+                Err(e) => panic!("unexpected error kind: {e}"),
+                Ok(_) => panic!("load of the exploding key cannot succeed"),
+            }
+        });
+        // The cache as a whole survives: other keys still load fine.
+        let other = SliceKey { t: 1, z: 1 };
+        let slice = cache.get(other).unwrap();
+        assert_eq!(slice[0], src.inner.pixel(other, 0, 0));
+    }
+
+    #[test]
+    fn shared_cache_two_plans_read_each_slice_once_total() {
+        let g = grid();
+        let src = CountingSource::new(g.data_dims());
+        let stats = Arc::new(IoStats::default());
+        let cache = SliceCache::shared(&src, usize::MAX, stats.clone());
+        let a = cache.attach(ReusePlan::new(&g, |_| true));
+        let b = cache.attach(ReusePlan::new(&g, |_| true));
+        let distinct = ReusePlan::new(&g, |_| true).distinct_slices();
+        // Two "jobs" walk the same grid in lockstep over one shared cache.
+        for (seq, chunk) in g.chunks().enumerate() {
+            let r = chunk.input;
+            for _job in 0..2 {
+                for t in r.origin.t..r.end().t {
+                    for z in r.origin.z..r.end().z {
+                        let key = SliceKey { t, z };
+                        let slice = cache.get(key).unwrap();
+                        assert_eq!(slice[1], src.pixel(key, 1, 0));
+                    }
+                }
+            }
+            cache.advance_for(a, seq);
+            cache.advance_for(b, seq);
+        }
+        assert_eq!(
+            src.total_reads.load(Ordering::Relaxed),
+            distinct,
+            "both jobs together must read each slice exactly once"
+        );
+        cache.detach(a);
+        assert!(
+            cache.retained_bytes() == 0 || cache.attached_plans() == 1,
+            "detaching one finished job must not strand its slices"
+        );
+        cache.detach(b);
+        assert_eq!(cache.retained_bytes(), 0, "no jobs -> nothing retained");
+        assert_eq!(cache.attached_plans(), 0);
+    }
+
+    #[test]
+    fn slower_job_keeps_slices_alive_past_faster_jobs_lifetime() {
+        let g = grid();
+        let src = CountingSource::new(g.data_dims());
+        let cache = SliceCache::shared(&src, usize::MAX, Arc::new(IoStats::default()));
+        let fast = cache.attach(ReusePlan::new(&g, |_| true));
+        let slow = cache.attach(ReusePlan::new(&g, |_| true));
+        // The fast job consumes everything and detaches.
+        for (seq, chunk) in g.chunks().enumerate() {
+            let r = chunk.input;
+            for t in r.origin.t..r.end().t {
+                for z in r.origin.z..r.end().z {
+                    cache.get(SliceKey { t, z }).unwrap();
+                }
+            }
+            cache.advance_for(fast, seq);
+        }
+        cache.detach(fast);
+        // The slow job has consumed nothing: every slice it will need is
+        // still retained, so its whole run is served without disk I/O.
+        let before = src.total_reads.load(Ordering::Relaxed);
+        for (seq, chunk) in g.chunks().enumerate() {
+            let r = chunk.input;
+            for t in r.origin.t..r.end().t {
+                for z in r.origin.z..r.end().z {
+                    cache.get(SliceKey { t, z }).unwrap();
+                }
+            }
+            cache.advance_for(slow, seq);
+        }
+        assert_eq!(
+            src.total_reads.load(Ordering::Relaxed),
+            before,
+            "second job must be served entirely from retained slices"
+        );
+        cache.detach(slow);
+        assert_eq!(cache.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn registry_shares_one_cache_per_root_and_releases_idle() {
+        let g = grid();
+        let dims = g.data_dims();
+        let stats = Arc::new(IoStats::default());
+        let reg = SliceCacheRegistry::new(usize::MAX, stats);
+        let root = Path::new("/data/study-a");
+        let c1 = reg
+            .get_or_open(root, || {
+                Ok(Box::new(CountingSource::new(dims)) as SharedSliceSource)
+            })
+            .unwrap();
+        let c2 = reg
+            .get_or_open(root, || panic!("second open must reuse the first"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2), "same root must share one cache");
+        assert_eq!(reg.open_caches(), 1);
+        let h = c1.attach(ReusePlan::new(&g, |_| true));
+        assert_eq!(reg.release_idle(), 0, "attached cache must survive");
+        c1.detach(h);
+        assert_eq!(reg.release_idle(), 1, "idle cache must be released");
+        assert_eq!(reg.open_caches(), 0);
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub mod store;
 pub mod study;
 pub mod synth;
 
-pub use cache::{crop_subrect, IoStats, ReusePlan, SliceCache, SliceSource};
+pub use cache::{
+    crop_subrect, CacheError, IoStats, PlanHandle, ReusePlan, SharedSliceCache, SharedSliceSource,
+    SliceCache, SliceCacheRegistry, SliceSource, WindowWait,
+};
 pub use chunks::{Chunk, ChunkGrid};
 pub use dicom::{DicomDataset, DicomSlice};
 pub use raw::RawVolume;

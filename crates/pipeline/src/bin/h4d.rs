@@ -23,6 +23,8 @@
 //!              [--engine ...] [--report-base run] [--canonical true]
 //!              [--io-cache-bytes B] [--read-ahead N]
 //!              [--checksum true] [--compress true]
+//! h4d serve    [--bind 127.0.0.1:0] [--workers N] [--queue N]
+//!              [--io-cache-bytes B]
 //! ```
 //!
 //! The `graph` subcommand serializes the filter network to JSON — the
@@ -34,17 +36,27 @@
 //! every process must receive the identical graph and peer list. `launch`
 //! is the single-machine orchestrator: it picks N free loopback ports and
 //! spawns one `h4d node` child per placement node, forwarding
-//! `H4D_TRANSPORT_FAULT` to the children for chaos testing.
+//! `H4D_TRANSPORT_FAULT` to the children for chaos testing. A node that
+//! loses its reserved port to another process exits with code 7, and
+//! `launch` responds by killing the remaining children and retrying the
+//! whole launch with fresh ports (bounded attempts), so concurrent
+//! launches on one machine no longer race.
+//!
+//! `serve` runs the persistent analysis daemon (`pipeline::service`): jobs
+//! are submitted over an HTTP/JSON management API and share one
+//! daemon-scoped slice cache per dataset, so concurrent analyses of the
+//! same dataset read each slice from disk exactly once.
 
-use datacutter::{NodeConfig, SchedulePolicy};
+use datacutter::NodeConfig;
 use haralick::raster::{Representation, ScanEngine};
 use haralick::volume::Dims4;
 use mri::store::{write_distributed, DistributedDataset};
 use mri::synth::{generate, SynthConfig};
 use pipeline::config::AppConfig;
 use pipeline::experiments::{run_hmp_piii, run_split_piii};
-use pipeline::graphs::{Copies, HmpGraph, SplitGraph, VisualGraph};
+use pipeline::graphs::standard_graph;
 use pipeline::run::{run_node_threaded_with, run_threaded_outcome_with, IoRuntime};
+use pipeline::service::{AnalysisService, ServiceConfig};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::exit;
@@ -68,10 +80,20 @@ fn usage() -> ! {
          [--io-cache-bytes B] [--read-ahead N] [--checksum true] [--compress true]\n  \
          h4d launch <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...] [--engine ...] \
          [--report-base run] [--canonical true] [--io-cache-bytes B] [--read-ahead N] \
-         [--checksum true] [--compress true]"
+         [--checksum true] [--compress true]\n  \
+         h4d serve [--bind 127.0.0.1:0] [--workers N] [--queue N] [--io-cache-bytes B]"
     );
     exit(2);
 }
+
+/// Exit code `h4d node` uses for a transport bind failure, so `launch` can
+/// distinguish "lost the port race" (retryable with fresh ports) from a
+/// genuine pipeline failure.
+const EXIT_BIND_FAILED: i32 = 7;
+
+/// How many times `launch` re-reserves ports and respawns the whole node
+/// set after a child loses its port to another process.
+const LAUNCH_ATTEMPTS: usize = 3;
 
 /// Minimal flag parser: `--key value` pairs after the positional arguments.
 struct Flags(Vec<(String, String)>);
@@ -152,27 +174,10 @@ fn parse_engine(s: &str) -> ScanEngine {
 }
 
 fn app_config(dims: Dims4, nodes: usize, repr: Representation) -> AppConfig {
-    let mut cfg = AppConfig::paper(repr);
-    if !cfg.roi.fits_in(dims) {
-        eprintln!(
-            "dataset {dims} is smaller than the {} analysis window; \
-             generate at least a window-sized dataset",
-            cfg.roi.size()
-        );
+    AppConfig::for_dataset(dims, nodes, repr).unwrap_or_else(|e| {
+        eprintln!("{e}; generate at least a window-sized dataset");
         exit(1);
-    }
-    cfg.dims = dims;
-    cfg.storage_nodes = nodes;
-    // Scale the chunk down for small datasets so at least a few chunks flow.
-    if dims.x < 128 {
-        cfg.chunk_dims = Dims4::new(
-            (dims.x / 2).max(cfg.roi.size().x),
-            (dims.y / 2).max(cfg.roi.size().y),
-            (dims.z / 2).max(cfg.roi.size().z),
-            (dims.t / 2).max(cfg.roi.size().t),
-        );
-    }
-    cfg
+    })
 }
 
 /// Applies the I/O-plane flag overrides (`--io-cache-bytes`,
@@ -249,42 +254,10 @@ fn load_descriptor(dir: &str) -> mri::store::DatasetDescriptor {
 }
 
 fn build_graph(variant: &str, storage_nodes: usize, texture: usize) -> datacutter::GraphSpec {
-    match variant {
-        "hmp" => HmpGraph {
-            rfr: Copies::Count(storage_nodes),
-            iic: Copies::Count(1),
-            hmp: Copies::Count(texture),
-            uso: Copies::Count(1),
-            texture_policy: SchedulePolicy::DemandDriven,
-        }
-        .build(),
-        "split" => {
-            let hpc = (texture / 5).max(1);
-            let hcc = (texture - hpc).max(1);
-            SplitGraph {
-                rfr: Copies::Count(storage_nodes),
-                iic: Copies::Count(1),
-                hcc: Copies::Count(hcc),
-                hpc: Copies::Count(hpc),
-                uso: Copies::Count(1),
-                texture_policy: SchedulePolicy::DemandDriven,
-                matrix_policy: SchedulePolicy::DemandDriven,
-            }
-            .build()
-        }
-        "visual" => VisualGraph {
-            rfr: Copies::Count(storage_nodes),
-            iic: Copies::Count(1),
-            hmp: Copies::Count(texture),
-            hic: Copies::Count(1),
-            jiw: Copies::Count(1),
-        }
-        .build(),
-        other => {
-            eprintln!("unknown variant {other:?}");
-            usage();
-        }
-    }
+    standard_graph(variant, storage_nodes, texture).unwrap_or_else(|| {
+        eprintln!("unknown variant {variant:?}");
+        usage();
+    })
 }
 
 fn main() {
@@ -517,6 +490,11 @@ fn main() {
             )
             .unwrap_or_else(|e| {
                 eprintln!("node {node} failed: {e}");
+                // A lost port race is retryable from the orchestrator (it
+                // re-reserves fresh ports); everything else is not.
+                if e.error.message().contains("could not listen on") {
+                    exit(EXIT_BIND_FAILED);
+                }
                 exit(1);
             });
             if let Some(rp) = flags.get("report") {
@@ -549,77 +527,148 @@ fn main() {
                 eprintln!("--nodes must be at least 1");
                 exit(2);
             }
-            let addrs = datacutter::free_loopback_addrs(nodes).unwrap_or_else(|e| {
-                eprintln!("could not reserve loopback ports: {e}");
-                exit(1);
-            });
-            let peers = addrs
-                .iter()
-                .map(|a| a.to_string())
-                .collect::<Vec<_>>()
-                .join(",");
             let exe = std::env::current_exe().unwrap_or_else(|e| {
                 eprintln!("cannot locate own executable: {e}");
                 exit(1);
             });
-            let mut children = Vec::new();
-            for node in 0..nodes {
-                let mut cmd = std::process::Command::new(&exe);
-                cmd.arg("node")
-                    .arg(json)
-                    .arg(dir)
-                    .arg(out)
-                    .arg("--node")
-                    .arg(node.to_string())
-                    .arg("--peers")
-                    .arg(&peers);
-                for key in [
-                    "repr",
-                    "engine",
-                    "canonical",
-                    "io-cache-bytes",
-                    "read-ahead",
-                    "checksum",
-                    "compress",
-                ] {
-                    if let Some(v) = flags.get(key) {
-                        cmd.arg(format!("--{key}")).arg(v);
-                    }
-                }
-                if let Some(base) = flags.get("report-base") {
-                    cmd.arg("--report").arg(format!("{base}.node{node}.json"));
-                }
-                // The fault env var is inherited, so chaos runs inject into
-                // every child that matches the spec's node selector.
-                let child = cmd.spawn().unwrap_or_else(|e| {
-                    eprintln!("spawn node {node}: {e}");
+            let t = std::time::Instant::now();
+            // The port reservation is inherently racy against other
+            // processes on the machine: `free_loopback_addrs` releases the
+            // probe sockets before the children rebind them. A child that
+            // loses its port exits with EXIT_BIND_FAILED; kill the rest and
+            // retry the whole set with fresh ports.
+            for attempt in 1..=LAUNCH_ATTEMPTS {
+                let addrs = datacutter::free_loopback_addrs(nodes).unwrap_or_else(|e| {
+                    eprintln!("could not reserve loopback ports: {e}");
                     exit(1);
                 });
-                children.push((node, child));
-            }
-            let t = std::time::Instant::now();
-            let mut failed = false;
-            for (node, mut child) in children {
-                match child.wait() {
-                    Ok(status) if status.success() => {}
-                    Ok(status) => {
-                        eprintln!("node {node} exited with {status}");
-                        failed = true;
+                let peers = addrs
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let mut children = Vec::new();
+                for node in 0..nodes {
+                    let mut cmd = std::process::Command::new(&exe);
+                    cmd.arg("node")
+                        .arg(json)
+                        .arg(dir)
+                        .arg(out)
+                        .arg("--node")
+                        .arg(node.to_string())
+                        .arg("--peers")
+                        .arg(&peers);
+                    for key in [
+                        "repr",
+                        "engine",
+                        "canonical",
+                        "io-cache-bytes",
+                        "read-ahead",
+                        "checksum",
+                        "compress",
+                    ] {
+                        if let Some(v) = flags.get(key) {
+                            cmd.arg(format!("--{key}")).arg(v);
+                        }
                     }
-                    Err(e) => {
-                        eprintln!("wait for node {node}: {e}");
-                        failed = true;
+                    if let Some(base) = flags.get("report-base") {
+                        cmd.arg("--report").arg(format!("{base}.node{node}.json"));
+                    }
+                    // The fault env var is inherited, so chaos runs inject
+                    // into every child that matches the spec's node selector.
+                    let child = cmd.spawn().unwrap_or_else(|e| {
+                        eprintln!("spawn node {node}: {e}");
+                        exit(1);
+                    });
+                    children.push((node, child));
+                }
+                // Poll rather than wait in submission order: a node that
+                // lost its port exits immediately while its peers sit in
+                // their connect loops, so on a bind failure the remaining
+                // children are killed instead of awaited.
+                let mut failed = false;
+                let mut bind_lost = false;
+                let mut pending = children;
+                while !pending.is_empty() && !bind_lost {
+                    let mut still = Vec::new();
+                    for (node, mut child) in pending {
+                        match child.try_wait() {
+                            Ok(None) => still.push((node, child)),
+                            Ok(Some(status)) if status.success() => {}
+                            Ok(Some(status)) => {
+                                if status.code() == Some(EXIT_BIND_FAILED) {
+                                    eprintln!(
+                                        "node {node} lost its port; retrying with fresh ports"
+                                    );
+                                    bind_lost = true;
+                                } else {
+                                    eprintln!("node {node} exited with {status}");
+                                }
+                                failed = true;
+                            }
+                            Err(e) => {
+                                eprintln!("wait for node {node}: {e}");
+                                failed = true;
+                            }
+                        }
+                    }
+                    if bind_lost {
+                        for (_, child) in &mut still {
+                            let _ = child.kill();
+                        }
+                        for (_, mut child) in still {
+                            let _ = child.wait();
+                        }
+                        break;
+                    }
+                    pending = still;
+                    if !pending.is_empty() {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
                     }
                 }
+                if bind_lost && attempt < LAUNCH_ATTEMPTS {
+                    continue;
+                }
+                if failed {
+                    eprintln!("multi-process run failed");
+                    exit(1);
+                }
+                println!(
+                    "ran {nodes} cooperating processes in {:.2?}; output under {out}",
+                    t.elapsed()
+                );
+                break;
             }
-            if failed {
-                eprintln!("multi-process run failed");
+        }
+        "serve" => {
+            // The persistent analysis daemon: jobs arrive over the HTTP
+            // management API and share one slice cache per dataset.
+            let flags = Flags::parse(&args[1..]);
+            let bind: SocketAddr = flags.parse_or("bind", "127.0.0.1:0".parse().unwrap());
+            let defaults = ServiceConfig::default();
+            let cfg = ServiceConfig {
+                workers: flags.parse_or("workers", defaults.workers),
+                queue_limit: flags.parse_or("queue", defaults.queue_limit),
+                io_cache_bytes: flags.parse_or("io-cache-bytes", defaults.io_cache_bytes),
+            };
+            let workers = cfg.workers;
+            let service = AnalysisService::start(bind, cfg).unwrap_or_else(|e| {
+                eprintln!("could not start the daemon on {bind}: {e}");
                 exit(1);
-            }
+            });
+            // Scripts parse this line for the bound port (--bind ...:0).
             println!(
-                "ran {nodes} cooperating processes in {:.2?}; output under {out}",
-                t.elapsed()
+                "h4d daemon listening on {} ({workers} workers)",
+                service.addr()
             );
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            // Blocks until POST /shutdown drains the jobs and stops the
+            // accept loop. A hard SIGTERM/SIGKILL instead is crash-clean:
+            // output files commit by atomic tmp+rename, so a killed daemon
+            // never leaves a partial .h4dp behind.
+            service.join();
+            println!("h4d daemon stopped");
         }
         "simulate" => {
             let flags = Flags::parse(&args[1..]);

@@ -152,6 +152,39 @@ impl AppConfig {
         }
     }
 
+    /// The paper configuration adapted to a concrete dataset: extents and
+    /// storage-node count from the dataset descriptor, chunks scaled down
+    /// for small datasets so at least a few flow through the pipeline.
+    /// Shared by the `h4d` CLI and the analysis service, so a daemon job
+    /// and a one-shot `h4d analyze` of the same dataset are byte-identical.
+    ///
+    /// # Errors
+    /// The dataset is smaller than the analysis window.
+    pub fn for_dataset(
+        dims: Dims4,
+        storage_nodes: usize,
+        representation: Representation,
+    ) -> Result<Self, String> {
+        let mut cfg = Self::paper(representation);
+        if !cfg.roi.fits_in(dims) {
+            return Err(format!(
+                "dataset {dims} is smaller than the {} analysis window",
+                cfg.roi.size()
+            ));
+        }
+        cfg.dims = dims;
+        cfg.storage_nodes = storage_nodes;
+        if dims.x < 128 {
+            cfg.chunk_dims = Dims4::new(
+                (dims.x / 2).max(cfg.roi.size().x),
+                (dims.y / 2).max(cfg.roi.size().y),
+                (dims.z / 2).max(cfg.roi.size().z),
+                (dims.t / 2).max(cfg.roi.size().t),
+            );
+        }
+        Ok(cfg)
+    }
+
     /// The scan configuration equivalent to this application config —
     /// feeding the sequential reference implementation.
     pub fn scan_config(&self) -> ScanConfig {

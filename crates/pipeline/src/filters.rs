@@ -9,14 +9,17 @@ use crate::config::AppConfig;
 use crate::payload::{
     linear_point, ChunkData, FeatureVolume, MatrixBatch, MatrixPacket, ParamPacket, Piece,
 };
-use datacutter::{BufferPool, DataBuffer, Filter, FilterContext, FilterError};
+use datacutter::{BufferPool, DataBuffer, Filter, FilterContext, FilterError, FilterErrorKind};
 use haralick::coocc::CoMatrix;
 use haralick::features::{compute_features, FeatureSelection, MatrixStats};
 use haralick::raster::Representation;
 use haralick::sparse::{SparseAccumulator, SparseCoMatrix};
 use haralick::volume::{LevelVolume, Point4, Region4};
 use haralick::window::MatrixCursor;
-use mri::cache::{crop_subrect, IoStats, ReusePlan, SliceCache, SliceSource};
+use mri::cache::{
+    crop_subrect, CacheError, IoStats, PlanHandle, ReusePlan, SharedSliceSource, SliceCache,
+    SliceCacheRegistry, SliceSource, WindowWait,
+};
 use mri::chunks::ChunkGrid;
 use mri::dicom::DicomDataset;
 use mri::output::{normalize_to_gray, write_pgm, ParameterWriter};
@@ -26,12 +29,93 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-/// Shared reading loop of the RFR and DFR filters: walks the chunk grid in
-/// emission order through a lifetime-exact [`SliceCache`], with an optional
-/// bounded read-ahead thread, cropping each chunk's sub-rectangle out of
-/// the cached full slices into pooled buffers. `emit` receives
-/// `(chunk, key, data)` for every piece this node owns, in the exact order
-/// the naive path produces.
+/// How long a read-ahead thread waits on its plan's window before
+/// re-checking for shutdown or detach; bounds how long it can be held
+/// hostage by a consumer that died without unblocking it.
+const PREFETCH_WAIT: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// Maps a typed cache failure onto the engine's error taxonomy: loader I/O
+/// failures keep their `Io` kind, and a panicked loader surfaces on the
+/// waiting filter as a `Panic`-kind error naming the slice — never as a
+/// poisoned-lock panic in a copy that did nothing wrong.
+fn cache_error(e: CacheError) -> FilterError {
+    let kind = match &e {
+        CacheError::Io { .. } => FilterErrorKind::Io,
+        CacheError::LoaderPanicked { .. } => FilterErrorKind::Panic,
+    };
+    FilterError::new(kind, e.to_string())
+}
+
+/// The reading loop shared by the per-run and daemon-scoped cache paths:
+/// walks the chunk grid in emission order through plan `handle` of `cache`,
+/// with an optional bounded read-ahead thread, cropping each chunk's
+/// sub-rectangle out of the cached full slices into pooled buffers. `emit`
+/// receives `(chunk, key, data)` for every piece the plan owns, in the
+/// exact order the naive path produces.
+///
+/// The plan is detached on every exit path (success and error alike):
+/// detaching releases the slices only this walk still held and unblocks the
+/// read-ahead thread, which is what makes an early error safe on a cache
+/// other jobs are still using — shutting the whole cache down would kill
+/// them too.
+fn pump_chunks<S: SliceSource + Sync>(
+    cache: &SliceCache<S>,
+    handle: PlanHandle,
+    grid: &ChunkGrid,
+    read_ahead: usize,
+    pool: &BufferPool,
+    mut emit: impl FnMut(mri::chunks::Chunk, SliceKey, Vec<u16>) -> Result<(), FilterError>,
+) -> Result<(), FilterError> {
+    let Some(plan) = cache.plan_of(handle) else {
+        return Err(FilterError::engine(
+            "slice reuse plan detached before reading began",
+        ));
+    };
+    let (slice_x, _) = cache.slice_dims();
+    std::thread::scope(|s| {
+        if read_ahead > 0 {
+            let plan = Arc::clone(&plan);
+            s.spawn(move || {
+                let mut seq = 0;
+                while seq < plan.chunks() {
+                    match cache.wait_for_window(handle, seq, read_ahead, Some(PREFETCH_WAIT)) {
+                        WindowWait::Ready => {
+                            cache.prefetch_chunk(handle, seq);
+                            seq += 1;
+                        }
+                        // Re-check: a detach or shutdown turns the next
+                        // wait into `ShutDown`.
+                        WindowWait::TimedOut => continue,
+                        WindowWait::ShutDown => break,
+                    }
+                }
+            });
+        }
+        let result = (|| -> Result<(), FilterError> {
+            for (seq, chunk) in grid.chunks().enumerate() {
+                let r = chunk.input;
+                for &key in plan.keys_for(seq) {
+                    let slice = cache.get(key).map_err(cache_error)?;
+                    let mut data = pool.take::<u16>(r.size.x * r.size.y);
+                    crop_subrect(
+                        &slice, slice_x, r.origin.x, r.origin.y, r.size.x, r.size.y, &mut data,
+                    );
+                    emit(chunk, key, data)?;
+                }
+                cache.advance_for(handle, seq);
+            }
+            Ok(())
+        })();
+        // Detach before the scope's implicit join, or the join deadlocks on
+        // a read-ahead thread waiting for a window that will never open.
+        cache.detach(handle);
+        result
+    })
+}
+
+/// Per-run cache path of the RFR and DFR filters: builds a private
+/// lifetime-exact [`SliceCache`] around `source` and pumps the grid
+/// through it.
 fn emit_chunks_cached<S: SliceSource + Sync>(
     cfg: &AppConfig,
     grid: &ChunkGrid,
@@ -39,44 +123,45 @@ fn emit_chunks_cached<S: SliceSource + Sync>(
     owned: impl Fn(SliceKey) -> bool,
     pool: &BufferPool,
     io: &Arc<IoStats>,
-    mut emit: impl FnMut(mri::chunks::Chunk, SliceKey, Vec<u16>) -> Result<(), FilterError>,
+    emit: impl FnMut(mri::chunks::Chunk, SliceKey, Vec<u16>) -> Result<(), FilterError>,
 ) -> Result<(), FilterError> {
     let plan = ReusePlan::new(grid, owned);
-    let (slice_x, _) = source.slice_dims();
     let cache = SliceCache::new(source, plan, cfg.io_cache_bytes, Arc::clone(io));
-    let ahead = cfg.read_ahead_chunks;
-    std::thread::scope(|s| {
-        if ahead > 0 {
-            let cache = &cache;
-            s.spawn(move || {
-                for seq in 0..cache.plan().chunks() {
-                    if !cache.wait_for_window(seq, ahead) {
-                        break;
-                    }
-                    cache.prefetch_chunk(seq);
-                }
-            });
-        }
-        let result = (|| -> Result<(), FilterError> {
-            for (seq, chunk) in grid.chunks().enumerate() {
-                let r = chunk.input;
-                for &key in cache.plan().keys_for(seq) {
-                    let slice = cache.get(key)?;
-                    let mut data = pool.take::<u16>(r.size.x * r.size.y);
-                    crop_subrect(
-                        &slice, slice_x, r.origin.x, r.origin.y, r.size.x, r.size.y, &mut data,
-                    );
-                    emit(chunk, key, data)?;
-                }
-                cache.advance(seq);
-            }
-            Ok(())
-        })();
-        // Unblock the prefetcher on every exit path (including errors)
-        // before the scope's implicit join, or the join deadlocks.
-        cache.shutdown();
-        result
-    })
+    pump_chunks(
+        &cache,
+        cache.primary_handle(),
+        grid,
+        cfg.read_ahead_chunks,
+        pool,
+        emit,
+    )
+}
+
+/// Daemon-scoped cache path: attaches this walk's [`ReusePlan`] to the
+/// dataset's shared cache from `registry` (opening it on first use via
+/// `open`), so concurrent jobs over the same dataset read each slice from
+/// disk exactly once, total.
+fn emit_chunks_shared(
+    cfg: &AppConfig,
+    grid: &ChunkGrid,
+    registry: &SliceCacheRegistry,
+    root: &std::path::Path,
+    open: impl FnOnce() -> std::io::Result<SharedSliceSource>,
+    owned: impl Fn(SliceKey) -> bool,
+    pool: &BufferPool,
+    emit: impl FnMut(mri::chunks::Chunk, SliceKey, Vec<u16>) -> Result<(), FilterError>,
+) -> Result<(), FilterError> {
+    let cache = registry.get_or_open(root, open).map_err(|e| {
+        FilterError::new(
+            FilterErrorKind::Io,
+            format!(
+                "could not open the shared slice cache for {}: {e}",
+                root.display()
+            ),
+        )
+    })?;
+    let handle = cache.attach(ReusePlan::new(grid, owned));
+    pump_chunks(&*cache, handle, grid, cfg.read_ahead_chunks, pool, emit)
 }
 
 /// RAWFileReader: reads the local portions of every chunk's input region
@@ -87,9 +172,11 @@ fn emit_chunks_cached<S: SliceSource + Sync>(
 pub struct RfrFilter {
     cfg: Arc<AppConfig>,
     dataset: DistributedDataset,
+    root: PathBuf,
     node: usize,
     pool: Arc<BufferPool>,
     io: Arc<IoStats>,
+    slices: Option<Arc<SliceCacheRegistry>>,
 }
 
 impl RfrFilter {
@@ -111,9 +198,11 @@ impl RfrFilter {
         Ok(Self {
             cfg,
             dataset,
+            root: root.to_path_buf(),
             node,
             pool: Arc::new(BufferPool::new()),
             io: Arc::new(IoStats::default()),
+            slices: None,
         })
     }
 
@@ -121,6 +210,14 @@ impl RfrFilter {
     pub fn with_io(mut self, pool: Arc<BufferPool>, io: Arc<IoStats>) -> Self {
         self.pool = pool;
         self.io = io;
+        self
+    }
+
+    /// Attaches a daemon-scoped slice-cache registry: slices are then read
+    /// through the dataset's shared cache instead of a per-copy one, so
+    /// concurrent jobs over the same dataset share every load.
+    pub fn with_shared_cache(mut self, slices: Arc<SliceCacheRegistry>) -> Self {
+        self.slices = Some(slices);
         self
     }
 }
@@ -156,23 +253,41 @@ impl Filter for RfrFilter {
             return Ok(());
         }
         let (dataset, node) = (&self.dataset, self.node);
-        emit_chunks_cached(
-            &self.cfg,
-            &grid,
-            dataset,
-            |key| dataset.node_of(key) == Some(node),
-            &self.pool,
-            &self.io,
-            |chunk, key, data| {
-                let piece = Piece {
-                    chunk,
-                    slice: key,
-                    data,
-                };
-                let size = piece.wire_size();
-                ctx.emit(0, DataBuffer::new(piece, size, chunk.id as u64))
-            },
-        )
+        let emit = |chunk: mri::chunks::Chunk, key: SliceKey, data: Vec<u16>| {
+            let piece = Piece {
+                chunk,
+                slice: key,
+                data,
+            };
+            let size = piece.wire_size();
+            ctx.emit(0, DataBuffer::new(piece, size, chunk.id as u64))
+        };
+        match &self.slices {
+            Some(registry) => {
+                let root = self.root.clone();
+                emit_chunks_shared(
+                    &self.cfg,
+                    &grid,
+                    registry,
+                    &self.root,
+                    move || {
+                        DistributedDataset::open(&root).map(|d| Box::new(d) as SharedSliceSource)
+                    },
+                    |key| dataset.node_of(key) == Some(node),
+                    &self.pool,
+                    emit,
+                )
+            }
+            None => emit_chunks_cached(
+                &self.cfg,
+                &grid,
+                dataset,
+                |key| dataset.node_of(key) == Some(node),
+                &self.pool,
+                &self.io,
+                emit,
+            ),
+        }
     }
 
     fn process(
@@ -193,9 +308,11 @@ impl Filter for RfrFilter {
 pub struct DfrFilter {
     cfg: Arc<AppConfig>,
     dataset: DicomDataset,
+    root: PathBuf,
     node: usize,
     pool: Arc<BufferPool>,
     io: Arc<IoStats>,
+    slices: Option<Arc<SliceCacheRegistry>>,
 }
 
 impl DfrFilter {
@@ -218,9 +335,11 @@ impl DfrFilter {
         Ok(Self {
             cfg,
             dataset,
+            root: root.to_path_buf(),
             node,
             pool: Arc::new(BufferPool::new()),
             io: Arc::new(IoStats::default()),
+            slices: None,
         })
     }
 
@@ -228,6 +347,13 @@ impl DfrFilter {
     pub fn with_io(mut self, pool: Arc<BufferPool>, io: Arc<IoStats>) -> Self {
         self.pool = pool;
         self.io = io;
+        self
+    }
+
+    /// Attaches a daemon-scoped slice-cache registry (see
+    /// [`RfrFilter::with_shared_cache`]).
+    pub fn with_shared_cache(mut self, slices: Arc<SliceCacheRegistry>) -> Self {
+        self.slices = Some(slices);
         self
     }
 }
@@ -272,23 +398,45 @@ impl Filter for DfrFilter {
             return Ok(());
         }
         let (dataset, node) = (&self.dataset, self.node);
-        emit_chunks_cached(
-            &self.cfg,
-            &grid,
-            dataset,
-            |key| dataset.node_of(key) == Some(node),
-            &self.pool,
-            &self.io,
-            |chunk, key, data| {
-                let piece = Piece {
-                    chunk,
-                    slice: key,
-                    data,
-                };
-                let size = piece.wire_size();
-                ctx.emit(0, DataBuffer::new(piece, size, chunk.id as u64))
-            },
-        )
+        let emit = |chunk: mri::chunks::Chunk, key: SliceKey, data: Vec<u16>| {
+            let piece = Piece {
+                chunk,
+                slice: key,
+                data,
+            };
+            let size = piece.wire_size();
+            ctx.emit(0, DataBuffer::new(piece, size, chunk.id as u64))
+        };
+        match &self.slices {
+            Some(registry) => {
+                let root = self.root.clone();
+                emit_chunks_shared(
+                    &self.cfg,
+                    &grid,
+                    registry,
+                    &self.root,
+                    move || {
+                        DicomDataset::open(&root)
+                            .map(|d| Box::new(d) as SharedSliceSource)
+                            .map_err(|e| {
+                                std::io::Error::new(std::io::ErrorKind::Other, e.to_string())
+                            })
+                    },
+                    |key| dataset.node_of(key) == Some(node),
+                    &self.pool,
+                    emit,
+                )
+            }
+            None => emit_chunks_cached(
+                &self.cfg,
+                &grid,
+                dataset,
+                |key| dataset.node_of(key) == Some(node),
+                &self.pool,
+                &self.io,
+                emit,
+            ),
+        }
     }
 
     fn process(

@@ -144,6 +144,47 @@ impl VisualGraph {
     }
 }
 
+/// Builds one of the three standard variants by name — `"hmp"` (combined
+/// texture filter), `"split"` (HCC + HPC), or `"visual"` (HIC + JIW) —
+/// with `texture` worker copies split the way the CLI splits them. Returns
+/// `None` for an unknown variant. Shared by the `h4d` CLI and the analysis
+/// service so both build the identical network for a given request.
+pub fn standard_graph(variant: &str, storage_nodes: usize, texture: usize) -> Option<GraphSpec> {
+    Some(match variant {
+        "hmp" => HmpGraph {
+            rfr: Copies::Count(storage_nodes),
+            iic: Copies::Count(1),
+            hmp: Copies::Count(texture),
+            uso: Copies::Count(1),
+            texture_policy: SchedulePolicy::DemandDriven,
+        }
+        .build(),
+        "split" => {
+            let hpc = (texture / 5).max(1);
+            let hcc = (texture - hpc).max(1);
+            SplitGraph {
+                rfr: Copies::Count(storage_nodes),
+                iic: Copies::Count(1),
+                hcc: Copies::Count(hcc),
+                hpc: Copies::Count(hpc),
+                uso: Copies::Count(1),
+                texture_policy: SchedulePolicy::DemandDriven,
+                matrix_policy: SchedulePolicy::DemandDriven,
+            }
+            .build()
+        }
+        "visual" => VisualGraph {
+            rfr: Copies::Count(storage_nodes),
+            iic: Copies::Count(1),
+            hmp: Copies::Count(texture),
+            hic: Copies::Count(1),
+            jiw: Copies::Count(1),
+        }
+        .build(),
+        _ => return None,
+    })
+}
+
 /// Swaps the raw reader for the DICOM reader in any built graph: renames
 /// the `RFR` filter (and its stream endpoint) to `DFR`. Nothing else in the
 /// network changes — the paper's incremental-development property.

@@ -19,7 +19,10 @@
 //!   and the retrieval-volume accounting);
 //! * [`simfilters`] — the simulator behaviours of each filter, with service
 //!   costs from the calibrated [`cluster::CostModel`];
-//! * [`experiments`] — one driver per figure of the paper's evaluation.
+//! * [`experiments`] — one driver per figure of the paper's evaluation;
+//! * [`service`] — the persistent analysis daemon: a bounded job manager
+//!   over a daemon-scoped slice-cache registry, an HTTP/JSON management
+//!   API, and a typed client.
 //!
 //! The threaded engine runs the *real* filters on real data (tests verify
 //! end-to-end equality with the sequential reference); the simulator runs
@@ -35,6 +38,7 @@ pub mod filters;
 pub mod graphs;
 pub mod payload;
 pub mod run;
+pub mod service;
 pub mod simfilters;
 pub mod workload;
 
@@ -42,7 +46,11 @@ pub use codecs::payload_codec;
 pub use config::AppConfig;
 pub use run::{
     merge_uso_outputs, run_node_threaded, run_node_threaded_with, run_threaded,
-    run_threaded_outcome, run_threaded_outcome_with, threaded_factories, threaded_factories_with,
-    IoRuntime,
+    run_threaded_outcome, run_threaded_outcome_with, run_threaded_outcome_with_engine,
+    threaded_factories, threaded_factories_with, IoRuntime,
+};
+pub use service::{
+    AnalysisService, JobManager, JobSpec, JobState, JobStatus, MgmtClient, ServiceConfig,
+    ServiceStatus, SubmitError,
 };
 pub use workload::Workload;

@@ -17,7 +17,7 @@ use datacutter::{
 };
 use haralick::features::Feature;
 use haralick::volume::Dims4;
-use mri::cache::IoStats;
+use mri::cache::{IoStats, SliceCacheRegistry};
 use mri::output::{read_parameter_file, ParameterData};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -33,12 +33,28 @@ pub struct IoRuntime {
     pub pool: Arc<BufferPool>,
     /// Reader-side I/O counters shared by all reading-filter copies.
     pub io: Arc<IoStats>,
+    /// Daemon-scoped slice-cache registry. `None` (the default) keeps the
+    /// per-run caches of the one-shot CLI; a service sets this so every
+    /// job's readers share one cache per dataset and each slice is read
+    /// from disk exactly once across concurrent jobs.
+    pub slices: Option<Arc<SliceCacheRegistry>>,
 }
 
 impl IoRuntime {
     /// Fresh pool and counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A daemon-scoped runtime: readers go through `slices`' shared caches,
+    /// and `io` aliases the registry's counters so per-run reports and the
+    /// service's `/status` endpoint agree.
+    pub fn with_registry(slices: Arc<SliceCacheRegistry>) -> Self {
+        Self {
+            pool: Arc::new(BufferPool::new()),
+            io: Arc::clone(slices.stats()),
+            slices: Some(slices),
+        }
     }
 
     /// The run's I/O counters as a serializable report fragment.
@@ -113,7 +129,10 @@ pub fn threaded_factories_with(
                         ),
                     )
                 })?;
-                let f = f.with_io(rt.pool.clone(), rt.io.clone());
+                let mut f = f.with_io(rt.pool.clone(), rt.io.clone());
+                if let Some(slices) = &rt.slices {
+                    f = f.with_shared_cache(Arc::clone(slices));
+                }
                 Ok(Box::new(f) as Box<dyn Filter>)
             }),
             "DFR" => Box::new(move |copy| {
@@ -127,7 +146,10 @@ pub fn threaded_factories_with(
                         ),
                     )
                 })?;
-                let f = f.with_io(rt.pool.clone(), rt.io.clone());
+                let mut f = f.with_io(rt.pool.clone(), rt.io.clone());
+                if let Some(slices) = &rt.slices {
+                    f = f.with_shared_cache(Arc::clone(slices));
+                }
                 Ok(Box::new(f) as Box<dyn Filter>)
             }),
             "IIC" => Box::new(move |_| Ok(Box::new(IicFilter::new().with_pool(rt.pool.clone())))),
@@ -189,8 +211,29 @@ pub fn run_threaded_outcome_with(
     out_dir: &Path,
     rt: &IoRuntime,
 ) -> Result<RunOutcome, RunFailure> {
+    run_threaded_outcome_with_engine(
+        spec,
+        cfg,
+        dataset_root,
+        out_dir,
+        rt,
+        &EngineConfig::default(),
+    )
+}
+
+/// [`run_threaded_outcome_with`] with an explicit [`EngineConfig`], so an
+/// embedding service can pass a cooperative cancellation flag (and a
+/// per-job thread-name prefix) alongside the shared [`IoRuntime`].
+pub fn run_threaded_outcome_with_engine(
+    spec: &GraphSpec,
+    cfg: &Arc<AppConfig>,
+    dataset_root: &Path,
+    out_dir: &Path,
+    rt: &IoRuntime,
+    engine: &EngineConfig,
+) -> Result<RunOutcome, RunFailure> {
     let mut factories = threaded_factories_with(spec, cfg, dataset_root, out_dir, rt);
-    run_graph(spec, &mut factories, &EngineConfig::default())
+    run_graph(spec, &mut factories, engine)
 }
 
 /// Runs this process's share of a placed `spec` as one node of a

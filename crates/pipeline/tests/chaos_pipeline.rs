@@ -7,9 +7,9 @@
 //! reference.
 
 use datacutter::{
-    free_loopback_addrs, run_graph, DataBuffer, EngineConfig, FaultKind, FaultPlan, FaultSite,
-    FaultSpec, Filter, FilterContext, FilterError, FilterErrorKind, GraphSpec, NodeConfig,
-    RunFailure, RunOutcome, SchedulePolicy, TransportFault, TransportFaultKind,
+    reserve_loopback_listeners, run_graph, DataBuffer, EngineConfig, FaultKind, FaultPlan,
+    FaultSite, FaultSpec, Filter, FilterContext, FilterError, FilterErrorKind, GraphSpec,
+    NodeConfig, RunFailure, RunOutcome, SchedulePolicy, TransportFault, TransportFaultKind,
 };
 use haralick::raster::{raster_scan, Representation};
 use haralick::volume::Point4;
@@ -260,7 +260,8 @@ fn run_two_node_pipeline(
     out: &Path,
     faults: [Option<TransportFault>; 2],
 ) -> Vec<Result<RunOutcome, RunFailure>> {
-    let addrs = free_loopback_addrs(2).expect("loopback ports");
+    // Pre-bound listeners close the port-reservation race under parallel CI.
+    let (addrs, listeners) = reserve_loopback_listeners(2).expect("loopback ports");
     let (tx, rx) = mpsc::channel();
     let mut handles = Vec::new();
     for node in 0..2 {
@@ -268,6 +269,7 @@ fn run_two_node_pipeline(
         let cfg = cfg.clone();
         let (data, out) = (data.to_path_buf(), out.to_path_buf());
         let mut node_cfg = NodeConfig::new(node, addrs.clone());
+        node_cfg.listener = Some(listeners[node].clone());
         node_cfg.fault = faults[node];
         let tx = tx.clone();
         handles.push(std::thread::spawn(move || {
