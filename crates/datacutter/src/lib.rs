@@ -48,7 +48,7 @@ pub use filter::{Filter, FilterContext, FilterError, FilterErrorKind};
 pub use graph::{FilterDecl, GraphSpec, StreamDecl};
 pub use metrics::{
     ConnectionReport, CopyReport, FilterShape, IoReport, PhaseReport, RunPhases, RunReport,
-    StreamMeter, StreamStats,
+    StoreReport, StreamMeter, StreamStats,
 };
 pub use pool::{BufferPool, PoolReport};
 pub use schedule::SchedulePolicy;

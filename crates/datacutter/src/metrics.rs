@@ -193,6 +193,30 @@ pub struct IoReport {
     pub retained_high_water: u64,
 }
 
+/// Result-store counters as serialized into the run report: how much of
+/// the run was served from the content-addressed store versus recomputed.
+/// Populated by the pipeline layer from its shared store stats; absent
+/// when the run had no store attached. Every chunk-packet lookup counts
+/// exactly one of `hits`/`misses`, so `hits + misses` equals the number
+/// of texture lookups the run performed (one per chunk for the combined
+/// filter) and CI can assert "warm run: hits == chunk count" directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreReport {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that recomputed (absent, unreadable or corrupt blob).
+    pub misses: u64,
+    /// Blobs staged for publication by this run.
+    pub published: u64,
+    /// Payload bytes served from the store.
+    pub bytes_served: u64,
+    /// Payload bytes staged for publication.
+    pub bytes_published: u64,
+    /// Blobs rejected (and evicted) for failing validation; each also
+    /// counted as a miss, never served.
+    pub corrupt_rejected: u64,
+}
+
 /// Per-peer transport counters of one node process in a distributed run:
 /// how well the writer coalesced frames into flushes, how often credit
 /// windows stalled a route with data ready, and what compression saved.
@@ -255,6 +279,9 @@ pub struct RunReport {
     /// Per-peer transport counters, present only for distributed runs.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub transport: Option<Vec<ConnectionReport>>,
+    /// Result-store counters, present only when a store was attached.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub store: Option<StoreReport>,
 }
 
 /// Current [`RunReport::schema_version`].
@@ -285,6 +312,7 @@ impl RunReport {
             io: None,
             pool: None,
             transport: (!outcome.transport.is_empty()).then(|| outcome.transport.clone()),
+            store: None,
         }
     }
 
@@ -422,6 +450,7 @@ mod tests {
             io: None,
             pool: None,
             transport: None,
+            store: None,
         }
     }
 

@@ -26,7 +26,9 @@
 //! * [`cache`] — the overlap-aware I/O plane: a lifetime-exact slice cache
 //!   driven by the chunk grid's deterministic emission order, with
 //!   byte-budget fallback, bounded read-ahead support and shared I/O
-//!   counters.
+//!   counters;
+//! * [`digest`] — FNV-1a content digesting of volumes and dataset regions,
+//!   the content half of the result store's chunk keys.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +36,7 @@
 pub mod cache;
 pub mod chunks;
 pub mod dicom;
+pub mod digest;
 pub mod output;
 pub mod raw;
 pub mod store;
@@ -46,6 +49,7 @@ pub use cache::{
 };
 pub use chunks::{Chunk, ChunkGrid};
 pub use dicom::{DicomDataset, DicomSlice};
+pub use digest::Fnv1a64;
 pub use raw::RawVolume;
 pub use store::{DatasetDescriptor, DistributedDataset, SliceKey};
 pub use study::{Study, Visit};

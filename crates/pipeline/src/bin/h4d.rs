@@ -8,23 +8,23 @@
 //!              [--repr full|naive|sparse|sparse-accum] [--texture N]
 //!              [--engine reference|parallel|incremental|incremental-parallel|fused|fused-parallel|auto]
 //!              [--report run.json] [--canonical true]
-//!              [--io-cache-bytes B] [--read-ahead N]
+//!              [--io-cache-bytes B] [--read-ahead N] [--result-store DIR]
 //! h4d graph    <out.json> [--variant hmp|split|visual] [--texture N]
 //! h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]
 //! h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr ...]
 //!              [--engine ...] [--report run.json] [--canonical true]
-//!              [--io-cache-bytes B] [--read-ahead N]
+//!              [--io-cache-bytes B] [--read-ahead N] [--result-store DIR]
 //! h4d node     <graph.json> <dataset_dir> <out_dir> --node K
 //!              --peers addr0,addr1,... [--repr ...] [--engine ...]
 //!              [--report run.json] [--canonical true]
-//!              [--io-cache-bytes B] [--read-ahead N]
+//!              [--io-cache-bytes B] [--read-ahead N] [--result-store DIR]
 //!              [--checksum true] [--compress true]
 //! h4d launch   <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...]
 //!              [--engine ...] [--report-base run] [--canonical true]
-//!              [--io-cache-bytes B] [--read-ahead N]
+//!              [--io-cache-bytes B] [--read-ahead N] [--result-store DIR]
 //!              [--checksum true] [--compress true]
 //! h4d serve    [--bind 127.0.0.1:0] [--workers N] [--queue N]
-//!              [--io-cache-bytes B]
+//!              [--io-cache-bytes B] [--result-store DIR]
 //! ```
 //!
 //! The `graph` subcommand serializes the filter network to JSON — the
@@ -46,6 +46,12 @@
 //! are submitted over an HTTP/JSON management API and share one
 //! daemon-scoped slice cache per dataset, so concurrent analyses of the
 //! same dataset read each slice from disk exactly once.
+//!
+//! `--result-store DIR` attaches the content-addressed result store
+//! (`pipeline::store`): chunks whose input data and configuration match a
+//! previous committed run are served from the store instead of recomputed,
+//! and the run's hit/miss/publish counters land in the `--report` JSON
+//! under `"store"`.
 
 use datacutter::NodeConfig;
 use haralick::raster::{Representation, ScanEngine};
@@ -70,18 +76,22 @@ fn usage() -> ! {
          h4d analyze <dataset_dir> <out_dir> [--variant hmp|split|visual] \
          [--repr full|naive|sparse|sparse-accum] [--texture N] \
          [--engine reference|parallel|incremental|incremental-parallel|fused|fused-parallel|auto] \
-         [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N]\n  \
+         [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N] \
+         [--result-store DIR]\n  \
          h4d graph <out.json> [--variant hmp|split|visual] [--texture N]\n  \
          h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]\n  \
          h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr full|naive|sparse|sparse-accum] \
-         [--engine ...] [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N]\n  \
+         [--engine ...] [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N] \
+         [--result-store DIR]\n  \
          h4d node <graph.json> <dataset_dir> <out_dir> --node K --peers addr0,addr1,... \
          [--repr ...] [--engine ...] [--report run.json] [--canonical true] \
-         [--io-cache-bytes B] [--read-ahead N] [--checksum true] [--compress true]\n  \
+         [--io-cache-bytes B] [--read-ahead N] [--result-store DIR] \
+         [--checksum true] [--compress true]\n  \
          h4d launch <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...] [--engine ...] \
          [--report-base run] [--canonical true] [--io-cache-bytes B] [--read-ahead N] \
-         [--checksum true] [--compress true]\n  \
-         h4d serve [--bind 127.0.0.1:0] [--workers N] [--queue N] [--io-cache-bytes B]"
+         [--result-store DIR] [--checksum true] [--compress true]\n  \
+         h4d serve [--bind 127.0.0.1:0] [--workers N] [--queue N] [--io-cache-bytes B] \
+         [--result-store DIR]"
     );
     exit(2);
 }
@@ -191,6 +201,17 @@ fn apply_io_flags(cfg: &mut AppConfig, flags: &Flags) {
 fn apply_engine_flag(cfg: &mut AppConfig, flags: &Flags) {
     if let Some(e) = flags.get("engine") {
         cfg.engine = parse_engine(e);
+    }
+}
+
+/// Applies the `--result-store` directory onto a loaded configuration and
+/// attaches a session to the run's `IoRuntime`, so `write_report`'s
+/// [`IoRuntime::annotate`] sees the run's store counters (the driver
+/// commits or abandons the session when the run finishes).
+fn apply_store_flag(cfg: &mut AppConfig, flags: &Flags, rt: &mut IoRuntime) {
+    if let Some(dir) = flags.get("result-store") {
+        cfg.result_store = Some(PathBuf::from(dir));
+        rt.attach_result_store(cfg);
     }
 }
 
@@ -340,10 +361,11 @@ fn main() {
             cfg.canonical_output = flags.parse_or("canonical", false);
             apply_io_flags(&mut cfg, &flags);
             apply_engine_flag(&mut cfg, &flags);
+            let mut rt = IoRuntime::new();
+            apply_store_flag(&mut cfg, &flags, &mut rt);
             let cfg = Arc::new(cfg);
             let spec = build_graph(&variant, desc.num_nodes, texture);
             std::fs::create_dir_all(out).ok();
-            let rt = IoRuntime::new();
             let t = std::time::Instant::now();
             let outcome = run_threaded_outcome_with(
                 &spec,
@@ -410,9 +432,10 @@ fn main() {
             cfg.canonical_output = flags.parse_or("canonical", false);
             apply_io_flags(&mut cfg, &flags);
             apply_engine_flag(&mut cfg, &flags);
+            let mut rt = IoRuntime::new();
+            apply_store_flag(&mut cfg, &flags, &mut rt);
             let cfg = Arc::new(cfg);
             std::fs::create_dir_all(out).ok();
-            let rt = IoRuntime::new();
             let t = std::time::Instant::now();
             let outcome = run_threaded_outcome_with(
                 &spec,
@@ -472,13 +495,14 @@ fn main() {
             apply_io_flags(&mut cfg, &flags);
             apply_engine_flag(&mut cfg, &flags);
             apply_transport_flags(&mut cfg, &flags);
+            let mut rt = IoRuntime::new();
+            apply_store_flag(&mut cfg, &flags, &mut rt);
             let cfg = Arc::new(cfg);
             std::fs::create_dir_all(out).ok();
             // Picks up H4D_TRANSPORT_FAULT from the environment.
             let mut node_cfg = NodeConfig::new(node, addrs);
             node_cfg.checksum = cfg.transport_checksum;
             node_cfg.compress = cfg.transport_compress;
-            let rt = IoRuntime::new();
             let t = std::time::Instant::now();
             let outcome = run_node_threaded_with(
                 &spec,
@@ -564,6 +588,7 @@ fn main() {
                         "canonical",
                         "io-cache-bytes",
                         "read-ahead",
+                        "result-store",
                         "checksum",
                         "compress",
                     ] {
@@ -650,6 +675,7 @@ fn main() {
                 workers: flags.parse_or("workers", defaults.workers),
                 queue_limit: flags.parse_or("queue", defaults.queue_limit),
                 io_cache_bytes: flags.parse_or("io-cache-bytes", defaults.io_cache_bytes),
+                result_store: flags.get("result-store").map(PathBuf::from),
             };
             let workers = cfg.workers;
             let service = AnalysisService::start(bind, cfg).unwrap_or_else(|e| {

@@ -278,7 +278,9 @@ fn decode_chunk_data(bytes: &[u8]) -> Result<ChunkData, String> {
     })
 }
 
-fn encode_matrix_packet(p: &MatrixPacket) -> Vec<u8> {
+// Also reused by the result store (`crate::store`), which frames matrix
+// packets and parameter packets inside its checksummed blobs.
+pub(crate) fn encode_matrix_packet(p: &MatrixPacket) -> Vec<u8> {
     let mut out = Vec::with_capacity(256);
     put_chunk(&mut out, &p.chunk);
     put_usize(&mut out, p.first);
@@ -313,7 +315,7 @@ fn encode_matrix_packet(p: &MatrixPacket) -> Vec<u8> {
     out
 }
 
-fn decode_matrix_packet(bytes: &[u8]) -> Result<MatrixPacket, String> {
+pub(crate) fn decode_matrix_packet(bytes: &[u8]) -> Result<MatrixPacket, String> {
     let mut cur = Cur::new(bytes);
     let chunk = cur.chunk()?;
     let first = cur.usize_("packet first index")?;
@@ -363,7 +365,7 @@ fn decode_matrix_packet(bytes: &[u8]) -> Result<MatrixPacket, String> {
     })
 }
 
-fn encode_param_packet(p: &ParamPacket) -> Vec<u8> {
+pub(crate) fn encode_param_packet(p: &ParamPacket) -> Vec<u8> {
     let mut out = Vec::with_capacity(p.points.len() * 40 + 16);
     out.push(p.feature.index() as u8);
     put_usize(&mut out, p.points.len());
@@ -377,7 +379,7 @@ fn encode_param_packet(p: &ParamPacket) -> Vec<u8> {
     out
 }
 
-fn decode_param_packet(bytes: &[u8]) -> Result<ParamPacket, String> {
+pub(crate) fn decode_param_packet(bytes: &[u8]) -> Result<ParamPacket, String> {
     let mut cur = Cur::new(bytes);
     let feature = decode_feature(cur.take(1, "feature index")?[0])?;
     let np = cur.count("point count", 32)?;

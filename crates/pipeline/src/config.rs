@@ -82,6 +82,14 @@ pub struct AppConfig {
     /// Negotiated like `transport_checksum`.
     #[serde(default)]
     pub transport_compress: bool,
+    /// Root directory of the content-addressed result store (see
+    /// [`crate::store`]). When set, the texture filters consult the store
+    /// before computing a chunk and publish fresh results after; `None`
+    /// (the default) recomputes everything. The path is a *value-neutral*
+    /// knob: it is excluded from the store's config fingerprint, so moving
+    /// a store directory does not invalidate its contents.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub result_store: Option<std::path::PathBuf>,
 }
 
 fn default_texture_threads() -> usize {
@@ -136,6 +144,7 @@ impl AppConfig {
             read_ahead_chunks: default_read_ahead_chunks(),
             transport_checksum: false,
             transport_compress: false,
+            result_store: None,
         }
     }
 

@@ -9,6 +9,7 @@ use crate::config::AppConfig;
 use crate::payload::{
     linear_point, ChunkData, FeatureVolume, MatrixBatch, MatrixPacket, ParamPacket, Piece,
 };
+use crate::store::{KeyRecipe, StoreSession, StoreStage};
 use datacutter::{BufferPool, DataBuffer, Filter, FilterContext, FilterError, FilterErrorKind};
 use haralick::coocc::CoMatrix;
 use haralick::features::{compute_features, FeatureSelection, MatrixStats};
@@ -619,6 +620,7 @@ pub fn analyze_chunk(cfg: &AppConfig, data: &ChunkData) -> Result<Vec<ParamPacke
 pub struct HmpFilter {
     cfg: Arc<AppConfig>,
     pool: Arc<BufferPool>,
+    store: Option<(KeyRecipe, Arc<StoreSession>)>,
 }
 
 impl HmpFilter {
@@ -628,12 +630,22 @@ impl HmpFilter {
         Self {
             cfg,
             pool: Arc::new(BufferPool::new()),
+            store: None,
         }
     }
 
     /// Attaches the run's shared buffer pool.
     pub fn with_pool(mut self, pool: Arc<BufferPool>) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Attaches the run's result-store session: chunks whose input region
+    /// and config match a committed blob are served instead of computed,
+    /// and fresh results are staged for publication.
+    pub fn with_store(mut self, session: Arc<StoreSession>) -> Self {
+        let recipe = KeyRecipe::new(&self.cfg, StoreStage::Params);
+        self.store = Some((recipe, session));
         self
     }
 }
@@ -650,7 +662,23 @@ impl Filter for HmpFilter {
         // moves the chunk out of the buffer instead of borrowing it and
         // lets its backing store recycle once quantized.
         let data: ChunkData = buf.into_payload()?;
-        let packets = analyze_chunk(&self.cfg, &data)?;
+        // All of a chunk's parameter packets live in one blob under packet
+        // index 0: they are produced together and always emitted together.
+        let packets = match &self.store {
+            Some((recipe, session)) => {
+                let content = recipe.content_digest(&data.chunk, &data.raw);
+                let key = recipe.key(&data.chunk, content, 0);
+                match session.lookup_params(&key) {
+                    Some(packets) => packets,
+                    None => {
+                        let packets = analyze_chunk(&self.cfg, &data)?;
+                        session.publish_params(&key, &packets);
+                        packets
+                    }
+                }
+            }
+            None => analyze_chunk(&self.cfg, &data)?,
+        };
         self.pool.put(data.raw.into_data());
         for packet in packets {
             let size = packet.wire_size(self.cfg.param_value_bytes);
@@ -666,6 +694,7 @@ impl Filter for HmpFilter {
 pub struct HccFilter {
     cfg: Arc<AppConfig>,
     pool: Arc<BufferPool>,
+    store: Option<(KeyRecipe, Arc<StoreSession>)>,
 }
 
 impl HccFilter {
@@ -675,12 +704,24 @@ impl HccFilter {
         Self {
             cfg,
             pool: Arc::new(BufferPool::new()),
+            store: None,
         }
     }
 
     /// Attaches the run's shared buffer pool.
     pub fn with_pool(mut self, pool: Arc<BufferPool>) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Attaches the run's result-store session. Matrix output is stored at
+    /// packet granularity — one blob per `packet_split` packet, keyed by
+    /// the packet's first ROI index — so a store hit preserves the split
+    /// variant's streaming memory bounds instead of materializing a whole
+    /// chunk's matrices.
+    pub fn with_store(mut self, session: Arc<StoreSession>) -> Self {
+        let recipe = KeyRecipe::new(&self.cfg, StoreStage::Matrices);
+        self.store = Some((recipe, session));
         self
     }
 }
@@ -695,8 +736,14 @@ impl Filter for HccFilter {
         let tag = buf.tag();
         let data: ChunkData = buf.into_payload()?;
         let cfg = &self.cfg;
-        let vol = data.raw.quantize(&cfg.quantizer);
         let chunk = data.chunk;
+        // The content digest covers the raw input region, so it must be
+        // folded before quantization recycles the raw buffer.
+        let store = self
+            .store
+            .as_ref()
+            .map(|(recipe, session)| (*recipe, session, recipe.content_digest(&chunk, &data.raw)));
+        let vol = data.raw.quantize(&cfg.quantizer);
         // The raw chunk is only needed for quantization; recycle its
         // backing store before the per-ROI scan.
         self.pool.put(data.raw.into_data());
@@ -728,6 +775,22 @@ impl Filter for HccFilter {
         let mut first = 0usize;
         while first < n {
             let count = per_packet.min(n - first);
+            // One store key per matrix packet, folding the packet's first
+            // ROI index on top of the chunk's content digest. A served
+            // packet skips its ROIs entirely; the cursor reseeds itself at
+            // the next computed placement (`matrix_at` rebuilds on any
+            // non-`+x` jump), so hits and misses can interleave freely.
+            let key = store
+                .as_ref()
+                .map(|(recipe, session, content)| (recipe.key(&chunk, *content, first), session));
+            if let Some((key, session)) = &key {
+                if let Some(packet) = session.lookup_matrices(key) {
+                    let size = packet.wire_size(cfg.levels);
+                    ctx.emit(0, DataBuffer::new(packet, size, tag))?;
+                    first += count;
+                    continue;
+                }
+            }
             let mut dense = Vec::with_capacity(if sparse_repr { 0 } else { count });
             let mut sparse = Vec::with_capacity(if sparse_repr { count } else { 0 });
             for k in first..first + count {
@@ -763,6 +826,9 @@ impl Filter for HccFilter {
                 first,
                 batch,
             };
+            if let Some((key, session)) = &key {
+                session.publish_matrices(key, &packet);
+            }
             let size = packet.wire_size(cfg.levels);
             ctx.emit(0, DataBuffer::new(packet, size, tag))?;
             first += count;

@@ -22,7 +22,11 @@
 //! * [`experiments`] — one driver per figure of the paper's evaluation;
 //! * [`service`] — the persistent analysis daemon: a bounded job manager
 //!   over a daemon-scoped slice-cache registry, an HTTP/JSON management
-//!   API, and a typed client.
+//!   API, and a typed client;
+//! * [`store`] — the content-addressed result store: chunk feature output
+//!   keyed by input-region content + config fingerprint, behind a
+//!   [`store::ResultBackend`] with a sharded local-FS layout, giving warm
+//!   reruns and incremental follow-up recompute.
 //!
 //! The threaded engine runs the *real* filters on real data (tests verify
 //! end-to-end equality with the sequential reference); the simulator runs
@@ -40,6 +44,7 @@ pub mod payload;
 pub mod run;
 pub mod service;
 pub mod simfilters;
+pub mod store;
 pub mod workload;
 
 pub use codecs::payload_codec;
@@ -52,5 +57,9 @@ pub use run::{
 pub use service::{
     AnalysisService, JobManager, JobSpec, JobState, JobStatus, MgmtClient, ServiceConfig,
     ServiceStatus, SubmitError,
+};
+pub use store::{
+    config_digest, FsBackend, KeyRecipe, Manifest, ResultBackend, ResultStore, StoreSession,
+    StoreStage, STORE_SCHEMA_VERSION,
 };
 pub use workload::Workload;

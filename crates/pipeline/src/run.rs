@@ -10,6 +10,7 @@ use crate::filters::{
     DfrFilter, HccFilter, HicFilter, HmpFilter, HpcFilter, IicFilter, JiwFilter, RfrFilter,
     UsoFilter,
 };
+use crate::store::{ResultStore, StoreSession};
 use datacutter::engine::FilterFactory;
 use datacutter::{
     run_graph, run_node, BufferPool, EngineConfig, Filter, FilterError, GraphSpec, IoReport,
@@ -38,6 +39,11 @@ pub struct IoRuntime {
     /// job's readers share one cache per dataset and each slice is read
     /// from disk exactly once across concurrent jobs.
     pub slices: Option<Arc<SliceCacheRegistry>>,
+    /// This run's result-store session (see [`crate::store`]). `None` (the
+    /// default) recomputes every chunk; the drivers attach one automatically
+    /// when [`AppConfig::result_store`] is set, and commit or abandon it
+    /// when the run finishes.
+    pub store: Option<Arc<StoreSession>>,
 }
 
 impl IoRuntime {
@@ -54,6 +60,27 @@ impl IoRuntime {
             pool: Arc::new(BufferPool::new()),
             io: Arc::clone(slices.stats()),
             slices: Some(slices),
+            store: None,
+        }
+    }
+
+    /// Attaches a result-store session when `cfg.result_store` names a
+    /// directory and no session is attached yet. An unusable store degrades
+    /// to recompute-everything with a warning rather than failing the run —
+    /// the store is a cache, not a correctness dependency.
+    pub fn attach_result_store(&mut self, cfg: &AppConfig) {
+        if self.store.is_some() {
+            return;
+        }
+        let Some(dir) = &cfg.result_store else {
+            return;
+        };
+        match ResultStore::open_fs(dir) {
+            Ok(store) => self.store = Some(Arc::new(StoreSession::new(&store, cfg))),
+            Err(e) => eprintln!(
+                "warning: result store at {} unavailable, recomputing everything: {e}",
+                dir.display()
+            ),
         }
     }
 
@@ -70,10 +97,31 @@ impl IoRuntime {
         }
     }
 
-    /// Attaches this runtime's I/O and pool counters to a run report.
+    /// Attaches this runtime's I/O, pool and (when a store session is
+    /// attached) result-store counters to a run report.
     pub fn annotate(&self, report: &mut RunReport) {
         report.io = Some(self.io_report());
         report.pool = Some(self.pool.report());
+        if let Some(session) = &self.store {
+            report.store = Some(session.stats().report());
+        }
+    }
+}
+
+/// Commits or abandons a run's store session, if any: staged blobs become
+/// visible only when the engine reported success, so a failed run
+/// contributes nothing to the store. Neither outcome can fail the run —
+/// the analysis output is already on disk.
+fn finish_store(rt: &IoRuntime, ok: bool) {
+    let Some(session) = &rt.store else {
+        return;
+    };
+    if ok {
+        if let Err(e) = session.commit() {
+            eprintln!("warning: result store commit failed: {e}");
+        }
+    } else {
+        session.abandon();
     }
 }
 
@@ -154,14 +202,18 @@ pub fn threaded_factories_with(
             }),
             "IIC" => Box::new(move |_| Ok(Box::new(IicFilter::new().with_pool(rt.pool.clone())))),
             "HMP" => Box::new(move |_| {
-                Ok(Box::new(
-                    HmpFilter::new(cfg.clone()).with_pool(rt.pool.clone()),
-                ))
+                let mut f = HmpFilter::new(cfg.clone()).with_pool(rt.pool.clone());
+                if let Some(store) = &rt.store {
+                    f = f.with_store(Arc::clone(store));
+                }
+                Ok(Box::new(f))
             }),
             "HCC" => Box::new(move |_| {
-                Ok(Box::new(
-                    HccFilter::new(cfg.clone()).with_pool(rt.pool.clone()),
-                ))
+                let mut f = HccFilter::new(cfg.clone()).with_pool(rt.pool.clone());
+                if let Some(store) = &rt.store {
+                    f = f.with_store(Arc::clone(store));
+                }
+                Ok(Box::new(f))
             }),
             "HPC" => Box::new(move |_| Ok(Box::new(HpcFilter::new(cfg.clone())))),
             "USO" => Box::new(move |copy| {
@@ -224,6 +276,13 @@ pub fn run_threaded_outcome_with(
 /// [`run_threaded_outcome_with`] with an explicit [`EngineConfig`], so an
 /// embedding service can pass a cooperative cancellation flag (and a
 /// per-job thread-name prefix) alongside the shared [`IoRuntime`].
+///
+/// When `cfg.result_store` is set (and `rt` has no session attached
+/// already) a store session is opened for the run; it is committed after a
+/// successful run and abandoned after a failure. Note the session is
+/// attached to an internal clone of `rt` in that case — a caller that wants
+/// to read the store counters afterwards attaches the session itself (as
+/// the `h4d` CLI and the analysis service do).
 pub fn run_threaded_outcome_with_engine(
     spec: &GraphSpec,
     cfg: &Arc<AppConfig>,
@@ -232,8 +291,12 @@ pub fn run_threaded_outcome_with_engine(
     rt: &IoRuntime,
     engine: &EngineConfig,
 ) -> Result<RunOutcome, RunFailure> {
-    let mut factories = threaded_factories_with(spec, cfg, dataset_root, out_dir, rt);
-    run_graph(spec, &mut factories, engine)
+    let mut rt = rt.clone();
+    rt.attach_result_store(cfg);
+    let mut factories = threaded_factories_with(spec, cfg, dataset_root, out_dir, &rt);
+    let result = run_graph(spec, &mut factories, engine);
+    finish_store(&rt, result.is_ok());
+    result
 }
 
 /// Runs this process's share of a placed `spec` as one node of a
@@ -265,6 +328,11 @@ pub fn run_node_threaded(
 
 /// [`run_node_threaded`] with an explicit shared [`IoRuntime`] for this
 /// process's filter copies.
+///
+/// Store semantics match [`run_threaded_outcome_with_engine`]: each node
+/// process runs its own session (its own token and staging area) against
+/// the shared store directory, committing only the blobs its local texture
+/// copies produced.
 pub fn run_node_threaded_with(
     spec: &GraphSpec,
     cfg: &Arc<AppConfig>,
@@ -273,13 +341,17 @@ pub fn run_node_threaded_with(
     node_cfg: &NodeConfig,
     rt: &IoRuntime,
 ) -> Result<RunOutcome, RunFailure> {
-    let mut factories = threaded_factories_with(spec, cfg, dataset_root, out_dir, rt);
-    run_node(
+    let mut rt = rt.clone();
+    rt.attach_result_store(cfg);
+    let mut factories = threaded_factories_with(spec, cfg, dataset_root, out_dir, &rt);
+    let result = run_node(
         spec,
         &mut factories,
         Arc::new(crate::codecs::payload_codec()),
         node_cfg,
-    )
+    );
+    finish_store(&rt, result.is_ok());
+    result
 }
 
 /// Runs `spec` on the threaded engine with the real filters.

@@ -27,7 +27,8 @@
 use crate::config::AppConfig;
 use crate::graphs::standard_graph;
 use crate::run::{run_threaded_outcome_with_engine, IoRuntime};
-use datacutter::{BufferPool, EngineConfig, IoReport, RunReport};
+use crate::store::{ResultStore, StoreSession};
+use datacutter::{BufferPool, EngineConfig, IoReport, RunReport, StoreReport};
 use haralick::raster::{Representation, ScanEngine};
 use mri::cache::SliceCacheRegistry;
 use mri::store::DistributedDataset;
@@ -52,6 +53,12 @@ pub struct ServiceConfig {
     /// Daemon-wide slice-cache retention budget in bytes, shared by every
     /// dataset cache in the registry.
     pub io_cache_bytes: usize,
+    /// Root of the content-addressed result store shared by every job
+    /// (see [`crate::store`]); `None` disables the store. Like the slice
+    /// cache, the store is daemon-scoped: its hit/miss counters aggregate
+    /// across jobs on `GET /status`, while each job runs its own session
+    /// (own staging area, committed only if that job succeeds).
+    pub result_store: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +67,7 @@ impl Default for ServiceConfig {
             workers: 2,
             queue_limit: 8,
             io_cache_bytes: 256 << 20,
+            result_store: None,
         }
     }
 }
@@ -166,6 +174,10 @@ pub struct ServiceStatus {
     /// jobs over one dataset, `disk_reads` stays at one read per distinct
     /// slice — the exactly-once property.
     pub io: IoReport,
+    /// Daemon-wide result-store counters, aggregated across every job;
+    /// absent when the daemon runs without a store.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub store: Option<StoreReport>,
 }
 
 /// Why a submission was refused.
@@ -212,6 +224,9 @@ struct ManagerInner {
     cfg: ServiceConfig,
     slices: Arc<SliceCacheRegistry>,
     pool: Arc<BufferPool>,
+    /// Daemon-scoped result store (shared counters); each job opens its own
+    /// session against it. `None` when disabled or unopenable.
+    store: Option<ResultStore>,
     state: Mutex<ManagerState>,
     cond: Condvar,
 }
@@ -239,9 +254,22 @@ impl JobManager {
             cfg.io_cache_bytes,
             Arc::new(mri::cache::IoStats::default()),
         ));
+        // An unusable store degrades the daemon to recompute-everything
+        // rather than refusing to start — the store is a cache.
+        let store = cfg.result_store.as_ref().and_then(|dir| {
+            ResultStore::open_fs(dir)
+                .map_err(|e| {
+                    eprintln!(
+                        "warning: result store at {} unavailable, daemon runs without it: {e}",
+                        dir.display()
+                    );
+                })
+                .ok()
+        });
         let inner = Arc::new(ManagerInner {
             slices,
             pool: Arc::new(BufferPool::new()),
+            store,
             state: Mutex::new(ManagerState {
                 jobs: HashMap::new(),
                 queue: VecDeque::new(),
@@ -375,6 +403,7 @@ impl JobManager {
                 budget_rejects: io.budget_rejects(),
                 retained_high_water: io.retained_high_water(),
             },
+            store: self.inner.store.as_ref().map(|s| s.stats().report()),
         }
     }
 
@@ -554,10 +583,17 @@ fn execute_job(
         .map_err(|e| format!("could not create {}: {e}", spec.out_dir.display()))?;
     // Daemon-scoped I/O plane: the shared registry and pool, with the
     // registry's counters as this job's `io` so report and /status agree.
+    // The store session is per-job (own staging area, committed only on
+    // this job's success) but shares the daemon store's counters, so the
+    // per-job report's `store` section aggregates like `io` does.
     let rt = IoRuntime {
         pool: Arc::clone(&inner.pool),
         io: Arc::clone(inner.slices.stats()),
         slices: Some(Arc::clone(&inner.slices)),
+        store: inner
+            .store
+            .as_ref()
+            .map(|store| Arc::new(StoreSession::new(store, &cfg))),
     };
     let engine_cfg = EngineConfig {
         thread_name_prefix: format!("job{id}"),
@@ -1045,6 +1081,7 @@ mod tests {
             workers: 1,
             queue_limit: 2,
             io_cache_bytes: 1 << 20,
+            result_store: None,
         });
         let spec = JobSpec {
             dataset: PathBuf::from("/nonexistent/dataset"),
@@ -1095,6 +1132,7 @@ mod tests {
             workers: 1,
             queue_limit: 8,
             io_cache_bytes: 1 << 20,
+            result_store: None,
         });
         let spec = JobSpec {
             dataset: PathBuf::from("/nonexistent/dataset"),
@@ -1144,6 +1182,7 @@ mod tests {
             workers: 1,
             queue_limit: 1,
             io_cache_bytes: 1 << 20,
+            result_store: None,
         });
         let stop = Arc::new(AtomicBool::new(false));
         let (status, _) = route(&manager, &stop, "GET", "/nope", b"");

@@ -19,8 +19,10 @@ use pipeline::config::AppConfig;
 use pipeline::graphs::{Copies, HmpGraph};
 use pipeline::payload::ParamPacket;
 use pipeline::run::{
-    merge_uso_outputs, run_node_threaded, run_threaded_outcome, threaded_factories,
+    merge_uso_outputs, run_node_threaded, run_threaded_outcome, run_threaded_outcome_with,
+    threaded_factories, threaded_factories_with, IoRuntime,
 };
+use pipeline::store::ResultStore;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -444,6 +446,168 @@ fn hic_rejects_duplicate_points_at_paste_time() {
         err.error.message().contains("already written"),
         "imprecise duplicate diagnostic: {err}"
     );
+}
+
+// ---- result-store chaos ---------------------------------------------------
+
+/// Committed blobs in a store's `objects/` tree (sharded two levels deep).
+fn committed_blob_count(store_dir: &Path) -> usize {
+    fn walk(dir: &Path, n: &mut usize) {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    walk(&p, n);
+                } else {
+                    *n += 1;
+                }
+            }
+        }
+    }
+    let mut n = 0;
+    walk(&store_dir.join("objects"), &mut n);
+    n
+}
+
+#[test]
+fn failed_run_commits_nothing_to_the_result_store() {
+    // A lethal fault lands in USO after several chunks were computed (and
+    // staged): the two-phase protocol must keep every one of them out of
+    // the committed objects tree, and the run must have no manifest.
+    let store_dir = std::env::temp_dir().join(format!("h4d_chaos_sfail_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut cfg = AppConfig::test_scale(Representation::Full);
+    cfg.result_store = Some(store_dir.clone());
+    let cfg = Arc::new(cfg);
+    let (data, out) = setup("store_fail", &cfg, 250);
+    let spec = hmp_spec();
+
+    // The driver's exact sequence (`run_threaded_outcome_with_engine`),
+    // opened up so the fault plan can wrap the factories.
+    let mut rt = IoRuntime::new();
+    rt.attach_result_store(&cfg);
+    let session = rt.store.clone().expect("store attached");
+    let mut factories = threaded_factories_with(&spec, &cfg, &data, &out, &rt);
+    FaultPlan::new()
+        .with(FaultSpec {
+            filter: "USO".to_string(),
+            copy: None,
+            site: FaultSite::Process,
+            at_buffer: 3,
+            kind: FaultKind::Error,
+            label: "chaos store fault".to_string(),
+        })
+        .apply_to_factories(&mut factories);
+    let err = run_with_watchdog(spec, factories).expect_err("lethal fault must abort the run");
+    assert_eq!(err.error.filter(), Some("USO"), "{err}");
+    assert!(
+        session.stats().published() > 0,
+        "the fault must land after HMP staged at least one chunk"
+    );
+    session.abandon(); // the driver's failure path
+
+    assert_eq!(
+        committed_blob_count(&store_dir),
+        0,
+        "a failed run leaked staged blobs into objects/"
+    );
+    let store = ResultStore::open_fs(&store_dir).unwrap();
+    assert!(
+        store.load_manifest(session.token()).is_err(),
+        "a failed run must not have a (complete) manifest"
+    );
+    assert!(
+        !store_dir.join("staging").join(session.token()).exists(),
+        "abandon must sweep the run's staging directory"
+    );
+}
+
+#[test]
+fn store_surviving_a_crashed_run_is_safe_to_reuse() {
+    // Crash analog: the faulted run never abandons (a dead process can't).
+    // Its staged blobs survive under staging/, but `get` never looks there
+    // — a later clean run must start fully cold, produce reference-correct
+    // results, and commit a store that then serves a warm run byte-for-byte.
+    let store_dir = std::env::temp_dir().join(format!("h4d_chaos_scrash_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let seed = 251;
+    let mut cfg = AppConfig::test_scale(Representation::Full);
+    cfg.canonical_output = true;
+    cfg.result_store = Some(store_dir.clone());
+    let cfg = Arc::new(cfg);
+    let (data, out) = setup("store_crash", &cfg, seed);
+
+    let mut rt = IoRuntime::new();
+    rt.attach_result_store(&cfg);
+    let session = rt.store.clone().expect("store attached");
+    let mut factories = threaded_factories_with(&hmp_spec(), &cfg, &data, &out, &rt);
+    FaultPlan::new()
+        .with(FaultSpec {
+            filter: "HMP".to_string(),
+            copy: None,
+            site: FaultSite::Process,
+            at_buffer: 2,
+            kind: FaultKind::Panic,
+            label: "chaos crashed run".to_string(),
+        })
+        .apply_to_factories(&mut factories);
+    run_with_watchdog(hmp_spec(), factories).expect_err("fault must abort the run");
+    assert!(
+        session.stats().published() > 0,
+        "the crash must leave staged residue behind"
+    );
+    drop(session); // no abandon: the residue stays on disk
+    assert_eq!(
+        committed_blob_count(&store_dir),
+        0,
+        "staged blobs of a dead run must not be visible as objects"
+    );
+
+    // Clean run over the surviving store: fully cold, reference-correct.
+    let chunks = pipeline::Workload::new((*cfg).clone()).grid.len() as u64;
+    let out_clean = out.parent().unwrap().join("out_clean");
+    std::fs::create_dir_all(&out_clean).unwrap();
+    let mut rt_clean = IoRuntime::new();
+    rt_clean.attach_result_store(&cfg);
+    run_threaded_outcome_with(&hmp_spec(), &cfg, &data, &out_clean, &rt_clean)
+        .expect("clean run over a crashed store");
+    let s = rt_clean.store.as_ref().unwrap().stats();
+    assert_eq!(
+        (s.hits(), s.misses()),
+        (0, chunks),
+        "a dead run's staged chunks must never be served"
+    );
+    let raw = generate(&SynthConfig {
+        dims: cfg.dims,
+        ..SynthConfig::test_scale(seed)
+    });
+    let reference = raster_scan(&raw.quantize(&cfg.quantizer), &cfg.scan_config());
+    let dims = cfg.out_dims();
+    for feature in cfg.selection.iter() {
+        let merged = merge_uso_outputs(&out_clean, feature, 1, dims)
+            .unwrap_or_else(|e| panic!("merging {feature:?}: {e}"));
+        for (a, b) in merged.iter().zip(&reference.feature_volume(feature)) {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{feature:?} diverges after reusing a crashed store"
+            );
+        }
+    }
+
+    // The clean run's commit is intact: a warm run serves every chunk and
+    // reproduces the files byte for byte.
+    let out_warm = out.parent().unwrap().join("out_warm");
+    std::fs::create_dir_all(&out_warm).unwrap();
+    let mut rt_warm = IoRuntime::new();
+    rt_warm.attach_result_store(&cfg);
+    run_threaded_outcome_with(&hmp_spec(), &cfg, &data, &out_warm, &rt_warm).expect("warm run");
+    let s = rt_warm.store.as_ref().unwrap().stats();
+    assert_eq!((s.hits(), s.misses()), (chunks, 0), "warm-run counters");
+    for name in committed_outputs(&out_clean) {
+        let a = std::fs::read(out_clean.join(&name)).unwrap();
+        let b = std::fs::read(out_warm.join(&name)).unwrap();
+        assert_eq!(a, b, "{name} differs between cold and warm runs");
+    }
 }
 
 #[test]

@@ -1,0 +1,321 @@
+//! Differential tests for the content-addressed result store: a warm-store
+//! run and an incremental run after an in-place edit must produce `.h4dp`
+//! outputs **byte-identical** to a from-scratch run, with hit/miss counters
+//! exactly matching the chunk-grid geometry — and a config change must miss
+//! rather than serve stale results. The warm path is exercised across every
+//! scan-engine tier, with the reader-side slice cache both on and off.
+
+use haralick::raster::{Representation, ScanEngine};
+use haralick::volume::Point4;
+use mri::store::{write_distributed, DistributedDataset, SliceKey};
+use mri::synth::{generate, SynthConfig};
+use pipeline::config::AppConfig;
+use pipeline::filters::UsoFilter;
+use pipeline::graphs::standard_graph;
+use pipeline::run::{run_threaded_outcome_with, IoRuntime};
+use pipeline::Workload;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Fresh working directory plus a distributed dataset matching `cfg`;
+/// returns the base directory (dataset lives at `base/data`).
+fn setup(tag: &str, cfg: &AppConfig, seed: u64) -> PathBuf {
+    let base = std::env::temp_dir().join(format!("h4d_rstore_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let raw = generate(&SynthConfig {
+        dims: cfg.dims,
+        ..SynthConfig::test_scale(seed)
+    });
+    write_distributed(&raw, &base.join("data"), "rstore", cfg.storage_nodes).unwrap();
+    base
+}
+
+/// The store-enabled test configuration: canonical output (so `.h4dp` bytes
+/// are arrival-order independent and comparable) plus the shared store dir.
+fn store_cfg(repr: Representation, store: &Path) -> AppConfig {
+    let mut cfg = AppConfig::test_scale(repr);
+    cfg.canonical_output = true;
+    cfg.result_store = Some(store.to_path_buf());
+    cfg
+}
+
+/// Runs `variant` through the real threaded pipeline with the config's
+/// result store attached; returns `(hits, misses, published)` for the run.
+fn run(variant: &str, cfg: &Arc<AppConfig>, data: &Path, out: &Path) -> (u64, u64, u64) {
+    let spec = standard_graph(variant, cfg.storage_nodes, 3).expect("graph variant exists");
+    std::fs::create_dir_all(out).unwrap();
+    let mut rt = IoRuntime::new();
+    rt.attach_result_store(cfg);
+    run_threaded_outcome_with(&spec, cfg, data, out, &rt)
+        .unwrap_or_else(|e| panic!("pipeline run into {out:?}: {e}"));
+    match &rt.store {
+        Some(s) => (s.stats().hits(), s.stats().misses(), s.stats().published()),
+        None => (0, 0, 0),
+    }
+}
+
+/// Every committed `.h4dp` under `out`, keyed by file name. The standard
+/// graphs write through a single USO copy; asserting non-emptiness guards
+/// against comparing two empty directories.
+fn outputs(cfg: &AppConfig, out: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files = Vec::new();
+    for feature in cfg.selection.iter() {
+        let name = UsoFilter::file_name(feature, 0);
+        let bytes =
+            std::fs::read(out.join(&name)).unwrap_or_else(|e| panic!("missing output {name}: {e}"));
+        files.push((name, bytes));
+    }
+    assert!(!files.is_empty(), "no outputs under {out:?}");
+    files
+}
+
+/// Rewrites exactly one voxel of the on-disk dataset in place (the
+/// "radiologist re-exports one slice" event), returning the edited point.
+fn edit_one_voxel(data: &Path, p: Point4) -> Point4 {
+    let ds = DistributedDataset::open(data).unwrap();
+    let desc = ds.descriptor().clone();
+    let key = SliceKey { t: p.t, z: p.z };
+    let node = desc.node_of(key);
+    let path = data.join(format!("node_{node:02}")).join(key.file_name());
+    let mut bytes = std::fs::read(&path).unwrap();
+    let off = (p.y * desc.dims.x + p.x) * 2;
+    let v = u16::from_le_bytes([bytes[off], bytes[off + 1]]);
+    // Stay inside the quantizer's [0, 4000] range but move far enough to
+    // land in a different gray level.
+    let edited = (v + 1500) % 4000;
+    assert_ne!(edited, v);
+    bytes[off..off + 2].copy_from_slice(&edited.to_le_bytes());
+    std::fs::write(&path, bytes).unwrap();
+    p
+}
+
+/// Chunk ids whose *input* (overlap-extended) region contains `p` — the set
+/// the store must recompute after `p` changes. Everything else must hit.
+fn chunks_touching(cfg: &AppConfig, p: Point4) -> (usize, usize) {
+    let w = Workload::new(cfg.clone());
+    let touched = w.grid.chunks().filter(|c| c.input.contains(p)).count();
+    (touched, w.grid.len())
+}
+
+#[test]
+fn cold_warm_incremental_runs_are_byte_identical() {
+    let base = std::env::temp_dir().join(format!("h4d_rstore_diff_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cfg = store_cfg(Representation::Full, &base.join("store"));
+    let raw = generate(&SynthConfig {
+        dims: cfg.dims,
+        ..SynthConfig::test_scale(401)
+    });
+    let data = base.join("data");
+    write_distributed(&raw, &data, "rstore", cfg.storage_nodes).unwrap();
+    let chunks = Workload::new(cfg.clone()).grid.len() as u64;
+    let cfg = Arc::new(cfg);
+
+    // Cold: nothing to serve, every chunk computes and publishes.
+    let (h0, m0, p0) = run("hmp", &cfg, &data, &base.join("cold"));
+    assert_eq!((h0, m0, p0), (0, chunks, chunks), "cold-run counters");
+
+    // Warm: every chunk served, nothing recomputed — and the `.h4dp` bytes
+    // are identical to the from-scratch run's.
+    let (h1, m1, p1) = run("hmp", &cfg, &data, &base.join("warm"));
+    assert_eq!((h1, m1, p1), (chunks, 0, 0), "warm-run counters");
+    assert_eq!(
+        outputs(&cfg, &base.join("cold")),
+        outputs(&cfg, &base.join("warm")),
+        "warm-store run diverges from the from-scratch run"
+    );
+
+    // Edit one voxel in place. Exactly the chunks whose input region covers
+    // it recompute; the rest are served.
+    let p = edit_one_voxel(&data, Point4::new(5, 7, 1, 1));
+    let (touched, total) = chunks_touching(&cfg, p);
+    assert!(
+        touched > 0 && touched < total,
+        "edit point must invalidate a strict subset of chunks, got {touched}/{total}"
+    );
+    let (h2, m2, _) = run("hmp", &cfg, &data, &base.join("incremental"));
+    assert_eq!(
+        m2 as usize, touched,
+        "only overlap-touched chunks recompute"
+    );
+    assert_eq!(h2 as usize, total - touched, "everything else is served");
+
+    // The differential law: the incremental run equals a from-scratch run
+    // over the edited dataset, byte for byte.
+    let mut scratch_cfg = (*cfg).clone();
+    scratch_cfg.result_store = Some(base.join("store_scratch"));
+    let scratch_cfg = Arc::new(scratch_cfg);
+    let (h3, m3, _) = run("hmp", &scratch_cfg, &data, &base.join("scratch"));
+    assert_eq!((h3, m3), (0, chunks), "scratch store starts cold");
+    assert_eq!(
+        outputs(&cfg, &base.join("incremental")),
+        outputs(&cfg, &base.join("scratch")),
+        "incremental recompute diverges from a from-scratch run on the edited data"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn config_changes_miss_instead_of_serving_stale() {
+    let base = std::env::temp_dir().join(format!("h4d_rstore_cfg_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cfg = store_cfg(Representation::Full, &base.join("store"));
+    let raw = generate(&SynthConfig {
+        dims: cfg.dims,
+        ..SynthConfig::test_scale(402)
+    });
+    let data = base.join("data");
+    write_distributed(&raw, &data, "rstore", cfg.storage_nodes).unwrap();
+    let cfg = Arc::new(cfg);
+    let chunks = Workload::new((*cfg).clone()).grid.len() as u64;
+    let (_, m0, _) = run("hmp", &cfg, &data, &base.join("populate"));
+    assert_eq!(m0, chunks);
+
+    // Quantization change: different gray-level count must not reuse maps
+    // computed at 32 levels.
+    let mut levels = (*cfg).clone();
+    levels.levels = 16;
+    levels.quantizer = haralick::quantize::Quantizer::linear(16, 0, 4000);
+    // Engine change: tier semantics are part of the result identity.
+    let mut engine = (*cfg).clone();
+    engine.engine = ScanEngine::Parallel;
+    // ROI change: different window geometry, different outputs entirely.
+    let mut roi = (*cfg).clone();
+    roi.roi = haralick::roi::RoiShape::from_lengths(4, 4, 2, 2);
+
+    for (tag, variant) in [("levels", levels), ("engine", engine), ("roi", roi)] {
+        let variant = Arc::new(variant);
+        let expect = Workload::new((*variant).clone()).grid.len() as u64;
+        let (h, m, _) = run("hmp", &variant, &data, &base.join(format!("out_{tag}")));
+        assert_eq!(h, 0, "{tag}: a config change must never serve stale blobs");
+        assert_eq!(m, expect, "{tag}: every chunk recomputes under the new key");
+    }
+
+    // The changed-config run is itself correct: byte-identical to the same
+    // config against a fresh, empty store.
+    let mut fresh = (*cfg).clone();
+    fresh.levels = 16;
+    fresh.quantizer = haralick::quantize::Quantizer::linear(16, 0, 4000);
+    let shared_out = base.join("out_levels");
+    let mut fresh_store = fresh.clone();
+    fresh_store.result_store = Some(base.join("store_fresh"));
+    let fresh_store = Arc::new(fresh_store);
+    run("hmp", &fresh_store, &data, &base.join("out_levels_fresh"));
+    assert_eq!(
+        outputs(&fresh, &shared_out),
+        outputs(&fresh, &base.join("out_levels_fresh")),
+        "a shared store must not perturb a changed-config run"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn warm_store_round_trips_across_every_engine_tier_and_cache_mode() {
+    // Smaller extents: this matrix covers 7 tiers x 2 cache modes, each a
+    // cold + warm pipeline pair.
+    let tiers = [
+        ScanEngine::Reference,
+        ScanEngine::Parallel,
+        ScanEngine::Incremental,
+        ScanEngine::IncrementalParallel,
+        ScanEngine::Fused,
+        ScanEngine::FusedParallel,
+        ScanEngine::Auto,
+    ];
+    for (i, engine) in tiers.into_iter().enumerate() {
+        for (j, cache_bytes) in [64 << 20, 0usize].into_iter().enumerate() {
+            let base =
+                std::env::temp_dir().join(format!("h4d_rstore_tier{i}c{j}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&base);
+            let mut cfg = store_cfg(Representation::Full, &base.join("store"));
+            cfg.dims = haralick::volume::Dims4::new(32, 32, 4, 4);
+            cfg.chunk_dims = haralick::volume::Dims4::new(16, 16, 2, 2);
+            cfg.engine = engine;
+            cfg.io_cache_bytes = cache_bytes;
+            let raw = generate(&SynthConfig {
+                dims: cfg.dims,
+                ..SynthConfig::test_scale(410 + i as u64)
+            });
+            let data = base.join("data");
+            write_distributed(&raw, &data, "rstore", cfg.storage_nodes).unwrap();
+            let chunks = Workload::new(cfg.clone()).grid.len() as u64;
+            let cfg = Arc::new(cfg);
+
+            let (h0, m0, _) = run("hmp", &cfg, &data, &base.join("cold"));
+            assert_eq!(
+                (h0, m0),
+                (0, chunks),
+                "{engine:?} cache={cache_bytes}: cold counters"
+            );
+            let (h1, m1, _) = run("hmp", &cfg, &data, &base.join("warm"));
+            assert_eq!(
+                (h1, m1),
+                (chunks, 0),
+                "{engine:?} cache={cache_bytes}: warm counters"
+            );
+            assert_eq!(
+                outputs(&cfg, &base.join("cold")),
+                outputs(&cfg, &base.join("warm")),
+                "{engine:?} cache={cache_bytes}: warm run not byte-identical"
+            );
+            let _ = std::fs::remove_dir_all(&base);
+        }
+    }
+}
+
+#[test]
+fn split_graph_matrix_stage_round_trips() {
+    // The split pipeline stores co-occurrence *matrix packets* (HCC stage)
+    // instead of finished parameter maps — one blob per packet, so the
+    // counters are per-packet, not per-chunk. The warm run must serve every
+    // packet the cold run published and still be byte-identical.
+    let base = std::env::temp_dir().join(format!("h4d_rstore_split_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cfg = store_cfg(Representation::Sparse, &base.join("store"));
+    let raw = generate(&SynthConfig {
+        dims: cfg.dims,
+        ..SynthConfig::test_scale(403)
+    });
+    let data = base.join("data");
+    write_distributed(&raw, &data, "rstore", cfg.storage_nodes).unwrap();
+    let chunks = Workload::new(cfg.clone()).grid.len() as u64;
+    let cfg = Arc::new(cfg);
+
+    let (h0, m0, p0) = run("split", &cfg, &data, &base.join("cold"));
+    assert_eq!(h0, 0, "cold split run cannot hit");
+    assert_eq!(m0, p0, "every missed packet is published");
+    assert!(
+        m0 >= chunks,
+        "packet-granular counters: at least one packet per chunk ({m0} < {chunks})"
+    );
+
+    let (h1, m1, _) = run("split", &cfg, &data, &base.join("warm"));
+    assert_eq!((h1, m1), (m0, 0), "warm split run serves every packet");
+    assert_eq!(
+        outputs(&cfg, &base.join("cold")),
+        outputs(&cfg, &base.join("warm")),
+        "warm split run not byte-identical to the from-scratch run"
+    );
+
+    // Incremental after a one-voxel edit: strictly partial reuse, and the
+    // result still equals a from-scratch run on the edited data.
+    let p = edit_one_voxel(&data, Point4::new(40, 12, 5, 2));
+    let (touched, total) = chunks_touching(&cfg, p);
+    assert!(touched > 0 && touched < total);
+    let (h2, m2, _) = run("split", &cfg, &data, &base.join("incremental"));
+    assert!(h2 > 0, "untouched chunks' packets must be served");
+    assert!(m2 > 0, "touched chunks' packets must recompute");
+    assert_eq!(h2 + m2, m0, "every packet is either served or recomputed");
+
+    let mut scratch = (*cfg).clone();
+    scratch.result_store = Some(base.join("store_scratch"));
+    let scratch = Arc::new(scratch);
+    run("split", &scratch, &data, &base.join("scratch"));
+    assert_eq!(
+        outputs(&cfg, &base.join("incremental")),
+        outputs(&cfg, &base.join("scratch")),
+        "incremental split run diverges from a from-scratch run on the edited data"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

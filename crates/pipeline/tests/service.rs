@@ -44,6 +44,7 @@ fn start_daemon(workers: usize) -> (AnalysisService, MgmtClient) {
             workers,
             queue_limit: 8,
             io_cache_bytes: 256 << 20,
+            result_store: None,
         },
     )
     .expect("daemon starts on an ephemeral port");

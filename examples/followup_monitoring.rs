@@ -3,34 +3,57 @@
 //! texture maps of both, and compare texture inside the known lesion region
 //! against healthy tissue to quantify progression.
 //!
+//! Both visits run through the real threaded pipeline, sharing one
+//! content-addressed result store (`pipeline::store`). The baseline run is
+//! cold and publishes every chunk; the follow-up run is **incremental** —
+//! only chunks whose input (overlap) region touches voxels the lesion
+//! growth actually changed are recomputed, everything else is served from
+//! the store. The example predicts that recompute set offline from the two
+//! datasets' per-chunk region digests and checks the pipeline's store
+//! counters against the prediction.
+//!
 //! ```sh
 //! cargo run --release --example followup_monitoring
 //! ```
 
-use haralick4d::haralick::{
-    features::Feature,
-    raster::{FeatureMaps, Representation, ScanConfig, ScanEngine},
-    volume::{Dims4, Point4},
-    Direction, DirectionSet, FeatureSelection, RoiShape,
-};
+use haralick4d::haralick::features::Feature;
+use haralick4d::haralick::raster::Representation;
+use haralick4d::haralick::volume::{Dims4, Point4};
+use haralick4d::mri::digest::region_digest;
 use haralick4d::mri::study::Study;
 use haralick4d::mri::synth::{generate_followup, generate_with_truth, Lesion, SynthConfig};
-use std::path::PathBuf;
+use haralick4d::mri::ChunkGrid;
+use haralick4d::pipeline::config::AppConfig;
+use haralick4d::pipeline::graphs::standard_graph;
+use haralick4d::pipeline::run::{merge_uso_outputs, run_threaded_outcome_with, IoRuntime};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-fn scan(raw: &haralick4d::mri::RawVolume, cfg: &ScanConfig) -> FeatureMaps {
-    haralick4d::haralick::scan(&raw.quantize_min_max(32), cfg)
+/// Runs the HMP pipeline on one visit's dataset with the shared result
+/// store attached, returning the run's (hits, misses) store counters.
+fn analyze_visit(cfg: &AppConfig, dataset: &Path, out: &Path) -> (u64, u64) {
+    let spec = standard_graph("hmp", cfg.storage_nodes, 3).expect("hmp variant exists");
+    std::fs::create_dir_all(out).expect("create output dir");
+    let mut rt = IoRuntime::new();
+    rt.attach_result_store(cfg);
+    let cfg = Arc::new(cfg.clone());
+    run_threaded_outcome_with(&spec, &cfg, dataset, out, &rt).expect("pipeline run succeeds");
+    let session = rt.store.as_ref().expect("store attached");
+    (session.stats().hits(), session.stats().misses())
+}
+
+/// Merges the USO parameter files of one run into a dense x-fastest map.
+fn merged(out: &Path, feature: Feature, dims: Dims4) -> Vec<f64> {
+    // 8 is a safe upper bound on USO copies; the merge skips copies that
+    // wrote no file for the feature.
+    merge_uso_outputs(out, feature, 8, dims).expect("merge USO outputs")
 }
 
 /// Mean feature value over output voxels whose ROI center falls inside /
 /// outside every lesion.
-fn region_means(
-    maps: &FeatureMaps,
-    lesions: &[Lesion],
-    roi: Dims4,
-    feature: Feature,
-) -> (f64, f64) {
+fn region_means(values: &[f64], out_dims: Dims4, lesions: &[Lesion], roi: Dims4) -> (f64, f64) {
     let (mut tum, mut bg) = ((0.0, 0usize), (0.0, 0usize));
-    for p in maps.dims().region().points() {
+    for (i, p) in out_dims.region().points().enumerate() {
         // ROI center in input coordinates.
         let c = Point4::new(
             p.x + roi.x / 2,
@@ -41,7 +64,7 @@ fn region_means(
         let inside = lesions
             .iter()
             .any(|l| l.membership(c.x as f64, c.y as f64, c.z as f64) > 0.3);
-        let v = maps.get(p, feature);
+        let v = values[i];
         if inside {
             tum = (tum.0 + v, tum.1 + 1);
         } else {
@@ -84,37 +107,75 @@ fn main() {
         study.visits.len()
     );
 
-    // Texture maps of both visits.
-    let cfg = ScanConfig {
-        roi: RoiShape::from_lengths(8, 8, 2, 2),
-        directions: DirectionSet::single(Direction::new(1, 1, 1, 1)),
-        selection: FeatureSelection::of(&[
-            Feature::AngularSecondMoment,
-            Feature::Contrast,
-            Feature::Entropy,
-            Feature::InverseDifferenceMoment,
-        ]),
-        representation: Representation::Full,
-        engine: ScanEngine::default(),
-    };
-    let t = std::time::Instant::now();
-    let maps0 = scan(&baseline, &cfg);
-    let maps1 = scan(&followup, &cfg);
+    // One analysis configuration for both visits, with the shared result
+    // store attached. Canonical output keeps the `.h4dp` files byte-stable
+    // regardless of packet arrival order.
+    let mut cfg = AppConfig::for_dataset(baseline.dims(), 2, Representation::Full)
+        .expect("dataset fits the analysis window");
+    cfg.canonical_output = true;
+    cfg.result_store = Some(root.join("store"));
+    let out_dims = cfg.out_dims();
+
+    // Predict which chunks the follow-up must recompute, without running
+    // anything: a chunk is invalidated iff the digest of its input
+    // (overlap) region differs between the visits.
+    let ds0 = study.open_visit(&root, "baseline").unwrap();
+    let ds1 = study.open_visit(&root, "week-6").unwrap();
+    let grid = ChunkGrid::new(cfg.dims, cfg.roi, cfg.chunk_dims);
+    let chunks: Vec<_> = grid.chunks().collect();
+    let changed: Vec<usize> = chunks
+        .iter()
+        .filter(|c| region_digest(&ds0, c.input).unwrap() != region_digest(&ds1, c.input).unwrap())
+        .map(|c| c.id)
+        .collect();
     println!(
-        "computed {} texture voxels per visit in {:.2?}\n",
-        maps0.dims().len(),
+        "\nlesion growth touches {} of {} chunk input regions",
+        changed.len(),
+        chunks.len()
+    );
+
+    // Baseline: cold store — every chunk computes and is published.
+    let out0 = root.join("out_baseline");
+    let t = std::time::Instant::now();
+    let (hits0, misses0) = analyze_visit(&cfg, &study.visit_path(&root, &study.visits[0]), &out0);
+    println!(
+        "baseline run: {} hits, {} misses (cold) in {:.2?}",
+        hits0,
+        misses0,
         t.elapsed()
     );
+    assert_eq!(hits0, 0, "a cold store cannot serve anything");
+    assert_eq!(misses0 as usize, chunks.len(), "every chunk computes once");
+
+    // Follow-up: incremental — unchanged chunks are served from the store,
+    // exactly the predicted set recomputes.
+    let out1 = root.join("out_week6");
+    let t = std::time::Instant::now();
+    let (hits1, misses1) = analyze_visit(&cfg, &study.visit_path(&root, &study.visits[1]), &out1);
+    println!(
+        "follow-up run: {} hits, {} misses (incremental) in {:.2?}",
+        hits1,
+        misses1,
+        t.elapsed()
+    );
+    assert_eq!(
+        misses1 as usize,
+        changed.len(),
+        "exactly the chunks whose overlap region changed recompute"
+    );
+    assert_eq!(hits1 as usize, chunks.len() - changed.len());
 
     // Texture separates lesion from background, and the separation moves
     // with progression.
     println!(
-        "{:<24} {:>10} {:>10} {:>10} {:>10}",
+        "\n{:<24} {:>10} {:>10} {:>10} {:>10}",
         "feature", "tum base", "bg base", "tum wk6", "bg wk6"
     );
     for feature in cfg.selection.iter() {
-        let (t0, b0) = region_means(&maps0, &truth0, cfg.roi.size(), feature);
-        let (t1, b1) = region_means(&maps1, &truth1, cfg.roi.size(), feature);
+        let v0 = merged(&out0, feature, out_dims);
+        let v1 = merged(&out1, feature, out_dims);
+        let (t0, b0) = region_means(&v0, out_dims, &truth0, cfg.roi.size());
+        let (t1, b1) = region_means(&v1, out_dims, &truth1, cfg.roi.size());
         println!(
             "{:<24} {t0:>10.4} {b0:>10.4} {t1:>10.4} {b1:>10.4}",
             feature.short_name()
@@ -122,16 +183,18 @@ fn main() {
     }
 
     // Progression delta map: follow-up minus baseline.
-    let delta = maps0.delta(&maps1);
-    let (lo, hi) = delta.min_max(Feature::Contrast);
-    println!("\ncontrast delta map range: [{lo:+.4}, {hi:+.4}]");
-    let grown: usize = delta
-        .feature_volume(Feature::Contrast)
+    let c0 = merged(&out0, Feature::Contrast, out_dims);
+    let c1 = merged(&out1, Feature::Contrast, out_dims);
+    let deltas: Vec<f64> = c0.iter().zip(&c1).map(|(a, b)| b - a).collect();
+    let (lo, hi) = deltas
         .iter()
-        .filter(|&&v| v.abs() > 0.05)
-        .count();
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    println!("\ncontrast delta map range: [{lo:+.4}, {hi:+.4}]");
+    let grown = deltas.iter().filter(|v| v.abs() > 0.05).count();
     println!(
         "{grown} of {} texture voxels changed materially between visits",
-        delta.dims().len()
+        deltas.len()
     );
 }

@@ -133,6 +133,70 @@ fn simulator_byte_model_tracks_real_engine() {
     );
 }
 
+/// The result store composes through the facade: a cold run publishes and
+/// a warm run serves every chunk, the `.h4dp` files are byte-identical
+/// across the two, and the store counters flow into the same `RunReport`
+/// the CLI's `--report` path emits (hits + misses == chunk count, the
+/// invariant CI's jq assertions rely on).
+#[test]
+fn result_store_round_trips_through_the_facade() {
+    use haralick4d::datacutter::RunReport;
+    use haralick4d::pipeline::filters::UsoFilter;
+    use haralick4d::pipeline::run::{run_threaded_outcome_with, IoRuntime};
+
+    let base = std::env::temp_dir().join(format!("h4d_xc_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut cfg = AppConfig::test_scale(Representation::Full);
+    cfg.canonical_output = true;
+    cfg.result_store = Some(base.join("store"));
+    let cfg = Arc::new(cfg);
+    let (data, _) = setup("store", &cfg, 24);
+    let spec = SplitGraph {
+        rfr: Copies::Count(2),
+        iic: Copies::Count(1),
+        hcc: Copies::Count(2),
+        hpc: Copies::Count(1),
+        uso: Copies::Count(1),
+        texture_policy: SchedulePolicy::DemandDriven,
+        matrix_policy: SchedulePolicy::DemandDriven,
+    }
+    .build();
+    let chunks = Workload::new((*cfg).clone()).grid.len() as u64;
+
+    let mut reports = Vec::new();
+    for out in [base.join("cold"), base.join("warm")] {
+        std::fs::create_dir_all(&out).unwrap();
+        let mut rt = IoRuntime::new();
+        rt.attach_result_store(&cfg);
+        let outcome = run_threaded_outcome_with(&spec, &cfg, &data, &out, &rt).unwrap();
+        let mut report = RunReport::new(&spec, &outcome);
+        rt.annotate(&mut report);
+        report.check().expect("report invariants");
+        reports.push(report.store.expect("store counters annotated"));
+    }
+    let (cold, warm) = (&reports[0], &reports[1]);
+    assert_eq!((cold.hits, cold.misses), (0, cold.published));
+    assert_eq!(
+        (warm.hits, warm.misses, warm.published),
+        (cold.misses, 0, 0)
+    );
+    assert!(
+        cold.misses >= chunks,
+        "split stores per-packet blobs: at least one lookup per chunk"
+    );
+    assert!(warm.bytes_served > 0 && cold.bytes_published > 0);
+
+    for feature in cfg.selection.iter() {
+        let name = UsoFilter::file_name(feature, 0);
+        assert_eq!(
+            std::fs::read(base.join("cold").join(&name)).unwrap(),
+            std::fs::read(base.join("warm").join(&name)).unwrap(),
+            "{name} differs between cold and warm facade runs"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 /// Quantitative §4.4.1 claim at workload scale: the sparse representation
 /// reduces the measured HCC→HPC traffic by more than an order of magnitude.
 #[test]
