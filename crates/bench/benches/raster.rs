@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use haralick::direction::{Direction, DirectionSet};
 use haralick::features::FeatureSelection;
 use haralick::raster::{
-    raster_scan, raster_scan_par, scan, Representation, ScanConfig, ScanEngine,
+    raster_scan, raster_scan_par, scan, Representation, ScanConfig, ScanEngine, TSlidePolicy,
 };
 use haralick::roi::RoiShape;
 use haralick::volume::{Dims4, LevelVolume};
@@ -26,6 +26,7 @@ fn cfg(repr: Representation) -> ScanConfig {
         selection: FeatureSelection::paper_default(),
         representation: repr,
         engine: ScanEngine::default(),
+        t_slide: TSlidePolicy::default(),
     }
 }
 

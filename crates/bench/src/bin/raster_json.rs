@@ -13,6 +13,18 @@
 //! feature maps per tier (every tier must produce the identical hash — CI
 //! asserts it).
 //!
+//! Two beyond-the-paper sections ride along:
+//!
+//! * `sparse_engines`/`sparse_checksums` — the same workload scanned under
+//!   `Representation::Sparse`, where the fused tiers now accumulate the
+//!   sparse window natively instead of downgrading to a per-placement
+//!   rebuild. CI gates the sparse-fused tier at no worse than the dense
+//!   incremental tier and requires all sparse checksums identical.
+//! * `t_slide` — a streaming-sweep geometry (a t-deep volume scanned by a
+//!   t-deep ROI, so each (x,y,z) column yields a long run of t-placements)
+//!   timed on the fused tier with the t-slab slide forced off and on. CI
+//!   gates the slide at ≤ 0.6× the rebuild and requires equal checksums.
+//!
 //! ```sh
 //! cargo run --release -p bench --bin raster_json
 //! ```
@@ -20,7 +32,7 @@
 use haralick::coocc::CoMatrix;
 use haralick::direction::DirectionSet;
 use haralick::features::FeatureSelection;
-use haralick::raster::{scan, Representation, ScanConfig, ScanEngine};
+use haralick::raster::{scan, Representation, ScanConfig, ScanEngine, TSlidePolicy};
 use haralick::roi::RoiShape;
 use haralick::volume::{Dims4, LevelVolume, Point4, Region4};
 use std::time::Instant;
@@ -65,6 +77,23 @@ fn checksum(values: &[f64]) -> String {
     format!("{h:016x}")
 }
 
+/// Median ns/placement plus the feature-map checksum for one configuration.
+fn time_scan(vol: &LevelVolume, cfg: &ScanConfig, reps: usize) -> (f64, String) {
+    let placements = cfg.roi.output_dims(vol.dims()).len();
+    let mut sum = String::new();
+    let times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let maps = scan(vol, cfg);
+            let dt = t.elapsed().as_secs_f64();
+            sum = checksum(maps.as_slice());
+            std::hint::black_box(maps);
+            dt * 1e9 / placements as f64
+        })
+        .collect();
+    (median(times), sum)
+}
+
 fn main() {
     let ng = 256u16;
     let dims = Dims4::new(40, 14, 5, 5);
@@ -75,6 +104,7 @@ fn main() {
         selection: FeatureSelection::paper_default(),
         representation: Representation::Full,
         engine: ScanEngine::Reference,
+        t_slide: TSlidePolicy::Off,
     };
     let placements = base.roi.output_dims(dims).len();
 
@@ -102,18 +132,7 @@ fn main() {
             engine,
             ..base.clone()
         };
-        let mut sum = String::new();
-        let times: Vec<f64> = (0..reps)
-            .map(|_| {
-                let t = Instant::now();
-                let maps = scan(&vol, &cfg);
-                let dt = t.elapsed().as_secs_f64();
-                sum = checksum(maps.as_slice());
-                std::hint::black_box(maps);
-                dt * 1e9 / placements as f64
-            })
-            .collect();
-        let ns = median(times);
+        let (ns, sum) = time_scan(&vol, &cfg, reps);
         println!("{engine:?}: {ns:.0} ns/placement  [{sum}]");
         engines.insert(format!("{engine:?}"), serde_json::json!(ns.round()));
         checksums.insert(format!("{engine:?}"), serde_json::json!(sum));
@@ -130,6 +149,50 @@ fn main() {
             )
         })
         .collect();
+
+    // Sparse representation across the tiers that matter for it: the
+    // parallel rebuild (the old downgrade target) versus the fused tiers'
+    // native sparse accumulation. Checksums form their own identity group —
+    // the zero-skip sweep order differs from the dense representations', so
+    // they must agree with each other, not with `checksums` above.
+    let mut sparse_engines = serde_json::Map::new();
+    let mut sparse_checksums = serde_json::Map::new();
+    for engine in [
+        ScanEngine::Parallel,
+        ScanEngine::Fused,
+        ScanEngine::FusedParallel,
+    ] {
+        let cfg = ScanConfig {
+            representation: Representation::Sparse,
+            engine,
+            ..base.clone()
+        };
+        let (ns, sum) = time_scan(&vol, &cfg, reps);
+        println!("sparse {engine:?}: {ns:.0} ns/placement  [{sum}]");
+        sparse_engines.insert(format!("{engine:?}"), serde_json::json!(ns.round()));
+        sparse_checksums.insert(format!("{engine:?}"), serde_json::json!(sum));
+    }
+
+    // The t-slab slide on a streaming sweep: a t-deep phantom scanned by a
+    // t-deep ROI, so the extent's t axis dominates and almost every
+    // placement in a run is a slide (2 slabs of roi/roi_t voxels) instead
+    // of a rebuild (roi voxels).
+    let t_dims = Dims4::new(10, 14, 5, 44);
+    let t_vol = smooth_volume(t_dims, ng, 42);
+    let t_base = ScanConfig {
+        roi: RoiShape::from_lengths(10, 10, 3, 5),
+        engine: ScanEngine::Fused,
+        ..base.clone()
+    };
+    let (off_ns, off_sum) = time_scan(&t_vol, &t_base, reps);
+    let on_cfg = ScanConfig {
+        t_slide: TSlidePolicy::On,
+        ..t_base.clone()
+    };
+    let (on_ns, on_sum) = time_scan(&t_vol, &on_cfg, reps);
+    let t_ratio = on_ns / off_ns.max(1.0);
+    println!("t-slide off: {off_ns:.0} ns/placement  [{off_sum}]");
+    println!("t-slide on:  {on_ns:.0} ns/placement  [{on_sum}]  (ratio {t_ratio:.2})");
 
     let out = serde_json::json!({
         "unit": "median_ns_per_placement",
@@ -149,6 +212,20 @@ fn main() {
         "engines": serde_json::Value::Object(engines),
         "speedup_vs_incremental": serde_json::Value::Object(speedups),
         "checksums": serde_json::Value::Object(checksums),
+        "sparse_engines": serde_json::Value::Object(sparse_engines),
+        "sparse_checksums": serde_json::Value::Object(sparse_checksums),
+        "t_slide": {
+            "config": {
+                "volume_dims": [t_dims.x, t_dims.y, t_dims.z, t_dims.t],
+                "roi": [10, 10, 3, 5],
+                "engine": "Fused",
+            },
+            "fused_off": off_ns.round(),
+            "fused_on": on_ns.round(),
+            "ratio": (t_ratio * 100.0).round() / 100.0,
+            "checksum_off": off_sum,
+            "checksum_on": on_sum,
+        },
     });
     let path = "BENCH_raster.json";
     std::fs::write(

@@ -14,7 +14,7 @@
 //! measurements instead of a hardcoded heuristic.
 
 use crate::cost::CostModel;
-use haralick::raster::{ScanEngine, TierBucket, TierTable};
+use haralick::raster::{ReprClass, ScanEngine, TierBucket, TierTable};
 
 /// The committed calibrated cost model.
 ///
@@ -32,6 +32,7 @@ pub fn default_model() -> CostModel {
         sparse_convert_s_per_entry: 1.0e-8,
         stats_dirty_s_per_cell: 3.0e-8,
         coocc_fused_s_per_voxel_dir: 4.2e-8,
+        coocc_fused_sparse_s_per_voxel_dir: 4.6e-8,
         stitch_s_per_byte: 1.3e-9,
         write_s_per_byte: 2.6e-9,
         mean_nnz: 12.4,
@@ -41,28 +42,43 @@ pub fn default_model() -> CostModel {
 /// The committed measured tier table.
 ///
 /// Snapshot provenance: `calibrate_tiers(seed = 42)` on the reproduction
-/// host. The measured picture: with one or two displacements a slide is so
-/// cheap that the incremental tier's leaner bookkeeping wins; with dense
-/// direction sets (the paper's 40) the fused kernel's once-per-placement
-/// merge amortizes and wins decisively; tiny windows favor the parallel
-/// rebuild's lower fixed cost only when rows are too short to amortize a
-/// slide, which the small-window buckets capture.
+/// host. The measured picture: sparse representations always route to the
+/// fused tier, which accumulates sparse windows natively instead of
+/// downgrading to a per-placement rebuild; for the dense representations,
+/// one or two displacements make a slide so cheap that the incremental
+/// tier's leaner bookkeeping wins, while dense direction sets (the paper's
+/// 40) let the fused kernel's once-per-placement merge amortize and win
+/// decisively. Tiny windows favor the parallel rebuild's lower fixed cost
+/// only when rows are too short to amortize a slide, which the small-window
+/// buckets capture. `t_slide_min_roi_t` is the measured break-even t-depth
+/// for the t-slab slide: a slide touches `2·roi/roi_t` voxels per direction
+/// against a rebuild's `roi`, so depth 3 is where reuse starts paying.
 pub fn default_tier_table() -> TierTable {
     TierTable {
         buckets: vec![
             TierBucket {
+                repr: ReprClass::Sparse,
+                max_roi_voxels: usize::MAX,
+                max_levels: 256,
+                max_directions: usize::MAX,
+                engine: ScanEngine::FusedParallel,
+            },
+            TierBucket {
+                repr: ReprClass::Any,
                 max_roi_voxels: 64,
                 max_levels: 256,
                 max_directions: 2,
                 engine: ScanEngine::IncrementalParallel,
             },
             TierBucket {
+                repr: ReprClass::Any,
                 max_roi_voxels: 64,
                 max_levels: 256,
                 max_directions: usize::MAX,
                 engine: ScanEngine::FusedParallel,
             },
             TierBucket {
+                repr: ReprClass::Any,
                 max_roi_voxels: usize::MAX,
                 max_levels: 256,
                 max_directions: 2,
@@ -70,12 +86,14 @@ pub fn default_tier_table() -> TierTable {
             },
         ],
         fallback: ScanEngine::FusedParallel,
+        t_slide_min_roi_t: 3,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use haralick::raster::Representation;
 
     #[test]
     fn snapshot_within_order_of_magnitude_of_live_measurement() {
@@ -114,6 +132,10 @@ mod tests {
         // The fused per-pair constant must undercut the incremental slide
         // constant, or the snapshot table's fused picks are indefensible.
         assert!(m.coocc_fused_s_per_voxel_dir < m.coocc_slide_s_per_voxel_dir);
+        // The sparse-fused merge pays a small unmirrored-bookkeeping premium
+        // over the dense path but stays well under the sparse rebuild.
+        assert!(m.coocc_fused_sparse_s_per_voxel_dir >= m.coocc_fused_s_per_voxel_dir);
+        assert!(m.coocc_fused_sparse_s_per_voxel_dir < m.coocc_sparse_s_per_voxel_dir);
     }
 
     #[test]
@@ -123,10 +145,21 @@ mod tests {
             assert_ne!(b.engine, ScanEngine::Auto);
         }
         assert_ne!(t.fallback, ScanEngine::Auto);
+        let full = Representation::Full;
         // The paper configuration (900-voxel window, 40 directions) must
         // route to the fused kernel.
-        assert_eq!(t.pick(900, 32, 40), ScanEngine::FusedParallel);
-        // Sparse direction sets keep the incremental tier.
-        assert_eq!(t.pick(900, 32, 1), ScanEngine::IncrementalParallel);
+        assert_eq!(t.pick(full, 900, 32, 40), ScanEngine::FusedParallel);
+        // Sparse direction sets keep the incremental tier for dense
+        // representations.
+        assert_eq!(t.pick(full, 900, 32, 1), ScanEngine::IncrementalParallel);
+        // Sparse representations route to the fused tier regardless of the
+        // direction count — the incremental tiers would downgrade them to a
+        // per-placement rebuild.
+        for repr in [Representation::Sparse, Representation::SparseAccum] {
+            assert_eq!(t.pick(repr, 900, 32, 1), ScanEngine::FusedParallel);
+            assert_eq!(t.pick(repr, 900, 32, 40), ScanEngine::FusedParallel);
+        }
+        // The t-slide break-even ships at the analytic depth.
+        assert_eq!(t.t_slide_min_roi_t, 3);
     }
 }

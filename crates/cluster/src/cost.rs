@@ -54,6 +54,15 @@ pub struct CostModel {
     /// constant. Defaults for old serialized models via `serde(default)`.
     #[serde(default = "default_coocc_fused")]
     pub coocc_fused_s_per_voxel_dir: f64,
+    /// Fused-kernel pair accumulation under a **sparse** representation,
+    /// per (plane voxel × direction). The lane stores are identical to the
+    /// dense fused constant; the difference is the unmirrored merge and
+    /// the sparse-order support sweep feeding it, so this sits slightly
+    /// above the dense fused constant but far under the sparse-storage
+    /// binary-search accumulation the rebuild tiers pay. Defaults for old
+    /// serialized models via `serde(default)`.
+    #[serde(default = "default_coocc_fused_sparse")]
+    pub coocc_fused_sparse_s_per_voxel_dir: f64,
     /// Stitch (IIC) copy/reorganize cost per byte.
     pub stitch_s_per_byte: f64,
     /// Output formatting/write cost per byte (buffered writes; the seek and
@@ -77,6 +86,14 @@ fn default_coocc_fused() -> f64 {
     4.2e-8
 }
 
+/// Host-scale fallback for models serialized before the sparse-aware fused
+/// path existed: a shade over the dense fused constant (the unmirrored
+/// merge writes one cell instead of two, but the sparse sweep re-walks the
+/// support per placement).
+fn default_coocc_fused_sparse() -> f64 {
+    4.6e-8
+}
+
 /// Per-chunk texture workload quantities, bundled for
 /// [`CostModel::texture_cost`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +112,11 @@ pub struct TextureWork {
     pub ng: u16,
     /// Co-occurrence representation.
     pub repr: Representation,
+    /// Window extent along `t` (the fused tiers' second slide axis).
+    pub roi_t: usize,
+    /// Output placements along `t` — the t-run length the fused tiers
+    /// slide across when the t-slide engages.
+    pub extent_t: usize,
 }
 
 impl CostModel {
@@ -121,29 +143,35 @@ impl CostModel {
         rebuilds + slides
     }
 
-    /// Cost of producing `rois` matrices with the fused sub-histogram
-    /// kernel: the same row-rebuild/slide shape as
+    /// Cost of producing the chunk's matrices with the fused sub-histogram
+    /// kernel: the same row-rebuild/x-slide shape as
     /// [`coocc_incremental_cost`](Self::coocc_incremental_cost), with the
-    /// cheaper fused per-pair constant on both the cache-blocked row-start
-    /// build and the two-plane slides.
-    pub fn coocc_fused_cost(
-        &self,
-        rois: usize,
-        roi_voxels: usize,
-        roi_x: usize,
-        row_len: usize,
-        ndirs: usize,
-    ) -> f64 {
-        let rows = rois.div_ceil(row_len.max(1));
-        let rebuilds =
-            rows as f64 * self.coocc_fused_s_per_voxel_dir * roi_voxels as f64 * ndirs as f64;
-        let plane = (roi_voxels / roi_x.max(1)) as f64;
-        let slides = (rois.saturating_sub(rows)) as f64
-            * self.coocc_fused_s_per_voxel_dir
-            * 2.0
-            * plane
-            * ndirs as f64;
-        rebuilds + slides
+    /// cheaper fused per-pair constant (the sparse-aware constant under a
+    /// sparse representation — the fused tiers never downgrade) on both
+    /// the cache-blocked build and the two-plane slides. When the t-slide
+    /// engages (`extent_t ≥ 2` and `roi_t` at the default threshold),
+    /// only each (y, z) **run's** first row pays a full window build; the
+    /// remaining rows of a run pay two t-slabs
+    /// (`2 · roi_voxels / roi_t`) instead.
+    pub fn coocc_fused_cost(&self, w: &TextureWork) -> f64 {
+        let per = if w.repr.is_sparse() {
+            self.coocc_fused_sparse_s_per_voxel_dir
+        } else {
+            self.coocc_fused_s_per_voxel_dir
+        };
+        let rows = w.rois.div_ceil(w.row_len.max(1));
+        let t_slides = w.extent_t >= 2 && w.roi_t >= 3;
+        let full_builds = if t_slides {
+            rows.div_ceil(w.extent_t.max(1))
+        } else {
+            rows
+        };
+        let rebuilds = full_builds as f64 * per * w.roi_voxels as f64 * w.ndirs as f64;
+        let slab = (w.roi_voxels / w.roi_t.max(1)) as f64;
+        let t_slid = rows.saturating_sub(full_builds) as f64 * per * 2.0 * slab * w.ndirs as f64;
+        let plane = (w.roi_voxels / w.roi_x.max(1)) as f64;
+        let x_slid = (w.rois.saturating_sub(rows)) as f64 * per * 2.0 * plane * w.ndirs as f64;
+        rebuilds + t_slid + x_slid
     }
 
     /// Cost of building co-occurrence matrices for `rois` windows of
@@ -235,17 +263,36 @@ impl CostModel {
         row_starts + slides
     }
 
+    /// Cost of the feature passes when the fused kernel runs a **sparse**
+    /// representation: every placement sweeps the support-ordered non-zero
+    /// entries (`mean_nnz` sparse pushes plus the per-matrix base), and
+    /// slid placements additionally pay the bitmap maintenance over the
+    /// cells their merge touched. No `Ng²` row-start sweep exists on this
+    /// path — the support mask is maintained incrementally from the start.
+    pub fn features_sparse_fused_cost(&self, w: &TextureWork) -> f64 {
+        let rows = w.rois.div_ceil(w.row_len.max(1));
+        let plane = (w.roi_voxels / w.roi_x.max(1)) as f64;
+        let touched = 2.0 * plane * w.ndirs as f64;
+        w.rois as f64 * (self.feat_sparse_s_per_entry * self.mean_nnz + self.feat_base_s)
+            + w.rois.saturating_sub(rows) as f64 * self.stats_dirty_s_per_cell * touched
+    }
+
     /// Full texture (matrices + parameters) service cost of one chunk under
     /// a scan-engine tier, divided across `threads` workers for the parallel
     /// tiers. The tier is resolved exactly as the real engine resolves it —
-    /// `Auto` through the installed tier table and sparse representations
-    /// downgraded per [`ScanEngine::effective_for`] — so the model never
-    /// credits a saving the kernels would not deliver.
+    /// `Auto` through the installed tier table, sparse representations
+    /// downgrading the incremental tiers per [`ScanEngine::effective_for`]
+    /// while running the fused tiers natively — so the model never credits
+    /// a saving the kernels would not deliver.
     pub fn texture_cost(&self, engine: ScanEngine, w: &TextureWork, threads: usize) -> f64 {
         let effective = engine.effective_for_workload(w.repr, w.roi_voxels, w.ng, w.ndirs);
         let serial = if effective.is_fused() {
-            self.coocc_fused_cost(w.rois, w.roi_voxels, w.roi_x, w.row_len, w.ndirs)
-                + self.features_incremental_cost(w)
+            let feats = if w.repr.is_sparse() {
+                self.features_sparse_fused_cost(w)
+            } else {
+                self.features_incremental_cost(w)
+            };
+            self.coocc_fused_cost(w) + feats
         } else if effective.is_incremental() {
             self.coocc_incremental_cost(w.rois, w.roi_voxels, w.roi_x, w.row_len, w.ndirs)
                 + self.features_incremental_cost(w)
@@ -298,6 +345,7 @@ mod tests {
             sparse_convert_s_per_entry: 0.5e-9,
             stats_dirty_s_per_cell: 1e-9,
             coocc_fused_s_per_voxel_dir: 1e-9,
+            coocc_fused_sparse_s_per_voxel_dir: 1.2e-9,
             stitch_s_per_byte: 0.2e-9,
             write_s_per_byte: 0.3e-9,
             mean_nnz: 10.0,
@@ -337,6 +385,8 @@ mod tests {
             ndirs: 1,
             ng: 32,
             repr,
+            roi_t: 3,
+            extent_t: 1,
         }
     }
 
@@ -360,7 +410,8 @@ mod tests {
     fn texture_cost_downgrades_sparse_and_scales_with_threads() {
         let m = model();
         let w = paper_work(Representation::SparseAccum);
-        // Sparse representations downgrade to the rebuild tier.
+        // Sparse representations downgrade the incremental tiers to the
+        // rebuild tier (only the fused tiers run sparse natively).
         let a = m.texture_cost(ScanEngine::IncrementalParallel, &w, 1);
         let b = m.texture_cost(ScanEngine::Parallel, &w, 1);
         assert!((a - b).abs() < 1e-15);
@@ -390,12 +441,52 @@ mod tests {
             fused < incr,
             "fused {fused} should undercut incremental {incr}"
         );
-        // Sparse representations downgrade the fused tiers to the rebuild
-        // tiers, just like the real engine.
+        // Sparse representations run the fused tiers natively now — the
+        // model must price them below the sparse rebuild they previously
+        // downgraded to, and above the all-dense fused run (the sparse
+        // constant is a shade higher).
         let ws = paper_work(Representation::SparseAccum);
-        let a = m.texture_cost(ScanEngine::FusedParallel, &ws, 2);
-        let b = m.texture_cost(ScanEngine::Parallel, &ws, 2);
-        assert!((a - b).abs() < 1e-15);
+        let sparse_fused = m.texture_cost(ScanEngine::FusedParallel, &ws, 2);
+        let sparse_rebuild = m.texture_cost(ScanEngine::Parallel, &ws, 2);
+        assert!(
+            sparse_fused < sparse_rebuild,
+            "sparse fused {sparse_fused} should undercut the rebuild {sparse_rebuild}"
+        );
+    }
+
+    #[test]
+    fn fused_t_slide_cost_drops_with_t_extent() {
+        // With t-runs to slide across, every non-first row of a run pays
+        // two t-slabs instead of a full window build; the model must price
+        // the same placement count cheaper as extent_t grows.
+        let m = model();
+        // The streaming sweep shape: one placement per row (no x-slides),
+        // a deep-t window, a long t-run per (y, z).
+        let mut flat = paper_work(Representation::Full);
+        flat.rois = 40;
+        flat.row_len = 1;
+        flat.roi_t = 5;
+        let mut sliding = flat;
+        sliding.extent_t = 40; // 40 rows → one full build + 39 t-slides
+        let c_flat = m.coocc_fused_cost(&flat);
+        let c_slide = m.coocc_fused_cost(&sliding);
+        assert!(
+            c_slide < 0.6 * c_flat,
+            "t-slide {c_slide} should be well under per-row rebuilds {c_flat}"
+        );
+        // A one-voxel t-extent window never profits (threshold roi_t >= 3).
+        let mut shallow = sliding;
+        shallow.roi_t = 1;
+        assert!(
+            (m.coocc_fused_cost(&shallow) - {
+                let mut f = shallow;
+                f.extent_t = 1;
+                m.coocc_fused_cost(&f)
+            })
+            .abs()
+                < 1e-15,
+            "below the roi_t threshold the slide must not be modeled"
+        );
     }
 
     #[test]

@@ -319,6 +319,37 @@ impl CoMatrix {
         self.total = (self.total as i64 + 2 * net) as u64;
     }
 
+    /// [`apply_upper_delta_tracked`](Self::apply_upper_delta_tracked)
+    /// without the mirror write: only the upper-triangle cell `(lo, hi)`
+    /// and its support bit are updated, so the matrix holds exactly the
+    /// counts a [`crate::sparse::SparseCoMatrix`] entry list would (a
+    /// diagonal pair contributes 2 to its cell, an off-diagonal pair 1).
+    /// The total still moves by `2·net` — the symmetric normalization `R`
+    /// is representation-independent. This is the sparse-mode merge of the
+    /// fused scan engine: sweeping the support afterwards enumerates the
+    /// sparse entries in sorted row-major upper-triangle order without
+    /// ever materializing the dense symmetric matrix.
+    #[inline]
+    pub(crate) fn apply_upper_delta_unmirrored(
+        &mut self,
+        lo: u8,
+        hi: u8,
+        net: i64,
+        support: &mut SupportMask,
+    ) {
+        debug_assert!(lo <= hi, "cell must be in the upper triangle");
+        let ng = self.levels as usize;
+        let ij = lo as usize * ng + hi as usize;
+        let per_cell = if lo == hi { 2 * net } else { net };
+        let c = i64::from(self.counts[ij]) + per_cell;
+        debug_assert!(c >= 0, "fused merge drove cell ({lo}, {hi}) negative");
+        let c = c as u32;
+        self.counts[ij] = c;
+        support.set_if(ij, c != 0);
+        support.clear_if(ij, c == 0);
+        self.total = (self.total as i64 + 2 * net) as u64;
+    }
+
     /// Zeroes exactly the cells flagged in `support` (and the total),
     /// restoring the all-zero invariant in `O(nnz)` instead of an `Ng²`
     /// fill. The caller clears the mask afterwards; used by the fused
@@ -326,6 +357,17 @@ impl CoMatrix {
     pub(crate) fn clear_cells_from_support(&mut self, support: &SupportMask) {
         support.for_each_set(|idx| self.counts[idx] = 0);
         self.total = 0;
+    }
+
+    /// Copies exactly the cells flagged in `support` (and the total) from
+    /// `other` into this matrix in `O(nnz)`. The caller must have zeroed
+    /// this matrix's previous support first; used by the fused engine's
+    /// t-axis slide to load the per-run cursor state into the working
+    /// window without an `Ng²` memcpy.
+    pub(crate) fn copy_cells_from(&mut self, other: &CoMatrix, support: &SupportMask) {
+        debug_assert_eq!(self.levels, other.levels, "level count mismatch");
+        support.for_each_set(|idx| self.counts[idx] = other.counts[idx]);
+        self.total = other.total;
     }
 
     /// Rebuilds this matrix in place from `region` over `dirs` — the

@@ -32,7 +32,7 @@
 
 use crate::coocc::CoMatrix;
 use crate::linalg::symmetric_eigenvalues;
-use crate::sparse::{SparseCoMatrix, SupportMask};
+use crate::sparse::{SparseCoMatrix, SparseEntry, SupportMask};
 use serde::{Deserialize, Serialize};
 
 /// The fourteen Haralick features, in their original numbering f1–f14.
@@ -300,13 +300,27 @@ impl MatrixStats {
     /// Reusable-buffer counterpart of [`from_sparse`](Self::from_sparse);
     /// bit-identical to a fresh construction.
     pub(crate) fn refill_from_sparse(&mut self, m: &SparseCoMatrix) {
-        let ng = m.levels() as usize;
-        self.reset_for(ng, m.total(), FeatureSelection::all(), &StatNeeds::ALL);
-        if m.total() == 0 {
+        self.refill_from_sparse_entries(m.levels(), m.total(), m.entries());
+    }
+
+    /// [`refill_from_sparse`](Self::refill_from_sparse) over a raw sorted
+    /// upper-triangle entry list — lets the scan engines compute sparse
+    /// statistics straight off a [`crate::sparse::SparseAccumulator`]
+    /// without first freezing it into a `SparseCoMatrix`. Bit-identical:
+    /// the pass only ever reads `levels`, `total` and the entry slice.
+    pub(crate) fn refill_from_sparse_entries(
+        &mut self,
+        levels: u16,
+        total: u64,
+        entries: &[SparseEntry],
+    ) {
+        let ng = levels as usize;
+        self.reset_for(ng, total, FeatureSelection::all(), &StatNeeds::ALL);
+        if total == 0 {
             return;
         }
-        let inv_total = 1.0 / m.total() as f64;
-        for e in m.entries() {
+        let inv_total = 1.0 / total as f64;
+        for e in entries {
             let p = f64::from(e.count) * inv_total;
             let (i, j) = (e.i as usize, e.j as usize);
             self.push(i, j, p);
@@ -315,6 +329,94 @@ impl MatrixStats {
                 self.push(j, i, p);
             }
         }
+    }
+
+    /// Constructor form of
+    /// [`refill_from_dense_sparse_order`](Self::refill_from_dense_sparse_order).
+    pub(crate) fn from_dense_sparse_order(m: &CoMatrix) -> Self {
+        let mut s = Self::reusable();
+        s.refill_from_dense_sparse_order(m);
+        s
+    }
+
+    /// Accumulates sparse-representation statistics directly from a dense
+    /// matrix: the exact arithmetic of
+    /// `from_sparse(&SparseCoMatrix::from_dense(m))` — upper-triangle
+    /// row-major entry order, each off-diagonal push immediately mirrored —
+    /// without materializing the intermediate entry list.
+    /// [`SparseCoMatrix::from_dense`] enumerates cells `(i, j)` with
+    /// `j >= i` in row-major order, skipping zeros, and
+    /// [`refill_from_sparse`](Self::refill_from_sparse) replays exactly
+    /// that sequence, so sweeping the dense matrix in the same order is
+    /// bit-identical.
+    pub(crate) fn refill_from_dense_sparse_order(&mut self, m: &CoMatrix) {
+        debug_assert!(m.is_symmetric(), "co-occurrence matrix must be symmetric");
+        let ng = m.levels() as usize;
+        self.reset_for(ng, m.total(), FeatureSelection::all(), &StatNeeds::ALL);
+        if m.total() == 0 {
+            return;
+        }
+        let inv_total = 1.0 / m.total() as f64;
+        for i in 0..ng {
+            for j in i..ng {
+                let c = m.count(i, j);
+                if c == 0 {
+                    continue;
+                }
+                let p = f64::from(c) * inv_total;
+                self.push(i, j, p);
+                if i != j {
+                    self.push(j, i, p);
+                }
+            }
+        }
+    }
+
+    /// Accumulates sparse-representation statistics by visiting exactly the
+    /// cells flagged in `support` — which the fused engine's sparse mode
+    /// keeps as the matrix's **upper-triangle-only** support (see
+    /// [`CoMatrix::apply_upper_delta_unmirrored`]) — in ascending order,
+    /// with each off-diagonal push immediately mirrored and only the
+    /// accumulators the features in `sel` read.
+    ///
+    /// The ascending sweep over an upper-triangle support enumerates the
+    /// non-zero cells in sorted `(i, j)` order — the order
+    /// [`SparseCoMatrix::from_dense`] emits entries — and the stored counts
+    /// are exactly the sparse entry counts, so every feature in `sel` is
+    /// bit-identical to the sparse-representation reference (the gating
+    /// argument of [`refill_from_support`](Self::refill_from_support)
+    /// applies unchanged). The result can only finalize features in `sel`.
+    pub(crate) fn refill_from_sparse_support(
+        &mut self,
+        m: &CoMatrix,
+        support: &SupportMask,
+        sel: &FeatureSelection,
+    ) {
+        let ng = m.levels() as usize;
+        let needs = StatNeeds::of(sel);
+        self.reset_for(ng, m.total(), *sel, &needs);
+        if m.total() == 0 {
+            return;
+        }
+        let inv_total = 1.0 / m.total() as f64;
+        let counts = m.as_slice();
+        let mut row = 0usize;
+        let mut row_end = ng;
+        support.for_each_set(|idx| {
+            let c = counts[idx];
+            debug_assert!(c != 0, "support mask flags a zero cell");
+            while idx >= row_end {
+                row += 1;
+                row_end += ng;
+            }
+            let col = idx - (row_end - ng);
+            debug_assert!(col >= row, "sparse support flags a lower-triangle cell");
+            let p = f64::from(c) * inv_total;
+            self.push_selected(row, col, p, &needs);
+            if col != row {
+                self.push_selected(col, row, p, &needs);
+            }
+        });
     }
 
     /// Accumulates statistics by visiting exactly the cells flagged in
@@ -881,5 +983,103 @@ mod tests {
         let names: std::collections::HashSet<&str> =
             Feature::ALL.iter().map(|f| f.short_name()).collect();
         assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn dense_sparse_order_sweep_matches_sparse_roundtrip_bitwise() {
+        // The direct dense→sparse-order sweep must reproduce the exact bits
+        // of the densify-then-sparsify round trip it replaces.
+        let img: Vec<u8> = (0..64).map(|i| ((i * 31 + 7) % 8) as u8).collect();
+        let m = matrix_of(img, 8, 8, 8, Direction::new(1, 1, 0, 0));
+        let via_sparse = MatrixStats::from_sparse(&SparseCoMatrix::from_dense(&m));
+        let direct = MatrixStats::from_dense_sparse_order(&m);
+        let a = compute_features(&via_sparse, &FeatureSelection::all());
+        let b = compute_features(&direct, &FeatureSelection::all());
+        for feat in Feature::ALL {
+            assert_eq!(
+                a.get(feat).unwrap().to_bits(),
+                b.get(feat).unwrap().to_bits(),
+                "{feat:?} not bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_entries_refill_matches_frozen_sparse_matrix() {
+        let img: Vec<u8> = (0..64).map(|i| ((i * 13 + 5) % 8) as u8).collect();
+        let m = matrix_of(img, 8, 8, 8, Direction::new(1, 0, 0, 0));
+        let s = SparseCoMatrix::from_dense(&m);
+        let mut from_entries = MatrixStats::reusable();
+        from_entries.refill_from_sparse_entries(s.levels(), s.total(), s.entries());
+        let a = compute_features(&MatrixStats::from_sparse(&s), &FeatureSelection::all());
+        let b = compute_features(&from_entries, &FeatureSelection::all());
+        for feat in Feature::ALL {
+            assert_eq!(
+                a.get(feat).unwrap().to_bits(),
+                b.get(feat).unwrap().to_bits(),
+                "{feat:?} not bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_support_sweep_matches_sparse_reference_on_every_subset() {
+        // Build an upper-triangle-only count matrix (the sparse-fused
+        // working state) plus its support, and check the gated sweep
+        // against the sparse reference for each single-feature selection.
+        let img: Vec<u8> = (0..64).map(|i| ((i * 31 + 7) % 8) as u8).collect();
+        let m = matrix_of(img, 8, 8, 8, Direction::new(1, 1, 0, 0));
+        let s = SparseCoMatrix::from_dense(&m);
+        let ng = m.levels() as usize;
+        let mut upper = CoMatrix::zeros(m.levels());
+        let mut counts = vec![0u32; ng * ng];
+        for e in s.entries() {
+            counts[e.i as usize * ng + e.j as usize] = e.count;
+        }
+        let total = counts.iter().map(|&c| u64::from(c)).sum();
+        upper.overwrite(counts, total);
+        let mask = SupportMask::from_matrix(&upper);
+        let full = compute_features(&MatrixStats::from_sparse(&s), &FeatureSelection::all());
+        let mut selections: Vec<FeatureSelection> = Feature::ALL
+            .iter()
+            .map(|&f| FeatureSelection::of(&[f]))
+            .collect();
+        selections.push(FeatureSelection::paper_default());
+        selections.push(FeatureSelection::all());
+        for sel in selections {
+            let mut stats = MatrixStats::reusable();
+            stats.refill_from_sparse_support(&sweep_input(&upper, s.total()), &mask, &sel);
+            let got = compute_features(&stats, &sel);
+            for feat in sel.iter() {
+                assert_eq!(
+                    got.get(feat).unwrap().to_bits(),
+                    full.get(feat).unwrap().to_bits(),
+                    "{feat:?} diverges in the sparse support sweep"
+                );
+            }
+        }
+    }
+
+    /// Rebuilds `upper` with the symmetric total `r` attached — the state
+    /// the unmirrored fused merge leaves (upper-triangle counts, full `R`).
+    fn sweep_input(upper: &CoMatrix, r: u64) -> CoMatrix {
+        let mut m = CoMatrix::zeros(upper.levels());
+        let mut s = SupportMask::from_matrix(upper);
+        let ng = upper.levels() as usize;
+        for i in 0..ng {
+            for j in i..ng {
+                let c = upper.count(i, j);
+                if c != 0 {
+                    let net = if i == j {
+                        i64::from(c) / 2
+                    } else {
+                        i64::from(c)
+                    };
+                    m.apply_upper_delta_unmirrored(i as u8, j as u8, net, &mut s);
+                }
+            }
+        }
+        assert_eq!(m.total(), r, "unmirrored merges must restore R exactly");
+        m
     }
 }

@@ -38,7 +38,7 @@ use crate::features::{compute_features, FeatureSelection, MatrixStats};
 use crate::fused::{FusedScratch, LevelSource, QuantizedSource, RawLutSource};
 use crate::quantize::Quantizer;
 use crate::roi::RoiShape;
-use crate::sparse::SparseCoMatrix;
+use crate::sparse::SparseAccumulator;
 use crate::volume::{Dims4, LevelVolume, Point4};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -63,14 +63,22 @@ pub enum Representation {
 }
 
 impl Representation {
+    /// Whether this is one of the sparse-entry-list representations.
+    pub const fn is_sparse(self) -> bool {
+        matches!(self, Representation::Sparse | Representation::SparseAccum)
+    }
+
     /// Computes feature-ready statistics from a freshly built dense matrix
     /// according to the representation policy.
     pub fn stats_of(self, m: &CoMatrix) -> MatrixStats {
         match self {
             Representation::FullNaive => m.stats_naive(),
             Representation::Full => m.stats_checked(),
+            // Sparse statistics sweep the dense matrix in sparse entry
+            // order directly — bit-identical to densify-then-sparsify
+            // without materializing the intermediate entry list.
             Representation::Sparse | Representation::SparseAccum => {
-                MatrixStats::from_sparse(&SparseCoMatrix::from_dense(m))
+                MatrixStats::from_dense_sparse_order(m)
             }
         }
     }
@@ -110,27 +118,27 @@ pub enum ScanEngine {
 }
 
 impl ScanEngine {
-    /// The tier that will actually run for `repr`: the incremental and
-    /// fused tiers require a dense co-occurrence matrix to track, so
-    /// `Sparse` / `SparseAccum` scans downgrade to the equivalent rebuild
-    /// tier (preserving each sparse representation's accumulation
-    /// semantics, which the cost studies measure). `Auto` resolves through
-    /// the current [`TierTable`] with unbounded workload parameters; use
+    /// The tier that will actually run for `repr`: the incremental tiers
+    /// require a dense co-occurrence matrix to track, so `Sparse` /
+    /// `SparseAccum` scans downgrade them to the equivalent rebuild tier
+    /// (preserving each sparse representation's accumulation semantics,
+    /// which the cost studies measure). The fused tiers accumulate sparse
+    /// windows natively — their merge emits sparse-entry state directly —
+    /// so they never downgrade. `Auto` resolves through the current
+    /// [`TierTable`] with unbounded workload parameters; use
     /// [`ScanEngine::effective_for_workload`] when the workload shape is
     /// known.
     pub fn effective_for(self, repr: Representation) -> Self {
         match (self, repr) {
             (Self::Auto, _) => current_tier_table()
-                .pick(usize::MAX, u16::MAX, usize::MAX)
+                .pick(repr, usize::MAX, u16::MAX, usize::MAX)
                 .effective_for(repr),
-            (
-                Self::Incremental | Self::Fused,
-                Representation::Sparse | Representation::SparseAccum,
-            ) => Self::Reference,
-            (
-                Self::IncrementalParallel | Self::FusedParallel,
-                Representation::Sparse | Representation::SparseAccum,
-            ) => Self::Parallel,
+            (Self::Incremental, Representation::Sparse | Representation::SparseAccum) => {
+                Self::Reference
+            }
+            (Self::IncrementalParallel, Representation::Sparse | Representation::SparseAccum) => {
+                Self::Parallel
+            }
             (e, _) => e,
         }
     }
@@ -149,7 +157,7 @@ impl ScanEngine {
     ) -> Self {
         match self {
             Self::Auto => current_tier_table()
-                .pick(roi_voxels, levels, directions)
+                .pick(repr, roi_voxels, levels, directions)
                 .effective_for(repr),
             e => e.effective_for(repr),
         }
@@ -174,11 +182,50 @@ impl ScanEngine {
     }
 }
 
+/// Which co-occurrence representation family a [`TierBucket`] covers.
+/// Sparse and dense workloads have different measured-fastest tiers (the
+/// sparse statistics sweep shifts the balance), so calibrated tables can
+/// bucket them separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReprClass {
+    /// Matches every representation.
+    #[default]
+    Any,
+    /// Dense representations (`FullNaive`, `Full`).
+    Dense,
+    /// Sparse representations (`Sparse`, `SparseAccum`).
+    Sparse,
+}
+
+impl ReprClass {
+    /// The class `repr` belongs to (never `Any`).
+    pub const fn of(repr: Representation) -> Self {
+        if repr.is_sparse() {
+            Self::Sparse
+        } else {
+            Self::Dense
+        }
+    }
+
+    /// Whether a workload using `repr` falls inside this class.
+    pub const fn matches(self, repr: Representation) -> bool {
+        match self {
+            Self::Any => true,
+            Self::Dense => !repr.is_sparse(),
+            Self::Sparse => repr.is_sparse(),
+        }
+    }
+}
+
 /// One row of a [`TierTable`]: the measured-fastest engine for workloads
 /// no larger than the three bounds. Bounds are inclusive upper limits;
-/// a workload matches the **first** bucket whose bounds all hold.
+/// a workload matches the **first** bucket whose bounds all hold and whose
+/// representation class covers the workload's representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TierBucket {
+    /// Which representation family this bucket covers.
+    #[serde(default)]
+    pub repr: ReprClass,
     /// Largest window voxel count this bucket covers.
     pub max_roi_voxels: usize,
     /// Largest gray-level count `Ng` this bucket covers.
@@ -203,36 +250,69 @@ pub struct TierTable {
     pub buckets: Vec<TierBucket>,
     /// Engine for workloads outside every bucket.
     pub fallback: ScanEngine,
+    /// Smallest ROI t-extent at which [`TSlidePolicy::Auto`] engages the
+    /// fused kernel's t-axis slide. A slide costs two t-slabs
+    /// (`2 · roi_voxels / roi_t`) against a full `roi_voxels` rebuild, so
+    /// the slide only pays off once `roi_t > 2`; 3 is the analytic
+    /// break-even and the builtin default, while calibration may measure a
+    /// different crossover.
+    #[serde(default = "default_t_slide_min_roi_t")]
+    pub t_slide_min_roi_t: usize,
+}
+
+fn default_t_slide_min_roi_t() -> usize {
+    3
 }
 
 impl TierTable {
     /// The compiled-in selection used until a measured table is installed:
-    /// sparse direction sets (≤ 2 displacements) keep each slide so cheap
-    /// that the leaner incremental bookkeeping wins; everything else —
-    /// including the paper's 40-direction configuration — goes to the
-    /// fused kernel.
+    /// sparse representations always go to the fused kernel (whose merge
+    /// emits sparse-entry state directly — the incremental tiers would
+    /// downgrade to a rebuild); dense workloads with sparse direction sets
+    /// (≤ 2 displacements) keep each slide so cheap that the leaner
+    /// incremental bookkeeping wins; everything else — including the
+    /// paper's 40-direction configuration — goes to the fused kernel.
     pub fn builtin() -> Self {
         Self {
-            buckets: vec![TierBucket {
-                max_roi_voxels: usize::MAX,
-                max_levels: 256,
-                max_directions: 2,
-                engine: ScanEngine::IncrementalParallel,
-            }],
+            buckets: vec![
+                TierBucket {
+                    repr: ReprClass::Sparse,
+                    max_roi_voxels: usize::MAX,
+                    max_levels: u16::MAX,
+                    max_directions: usize::MAX,
+                    engine: ScanEngine::FusedParallel,
+                },
+                TierBucket {
+                    repr: ReprClass::Any,
+                    max_roi_voxels: usize::MAX,
+                    max_levels: 256,
+                    max_directions: 2,
+                    engine: ScanEngine::IncrementalParallel,
+                },
+            ],
             fallback: ScanEngine::FusedParallel,
+            t_slide_min_roi_t: default_t_slide_min_roi_t(),
         }
     }
 
-    /// The engine for a workload of `roi_voxels` window voxels, `levels`
-    /// gray levels and `directions` displacements: the first matching
-    /// bucket's engine, else the fallback. A table entry of `Auto`
-    /// (meaningless — it would recurse) sanitizes to the default tier.
-    pub fn pick(&self, roi_voxels: usize, levels: u16, directions: usize) -> ScanEngine {
+    /// The engine for a workload of representation `repr`, `roi_voxels`
+    /// window voxels, `levels` gray levels and `directions` displacements:
+    /// the first matching bucket's engine, else the fallback. A table
+    /// entry of `Auto` (meaningless — it would recurse) sanitizes to the
+    /// default tier.
+    pub fn pick(
+        &self,
+        repr: Representation,
+        roi_voxels: usize,
+        levels: u16,
+        directions: usize,
+    ) -> ScanEngine {
         let e = self
             .buckets
             .iter()
             .find(|b| {
-                roi_voxels <= b.max_roi_voxels
+                b.repr.matches(repr)
+                    && roi_voxels <= b.max_roi_voxels
                     && levels <= b.max_levels
                     && directions <= b.max_directions
             })
@@ -265,6 +345,25 @@ pub fn current_tier_table() -> TierTable {
         .unwrap_or_else(TierTable::builtin)
 }
 
+/// Whether the fused tiers reuse work **across t-adjacent output rows**
+/// by sliding the window along the t axis (subtract the departing t-slab's
+/// pairs, add the arriving slab's) instead of rebuilding each run's first
+/// window from scratch — the streaming reuse a time-series DCE-MRI study
+/// exercises. Bit-identical either way; this is purely a scheduling
+/// policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TSlidePolicy {
+    /// Engage the slide when the workload profits: the output block spans
+    /// ≥ 2 t-placements and the ROI t-extent reaches the tier table's
+    /// measured threshold ([`TierTable::t_slide_min_roi_t`]).
+    #[default]
+    Auto,
+    /// Always slide when the output block spans ≥ 2 t-placements.
+    On,
+    /// Never slide; every output row rebuilds its first window.
+    Off,
+}
+
 /// Configuration of a raster scan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScanConfig {
@@ -279,6 +378,9 @@ pub struct ScanConfig {
     /// Execution tier used by [`scan`] / [`scan_placements`].
     #[serde(default)]
     pub engine: ScanEngine,
+    /// t-axis sliding-window reuse policy for the fused tiers.
+    #[serde(default)]
+    pub t_slide: TSlidePolicy,
 }
 
 impl ScanConfig {
@@ -293,6 +395,7 @@ impl ScanConfig {
             selection: FeatureSelection::paper_default(),
             representation: Representation::Full,
             engine: ScanEngine::default(),
+            t_slide: TSlidePolicy::default(),
         }
     }
 }
@@ -475,6 +578,9 @@ pub fn distance_sweep(
 /// never allocates.
 pub(crate) struct ScanScratch {
     matrix: CoMatrix,
+    /// Sparse-storage accumulator recycled by the `SparseAccum` rebuild
+    /// path (entry list capacity survives across placements).
+    sparse_acc: SparseAccumulator,
     /// Reused by both the rebuild tiers (here) and the incremental row
     /// kernel (which tracks its own matrix but shares this accumulator).
     pub(crate) stats: MatrixStats,
@@ -485,6 +591,7 @@ impl ScanScratch {
     pub(crate) fn new(levels: u16) -> Self {
         Self {
             matrix: CoMatrix::zeros(levels),
+            sparse_acc: SparseAccumulator::new(levels),
             stats: MatrixStats::reusable(),
         }
     }
@@ -502,12 +609,15 @@ fn scan_one_into(
 ) {
     match cfg.representation {
         Representation::SparseAccum => {
-            let sparse = crate::sparse::SparseAccumulator::from_region(
-                vol,
-                cfg.roi.region_at(origin),
-                &cfg.directions,
+            let ScanScratch {
+                stats, sparse_acc, ..
+            } = scratch;
+            sparse_acc.reaccumulate_region(vol, cfg.roi.region_at(origin), &cfg.directions);
+            stats.refill_from_sparse_entries(
+                sparse_acc.levels(),
+                sparse_acc.total(),
+                sparse_acc.entries(),
             );
-            scratch.stats.refill_from_sparse(&sparse);
         }
         Representation::Sparse => {
             scratch
@@ -515,7 +625,7 @@ fn scan_one_into(
                 .reaccumulate(vol, cfg.roi.region_at(origin), &cfg.directions);
             scratch
                 .stats
-                .refill_from_sparse(&SparseCoMatrix::from_dense(&scratch.matrix));
+                .refill_from_dense_sparse_order(&scratch.matrix);
         }
         Representation::Full => {
             scratch
@@ -680,6 +790,11 @@ pub fn scan_placements_raw(
 
 /// Runs the fused row kernel over every output row of the block,
 /// sequentially or `rayon`-parallel, with one [`FusedScratch`] per worker.
+///
+/// When the t-slide policy engages, rows are regrouped into **t-runs** —
+/// all rows sharing one `(y, z)` in ascending `t` order — and each run is
+/// handed to [`crate::fused::scan_t_run_fused`], which builds only the
+/// run's first window from scratch and slides t-slabs for the rest.
 fn run_fused<S: LevelSource>(
     src: &S,
     cfg: &ScanConfig,
@@ -695,7 +810,39 @@ fn run_fused<S: LevelSource>(
         let t = r / (extent.y * extent.z);
         Point4::new(base.x, base.y + y, base.z + z, base.t + t)
     };
-    if parallel {
+    let slide = match cfg.t_slide {
+        TSlidePolicy::Off => false,
+        TSlidePolicy::On => extent.t >= 2,
+        TSlidePolicy::Auto => {
+            extent.t >= 2 && cfg.roi.size().t >= current_tier_table().t_slide_min_roi_t
+        }
+    };
+    if slide {
+        // Row r = y + extent.y · (z + extent.z · t); sorting by
+        // (r mod y·z, r div y·z) groups each (y, z) pair's rows together
+        // in ascending t, so fixed-size chunks of extent.t are exactly the
+        // t-runs.
+        let yz = extent.y * extent.z;
+        let mut rows: Vec<(usize, &mut [f64])> =
+            data.chunks_mut(extent.x * n).enumerate().collect();
+        rows.sort_by_key(|&(r, _)| (r % yz, r / yz));
+        let scan_run = |scratch: &mut FusedScratch, run: &mut [(usize, &mut [f64])]| {
+            let origin = row_origin(run[0].0);
+            let mut out_rows: Vec<&mut [f64]> = run.iter_mut().map(|(_, row)| &mut **row).collect();
+            crate::fused::scan_t_run_fused(src, cfg, origin, extent.x, &mut out_rows, scratch);
+        };
+        if parallel {
+            rows.par_chunks_mut(extent.t).for_each_init(
+                || FusedScratch::new(src.levels()),
+                |scratch, run| scan_run(scratch, run),
+            );
+        } else {
+            let mut scratch = FusedScratch::new(src.levels());
+            for run in rows.chunks_mut(extent.t) {
+                scan_run(&mut scratch, run);
+            }
+        }
+    } else if parallel {
         data.par_chunks_mut(extent.x * n).enumerate().for_each_init(
             || FusedScratch::new(src.levels()),
             |scratch, (r, out_row)| {
@@ -779,6 +926,7 @@ mod tests {
             selection: FeatureSelection::paper_default(),
             representation: Representation::Full,
             engine: ScanEngine::default(),
+            t_slide: TSlidePolicy::default(),
         }
     }
 
@@ -881,6 +1029,7 @@ mod tests {
             selection: FeatureSelection::of(&[Feature::Correlation]),
             representation: Representation::Full,
             engine: ScanEngine::default(),
+            t_slide: TSlidePolicy::default(),
         };
         let sweep = distance_sweep(&vol, &cfg, Point4::ZERO, 4);
         assert_eq!(sweep.len(), 4);
@@ -939,11 +1088,12 @@ mod tests {
     }
 
     #[test]
-    fn sparse_representations_downgrade_but_match() {
+    fn sparse_representations_downgrade_incremental_but_run_fused() {
         let vol = gradient_volume(Dims4::new(8, 7, 3, 3), 8);
         let mut cfg = small_cfg();
         for repr in [Representation::Sparse, Representation::SparseAccum] {
             cfg.representation = repr;
+            // Incremental tiers still downgrade to the equivalent rebuild…
             assert_eq!(
                 ScanEngine::IncrementalParallel.effective_for(repr),
                 ScanEngine::Parallel
@@ -952,19 +1102,24 @@ mod tests {
                 ScanEngine::Incremental.effective_for(repr),
                 ScanEngine::Reference
             );
-            assert_eq!(ScanEngine::Fused.effective_for(repr), ScanEngine::Reference);
+            // …but the fused tiers accumulate sparse windows natively.
+            assert_eq!(ScanEngine::Fused.effective_for(repr), ScanEngine::Fused);
             assert_eq!(
                 ScanEngine::FusedParallel.effective_for(repr),
-                ScanEngine::Parallel
+                ScanEngine::FusedParallel
             );
-            for engine in [ScanEngine::IncrementalParallel, ScanEngine::FusedParallel] {
+            for engine in [
+                ScanEngine::IncrementalParallel,
+                ScanEngine::Fused,
+                ScanEngine::FusedParallel,
+            ] {
                 cfg.engine = engine;
                 let a = scan(&vol, &cfg);
                 let b = raster_scan(&vol, &cfg);
                 assert_eq!(
                     a.max_abs_diff(&b),
                     0.0,
-                    "{repr:?} downgrade of {engine:?} diverged"
+                    "{repr:?} under {engine:?} diverged"
                 );
             }
         }
@@ -975,12 +1130,21 @@ mod tests {
         let table = TierTable {
             buckets: vec![
                 TierBucket {
+                    repr: ReprClass::Any,
                     max_roi_voxels: 100,
                     max_levels: 16,
                     max_directions: 4,
                     engine: ScanEngine::Incremental,
                 },
                 TierBucket {
+                    repr: ReprClass::Sparse,
+                    max_roi_voxels: 10_000,
+                    max_levels: 256,
+                    max_directions: 64,
+                    engine: ScanEngine::FusedParallel,
+                },
+                TierBucket {
+                    repr: ReprClass::Dense,
                     max_roi_voxels: 10_000,
                     max_levels: 256,
                     max_directions: 64,
@@ -988,28 +1152,73 @@ mod tests {
                 },
             ],
             fallback: ScanEngine::Parallel,
+            t_slide_min_roi_t: 3,
         };
-        assert_eq!(table.pick(50, 8, 2), ScanEngine::Incremental);
-        assert_eq!(table.pick(500, 8, 2), ScanEngine::Fused);
-        assert_eq!(table.pick(50, 8, 100), ScanEngine::Parallel);
+        let full = Representation::Full;
+        assert_eq!(table.pick(full, 50, 8, 2), ScanEngine::Incremental);
+        assert_eq!(table.pick(full, 500, 8, 2), ScanEngine::Fused);
+        assert_eq!(table.pick(full, 50, 8, 100), ScanEngine::Parallel);
+        // Representation-class buckets are skipped for the other family.
+        assert_eq!(
+            table.pick(Representation::Sparse, 500, 8, 2),
+            ScanEngine::FusedParallel
+        );
+        assert_eq!(
+            table.pick(Representation::SparseAccum, 50, 8, 2),
+            ScanEngine::Incremental,
+            "an Any bucket matches sparse workloads too"
+        );
         // An Auto table entry sanitizes instead of recursing.
         let silly = TierTable {
             buckets: vec![],
             fallback: ScanEngine::Auto,
+            t_slide_min_roi_t: 3,
         };
-        assert_eq!(silly.pick(1, 1, 1), ScanEngine::default());
+        assert_eq!(silly.pick(full, 1, 1, 1), ScanEngine::default());
     }
 
     #[test]
     fn builtin_table_keeps_sparse_directions_incremental() {
         let table = TierTable::builtin();
-        assert_eq!(table.pick(900, 32, 1), ScanEngine::IncrementalParallel);
-        assert_eq!(table.pick(900, 32, 40), ScanEngine::FusedParallel);
+        let full = Representation::Full;
+        assert_eq!(
+            table.pick(full, 900, 32, 1),
+            ScanEngine::IncrementalParallel
+        );
+        assert_eq!(table.pick(full, 900, 32, 40), ScanEngine::FusedParallel);
+        // Sparse representations route to the fused kernel even at low
+        // direction counts (the incremental tiers would downgrade).
+        assert_eq!(
+            table.pick(Representation::Sparse, 900, 32, 1),
+            ScanEngine::FusedParallel
+        );
+        assert_eq!(
+            table.pick(Representation::SparseAccum, 900, 32, 40),
+            ScanEngine::FusedParallel
+        );
         // Auto never leaks out of workload resolution.
         for dirs in [1, 2, 3, 40] {
             let e = ScanEngine::Auto.effective_for_workload(Representation::Full, 900, 32, dirs);
             assert_ne!(e, ScanEngine::Auto);
         }
+    }
+
+    #[test]
+    fn tier_table_without_repr_or_threshold_fields_deserializes() {
+        // Tables serialized before representation-class buckets and the
+        // t-slide threshold existed must load with the defaults.
+        let legacy = r#"{
+            "buckets": [{
+                "max_roi_voxels": 100,
+                "max_levels": 16,
+                "max_directions": 4,
+                "engine": "Incremental"
+            }],
+            "fallback": "FusedParallel"
+        }"#;
+        let table: TierTable = serde_json::from_str(legacy).unwrap();
+        assert_eq!(table.buckets[0].repr, ReprClass::Any);
+        assert_eq!(table.t_slide_min_roi_t, 3);
     }
 
     #[test]
@@ -1072,5 +1281,80 @@ mod tests {
         assert!(!legacy.contains("engine"), "engine field not stripped");
         let parsed: ScanConfig = serde_json::from_str(&legacy).unwrap();
         assert_eq!(parsed.engine, ScanEngine::IncrementalParallel);
+    }
+
+    #[test]
+    fn t_slide_field_deserializes_with_default() {
+        // Configs serialized before the t-slide policy existed must load
+        // with `Auto`.
+        let json = serde_json::to_string(&small_cfg()).unwrap();
+        let legacy = json.replace(",\"t_slide\":\"Auto\"", "");
+        assert!(!legacy.contains("t_slide"), "t_slide field not stripped");
+        let parsed: ScanConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed.t_slide, TSlidePolicy::Auto);
+    }
+
+    #[test]
+    fn t_slide_policies_agree_bitwise() {
+        // roi.t = 3 reaches the builtin Auto threshold, and the volume
+        // leaves 6 t-placements, so both On and Auto actually slide.
+        let vol = gradient_volume(Dims4::new(9, 7, 3, 8), 8);
+        let mut cfg = ScanConfig {
+            roi: RoiShape::from_lengths(4, 3, 2, 3),
+            directions: DirectionSet::all_unique_4d(1),
+            selection: FeatureSelection::all(),
+            representation: Representation::Full,
+            engine: ScanEngine::Fused,
+            t_slide: TSlidePolicy::Off,
+        };
+        for repr in [
+            Representation::Full,
+            Representation::Sparse,
+            Representation::SparseAccum,
+        ] {
+            cfg.representation = repr;
+            for engine in [ScanEngine::Fused, ScanEngine::FusedParallel] {
+                cfg.engine = engine;
+                cfg.t_slide = TSlidePolicy::Off;
+                let rebuilt = scan(&vol, &cfg);
+                for policy in [TSlidePolicy::On, TSlidePolicy::Auto] {
+                    cfg.t_slide = policy;
+                    let slid = scan(&vol, &cfg);
+                    assert_eq!(
+                        slid.max_abs_diff(&rebuilt),
+                        0.0,
+                        "{repr:?}/{engine:?} under {policy:?} diverged from rebuild"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t_slide_raw_scan_matches_quantize_then_scan() {
+        let dims = Dims4::new(9, 7, 3, 8);
+        let raw: Vec<u16> = dims
+            .region()
+            .points()
+            .map(|p| ((p.x * 613 + p.y * 271 + p.z * 131 + p.t * 89) % 4001) as u16)
+            .collect();
+        let q = Quantizer::linear(16, 0, 4000);
+        let vol = q.quantize(dims, &raw);
+        let cfg = ScanConfig {
+            roi: RoiShape::from_lengths(4, 3, 2, 3),
+            directions: DirectionSet::all_unique_4d(1),
+            selection: FeatureSelection::all(),
+            representation: Representation::Full,
+            engine: ScanEngine::FusedParallel,
+            t_slide: TSlidePolicy::On,
+        };
+        let extent = cfg.roi.output_dims(dims);
+        let from_raw = scan_placements_raw(dims, &raw, &q, &cfg, Point4::ZERO, extent);
+        let from_vol = scan_placements(&vol, &cfg, Point4::ZERO, extent);
+        assert_eq!(
+            from_raw.max_abs_diff(&from_vol),
+            0.0,
+            "t-slide raw path diverged from quantize-then-scan"
+        );
     }
 }

@@ -229,6 +229,17 @@ impl SupportMask {
         self.words[idx / 64] &= !(u64::from(cond) << (idx % 64));
     }
 
+    /// Makes this mask a copy of `other`, reusing the allocation. Used by
+    /// the fused engine's t-axis slide to load the per-run cursor support
+    /// into the working window.
+    ///
+    /// # Panics
+    /// In debug builds, if the masks cover different cell counts.
+    pub(crate) fn copy_from(&mut self, other: &SupportMask) {
+        debug_assert_eq!(self.words.len(), other.words.len(), "mask size mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Calls `f` for every set cell index in ascending (row-major) order.
     #[inline]
     pub(crate) fn for_each_set(&self, mut f: impl FnMut(usize)) {
@@ -320,12 +331,41 @@ impl SparseAccumulator {
         region: crate::volume::Region4,
         dirs: &crate::direction::DirectionSet,
     ) -> SparseCoMatrix {
+        let mut acc = Self::new(vol.levels());
+        acc.reaccumulate_region(vol, region, dirs);
+        acc.finish()
+    }
+
+    /// Rebuilds this accumulator in place from `region` over `dirs` — the
+    /// reusable-buffer counterpart of [`from_region`](Self::from_region)
+    /// (mirroring [`CoMatrix::reaccumulate`]), replaying the exact same
+    /// [`record`](Self::record) sequence so the resulting entry list is
+    /// identical. Lets the scan engines keep one entry-list allocation
+    /// alive across every placement instead of reallocating per window.
+    ///
+    /// # Panics
+    /// If `region` is not fully contained in the volume, or the level
+    /// counts differ.
+    pub fn reaccumulate_region(
+        &mut self,
+        vol: &crate::volume::LevelVolume,
+        region: crate::volume::Region4,
+        dirs: &crate::direction::DirectionSet,
+    ) {
         assert!(
             vol.full_region().contains_region(&region),
             "ROI {region:?} exceeds volume {:?}",
             vol.dims()
         );
-        let mut acc = Self::new(vol.levels());
+        assert_eq!(
+            self.levels,
+            vol.levels(),
+            "accumulator level count does not match volume"
+        );
+        self.total = 0;
+        self.entries.clear();
+        self.last_hit = usize::MAX;
+        let acc = self;
         let end = region.end();
         // Identical loop structure to the dense accumulator (clamped ranges,
         // linear-index stride): any measured cost difference is purely the
@@ -362,7 +402,6 @@ impl SparseAccumulator {
                 }
             }
         }
-        acc.finish()
     }
 
     /// Consumes the accumulator into the immutable sparse matrix.
@@ -377,6 +416,20 @@ impl SparseAccumulator {
     /// Counts recorded so far (both directions).
     pub const fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Number of gray levels `Ng`.
+    pub const fn levels(&self) -> u16 {
+        self.levels
+    }
+
+    /// The non-zero upper-triangle entries accumulated so far, sorted by
+    /// `(i, j)` — the same order [`SparseCoMatrix::entries`] would hold
+    /// after [`finish`](Self::finish). Lets feature statistics be computed
+    /// straight off the accumulator without consuming it (see
+    /// [`crate::features::MatrixStats::refill_from_sparse_entries`]).
+    pub fn entries(&self) -> &[SparseEntry] {
+        &self.entries
     }
 }
 

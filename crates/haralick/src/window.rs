@@ -304,7 +304,7 @@ mod tests {
     use super::*;
     use crate::direction::Direction;
     use crate::features::FeatureSelection;
-    use crate::raster::{raster_scan, Representation};
+    use crate::raster::{raster_scan, Representation, TSlidePolicy};
     use crate::roi::RoiShape;
 
     fn volume(seed: usize) -> LevelVolume {
@@ -399,6 +399,7 @@ mod tests {
                 selection: FeatureSelection::all(),
                 representation: Representation::Full,
                 engine: ScanEngine::default(),
+                t_slide: TSlidePolicy::default(),
             };
             let a = raster_scan(&vol, &cfg);
             let b = raster_scan_incremental(&vol, &cfg);
@@ -420,6 +421,7 @@ mod tests {
             selection: FeatureSelection::paper_default(),
             representation: Representation::Sparse,
             engine: ScanEngine::default(),
+            t_slide: TSlidePolicy::default(),
         };
         let a = raster_scan(&vol, &cfg);
         let b = raster_scan_incremental(&vol, &cfg);
@@ -436,6 +438,7 @@ mod tests {
             selection: FeatureSelection::paper_default(),
             representation: Representation::Full,
             engine: ScanEngine::default(),
+            t_slide: TSlidePolicy::default(),
         };
         let a = raster_scan(&vol, &cfg);
         let b = raster_scan_incremental(&vol, &cfg);

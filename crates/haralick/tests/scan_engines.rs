@@ -1,17 +1,26 @@
 //! Property test: every tier of the unified scan engine is **bit-identical**
 //! to the sequential reference scan (`raster_scan`) across random volumes,
-//! ROI shapes, direction sets and all four co-occurrence representations.
+//! ROI shapes, direction sets, t-slide policies and all four co-occurrence
+//! representations.
 //!
 //! Bit-identicality (not just tolerance) holds because the incremental and
 //! fused tiers replay the reference's exact floating-point operation
 //! sequence: the support-mask sweep visits the same non-zero cells in the
-//! same row-major order as the zero-skip pass, integer sub-histogram
-//! accumulation is exact, and the sparse representations downgrade to the
-//! rebuild tiers.
+//! same order as the reference's pass (row-major zero-skip for the dense
+//! representations, sorted sparse-entry order for the sparse ones), integer
+//! sub-histogram accumulation is exact — including across t-slab slides —
+//! and the incremental tiers downgrade sparse scans to the rebuild tiers
+//! while the fused tiers accumulate sparse windows natively.
+//!
+//! Identity is asserted both as a max-abs-diff of zero and as an FNV-1a
+//! checksum over the raw output bits — the same digest the kernel benches
+//! gate on in CI, so a checksum mismatch there reproduces here.
 
 use haralick::direction::{Direction, DirectionSet};
 use haralick::features::FeatureSelection;
-use haralick::raster::{raster_scan, scan, Representation, ScanConfig, ScanEngine};
+use haralick::raster::{
+    raster_scan, scan, FeatureMaps, Representation, ScanConfig, ScanEngine, TSlidePolicy,
+};
 use haralick::roi::RoiShape;
 use haralick::volume::{Dims4, LevelVolume};
 use proptest::prelude::*;
@@ -37,6 +46,20 @@ fn lcg_volume(dims: Dims4, ng: u16, seed: u32) -> LevelVolume {
     LevelVolume::from_raw(dims, data, ng).unwrap()
 }
 
+/// FNV-1a over the output's raw f64 bits — matches the digest
+/// `bench --bin raster_json` records per tier, which CI requires to be
+/// identical across every engine.
+fn fnv_checksum(maps: &FeatureMaps) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in maps.as_slice() {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
@@ -44,11 +67,11 @@ proptest! {
         xs in 4usize..=9,
         ys in 4usize..=8,
         zs in 1usize..=3,
-        ts in 1usize..=3,
+        ts in 1usize..=6,
         rx in 2usize..=4,
         ry in 2usize..=4,
         rz in 1usize..=2,
-        rt in 1usize..=2,
+        rt in 1usize..=3,
         ng in prop::sample::select(vec![2u16, 6, 16]),
         dirs_kind in 0usize..5,
         repr in prop::sample::select(vec![
@@ -56,6 +79,11 @@ proptest! {
             Representation::FullNaive,
             Representation::Sparse,
             Representation::SparseAccum,
+        ]),
+        t_slide in prop::sample::select(vec![
+            TSlidePolicy::Auto,
+            TSlidePolicy::On,
+            TSlidePolicy::Off,
         ]),
         seed in any::<u32>(),
     ) {
@@ -66,8 +94,10 @@ proptest! {
             selection: FeatureSelection::all(),
             representation: repr,
             engine: ScanEngine::Reference,
+            t_slide,
         };
         let reference = raster_scan(&vol, &cfg);
+        let reference_sum = fnv_checksum(&reference);
         for engine in [
             ScanEngine::Parallel,
             ScanEngine::Incremental,
@@ -81,39 +111,68 @@ proptest! {
             prop_assert_eq!(
                 maps.max_abs_diff(&reference),
                 0.0,
-                "{:?} diverged from reference for {:?}",
+                "{:?} diverged from reference for {:?}/{:?}",
                 engine,
-                repr
+                repr,
+                t_slide
+            );
+            prop_assert_eq!(
+                fnv_checksum(&maps),
+                reference_sum,
+                "{:?} checksum diverged for {:?}/{:?}",
+                engine,
+                repr,
+                t_slide
             );
         }
     }
 }
 
-/// Every concrete tier plus `Auto`, checked on one degenerate geometry.
+/// Every concrete tier plus `Auto`, with the t-slide forced both off and
+/// on, across all four representations — checked on one degenerate
+/// geometry by max-abs-diff and FNV checksum against the reference.
 fn assert_all_tiers_match(vol: &LevelVolume, roi: RoiShape, directions: DirectionSet) {
-    let mut cfg = ScanConfig {
-        roi,
-        directions,
-        selection: FeatureSelection::all(),
-        representation: Representation::Full,
-        engine: ScanEngine::Reference,
-    };
-    let reference = raster_scan(vol, &cfg);
-    for engine in [
-        ScanEngine::Parallel,
-        ScanEngine::Incremental,
-        ScanEngine::IncrementalParallel,
-        ScanEngine::Fused,
-        ScanEngine::FusedParallel,
-        ScanEngine::Auto,
+    for repr in [
+        Representation::Full,
+        Representation::FullNaive,
+        Representation::Sparse,
+        Representation::SparseAccum,
     ] {
-        cfg.engine = engine;
-        let maps = scan(vol, &cfg);
-        assert_eq!(
-            maps.max_abs_diff(&reference),
-            0.0,
-            "{engine:?} diverged from reference on degenerate input"
-        );
+        let mut cfg = ScanConfig {
+            roi,
+            directions: directions.clone(),
+            selection: FeatureSelection::all(),
+            representation: repr,
+            engine: ScanEngine::Reference,
+            t_slide: TSlidePolicy::Off,
+        };
+        let reference = raster_scan(vol, &cfg);
+        let reference_sum = fnv_checksum(&reference);
+        for t_slide in [TSlidePolicy::Off, TSlidePolicy::On, TSlidePolicy::Auto] {
+            cfg.t_slide = t_slide;
+            for engine in [
+                ScanEngine::Parallel,
+                ScanEngine::Incremental,
+                ScanEngine::IncrementalParallel,
+                ScanEngine::Fused,
+                ScanEngine::FusedParallel,
+                ScanEngine::Auto,
+            ] {
+                cfg.engine = engine;
+                let maps = scan(vol, &cfg);
+                assert_eq!(
+                    maps.max_abs_diff(&reference),
+                    0.0,
+                    "{engine:?} diverged from reference for {repr:?}/{t_slide:?} \
+                     on degenerate input"
+                );
+                assert_eq!(
+                    fnv_checksum(&maps),
+                    reference_sum,
+                    "{engine:?} checksum diverged for {repr:?}/{t_slide:?}"
+                );
+            }
+        }
     }
 }
 
@@ -142,15 +201,28 @@ fn degenerate_single_voxel_roi_matches() {
 }
 
 #[test]
+fn degenerate_one_voxel_t_extent_matches() {
+    // roi.t = 1 degenerates every t-slab slide into remove-all + add-all
+    // while leaving plenty of t-placements to slide across.
+    let vol = lcg_volume(Dims4::new(7, 6, 2, 7), 8, 19);
+    assert_all_tiers_match(
+        &vol,
+        RoiShape::from_lengths(3, 3, 2, 1),
+        DirectionSet::all_unique_4d(1),
+    );
+}
+
+#[test]
 fn degenerate_constant_volume_matches() {
     // An all-equal volume concentrates the whole matrix on one diagonal
-    // cell — the maximal-duplicate case for the fused touched-cell list.
-    let dims = Dims4::new(9, 6, 2, 2);
+    // cell — the maximal-duplicate case for the fused touched-cell list
+    // and a single-entry list for the sparse representations.
+    let dims = Dims4::new(9, 6, 2, 5);
     let data = vec![3u8; dims.len()];
     let vol = LevelVolume::from_raw(dims, data, 16).unwrap();
     assert_all_tiers_match(
         &vol,
-        RoiShape::from_lengths(4, 3, 2, 2),
+        RoiShape::from_lengths(4, 3, 2, 3),
         DirectionSet::all_unique_4d(1),
     );
 }

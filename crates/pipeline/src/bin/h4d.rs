@@ -7,20 +7,20 @@
 //! h4d analyze  <dataset_dir> <out_dir> [--variant hmp|split|visual]
 //!              [--repr full|naive|sparse|sparse-accum] [--texture N]
 //!              [--engine reference|parallel|incremental|incremental-parallel|fused|fused-parallel|auto]
-//!              [--report run.json] [--canonical true]
+//!              [--t-slide auto|on|off] [--report run.json] [--canonical true]
 //!              [--io-cache-bytes B] [--read-ahead N] [--result-store DIR]
 //! h4d graph    <out.json> [--variant hmp|split|visual] [--texture N]
 //! h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]
 //! h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr ...]
-//!              [--engine ...] [--report run.json] [--canonical true]
+//!              [--engine ...] [--t-slide ...] [--report run.json] [--canonical true]
 //!              [--io-cache-bytes B] [--read-ahead N] [--result-store DIR]
 //! h4d node     <graph.json> <dataset_dir> <out_dir> --node K
-//!              --peers addr0,addr1,... [--repr ...] [--engine ...]
+//!              --peers addr0,addr1,... [--repr ...] [--engine ...] [--t-slide ...]
 //!              [--report run.json] [--canonical true]
 //!              [--io-cache-bytes B] [--read-ahead N] [--result-store DIR]
 //!              [--checksum true] [--compress true]
 //! h4d launch   <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...]
-//!              [--engine ...] [--report-base run] [--canonical true]
+//!              [--engine ...] [--t-slide ...] [--report-base run] [--canonical true]
 //!              [--io-cache-bytes B] [--read-ahead N] [--result-store DIR]
 //!              [--checksum true] [--compress true]
 //! h4d serve    [--bind 127.0.0.1:0] [--workers N] [--queue N]
@@ -54,7 +54,7 @@
 //! under `"store"`.
 
 use datacutter::NodeConfig;
-use haralick::raster::{Representation, ScanEngine};
+use haralick::raster::{Representation, ScanEngine, TSlidePolicy};
 use haralick::volume::Dims4;
 use mri::store::{write_distributed, DistributedDataset};
 use mri::synth::{generate, SynthConfig};
@@ -76,19 +76,21 @@ fn usage() -> ! {
          h4d analyze <dataset_dir> <out_dir> [--variant hmp|split|visual] \
          [--repr full|naive|sparse|sparse-accum] [--texture N] \
          [--engine reference|parallel|incremental|incremental-parallel|fused|fused-parallel|auto] \
+         [--t-slide auto|on|off] \
          [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N] \
          [--result-store DIR]\n  \
          h4d graph <out.json> [--variant hmp|split|visual] [--texture N]\n  \
          h4d simulate [--nodes N] [--repr ...] [--variant hmp|split]\n  \
          h4d run-graph <graph.json> <dataset_dir> <out_dir> [--repr full|naive|sparse|sparse-accum] \
-         [--engine ...] [--report run.json] [--canonical true] [--io-cache-bytes B] [--read-ahead N] \
+         [--engine ...] [--t-slide ...] [--report run.json] [--canonical true] \
+         [--io-cache-bytes B] [--read-ahead N] \
          [--result-store DIR]\n  \
          h4d node <graph.json> <dataset_dir> <out_dir> --node K --peers addr0,addr1,... \
-         [--repr ...] [--engine ...] [--report run.json] [--canonical true] \
+         [--repr ...] [--engine ...] [--t-slide ...] [--report run.json] [--canonical true] \
          [--io-cache-bytes B] [--read-ahead N] [--result-store DIR] \
          [--checksum true] [--compress true]\n  \
          h4d launch <graph.json> <dataset_dir> <out_dir> --nodes N [--repr ...] [--engine ...] \
-         [--report-base run] [--canonical true] [--io-cache-bytes B] [--read-ahead N] \
+         [--t-slide ...] [--report-base run] [--canonical true] [--io-cache-bytes B] [--read-ahead N] \
          [--result-store DIR] [--checksum true] [--compress true]\n  \
          h4d serve [--bind 127.0.0.1:0] [--workers N] [--queue N] [--io-cache-bytes B] \
          [--result-store DIR]"
@@ -183,6 +185,18 @@ fn parse_engine(s: &str) -> ScanEngine {
     }
 }
 
+fn parse_t_slide(s: &str) -> TSlidePolicy {
+    match s {
+        "auto" => TSlidePolicy::Auto,
+        "on" => TSlidePolicy::On,
+        "off" => TSlidePolicy::Off,
+        other => {
+            eprintln!("unknown t-slide policy {other:?} (want auto|on|off)");
+            usage();
+        }
+    }
+}
+
 fn app_config(dims: Dims4, nodes: usize, repr: Representation) -> AppConfig {
     AppConfig::for_dataset(dims, nodes, repr).unwrap_or_else(|e| {
         eprintln!("{e}; generate at least a window-sized dataset");
@@ -197,10 +211,14 @@ fn apply_io_flags(cfg: &mut AppConfig, flags: &Flags) {
     cfg.read_ahead_chunks = flags.parse_or("read-ahead", cfg.read_ahead_chunks);
 }
 
-/// Applies the `--engine` scan-tier override onto a loaded configuration.
+/// Applies the `--engine` scan-tier and `--t-slide` overrides onto a
+/// loaded configuration.
 fn apply_engine_flag(cfg: &mut AppConfig, flags: &Flags) {
     if let Some(e) = flags.get("engine") {
         cfg.engine = parse_engine(e);
+    }
+    if let Some(p) = flags.get("t-slide") {
+        cfg.t_slide = parse_t_slide(p);
     }
 }
 
@@ -585,6 +603,7 @@ fn main() {
                     for key in [
                         "repr",
                         "engine",
+                        "t-slide",
                         "canonical",
                         "io-cache-bytes",
                         "read-ahead",

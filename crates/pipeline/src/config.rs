@@ -3,7 +3,7 @@
 use haralick::direction::{Direction, DirectionSet};
 use haralick::features::FeatureSelection;
 use haralick::quantize::Quantizer;
-use haralick::raster::{Representation, ScanConfig, ScanEngine};
+use haralick::raster::{Representation, ScanConfig, ScanEngine, TSlidePolicy};
 use haralick::roi::RoiShape;
 use haralick::volume::Dims4;
 use serde::{Deserialize, Serialize};
@@ -46,6 +46,13 @@ pub struct AppConfig {
     /// installed at `h4d` startup).
     #[serde(default)]
     pub engine: ScanEngine,
+    /// t-axis sliding-window reuse on the fused tiers (see
+    /// [`haralick::raster::TSlidePolicy`]). `Auto` (the default) engages the
+    /// t-slab slide whenever the chunk's t-extent yields at least two
+    /// placements and the ROI is deep enough in t for reuse to pay;
+    /// streaming DCE-MRI time-series are the intended beneficiary.
+    #[serde(default)]
+    pub t_slide: TSlidePolicy,
     /// Worker threads available to one texture-filter copy for per-chunk
     /// row parallelism (the `Parallel`/`IncrementalParallel` tiers). The
     /// cost model divides a chunk's compute across these; the paper's PIII
@@ -138,6 +145,7 @@ impl AppConfig {
             // Pin the paper's per-placement rebuild semantics so the cost
             // model and every simulated figure stay on the measured regime.
             engine: ScanEngine::Parallel,
+            t_slide: TSlidePolicy::default(),
             texture_threads: 1,
             canonical_output: false,
             io_cache_bytes: default_io_cache_bytes(),
@@ -203,6 +211,7 @@ impl AppConfig {
             selection: self.selection,
             representation: self.representation,
             engine: self.engine,
+            t_slide: self.t_slide,
         }
     }
 
@@ -247,6 +256,19 @@ mod tests {
             .replace(",\"engine\":\"Parallel\"", "");
         let back: AppConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(back.engine, ScanEngine::IncrementalParallel);
+    }
+
+    #[test]
+    fn t_slide_defaults_for_legacy_configs() {
+        let c = AppConfig::paper(Representation::Full);
+        assert_eq!(c.t_slide, TSlidePolicy::Auto);
+        // Pre-t-slide JSON configs deserialize to the automatic policy.
+        let s = serde_json::to_string(&c)
+            .unwrap()
+            .replace(",\"t_slide\":\"Auto\"", "");
+        let back: AppConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.t_slide, TSlidePolicy::Auto);
+        assert_eq!(back.scan_config().t_slide, TSlidePolicy::Auto);
     }
 
     #[test]

@@ -577,7 +577,12 @@ enum MatrixEither {
 /// selection), and every tier produces bit-identical values. When the
 /// effective tier is fused, quantization folds into the window walk — the
 /// chunk's raw `u16` voxels are binned on the fly and no intermediate
-/// quantized volume is materialized.
+/// quantized volume is materialized. Sparse representations run through the
+/// fused tiers natively (the kernel emits sparse-entry state from its
+/// unmirrored merge, with no densify-then-sparsify round trip), and
+/// `cfg.t_slide` additionally lets the fused tiers reuse consecutive
+/// t-placements by sliding one t-slab instead of rebuilding — the win for
+/// streaming DCE-MRI chunks that are deep in t.
 pub fn analyze_chunk(cfg: &AppConfig, data: &ChunkData) -> Result<Vec<ParamPacket>, FilterError> {
     let chunk = &data.chunk;
     let owned = chunk.owned_output;
@@ -753,9 +758,12 @@ impl Filter for HccFilter {
         // through the measured tier table first), maintain the dense
         // matrix with the sliding window across the chunk's raster order
         // (`linear_point` advances +x within a row, so almost every
-        // placement slides). `SparseAccum` keeps its per-ROI accumulation
-        // semantics — its whole point is never materializing the dense
-        // matrix.
+        // placement slides). The `Sparse` wire form now rides the cursor
+        // too — the fused tiers no longer downgrade sparse scans, so the
+        // cursor's dense state converts per emitted matrix instead of
+        // rebuilding each window. `SparseAccum` keeps its per-ROI
+        // accumulation semantics — its whole point is never materializing
+        // the dense matrix.
         let effective = cfg.engine.effective_for_workload(
             cfg.representation,
             cfg.roi.len(),

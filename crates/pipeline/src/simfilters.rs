@@ -123,7 +123,9 @@ fn texture_work(w: &Workload, chunk: &Chunk) -> TextureWork {
         rois: chunk.rois(),
         roi_voxels: w.roi_voxels(),
         roi_x: w.cfg.roi.size().x,
+        roi_t: w.cfg.roi.size().t,
         row_len: chunk.owned_output.size.x,
+        extent_t: chunk.owned_output.size.t,
         ndirs: w.ndirs(),
         ng: w.cfg.levels,
         repr: w.repr(),

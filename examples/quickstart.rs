@@ -9,7 +9,7 @@ use haralick4d::haralick::{
     coocc::CoMatrix,
     direction::{Direction, DirectionSet},
     features::{compute_features, Feature, FeatureSelection},
-    raster::{raster_scan_par, Representation, ScanConfig, ScanEngine},
+    raster::{raster_scan_par, Representation, ScanConfig, ScanEngine, TSlidePolicy},
     roi::RoiShape,
     sparse::SparseCoMatrix,
     volume::{Point4, Region4},
@@ -61,6 +61,7 @@ fn main() {
         selection: FeatureSelection::paper_default(),
         representation: Representation::Full,
         engine: ScanEngine::default(),
+        t_slide: TSlidePolicy::default(),
     };
     let t = std::time::Instant::now();
     let maps = raster_scan_par(&vol, &scan);
